@@ -1,0 +1,103 @@
+// Command experiments regenerates every figure of the paper's evaluation
+// section (and the ablations) as CSV files plus ASCII charts.
+//
+// Usage:
+//
+//	experiments [-only fig3a,fig3b] [-out results] [-horizon 10000] [-reps 20] [-seed 20170605]
+//
+// With no -only flag every registered experiment runs at paper scale,
+// which takes a few minutes; use -horizon/-reps to downscale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"netbandit"
+)
+
+func main() {
+	var (
+		only    = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		outDir  = flag.String("out", "results", "output directory for CSV and ASCII files")
+		horizon = flag.Int("horizon", 0, "override horizon n (0 = experiment default)")
+		reps    = flag.Int("reps", 0, "override replication count (0 = experiment default)")
+		seed    = flag.Uint64("seed", 0, "override random seed (0 = default)")
+		workers = flag.Int("workers", 0, "parallel replication workers (0 = GOMAXPROCS)")
+		list    = flag.Bool("list", false, "list registered experiments and exit")
+		quiet   = flag.Bool("quiet", false, "suppress ASCII charts on stdout")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range netbandit.Experiments() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	selected := netbandit.Experiments()
+	if *only != "" {
+		selected = selected[:0]
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := netbandit.FindExperiment(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list to see ids\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		fmt.Fprintf(os.Stderr, "creating %s: %v\n", *outDir, err)
+		os.Exit(1)
+	}
+
+	params := netbandit.Params{
+		Horizon: *horizon,
+		Reps:    *reps,
+		Seed:    *seed,
+		Workers: *workers,
+	}
+	for _, e := range selected {
+		fmt.Printf("running %s (%s)...\n", e.ID, e.Title)
+		table, err := e.Run(params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if err := writeOutputs(*outDir, table); err != nil {
+			fmt.Fprintf(os.Stderr, "%s output: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Print(netbandit.Summary(table))
+		if !*quiet {
+			fmt.Println(netbandit.RenderASCII(table))
+		}
+	}
+	fmt.Printf("wrote outputs to %s/\n", *outDir)
+}
+
+// writeOutputs stores table.csv and table.txt under dir.
+func writeOutputs(dir string, table *netbandit.Table) error {
+	csvPath := filepath.Join(dir, table.ID+".csv")
+	f, err := os.Create(csvPath)
+	if err != nil {
+		return err
+	}
+	if err := netbandit.WriteCSV(f, table); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	txtPath := filepath.Join(dir, table.ID+".txt")
+	content := netbandit.Summary(table) + "\n" + netbandit.RenderASCII(table)
+	return os.WriteFile(txtPath, []byte(content), 0o644)
+}

@@ -1,0 +1,169 @@
+// Command graphgen generates and inspects relation graphs: degree and
+// clique statistics, DOT export, and two built-in demos reproducing the
+// paper's illustrative figures — the Fig. 1 threshold partition with
+// clique cover, and the Fig. 2 strategy relation graph of the 4-arm
+// worked example.
+//
+// Examples:
+//
+//	graphgen -type gnp -n 100 -p 0.3
+//	graphgen -type caveman -n 20 -p 4 -dot
+//	graphgen -demo fig2
+//	graphgen -demo partition
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"netbandit/internal/core"
+	"netbandit/internal/graphs"
+	"netbandit/internal/rng"
+	"netbandit/internal/strategy"
+)
+
+func main() {
+	var (
+		typ   = flag.String("type", "gnp", "generator: "+strings.Join(graphs.GeneratorNames(), "|"))
+		n     = flag.Int("n", 30, "number of vertices")
+		param = flag.Float64("p", 0.3, "generator parameter")
+		seed  = flag.Uint64("seed", 1, "random seed")
+		dot   = flag.Bool("dot", false, "emit Graphviz DOT instead of statistics")
+		demo  = flag.String("demo", "", "built-in demo: fig2|partition")
+	)
+	flag.Parse()
+
+	if *demo != "" {
+		if err := runDemo(*demo); err != nil {
+			fmt.Fprintln(os.Stderr, "graphgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	g, err := graphs.FromName(graphs.GeneratorName(*typ), *n, *param, rng.New(*seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "graphgen:", err)
+		os.Exit(1)
+	}
+	if *dot {
+		if err := graphs.WriteDOT(os.Stdout, g, "G", nil); err != nil {
+			fmt.Fprintln(os.Stderr, "graphgen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	printStats(g)
+}
+
+func printStats(g *graphs.Graph) {
+	fmt.Println(g)
+	fmt.Printf("  avg degree:        %.2f\n", g.AvgDegree())
+	fmt.Printf("  max degree:        %d\n", g.MaxDegree())
+	fmt.Printf("  connected:         %v\n", graphs.IsConnected(g))
+	fmt.Printf("  components:        %d\n", len(graphs.ConnectedComponents(g)))
+	_, degen := graphs.DegeneracyOrdering(g)
+	fmt.Printf("  degeneracy:        %d\n", degen)
+	cover := graphs.GreedyCliqueCover(g)
+	fmt.Printf("  greedy clique cover: %d cliques\n", len(cover))
+	sizes := make([]int, len(cover))
+	for i, c := range cover {
+		sizes[i] = len(c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	fmt.Printf("  clique sizes:      %v\n", sizes)
+}
+
+func runDemo(name string) error {
+	switch name {
+	case "fig2":
+		return demoFig2()
+	case "partition":
+		return demoPartition()
+	default:
+		return fmt.Errorf("unknown demo %q (want fig2|partition)", name)
+	}
+}
+
+// demoFig2 rebuilds the paper's Section IV example: relation graph = path
+// 1-2-3-4, feasible strategies = independent sets of size <= 2, and the
+// derived strategy relation graph SG(F, L).
+func demoFig2() error {
+	g := graphs.New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 3)
+	set, err := strategy.IndependentSets(g, 2)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Paper Fig. 2: arm relation graph G (arms 1..4, path):")
+	if err := graphs.WriteDOT(os.Stdout, g, "G", func(v int) string {
+		return fmt.Sprintf("arm %d", v+1)
+	}); err != nil {
+		return err
+	}
+	fmt.Printf("\nFeasible strategies (|F| = %d):\n", set.Len())
+	for x := 0; x < set.Len(); x++ {
+		fmt.Printf("  s%d = %v, Y = %v\n", x+1, oneIndexed(set.Arms(x)), oneIndexed(set.Closure(x)))
+	}
+	sg := core.BuildStrategyGraph(set)
+	fmt.Println("\nStrategy relation graph SG(F, L):")
+	return graphs.WriteDOT(os.Stdout, sg, "SG", func(x int) string {
+		return fmt.Sprintf("s%d=%v", x+1, oneIndexed(set.Arms(x)))
+	})
+}
+
+// demoPartition illustrates Fig. 1: split arms by a Δ threshold, induce
+// the subgraph H on the large-gap arms, and cover it with cliques.
+func demoPartition() error {
+	r := rng.New(7)
+	const k = 30
+	g := graphs.Gnp(k, 0.25, r.Split(1))
+	means := make([]float64, k)
+	for i := range means {
+		means[i] = r.Float64()
+	}
+	best := 0
+	for i, m := range means {
+		if m > means[best] {
+			best = i
+		}
+	}
+	const threshold = 0.15 // stand-in for δ0 = α sqrt(K/n)
+	var small, large []int
+	for i := range means {
+		if means[best]-means[i] <= threshold {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	fmt.Printf("Paper Fig. 1 demo: %d arms, best arm %d (mu=%.3f), threshold δ0=%.2f\n",
+		k, best, means[best], threshold)
+	fmt.Printf("  K1 (Δ <= δ0): %v\n", small)
+	fmt.Printf("  K2 (Δ >  δ0): %v\n", large)
+	h, orig := g.InducedSubgraph(large)
+	fmt.Printf("  vertex-induced subgraph H: %d vertices, %d edges\n", h.N(), h.M())
+	cover := graphs.GreedyCliqueCover(h)
+	fmt.Printf("  greedy clique cover of H: C = %d cliques\n", len(cover))
+	for ci, c := range cover {
+		mapped := make([]int, len(c))
+		for i, v := range c {
+			mapped[i] = orig[v]
+		}
+		fmt.Printf("    clique %d: %v\n", ci+1, mapped)
+	}
+	return nil
+}
+
+func oneIndexed(vs []int) []int {
+	out := make([]int, len(vs))
+	for i, v := range vs {
+		out[i] = v + 1
+	}
+	return out
+}

@@ -1,0 +1,223 @@
+// Command nbandit runs a single ad-hoc networked-bandit simulation: pick a
+// scenario, a policy, a relation graph and a horizon, get the aggregated
+// regret curves as a table, CSV, or ASCII chart.
+//
+// Examples:
+//
+//	nbandit -scenario sso -policy dfl -k 100 -graph gnp -p 0.3 -n 10000 -reps 20
+//	nbandit -scenario csr -policy dfl -k 20 -m 2 -n 5000
+//	nbandit -scenario sso -policy moss -k 50 -format csv > moss.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"netbandit"
+	"netbandit/internal/armdist"
+	"netbandit/internal/bandit"
+	"netbandit/internal/core"
+	"netbandit/internal/graphs"
+	"netbandit/internal/policy"
+	"netbandit/internal/rng"
+	"netbandit/internal/sim"
+	"netbandit/internal/strategy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nbandit:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	scenario string
+	policy   string
+	graph    string
+	k        int
+	m        int
+	p        float64
+	horizon  int
+	reps     int
+	seed     uint64
+	workers  int
+	format   string
+	metric   string
+}
+
+func run() error {
+	var o options
+	flag.StringVar(&o.scenario, "scenario", "sso", "scenario: sso|cso|ssr|csr")
+	flag.StringVar(&o.policy, "policy", "dfl", "policy: "+strings.Join(policyNames(), "|"))
+	flag.StringVar(&o.graph, "graph", "gnp", "relation graph: "+strings.Join(graphs.GeneratorNames(), "|"))
+	flag.IntVar(&o.k, "k", 100, "number of arms")
+	flag.IntVar(&o.m, "m", 2, "strategy size for combinatorial scenarios")
+	flag.Float64Var(&o.p, "p", 0.3, "graph generator parameter (edge probability for gnp)")
+	flag.IntVar(&o.horizon, "n", 10000, "horizon (rounds)")
+	flag.IntVar(&o.reps, "reps", 10, "replications")
+	flag.Uint64Var(&o.seed, "seed", 1, "random seed")
+	flag.IntVar(&o.workers, "workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	flag.StringVar(&o.format, "format", "ascii", "output: ascii|csv|summary")
+	flag.StringVar(&o.metric, "metric", "avg-pseudo", "metric: cum-pseudo|cum-realized|avg-pseudo|avg-realized")
+	flag.Parse()
+
+	scen, err := bandit.ParseScenario(o.scenario)
+	if err != nil {
+		return err
+	}
+	metric, err := parseMetric(o.metric)
+	if err != nil {
+		return err
+	}
+
+	r := rng.New(o.seed)
+	g, err := graphs.FromName(graphs.GeneratorName(o.graph), o.k, o.p, r.Split(1))
+	if err != nil {
+		return err
+	}
+	env, err := netbandit.NewEnv(g, armdist.RandomBernoulliArms(o.k, r.Split(2)))
+	if err != nil {
+		return err
+	}
+
+	cfg := sim.Config{Horizon: o.horizon, AnnounceHorizon: true}
+	opts := sim.ReplicateOptions{Reps: o.reps, Seed: o.seed, Workers: o.workers}
+
+	var agg *sim.Aggregate
+	if scen.Combinatorial() {
+		set, err := strategy.TopM(o.k, o.m, g)
+		if err != nil {
+			return err
+		}
+		factory, err := comboFactory(o.policy, scen)
+		if err != nil {
+			return err
+		}
+		agg, err = sim.ReplicateCombo(env, set, scen, factory, cfg, opts)
+		if err != nil {
+			return err
+		}
+	} else {
+		factory, err := singleFactory(o.policy, scen)
+		if err != nil {
+			return err
+		}
+		agg, err = sim.ReplicateSingle(env, scen, factory, cfg, opts)
+		if err != nil {
+			return err
+		}
+	}
+	return emit(agg, metric, o)
+}
+
+func policyNames() []string {
+	return []string{"dfl", "dfl-hop", "dfl-stream", "moss", "ucb1", "ucbn", "ucbmaxn",
+		"thompson", "egreedy", "exp3", "random", "cucb", "exp3f"}
+}
+
+// singleFactory maps a policy name to a single-play factory. "dfl"
+// resolves to the scenario's algorithm: DFL-SSO under side observation,
+// DFL-SSR under side reward.
+func singleFactory(name string, scen bandit.Scenario) (sim.SingleFactory, error) {
+	switch name {
+	case "dfl":
+		if scen == bandit.SSR {
+			return func(*rng.RNG) bandit.SinglePolicy { return core.NewDFLSSR() }, nil
+		}
+		return func(*rng.RNG) bandit.SinglePolicy { return core.NewDFLSSO() }, nil
+	case "dfl-hop":
+		return func(*rng.RNG) bandit.SinglePolicy { return core.NewDFLSSOGreedyHop() }, nil
+	case "dfl-stream":
+		return func(*rng.RNG) bandit.SinglePolicy { return core.NewDFLSSRStreaming() }, nil
+	case "moss":
+		return func(*rng.RNG) bandit.SinglePolicy { return policy.NewMOSS() }, nil
+	case "ucb1":
+		return func(*rng.RNG) bandit.SinglePolicy { return policy.NewUCB1() }, nil
+	case "ucbn":
+		return func(*rng.RNG) bandit.SinglePolicy { return policy.NewUCBN() }, nil
+	case "ucbmaxn":
+		return func(*rng.RNG) bandit.SinglePolicy { return policy.NewUCBMaxN() }, nil
+	case "thompson":
+		return func(r *rng.RNG) bandit.SinglePolicy { return policy.NewThompson(r) }, nil
+	case "egreedy":
+		return func(r *rng.RNG) bandit.SinglePolicy { return policy.NewDecayingEpsilonGreedy(1, r) }, nil
+	case "exp3":
+		return func(r *rng.RNG) bandit.SinglePolicy { return policy.NewEXP3(0.05, r) }, nil
+	case "random":
+		return func(r *rng.RNG) bandit.SinglePolicy { return policy.NewRandom(r) }, nil
+	default:
+		return nil, fmt.Errorf("unknown single-play policy %q (valid: %s)", name, strings.Join(policyNames(), ", "))
+	}
+}
+
+func comboFactory(name string, scen bandit.Scenario) (sim.ComboFactory, error) {
+	switch name {
+	case "dfl":
+		if scen == bandit.CSR {
+			return func(*rng.RNG) bandit.ComboPolicy { return core.NewDFLCSR() }, nil
+		}
+		return func(*rng.RNG) bandit.ComboPolicy { return core.NewDFLCSO() }, nil
+	case "cucb":
+		obj := policy.Direct
+		if scen == bandit.CSR {
+			obj = policy.Closure
+		}
+		return func(*rng.RNG) bandit.ComboPolicy { return policy.NewCUCB(obj) }, nil
+	case "exp3f":
+		return func(r *rng.RNG) bandit.ComboPolicy { return policy.NewComboEXP3(0.05, r) }, nil
+	case "random":
+		return func(r *rng.RNG) bandit.ComboPolicy { return policy.NewComboRandom(r) }, nil
+	default:
+		return nil, fmt.Errorf("unknown combinatorial policy %q (valid: dfl, cucb, exp3f, random)", name)
+	}
+}
+
+func parseMetric(name string) (sim.Metric, error) {
+	switch name {
+	case "cum-pseudo":
+		return sim.CumPseudo, nil
+	case "cum-realized":
+		return sim.CumRealized, nil
+	case "avg-pseudo":
+		return sim.AvgPseudo, nil
+	case "avg-realized":
+		return sim.AvgRealized, nil
+	default:
+		return 0, fmt.Errorf("unknown metric %q", name)
+	}
+}
+
+func emit(agg *sim.Aggregate, metric sim.Metric, o options) error {
+	xs := make([]float64, len(agg.T))
+	for i, t := range agg.T {
+		xs[i] = float64(t)
+	}
+	table := &netbandit.Table{
+		ID:     "adhoc",
+		Title:  fmt.Sprintf("%s / %s on %s(K=%d, p=%.2f), n=%d, %d reps", o.scenario, agg.Policy, o.graph, o.k, o.p, o.horizon, agg.Reps),
+		XLabel: "time slot",
+		YLabel: metric.String(),
+		X:      xs,
+		Curves: []netbandit.Curve{{
+			Name:   agg.Policy,
+			Mean:   agg.Mean(metric),
+			StdErr: agg.StdErr(metric),
+		}},
+	}
+	switch o.format {
+	case "ascii":
+		fmt.Print(netbandit.Summary(table))
+		fmt.Println(netbandit.RenderASCII(table))
+		return nil
+	case "csv":
+		return netbandit.WriteCSV(os.Stdout, table)
+	case "summary":
+		fmt.Print(netbandit.Summary(table))
+		return nil
+	default:
+		return fmt.Errorf("unknown format %q", o.format)
+	}
+}

@@ -1,0 +1,31 @@
+// Package netbandit is a from-scratch Go reproduction of "Networked
+// Stochastic Multi-Armed Bandits with Combinatorial Strategies"
+// (Shaojie Tang and Yaqin Zhou, ICDCS 2017; arXiv:1503.06169).
+//
+// The model: K stochastic arms with unknown means in [0, 1] are linked by
+// an undirected relation graph. Pulling an arm (or a combinatorial
+// strategy of up to M arms) additionally reveals — and in the side-reward
+// settings also pays out — the rewards of every neighbouring arm. The
+// paper contributes four distribution-free, zero-regret index policies,
+// one per scenario:
+//
+//   - DFL-SSO — single-play, side observation (Algorithm 1)
+//   - DFL-CSO — combinatorial-play, side observation (Algorithm 2)
+//   - DFL-SSR — single-play, side reward (Algorithm 3)
+//   - DFL-CSR — combinatorial-play, side reward (Algorithm 4)
+//
+// This package is the public facade: it re-exports the environment,
+// policy, strategy-set and simulation machinery implemented under
+// internal/ and adds convenience constructors, so a downstream user needs
+// exactly one import:
+//
+//	env, _ := netbandit.NewBernoulliEnv(graph, means)
+//	agg, _ := netbandit.ReplicateSingle(env, netbandit.SSO,
+//	    func(*netbandit.RNG) netbandit.SinglePolicy { return netbandit.NewDFLSSO() },
+//	    netbandit.Config{Horizon: 10000}, netbandit.ReplicateOptions{Reps: 20, Seed: 1})
+//	fmt.Println(agg.Final(netbandit.CumPseudo))
+//
+// The named experiments behind every figure of the paper's evaluation
+// section are available through Experiments / FindExperiment and the
+// cmd/experiments binary.
+package netbandit

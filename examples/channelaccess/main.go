@@ -1,0 +1,90 @@
+// Opportunistic channel access: one of the paper's introductory
+// motivations (cognitive radio). A secondary user probes one of K
+// channels per slot; channels overlapping in frequency interfere, so
+// sensing one also reveals the occupancy of its spectral neighbours — a
+// geometric relation graph over the band. The twist: primary-user
+// activity is piecewise-stationary (traffic shifts between day-like and
+// night-like regimes), exercising the non-stationary extension.
+//
+// The example compares plain DFL-SSO against the sliding-window variant
+// under a regime change, and prints the Theorem 1 bound alongside the
+// measured regret for the stationary opening phase. A perhaps surprising
+// outcome: on this *narrow-band* graph most channels stay lightly
+// observed, so plain DFL-SSO's anytime index retains a live exploration
+// bonus and re-discovers the new optimum on its own — the sliding window
+// only pays its perpetual re-exploration tax. (On densely observed
+// graphs, where every arm's bonus collapses, the window wins decisively;
+// see the abl-nonstat experiment.)
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netbandit"
+)
+
+func main() {
+	const (
+		channels = 40
+		horizon  = 9000
+		seed     = 13
+		window   = 600
+	)
+
+	// Spectral adjacency: channels within a small frequency distance
+	// interfere; a 1-D lattice captured by a path-like random geometric
+	// structure. We use a banded graph: channel i talks to i±1, i±2.
+	band := netbandit.NewGraph(channels)
+	for i := 0; i < channels; i++ {
+		for d := 1; d <= 2; d++ {
+			if i+d < channels {
+				band.MustAddEdge(i, i+d)
+			}
+		}
+	}
+
+	// Two regimes: daytime traffic frees the high channels, nighttime the
+	// low ones. Availability = probability the channel is idle.
+	day := make([]float64, channels)
+	night := make([]float64, channels)
+	for i := 0; i < channels; i++ {
+		frac := float64(i) / float64(channels-1)
+		day[i] = 0.15 + 0.7*frac
+		night[i] = 0.85 - 0.7*frac
+	}
+	env, err := netbandit.NewPiecewiseEnv(band, []netbandit.Segment{
+		{Start: 1, Means: day},
+		{Start: horizon/2 + 1, Means: night},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	checkpoints := []int{horizon / 2, horizon}
+	plain, err := netbandit.RunPiecewise(env, netbandit.NewDFLSSO(), horizon, checkpoints, netbandit.NewRNG(seed+1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sw, err := netbandit.RunPiecewise(env, netbandit.NewSWDFLSSO(window), horizon, checkpoints, netbandit.NewRNG(seed+1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("opportunistic channel access: %d channels, banded interference graph,\n", channels)
+	fmt.Printf("traffic regime flips at slot %d, n=%d\n\n", horizon/2, horizon)
+	fmt.Printf("%-22s %18s %18s\n", "policy", "regret @ flip", "regret @ end")
+	fmt.Printf("%-22s %18.1f %18.1f\n", plain.Policy, plain.CumDynamic[0], plain.CumDynamic[1])
+	fmt.Printf("%-22s %18.1f %18.1f\n", sw.Policy, sw.CumDynamic[0], sw.CumDynamic[1])
+
+	if plain.CumDynamic[1] < sw.CumDynamic[1] {
+		fmt.Println("\nnarrow-band side observation keeps an exploration bonus alive, so")
+		fmt.Println("plain DFL-SSO re-adapts by itself and the window's overhead loses here")
+	}
+
+	// Stationary-phase sanity: Theorem 1's ceiling for the opening phase.
+	cover := channels / 3 // banded graph: triples {i, i+1, i+2} are cliques
+	bound := netbandit.Theorem1RegretBound(horizon/2, channels, cover)
+	fmt.Printf("\nTheorem 1 ceiling for the stationary first phase: %.0f\n", bound)
+	fmt.Printf("measured first-phase regret (plain DFL-SSO):      %.1f\n", plain.CumDynamic[0])
+}

@@ -1,0 +1,101 @@
+// Social recommendation: the paper's side-reward motivation. Promoting a
+// product to one user in a social network also influences that user's
+// friends to buy — single-play with side reward (SSR). The best user to
+// target is not the one most likely to buy, but the one whose closed
+// friend-circle buys the most in total.
+//
+// The network is a Barabási–Albert preferential-attachment graph (hubs =
+// influencers). The example shows that DFL-SSR finds an influencer whose
+// neighbourhood value far exceeds the best individual buyer's, while a
+// policy that maximises individual purchase probability (DFL-SSO run on
+// the same feedback) leaves reward on the table.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netbandit"
+)
+
+func main() {
+	const (
+		users   = 60
+		horizon = 8000
+		reps    = 8
+		seed    = 11
+	)
+
+	r := netbandit.NewRNG(seed)
+	graph := buildSocialNetwork(users, r)
+
+	// Purchase probabilities: uniform-ish, with a standout individual
+	// buyer who is poorly connected.
+	probs := make([]float64, users)
+	for i := range probs {
+		probs[i] = 0.1 + 0.5*r.Float64()
+	}
+	probs[users-1] = 0.95 // strong buyer, but a late (low-degree) joiner
+
+	env, err := netbandit.NewBernoulliEnv(graph, probs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bestArm, bestMean := env.BestArm()
+	bestInf, bestSide := env.BestSideArm()
+	fmt.Printf("social network: %d users (Barabási–Albert), n=%d\n\n", users, horizon)
+	fmt.Printf("best individual buyer:  user %2d (p=%.2f, circle value %.2f)\n",
+		bestArm, bestMean, env.SideMean(bestArm))
+	fmt.Printf("best influence target:  user %2d (circle of %d, total value %.2f)\n\n",
+		bestInf, graph.Degree(bestInf)+1, bestSide)
+
+	cfg := netbandit.Config{Horizon: horizon, AnnounceHorizon: true}
+	opts := netbandit.ReplicateOptions{Reps: reps, Seed: seed}
+
+	contenders := []struct {
+		name    string
+		factory netbandit.SingleFactory
+	}{
+		{"DFL-SSR (exact)", func(*netbandit.RNG) netbandit.SinglePolicy { return netbandit.NewDFLSSR() }},
+		{"DFL-SSR (streaming)", func(*netbandit.RNG) netbandit.SinglePolicy { return netbandit.NewDFLSSRStreaming() }},
+		{"DFL-SSO (wrong objective)", func(*netbandit.RNG) netbandit.SinglePolicy { return netbandit.NewDFLSSO() }},
+	}
+	fmt.Printf("%-28s %18s %18s\n", "policy", "final cum. regret", "avg regret/round")
+	for _, c := range contenders {
+		agg, err := netbandit.ReplicateSingle(env, netbandit.SSR, c.factory, cfg, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s %18.1f %18.4f\n", c.name,
+			agg.Final(netbandit.CumPseudo), agg.Final(netbandit.AvgPseudo))
+	}
+	fmt.Println("\n(regret is against the best influence target; maximising individual")
+	fmt.Println(" purchase probability is the wrong objective under side rewards)")
+}
+
+// buildSocialNetwork wires a preferential-attachment graph through the
+// public Graph API.
+func buildSocialNetwork(users int, r *netbandit.RNG) *netbandit.Graph {
+	// The facade exposes Gnp/Star/Complete directly; for BA we build edges
+	// by preferential attachment over the public AddEdge API.
+	g := netbandit.NewGraph(users)
+	const attach = 2
+	repeated := make([]int, 0, 4*users)
+	// Seed triangle.
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(0, 2)
+	repeated = append(repeated, 0, 1, 1, 2, 0, 2)
+	for v := 3; v < users; v++ {
+		targets := map[int]bool{}
+		for len(targets) < attach {
+			targets[repeated[r.Intn(len(repeated))]] = true
+		}
+		for u := range targets {
+			g.MustAddEdge(u, v)
+			repeated = append(repeated, u, v)
+		}
+	}
+	return g
+}

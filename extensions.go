@@ -1,0 +1,87 @@
+package netbandit
+
+// Facade surface for the extension subsystems: the theoretical bound
+// calculators, the non-stationary (piecewise) environment with its
+// sliding-window policy, per-round tracing, the homophily workload
+// generator, and the KL-UCB baseline.
+
+import (
+	"netbandit/internal/bandit"
+	"netbandit/internal/nonstat"
+	"netbandit/internal/policy"
+	"netbandit/internal/theory"
+	"netbandit/internal/trace"
+)
+
+// Extension types.
+type (
+	// PiecewiseEnv is a piecewise-stationary networked bandit.
+	PiecewiseEnv = nonstat.PiecewiseEnv
+	// Segment is one stationary phase of a PiecewiseEnv.
+	Segment = nonstat.Segment
+	// DynamicResult is the outcome of a piecewise run (dynamic regret).
+	DynamicResult = nonstat.Result
+	// TraceEvent is one simulation round as seen by a trace observer.
+	TraceEvent = trace.Event
+	// TraceObserver receives one TraceEvent per simulated round.
+	TraceObserver = trace.Observer
+	// TraceRecorder retains recent trace events in memory.
+	TraceRecorder = trace.Recorder
+)
+
+// NewKLUCB returns the asymptotically optimal Bernoulli KL-UCB baseline.
+func NewKLUCB() SinglePolicy { return policy.NewKLUCB() }
+
+// NewPiecewiseEnv builds a piecewise-stationary environment over a fixed
+// relation graph.
+func NewPiecewiseEnv(g *Graph, segments []Segment) (*PiecewiseEnv, error) {
+	return nonstat.NewPiecewiseEnv(g, segments)
+}
+
+// NewSWDFLSSO returns the sliding-window DFL-SSO extension for
+// non-stationary means.
+func NewSWDFLSSO(window int) SinglePolicy { return nonstat.NewSWDFLSSO(window) }
+
+// RunPiecewise plays a single-play policy against a piecewise environment
+// with SSO feedback and dynamic-regret accounting.
+func RunPiecewise(env *PiecewiseEnv, pol SinglePolicy, horizon int, checkpoints []int, r *RNG) (*DynamicResult, error) {
+	return nonstat.Run(env, pol, horizon, checkpoints, r)
+}
+
+// SmoothedMeans generates homophilous arm means over a relation graph
+// (neighbours end up with similar means), rescaled to span [0, 1].
+func SmoothedMeans(g *Graph, rounds int, r *RNG) ([]float64, error) {
+	return bandit.SmoothedMeans(g, rounds, r)
+}
+
+// NeighborhoodCorrelation measures the homophily of a mean vector over a
+// graph as the correlation between arm means and their neighbourhood
+// averages.
+func NeighborhoodCorrelation(g *Graph, means []float64) float64 {
+	return bandit.NeighborhoodCorrelation(g, means)
+}
+
+// Theoretical regret bounds (package theory).
+
+// MOSSRegretBound returns the 49·sqrt(nK) distribution-free MOSS bound.
+func MOSSRegretBound(n, k int) float64 { return theory.MOSSBound(n, k) }
+
+// Theorem1RegretBound returns the DFL-SSO bound of Theorem 1 for the
+// given clique-cover size.
+func Theorem1RegretBound(n, k, cliqueCover int) float64 {
+	return theory.Theorem1Bound(n, k, cliqueCover)
+}
+
+// Theorem2RegretBound returns the DFL-CSO bound of Theorem 2.
+func Theorem2RegretBound(n, f, cliqueCover int) float64 {
+	return theory.Theorem2Bound(n, f, cliqueCover)
+}
+
+// Theorem3RegretBound returns the DFL-SSR bound of Theorem 3.
+func Theorem3RegretBound(n, k int) float64 { return theory.Theorem3Bound(n, k) }
+
+// Theorem4RegretBound returns the DFL-CSR bound of Theorem 4 for the
+// given maximum closure size N.
+func Theorem4RegretBound(n, k, maxClosure int) float64 {
+	return theory.Theorem4Bound(n, k, maxClosure)
+}

@@ -1,0 +1,223 @@
+// Package armdist defines the reward distributions attached to bandit arms.
+// The paper only assumes i.i.d. rewards with support in [0, 1]; this package
+// supplies the common concrete families — Bernoulli (the default in the
+// simulations), Beta, truncated Gaussian, uniform, and deterministic point
+// masses — behind a single interface so environments stay
+// distribution-agnostic.
+package armdist
+
+import (
+	"fmt"
+	"math"
+
+	"netbandit/internal/rng"
+)
+
+// sqrt2Pi is sqrt(2π), the Gaussian density normaliser.
+const sqrt2Pi = 2.5066282746310005
+
+// Distribution is a reward law with support in [0, 1].
+type Distribution interface {
+	// Mean returns the expected reward.
+	Mean() float64
+	// Sample draws one reward using the supplied generator.
+	Sample(r *rng.RNG) float64
+	// String identifies the distribution for logs and error messages.
+	String() string
+}
+
+// Bernoulli rewards are 1 with probability P and 0 otherwise — the
+// standard "hardest case" for [0,1]-supported bandits and the law used by
+// the reproduction experiments.
+type Bernoulli struct {
+	P float64
+}
+
+// NewBernoulli returns a Bernoulli distribution. It returns an error if p
+// is outside [0, 1].
+func NewBernoulli(p float64) (Bernoulli, error) {
+	if p < 0 || p > 1 {
+		return Bernoulli{}, fmt.Errorf("armdist: Bernoulli p=%v outside [0,1]", p)
+	}
+	return Bernoulli{P: p}, nil
+}
+
+// Mean implements Distribution.
+func (b Bernoulli) Mean() float64 { return b.P }
+
+// Sample implements Distribution.
+func (b Bernoulli) Sample(r *rng.RNG) float64 {
+	if r.Bernoulli(b.P) {
+		return 1
+	}
+	return 0
+}
+
+// String implements Distribution.
+func (b Bernoulli) String() string { return fmt.Sprintf("Bernoulli(%.3f)", b.P) }
+
+// Beta rewards follow a Beta(A, B) law, naturally supported on [0, 1].
+type Beta struct {
+	A, B float64
+}
+
+// NewBeta returns a Beta distribution. It returns an error unless both
+// parameters are positive.
+func NewBeta(a, b float64) (Beta, error) {
+	if a <= 0 || b <= 0 {
+		return Beta{}, fmt.Errorf("armdist: Beta(%v,%v) needs positive parameters", a, b)
+	}
+	return Beta{A: a, B: b}, nil
+}
+
+// Mean implements Distribution.
+func (b Beta) Mean() float64 { return b.A / (b.A + b.B) }
+
+// Sample implements Distribution.
+func (b Beta) Sample(r *rng.RNG) float64 { return r.Beta(b.A, b.B) }
+
+// String implements Distribution.
+func (b Beta) String() string { return fmt.Sprintf("Beta(%.3f,%.3f)", b.A, b.B) }
+
+// TruncGaussian draws from a normal law with the given location and scale,
+// clamped to [0, 1]. Clamping shifts the true mean away from Mu; Mean
+// reports the exact clamped-law mean so regret accounting stays unbiased.
+type TruncGaussian struct {
+	Mu, Sigma float64
+	mean      float64
+}
+
+// NewTruncGaussian returns a clamped Gaussian. Sigma must be positive.
+func NewTruncGaussian(mu, sigma float64) (TruncGaussian, error) {
+	if sigma <= 0 {
+		return TruncGaussian{}, fmt.Errorf("armdist: TruncGaussian sigma=%v must be positive", sigma)
+	}
+	d := TruncGaussian{Mu: mu, Sigma: sigma}
+	d.mean = d.clampedMean()
+	return d, nil
+}
+
+// clampedMean computes E[clamp(N(mu, sigma²), 0, 1)] by numeric
+// integration over a fine grid; exact closed forms need erf, which is
+// available, but the censored (clamped) law also has point masses at the
+// boundaries, so direct quadrature over the density plus boundary masses is
+// simpler to verify.
+func (d TruncGaussian) clampedMean() float64 {
+	// E[clamp(X,0,1)] = 0·P(X<=0) + 1·P(X>=1) + ∫₀¹ x φ(x) dx.
+	const steps = 4096
+	h := 1.0 / steps
+	var integral float64
+	for i := 0; i < steps; i++ {
+		x := (float64(i) + 0.5) * h
+		integral += x * d.pdf(x) * h
+	}
+	return integral + (1 - d.cdf(1))
+}
+
+func (d TruncGaussian) pdf(x float64) float64 {
+	z := (x - d.Mu) / d.Sigma
+	return math.Exp(-z*z/2) / (d.Sigma * sqrt2Pi)
+}
+
+func (d TruncGaussian) cdf(x float64) float64 {
+	return 0.5 * math.Erfc(-(x-d.Mu)/(d.Sigma*math.Sqrt2))
+}
+
+// Mean implements Distribution.
+func (d TruncGaussian) Mean() float64 { return d.mean }
+
+// Sample implements Distribution.
+func (d TruncGaussian) Sample(r *rng.RNG) float64 {
+	x := d.Mu + d.Sigma*r.NormFloat64()
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// String implements Distribution.
+func (d TruncGaussian) String() string {
+	return fmt.Sprintf("TruncGaussian(%.3f,%.3f)", d.Mu, d.Sigma)
+}
+
+// Uniform rewards are uniform on [Lo, Hi] ⊆ [0, 1].
+type Uniform struct {
+	Lo, Hi float64
+}
+
+// NewUniform returns a uniform distribution on [lo, hi]. It returns an
+// error unless 0 <= lo <= hi <= 1.
+func NewUniform(lo, hi float64) (Uniform, error) {
+	if lo < 0 || hi > 1 || lo > hi {
+		return Uniform{}, fmt.Errorf("armdist: Uniform[%v,%v] must satisfy 0<=lo<=hi<=1", lo, hi)
+	}
+	return Uniform{Lo: lo, Hi: hi}, nil
+}
+
+// Mean implements Distribution.
+func (u Uniform) Mean() float64 { return (u.Lo + u.Hi) / 2 }
+
+// Sample implements Distribution.
+func (u Uniform) Sample(r *rng.RNG) float64 { return u.Lo + (u.Hi-u.Lo)*r.Float64() }
+
+// String implements Distribution.
+func (u Uniform) String() string { return fmt.Sprintf("Uniform[%.3f,%.3f]", u.Lo, u.Hi) }
+
+// Point is a deterministic reward — useful in tests and for modelling
+// known-value arms.
+type Point struct {
+	V float64
+}
+
+// NewPoint returns a point mass at v ∈ [0, 1].
+func NewPoint(v float64) (Point, error) {
+	if v < 0 || v > 1 {
+		return Point{}, fmt.Errorf("armdist: Point(%v) outside [0,1]", v)
+	}
+	return Point{V: v}, nil
+}
+
+// Mean implements Distribution.
+func (p Point) Mean() float64 { return p.V }
+
+// Sample implements Distribution.
+func (p Point) Sample(*rng.RNG) float64 { return p.V }
+
+// String implements Distribution.
+func (p Point) String() string { return fmt.Sprintf("Point(%.3f)", p.V) }
+
+// Compile-time interface compliance checks.
+var (
+	_ Distribution = Bernoulli{}
+	_ Distribution = Beta{}
+	_ Distribution = TruncGaussian{}
+	_ Distribution = Uniform{}
+	_ Distribution = Point{}
+)
+
+// BernoulliArms builds one Bernoulli arm per mean. It returns an error if
+// any mean is outside [0, 1].
+func BernoulliArms(means []float64) ([]Distribution, error) {
+	out := make([]Distribution, len(means))
+	for i, m := range means {
+		d, err := NewBernoulli(m)
+		if err != nil {
+			return nil, fmt.Errorf("arm %d: %w", i, err)
+		}
+		out[i] = d
+	}
+	return out, nil
+}
+
+// RandomBernoulliArms draws k Bernoulli arms with means uniform on [0, 1] —
+// the experiment setup in the paper's Section VII.
+func RandomBernoulliArms(k int, r *rng.RNG) []Distribution {
+	out := make([]Distribution, k)
+	for i := range out {
+		out[i] = Bernoulli{P: r.Float64()}
+	}
+	return out
+}

@@ -1,0 +1,161 @@
+package armdist
+
+import (
+	"math"
+	"testing"
+
+	"netbandit/internal/rng"
+)
+
+// sampleMean draws n samples and returns their mean, asserting support.
+func sampleMean(t *testing.T, d Distribution, n int, r *rng.RNG) float64 {
+	t.Helper()
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := d.Sample(r)
+		if x < 0 || x > 1 {
+			t.Fatalf("%v produced out-of-support sample %v", d, x)
+		}
+		sum += x
+	}
+	return sum / float64(n)
+}
+
+func TestMeansMatchSamples(t *testing.T) {
+	r := rng.New(7)
+	mustBern := func(p float64) Distribution {
+		d, err := NewBernoulli(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	mustBeta := func(a, b float64) Distribution {
+		d, err := NewBeta(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	mustTG := func(mu, sigma float64) Distribution {
+		d, err := NewTruncGaussian(mu, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	mustUnif := func(lo, hi float64) Distribution {
+		d, err := NewUniform(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	mustPoint := func(v float64) Distribution {
+		d, err := NewPoint(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+
+	dists := []Distribution{
+		mustBern(0), mustBern(0.3), mustBern(1),
+		mustBeta(2, 5), mustBeta(0.5, 0.5),
+		mustTG(0.5, 0.2), mustTG(0.9, 0.3), mustTG(-0.2, 0.4),
+		mustUnif(0, 1), mustUnif(0.2, 0.6),
+		mustPoint(0.42),
+	}
+	const n = 100000
+	for _, d := range dists {
+		got := sampleMean(t, d, n, r)
+		if math.Abs(got-d.Mean()) > 0.01 {
+			t.Errorf("%v: sample mean %v vs declared mean %v", d, got, d.Mean())
+		}
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewBernoulli(-0.1); err == nil {
+		t.Error("Bernoulli(-0.1) accepted")
+	}
+	if _, err := NewBernoulli(1.1); err == nil {
+		t.Error("Bernoulli(1.1) accepted")
+	}
+	if _, err := NewBeta(0, 1); err == nil {
+		t.Error("Beta(0,1) accepted")
+	}
+	if _, err := NewTruncGaussian(0.5, 0); err == nil {
+		t.Error("TruncGaussian sigma=0 accepted")
+	}
+	if _, err := NewUniform(0.5, 0.2); err == nil {
+		t.Error("Uniform inverted range accepted")
+	}
+	if _, err := NewUniform(-0.1, 0.5); err == nil {
+		t.Error("Uniform below 0 accepted")
+	}
+	if _, err := NewPoint(2); err == nil {
+		t.Error("Point(2) accepted")
+	}
+}
+
+func TestTruncGaussianMeanShift(t *testing.T) {
+	// Clamping a N(0.9, 0.3) to [0,1] must pull the mean below 0.9.
+	d, err := NewTruncGaussian(0.9, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Mean() >= 0.9 {
+		t.Fatalf("clamped mean %v should be < 0.9", d.Mean())
+	}
+	// Symmetric case keeps the mean at 0.5.
+	s, err := NewTruncGaussian(0.5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Mean()-0.5) > 1e-3 {
+		t.Fatalf("symmetric clamped mean = %v, want 0.5", s.Mean())
+	}
+}
+
+func TestBernoulliArms(t *testing.T) {
+	arms, err := BernoulliArms([]float64{0.1, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arms) != 2 || arms[0].Mean() != 0.1 || arms[1].Mean() != 0.9 {
+		t.Fatalf("arms = %v", arms)
+	}
+	if _, err := BernoulliArms([]float64{0.5, 1.5}); err == nil {
+		t.Fatal("invalid mean accepted")
+	}
+}
+
+func TestRandomBernoulliArms(t *testing.T) {
+	r := rng.New(3)
+	arms := RandomBernoulliArms(50, r)
+	if len(arms) != 50 {
+		t.Fatalf("len = %d", len(arms))
+	}
+	var sum float64
+	for _, a := range arms {
+		m := a.Mean()
+		if m < 0 || m > 1 {
+			t.Fatalf("mean %v out of range", m)
+		}
+		sum += m
+	}
+	if avg := sum / 50; avg < 0.3 || avg > 0.7 {
+		t.Fatalf("average mean %v implausible for U[0,1] draws", avg)
+	}
+}
+
+func TestStringIdentifiers(t *testing.T) {
+	d, err := NewBernoulli(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.String(); got != "Bernoulli(0.250)" {
+		t.Fatalf("String = %q", got)
+	}
+}

@@ -1,0 +1,164 @@
+// Package bandit defines the networked stochastic bandit environment of
+// Tang & Zhou: K arms with unknown means in [0,1] linked by an undirected
+// relation graph. Pulling an arm (or a combinatorial strategy) reveals —
+// and, in the side-reward scenarios, also pays out — the rewards of every
+// neighbouring arm. The package also fixes the policy interfaces shared by
+// the baseline algorithms (package policy) and the paper's DFL family
+// (package core), plus the per-scenario regret accounting used by the
+// experiment harness.
+package bandit
+
+import (
+	"fmt"
+
+	"netbandit/internal/armdist"
+	"netbandit/internal/graphs"
+	"netbandit/internal/rng"
+	"netbandit/internal/strategy"
+)
+
+// Env is an immutable networked bandit instance: the relation graph, the
+// per-arm reward distributions, and cached derived quantities (closed
+// neighbourhoods, per-scenario optima). Env is safe for concurrent use by
+// multiple replications because all state is read-only after construction.
+type Env struct {
+	k      int
+	graph  *graphs.Graph
+	dists  []armdist.Distribution
+	means  []float64
+	closed [][]int // closed[i] = N̄_i, sorted
+
+	bestArm      int
+	bestArmMean  float64
+	sideMeans    []float64 // u_i = Σ_{j∈N̄_i} mu_j
+	bestSideArm  int
+	bestSideMean float64
+}
+
+// NewEnv builds an environment from a relation graph and one distribution
+// per vertex. The graph may be nil, which models the classical MAB (every
+// arm's closed neighbourhood is just itself).
+func NewEnv(g *graphs.Graph, dists []armdist.Distribution) (*Env, error) {
+	k := len(dists)
+	if k == 0 {
+		return nil, fmt.Errorf("bandit: environment needs at least one arm")
+	}
+	if g != nil && g.N() != k {
+		return nil, fmt.Errorf("bandit: graph has %d vertices but %d distributions given", g.N(), k)
+	}
+	if g == nil {
+		g = graphs.Empty(k)
+	}
+	e := &Env{
+		k:      k,
+		graph:  g,
+		dists:  append([]armdist.Distribution(nil), dists...),
+		means:  make([]float64, k),
+		closed: make([][]int, k),
+	}
+	for i, d := range dists {
+		if d == nil {
+			return nil, fmt.Errorf("bandit: arm %d has nil distribution", i)
+		}
+		m := d.Mean()
+		if m < 0 || m > 1 {
+			return nil, fmt.Errorf("bandit: arm %d mean %v outside [0,1]", i, m)
+		}
+		e.means[i] = m
+		e.closed[i] = g.ClosedNeighborhood(i)
+	}
+
+	e.bestArm = 0
+	for i, m := range e.means {
+		if m > e.bestArmMean {
+			e.bestArm, e.bestArmMean = i, m
+		}
+	}
+	e.sideMeans = make([]float64, k)
+	for i := range e.sideMeans {
+		var u float64
+		for _, j := range e.closed[i] {
+			u += e.means[j]
+		}
+		e.sideMeans[i] = u
+		if u > e.bestSideMean {
+			e.bestSideArm, e.bestSideMean = i, u
+		}
+	}
+	return e, nil
+}
+
+// K returns the number of arms.
+func (e *Env) K() int { return e.k }
+
+// Graph returns the relation graph. Callers must treat it as read-only.
+func (e *Env) Graph() *graphs.Graph { return e.graph }
+
+// Mean returns the expected reward of arm i.
+func (e *Env) Mean(i int) float64 { return e.means[i] }
+
+// Means returns a copy of all arm means.
+func (e *Env) Means() []float64 {
+	out := make([]float64, e.k)
+	copy(out, e.means)
+	return out
+}
+
+// Dist returns arm i's reward distribution.
+func (e *Env) Dist(i int) armdist.Distribution { return e.dists[i] }
+
+// Closed returns the closed neighbourhood N̄_i = {i} ∪ N(i), sorted.
+// The returned slice is shared; callers must not modify it.
+func (e *Env) Closed(i int) []int { return e.closed[i] }
+
+// BestArm returns the index and mean of the arm with the largest expected
+// direct reward (the SSO benchmark mu_1).
+func (e *Env) BestArm() (arm int, mean float64) { return e.bestArm, e.bestArmMean }
+
+// SideMean returns u_i = Σ_{j∈N̄_i} mu_j, the expected side reward of
+// pulling arm i (the SSR objective).
+func (e *Env) SideMean(i int) float64 { return e.sideMeans[i] }
+
+// SideMeans returns a copy of all side-reward means.
+func (e *Env) SideMeans() []float64 {
+	out := make([]float64, e.k)
+	copy(out, e.sideMeans)
+	return out
+}
+
+// BestSideArm returns the index and mean of the arm with the largest
+// expected side reward (the SSR benchmark u_1). It may differ from
+// BestArm, as the paper notes.
+func (e *Env) BestSideArm() (arm int, mean float64) { return e.bestSideArm, e.bestSideMean }
+
+// SampleAll draws this round's reward realisation X_{i,t} for every arm
+// into buf (grown if needed) and returns it. Rewards for all arms are
+// drawn each round whether or not they are observed; this matches the
+// model, where X_{j,t} exists independently of the player's choice.
+func (e *Env) SampleAll(r *rng.RNG, buf []float64) []float64 {
+	if cap(buf) < e.k {
+		buf = make([]float64, e.k)
+	}
+	buf = buf[:e.k]
+	for i, d := range e.dists {
+		buf[i] = d.Sample(r)
+	}
+	return buf
+}
+
+// BestStrategyDirect returns the feasible strategy maximising the expected
+// direct reward λ_x = Σ_{i∈s_x} mu_i (the CSO benchmark λ_1).
+func (e *Env) BestStrategyDirect(set *strategy.Set) (x int, mean float64) {
+	return set.BestDirect(e.means)
+}
+
+// BestStrategyClosure returns the feasible strategy maximising the
+// expected closure reward σ_x = Σ_{i∈Y_x} mu_i (the CSR benchmark σ_1).
+func (e *Env) BestStrategyClosure(set *strategy.Set) (x int, mean float64) {
+	return set.BestClosure(e.means)
+}
+
+// String summarises the environment.
+func (e *Env) String() string {
+	return fmt.Sprintf("env(K=%d, %s, best mu=%.3f)", e.k, e.graph, e.bestArmMean)
+}

@@ -1,0 +1,205 @@
+package bandit
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"netbandit/internal/armdist"
+	"netbandit/internal/graphs"
+	"netbandit/internal/rng"
+	"netbandit/internal/strategy"
+)
+
+// mustEnv builds an environment from Bernoulli means over a given graph.
+func mustEnv(t *testing.T, g *graphs.Graph, means []float64) *Env {
+	t.Helper()
+	dists, err := armdist.BernoulliArms(means)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEnv(g, dists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewEnvValidation(t *testing.T) {
+	if _, err := NewEnv(nil, nil); err == nil {
+		t.Fatal("zero arms accepted")
+	}
+	dists, err := armdist.BernoulliArms([]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEnv(graphs.Empty(3), dists); err == nil {
+		t.Fatal("size mismatch accepted")
+	}
+	if _, err := NewEnv(nil, []armdist.Distribution{nil}); err == nil {
+		t.Fatal("nil distribution accepted")
+	}
+}
+
+func TestNilGraphIsClassicalMAB(t *testing.T) {
+	e := mustEnv(t, nil, []float64{0.2, 0.8})
+	for i := 0; i < 2; i++ {
+		if got := e.Closed(i); !reflect.DeepEqual(got, []int{i}) {
+			t.Fatalf("Closed(%d) = %v, want [%d]", i, got, i)
+		}
+		if e.SideMean(i) != e.Mean(i) {
+			t.Fatalf("side mean must equal mean without edges")
+		}
+	}
+}
+
+func TestBestArmAndSideArmDiffer(t *testing.T) {
+	// Star with a mediocre hub: arm 0 (hub) has mean 0.3; leaves have 0.6
+	// and 0.5. Best direct arm is leaf 1, but the hub's closed
+	// neighbourhood sums to 1.4, beating any leaf's 0.9/0.8 — the paper's
+	// remark that the SSR optimum can differ from the SSO optimum.
+	g := graphs.Star(3)
+	e := mustEnv(t, g, []float64{0.3, 0.6, 0.5})
+	if arm, mean := e.BestArm(); arm != 1 || mean != 0.6 {
+		t.Fatalf("best arm = %d (%v), want 1 (0.6)", arm, mean)
+	}
+	if arm, mean := e.BestSideArm(); arm != 0 || math.Abs(mean-1.4) > 1e-12 {
+		t.Fatalf("best side arm = %d (%v), want 0 (1.4)", arm, mean)
+	}
+}
+
+func TestSideMeansMatchDefinition(t *testing.T) {
+	g := graphs.Path(3)
+	e := mustEnv(t, g, []float64{0.1, 0.2, 0.4})
+	want := []float64{0.3, 0.7, 0.6}
+	got := e.SideMeans()
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("side means = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMeansReturnsCopy(t *testing.T) {
+	e := mustEnv(t, nil, []float64{0.5})
+	m := e.Means()
+	m[0] = 99
+	if e.Mean(0) != 0.5 {
+		t.Fatal("Means exposed internal storage")
+	}
+}
+
+func TestSampleAll(t *testing.T) {
+	e := mustEnv(t, nil, []float64{0, 1, 0.5})
+	r := rng.New(1)
+	buf := e.SampleAll(r, nil)
+	if len(buf) != 3 {
+		t.Fatalf("len = %d", len(buf))
+	}
+	if buf[0] != 0 || buf[1] != 1 {
+		t.Fatalf("deterministic arms sampled wrong: %v", buf)
+	}
+	// Buffer reuse: same backing array.
+	buf2 := e.SampleAll(r, buf)
+	if &buf2[0] != &buf[0] {
+		t.Fatal("SampleAll reallocated despite sufficient capacity")
+	}
+}
+
+func TestBestStrategyHelpers(t *testing.T) {
+	g := graphs.Path(4)
+	e := mustEnv(t, g, []float64{0.9, 0.1, 0.8, 0.1})
+	set, err := strategy.IndependentSets(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, v := e.BestStrategyDirect(set)
+	if got := set.Arms(x); !reflect.DeepEqual(got, []int{0, 2}) || math.Abs(v-1.7) > 1e-12 {
+		t.Fatalf("best direct strategy = %v (%v)", got, v)
+	}
+	_, cv := e.BestStrategyClosure(set)
+	if math.Abs(cv-1.9) > 1e-12 {
+		t.Fatalf("best closure value = %v, want 1.9", cv)
+	}
+}
+
+func TestScenarioParseAndString(t *testing.T) {
+	for _, tc := range []struct {
+		text string
+		want Scenario
+	}{
+		{"sso", SSO}, {"cso", CSO}, {"ssr", SSR}, {"csr", CSR},
+		{"SSO", SSO}, {"CSR", CSR},
+	} {
+		got, err := ParseScenario(tc.text)
+		if err != nil || got != tc.want {
+			t.Fatalf("ParseScenario(%q) = %v, %v", tc.text, got, err)
+		}
+	}
+	if _, err := ParseScenario("bogus"); err == nil {
+		t.Fatal("bogus scenario accepted")
+	}
+	if SSO.String() != "sso" || CSR.String() != "csr" {
+		t.Fatal("String() wrong")
+	}
+	if Scenario(0).String() != "scenario(0)" {
+		t.Fatal("invalid scenario String() wrong")
+	}
+}
+
+func TestScenarioPredicates(t *testing.T) {
+	tests := []struct {
+		s     Scenario
+		combo bool
+		side  bool
+	}{
+		{SSO, false, false},
+		{CSO, true, false},
+		{SSR, false, true},
+		{CSR, true, true},
+	}
+	for _, tc := range tests {
+		if tc.s.Combinatorial() != tc.combo || tc.s.SideReward() != tc.side {
+			t.Errorf("%v predicates wrong", tc.s)
+		}
+	}
+}
+
+func TestRegretTracker(t *testing.T) {
+	tr := NewRegretTracker(0.8)
+	if tr.AvgPseudo() != 0 || tr.AvgRealized() != 0 {
+		t.Fatal("empty tracker should report zero averages")
+	}
+	tr.Record(0.5, 1.0) // pseudo gap 0.3, realized gap -0.2
+	tr.Record(0.8, 0.0) // pseudo gap 0, realized gap 0.8
+	if tr.Rounds() != 2 {
+		t.Fatalf("rounds = %d", tr.Rounds())
+	}
+	if math.Abs(tr.CumPseudo()-0.3) > 1e-12 {
+		t.Fatalf("cum pseudo = %v, want 0.3", tr.CumPseudo())
+	}
+	if math.Abs(tr.CumRealized()-0.6) > 1e-12 {
+		t.Fatalf("cum realized = %v, want 0.6", tr.CumRealized())
+	}
+	if math.Abs(tr.AvgPseudo()-0.15) > 1e-12 {
+		t.Fatalf("avg pseudo = %v", tr.AvgPseudo())
+	}
+	if tr.Optimal() != 0.8 {
+		t.Fatalf("optimal = %v", tr.Optimal())
+	}
+}
+
+func TestSumValuesAndAppendObservations(t *testing.T) {
+	xs := []float64{0.1, 0.2, 0.3, 0.4}
+	if got := SumValues(xs, []int{0, 3}); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("SumValues = %v, want 0.5", got)
+	}
+	if got := SumValues(xs, nil); got != 0 {
+		t.Fatalf("SumValues(nil) = %v", got)
+	}
+	obs := AppendObservations(nil, xs, []int{2, 1})
+	want := []Observation{{Arm: 2, Value: 0.3}, {Arm: 1, Value: 0.2}}
+	if !reflect.DeepEqual(obs, want) {
+		t.Fatalf("obs = %v, want %v", obs, want)
+	}
+}

@@ -1,0 +1,52 @@
+package bandit
+
+import "math"
+
+// ArmStats tracks per-arm observation counts and running means — the
+// shared estimation state of every index policy in this repository.
+// The zero value is unusable; call Reset first.
+type ArmStats struct {
+	Count []int64
+	Mean  []float64
+}
+
+// Reset clears the statistics for k arms.
+func (s *ArmStats) Reset(k int) {
+	s.Count = make([]int64, k)
+	s.Mean = make([]float64, k)
+}
+
+// Observe folds one observation of arm i into the running mean.
+func (s *ArmStats) Observe(i int, x float64) {
+	s.Count[i]++
+	s.Mean[i] += (x - s.Mean[i]) / float64(s.Count[i])
+}
+
+// ArgmaxFloat returns the lowest index attaining the maximum of xs.
+func ArgmaxFloat(xs []float64) int {
+	best := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ChosenValue extracts the observed value of the chosen arm from a round's
+// observation list. ok is false when the chosen arm was not revealed
+// (which would be a harness bug).
+func ChosenValue(chosen int, obs []Observation) (float64, bool) {
+	for _, o := range obs {
+		if o.Arm == chosen {
+			return o.Value, true
+		}
+	}
+	return 0, false
+}
+
+// InfIndex is the index value assigned to unobserved arms or strategies,
+// forcing each to be explored before finite indices are compared. It is a
+// variable only because math.Inf is not a constant expression; treat it as
+// a constant.
+var InfIndex = math.Inf(1)

@@ -1,0 +1,95 @@
+package bandit
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"netbandit/internal/rng"
+)
+
+func TestArmStatsObserve(t *testing.T) {
+	var s ArmStats
+	s.Reset(2)
+	s.Observe(0, 1)
+	s.Observe(0, 0)
+	s.Observe(0, 1)
+	if s.Count[0] != 3 {
+		t.Fatalf("count = %d", s.Count[0])
+	}
+	if math.Abs(s.Mean[0]-2.0/3) > 1e-12 {
+		t.Fatalf("mean = %v", s.Mean[0])
+	}
+	if s.Count[1] != 0 || s.Mean[1] != 0 {
+		t.Fatal("untouched arm changed")
+	}
+}
+
+func TestArmStatsResetClears(t *testing.T) {
+	var s ArmStats
+	s.Reset(1)
+	s.Observe(0, 1)
+	s.Reset(1)
+	if s.Count[0] != 0 || s.Mean[0] != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+// Property: the running mean equals the arithmetic mean of the fed values.
+func TestArmStatsMeanProperty(t *testing.T) {
+	r := rng.New(1)
+	f := func(seed uint64) bool {
+		rr := r.Split(seed)
+		n := 1 + rr.Intn(100)
+		var s ArmStats
+		s.Reset(1)
+		var sum float64
+		for i := 0; i < n; i++ {
+			x := rr.Float64()
+			sum += x
+			s.Observe(0, x)
+		}
+		return math.Abs(s.Mean[0]-sum/float64(n)) < 1e-9 && s.Count[0] == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArgmaxFloat(t *testing.T) {
+	tests := []struct {
+		xs   []float64
+		want int
+	}{
+		{[]float64{1}, 0},
+		{[]float64{1, 2, 3}, 2},
+		{[]float64{3, 2, 1}, 0},
+		{[]float64{1, 3, 3}, 1}, // ties break low
+		{[]float64{math.Inf(-1), -1}, 1},
+		{[]float64{0, math.Inf(1), 5}, 1},
+	}
+	for _, tc := range tests {
+		if got := ArgmaxFloat(tc.xs); got != tc.want {
+			t.Errorf("ArgmaxFloat(%v) = %d, want %d", tc.xs, got, tc.want)
+		}
+	}
+}
+
+func TestChosenValue(t *testing.T) {
+	obs := []Observation{{Arm: 2, Value: 0.5}, {Arm: 0, Value: 0.9}}
+	if v, ok := ChosenValue(0, obs); !ok || v != 0.9 {
+		t.Fatalf("ChosenValue(0) = %v, %v", v, ok)
+	}
+	if _, ok := ChosenValue(7, obs); ok {
+		t.Fatal("missing arm reported found")
+	}
+	if _, ok := ChosenValue(0, nil); ok {
+		t.Fatal("empty observations reported found")
+	}
+}
+
+func TestInfIndexIsInfinite(t *testing.T) {
+	if !math.IsInf(InfIndex, 1) {
+		t.Fatal("InfIndex must be +Inf")
+	}
+}

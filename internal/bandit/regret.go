@@ -1,0 +1,85 @@
+package bandit
+
+import "fmt"
+
+// RegretTracker accumulates the two regret notions reported by the
+// experiment harness against a fixed per-round optimum:
+//
+//   - pseudo-regret: Σ_t (optimal mean − mean of the chosen action); this
+//     is the smooth quantity the paper's theorems bound;
+//   - realized regret: Σ_t (optimal mean − reward actually collected);
+//     this is the noisy quantity the paper's figures plot, and the only
+//     one that can dip below zero (as in Fig. 4(b)).
+type RegretTracker struct {
+	optimal     float64
+	rounds      int
+	cumPseudo   float64
+	cumRealized float64
+}
+
+// NewRegretTracker returns a tracker against the given per-round optimal
+// expected reward (mu_1, λ_1, u_1 or σ_1 depending on scenario).
+func NewRegretTracker(optimal float64) *RegretTracker {
+	return &RegretTracker{optimal: optimal}
+}
+
+// Record accumulates one round: chosenMean is the expected reward of the
+// action actually played, realized is the reward actually collected.
+func (r *RegretTracker) Record(chosenMean, realized float64) {
+	r.rounds++
+	r.cumPseudo += r.optimal - chosenMean
+	r.cumRealized += r.optimal - realized
+}
+
+// Rounds returns the number of recorded rounds.
+func (r *RegretTracker) Rounds() int { return r.rounds }
+
+// Optimal returns the per-round optimal expected reward.
+func (r *RegretTracker) Optimal() float64 { return r.optimal }
+
+// CumPseudo returns the accumulated pseudo-regret.
+func (r *RegretTracker) CumPseudo() float64 { return r.cumPseudo }
+
+// CumRealized returns the accumulated realized regret.
+func (r *RegretTracker) CumRealized() float64 { return r.cumRealized }
+
+// AvgPseudo returns pseudo-regret per round (0 before any round).
+func (r *RegretTracker) AvgPseudo() float64 {
+	if r.rounds == 0 {
+		return 0
+	}
+	return r.cumPseudo / float64(r.rounds)
+}
+
+// AvgRealized returns realized regret per round (0 before any round).
+func (r *RegretTracker) AvgRealized() float64 {
+	if r.rounds == 0 {
+		return 0
+	}
+	return r.cumRealized / float64(r.rounds)
+}
+
+// String summarises the tracker.
+func (r *RegretTracker) String() string {
+	return fmt.Sprintf("regret(rounds=%d, pseudo=%.3f, realized=%.3f)",
+		r.rounds, r.cumPseudo, r.cumRealized)
+}
+
+// SumValues returns Σ xs[i] for i in idx — the side/closure reward of a
+// play given the full reward vector of the round.
+func SumValues(xs []float64, idx []int) float64 {
+	var sum float64
+	for _, i := range idx {
+		sum += xs[i]
+	}
+	return sum
+}
+
+// AppendObservations appends one Observation per arm in idx, reading values
+// from the round's reward vector xs. It reuses dst's capacity.
+func AppendObservations(dst []Observation, xs []float64, idx []int) []Observation {
+	for _, i := range idx {
+		dst = append(dst, Observation{Arm: i, Value: xs[i]})
+	}
+	return dst
+}

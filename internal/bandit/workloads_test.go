@@ -1,0 +1,110 @@
+package bandit
+
+import (
+	"math"
+	"testing"
+
+	"netbandit/internal/graphs"
+	"netbandit/internal/rng"
+)
+
+func TestSmoothedMeansValidation(t *testing.T) {
+	r := rng.New(1)
+	if _, err := SmoothedMeans(nil, 3, r); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := SmoothedMeans(graphs.Empty(3), -1, r); err == nil {
+		t.Fatal("negative rounds accepted")
+	}
+	if _, err := SmoothedMeans(graphs.New(0), 1, r); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestSmoothedMeansRange(t *testing.T) {
+	r := rng.New(2)
+	g := graphs.Gnp(40, 0.3, r)
+	means, err := SmoothedMeans(g, 4, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := means[0], means[0]
+	for _, m := range means {
+		if m < 0 || m > 1 {
+			t.Fatalf("mean %v outside [0,1]", m)
+		}
+		lo = math.Min(lo, m)
+		hi = math.Max(hi, m)
+	}
+	// Rescaling guarantees the extremes are attained.
+	if lo != 0 || hi != 1 {
+		t.Fatalf("range [%v,%v], want [0,1]", lo, hi)
+	}
+}
+
+func TestSmoothedMeansZeroRoundsKeepsIndependence(t *testing.T) {
+	r := rng.New(3)
+	g := graphs.Gnp(60, 0.3, r.Split(1))
+	means, err := SmoothedMeans(g, 0, r.Split(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independent draws: neighbourhood correlation near zero.
+	if corr := NeighborhoodCorrelation(g, means); math.Abs(corr) > 0.35 {
+		t.Fatalf("unsmoothed correlation = %v, want near 0", corr)
+	}
+}
+
+func TestSmoothingIncreasesHomophily(t *testing.T) {
+	r := rng.New(4)
+	g := graphs.Gnp(60, 0.2, r.Split(1))
+	raw, err := SmoothedMeans(g, 0, r.Split(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	smooth, err := SmoothedMeans(g, 5, r.Split(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cRaw := NeighborhoodCorrelation(g, raw)
+	cSmooth := NeighborhoodCorrelation(g, smooth)
+	if cSmooth <= cRaw+0.2 {
+		t.Fatalf("smoothing did not raise homophily: %v -> %v", cRaw, cSmooth)
+	}
+	if cSmooth < 0.5 {
+		t.Fatalf("smoothed correlation only %v", cSmooth)
+	}
+}
+
+func TestSmoothedMeansConstantGraph(t *testing.T) {
+	// On a complete graph heavy smoothing collapses values; the rescale
+	// then maps everything to 0.5 without dividing by zero.
+	r := rng.New(5)
+	g := graphs.Complete(5)
+	means, err := SmoothedMeans(g, 200, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range means {
+		if math.IsNaN(m) {
+			t.Fatal("NaN mean after heavy smoothing")
+		}
+	}
+}
+
+func TestNeighborhoodCorrelationEdgeCases(t *testing.T) {
+	// No edges: no arm has neighbours -> 0.
+	if got := NeighborhoodCorrelation(graphs.Empty(5), []float64{1, 2, 3, 4, 5}); got != 0 {
+		t.Fatalf("edgeless correlation = %v", got)
+	}
+	// Constant means: zero variance -> 0.
+	g := graphs.Complete(4)
+	if got := NeighborhoodCorrelation(g, []float64{0.5, 0.5, 0.5, 0.5}); got != 0 {
+		t.Fatalf("constant correlation = %v", got)
+	}
+	// Perfectly assortative line: arm mean equals neighbour mean.
+	p := graphs.Cycle(4)
+	if got := NeighborhoodCorrelation(p, []float64{0.2, 0.2, 0.2, 0.2}); got != 0 {
+		t.Fatalf("constant cycle correlation = %v", got)
+	}
+}

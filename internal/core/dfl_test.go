@@ -1,0 +1,314 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"netbandit/internal/bandit"
+	"netbandit/internal/graphs"
+	"netbandit/internal/rng"
+	"netbandit/internal/strategy"
+)
+
+// playSingle drives a single-play policy by hand for n rounds over
+// Bernoulli arms and returns the per-arm pull counts.
+func playSingle(t *testing.T, pol bandit.SinglePolicy, g *graphs.Graph, means []float64, n int, seed uint64, scen bandit.Scenario) []int {
+	t.Helper()
+	k := len(means)
+	pol.Reset(bandit.Meta{K: k, Graph: g, Scenario: scen})
+	r := rng.New(seed)
+	pulls := make([]int, k)
+	var obs []bandit.Observation
+	for round := 1; round <= n; round++ {
+		i := pol.Select(round)
+		if i < 0 || i >= k {
+			t.Fatalf("round %d: Select returned invalid arm %d", round, i)
+		}
+		pulls[i]++
+		obs = obs[:0]
+		for _, j := range g.ClosedNeighborhood(i) {
+			v := 0.0
+			if r.Bernoulli(means[j]) {
+				v = 1
+			}
+			obs = append(obs, bandit.Observation{Arm: j, Value: v})
+		}
+		pol.Update(round, i, obs)
+	}
+	return pulls
+}
+
+func TestDFLSSOForcedExploration(t *testing.T) {
+	// On an edgeless graph DFL-SSO must pull every arm at least once: the
+	// index of an unobserved arm is +Inf.
+	g := graphs.Empty(6)
+	means := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.9}
+	pulls := playSingle(t, NewDFLSSO(), g, means, 50, 1, bandit.SSO)
+	for i, c := range pulls {
+		if c == 0 {
+			t.Fatalf("arm %d never pulled", i)
+		}
+	}
+}
+
+func TestDFLSSOConcentratesOnBestArm(t *testing.T) {
+	g := graphs.Gnp(10, 0.3, rng.New(2))
+	means := []float64{0.1, 0.2, 0.1, 0.3, 0.2, 0.1, 0.9, 0.3, 0.2, 0.1}
+	pulls := playSingle(t, NewDFLSSO(), g, means, 3000, 3, bandit.SSO)
+	if pulls[6] < 2000 {
+		t.Fatalf("best arm pulled only %d/3000 times: %v", pulls[6], pulls)
+	}
+}
+
+func TestDFLSSOBeatsIsolationOnStar(t *testing.T) {
+	// On a star graph one pull of the hub reveals everything; the policy
+	// should identify the best leaf quickly and almost never revisit bad
+	// leaves after the early phase.
+	g := graphs.Star(20)
+	means := make([]float64, 20)
+	for i := range means {
+		means[i] = 0.1
+	}
+	means[7] = 0.9
+	pulls := playSingle(t, NewDFLSSO(), g, means, 2000, 4, bandit.SSO)
+	if pulls[7] < 1500 {
+		t.Fatalf("best arm pulled %d/2000 times", pulls[7])
+	}
+}
+
+func TestDFLSSOGreedyHopValidAndConcentrates(t *testing.T) {
+	g := graphs.Gnp(8, 0.4, rng.New(5))
+	means := []float64{0.2, 0.1, 0.85, 0.3, 0.2, 0.1, 0.4, 0.3}
+	pulls := playSingle(t, NewDFLSSOGreedyHop(), g, means, 2000, 6, bandit.SSO)
+	if pulls[2] < 1200 {
+		t.Fatalf("hop heuristic: best arm pulled %d/2000: %v", pulls[2], pulls)
+	}
+}
+
+func TestDFLSSRObInvariant(t *testing.T) {
+	// The paper's Equation (44) bookkeeping is equivalent to
+	// Ob_i = min_{j∈N̄_i} O_j; assert it on a random run.
+	g := graphs.Gnp(8, 0.4, rng.New(7))
+	k := 8
+	means := []float64{0.5, 0.4, 0.3, 0.6, 0.2, 0.7, 0.1, 0.8}
+	pol := NewDFLSSR()
+	pol.Reset(bandit.Meta{K: k, Graph: g, Scenario: bandit.SSR})
+	r := rng.New(8)
+	counts := make([]int64, k)
+	var obs []bandit.Observation
+	for round := 1; round <= 400; round++ {
+		i := pol.Select(round)
+		obs = obs[:0]
+		for _, j := range g.ClosedNeighborhood(i) {
+			v := 0.0
+			if r.Bernoulli(means[j]) {
+				v = 1
+			}
+			obs = append(obs, bandit.Observation{Arm: j, Value: v})
+			counts[j]++
+		}
+		pol.Update(round, i, obs)
+		for arm := 0; arm < k; arm++ {
+			minC := counts[arm]
+			for _, j := range g.ClosedNeighborhood(arm) {
+				if counts[j] < minC {
+					minC = counts[j]
+				}
+			}
+			if pol.Ob(arm) != minC {
+				t.Fatalf("round %d: Ob(%d) = %d, want min O = %d", round, arm, pol.Ob(arm), minC)
+			}
+		}
+	}
+}
+
+func TestDFLSSRFindsBestSideArm(t *testing.T) {
+	// Star with mediocre hub but great leaves: hub's closed neighbourhood
+	// sums far above any leaf's, so DFL-SSR must settle on the hub.
+	g := graphs.Star(6)
+	means := []float64{0.3, 0.6, 0.6, 0.6, 0.6, 0.6}
+	pulls := playSingle(t, NewDFLSSR(), g, means, 2000, 9, bandit.SSR)
+	if pulls[0] < 1500 {
+		t.Fatalf("hub pulled only %d/2000 times: %v", pulls[0], pulls)
+	}
+}
+
+func TestDFLSSRStreamingFindsBestSideArm(t *testing.T) {
+	g := graphs.Star(6)
+	means := []float64{0.3, 0.6, 0.6, 0.6, 0.6, 0.6}
+	pulls := playSingle(t, NewDFLSSRStreaming(), g, means, 2000, 10, bandit.SSR)
+	if pulls[0] < 1500 {
+		t.Fatalf("hub pulled only %d/2000 times: %v", pulls[0], pulls)
+	}
+}
+
+func TestDFLSSRExactEstimateUnbiasedOnPointMasses(t *testing.T) {
+	// With deterministic rewards the composite estimate must be exact.
+	g := graphs.Path(3)
+	pol := NewDFLSSR()
+	pol.Reset(bandit.Meta{K: 3, Graph: g, Scenario: bandit.SSR})
+	vals := []float64{0.25, 0.5, 0.125}
+	for round := 1; round <= 30; round++ {
+		i := pol.Select(round)
+		var obs []bandit.Observation
+		for _, j := range g.ClosedNeighborhood(i) {
+			obs = append(obs, bandit.Observation{Arm: j, Value: vals[j]})
+		}
+		pol.Update(round, i, obs)
+	}
+	// B for arm 1 (middle): 0.25+0.5+0.125 = 0.875 once Ob_1 > 0.
+	if pol.Ob(1) == 0 {
+		t.Fatal("middle arm never fully refreshed")
+	}
+	if got := pol.SideEstimate(1); math.Abs(got-0.875) > 1e-12 {
+		t.Fatalf("B̄_1 = %v, want 0.875", got)
+	}
+}
+
+// playCombo drives a combinatorial policy for n rounds and returns
+// per-strategy play counts.
+func playCombo(t *testing.T, pol bandit.ComboPolicy, set *strategy.Set, means []float64, n int, seed uint64, scen bandit.Scenario) []int {
+	t.Helper()
+	pol.Reset(bandit.ComboMeta{
+		K:          set.K(),
+		Graph:      set.Graph(),
+		Strategies: set,
+		Scenario:   scen,
+	})
+	r := rng.New(seed)
+	plays := make([]int, set.Len())
+	var obs []bandit.Observation
+	for round := 1; round <= n; round++ {
+		x := pol.Select(round)
+		if x < 0 || x >= set.Len() {
+			t.Fatalf("round %d: invalid strategy %d", round, x)
+		}
+		plays[x]++
+		obs = obs[:0]
+		for _, j := range set.Closure(x) {
+			v := 0.0
+			if r.Bernoulli(means[j]) {
+				v = 1
+			}
+			obs = append(obs, bandit.Observation{Arm: j, Value: v})
+		}
+		pol.Update(round, x, obs)
+	}
+	return plays
+}
+
+func TestDFLCSOConcentratesOnBestStrategy(t *testing.T) {
+	g := graphs.Gnp(8, 0.5, rng.New(11))
+	means := []float64{0.9, 0.1, 0.85, 0.1, 0.1, 0.1, 0.1, 0.1}
+	set, err := strategy.TopM(8, 2, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestX, _ := set.BestDirect(means)
+	plays := playCombo(t, NewDFLCSO(), set, means, 4000, 12, bandit.CSO)
+	if plays[bestX] < 2000 {
+		t.Fatalf("best strategy %v played %d/4000 times", set.Arms(bestX), plays[bestX])
+	}
+}
+
+func TestDFLCSOStrategyGraphExposed(t *testing.T) {
+	set, err := strategy.TopM(5, 2, graphs.Path(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := NewDFLCSO()
+	if pol.StrategyGraph() != nil {
+		t.Fatal("SG should be nil before Reset")
+	}
+	pol.Reset(bandit.ComboMeta{K: 5, Graph: graphs.Path(5), Strategies: set, Scenario: bandit.CSO})
+	if sg := pol.StrategyGraph(); sg == nil || sg.N() != set.Len() {
+		t.Fatal("SG not built on Reset")
+	}
+}
+
+func TestDFLCSRConcentratesOnBestClosure(t *testing.T) {
+	g := graphs.Gnp(8, 0.35, rng.New(13))
+	means := []float64{0.8, 0.7, 0.1, 0.1, 0.6, 0.1, 0.1, 0.2}
+	set, err := strategy.TopM(8, 2, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestX, bestVal := set.BestClosure(means)
+	plays := playCombo(t, NewDFLCSR(), set, means, 4000, 14, bandit.CSR)
+	// DFL-CSR may split plays across closure-equivalent strategies; check
+	// that the plays concentrate on near-optimal closures rather than on
+	// one specific index.
+	var nearOptimal int
+	for x, c := range plays {
+		if set.ClosureMean(x, means) >= bestVal-0.1 {
+			nearOptimal += c
+		}
+	}
+	if nearOptimal < 3000 {
+		t.Fatalf("near-optimal strategies played %d/4000 times (best %v)", nearOptimal, set.Arms(bestX))
+	}
+}
+
+func TestDFLCSRGreedyOracleVariant(t *testing.T) {
+	g := graphs.Gnp(10, 0.3, rng.New(15))
+	means := make([]float64, 10)
+	for i := range means {
+		means[i] = 0.1 + 0.08*float64(i)
+	}
+	set, err := strategy.TopM(10, 2, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol := NewDFLCSRWithOracle(strategy.GreedyOracle{Size: 2})
+	plays := playCombo(t, pol, set, means, 1000, 16, bandit.CSR)
+	total := 0
+	for _, c := range plays {
+		total += c
+	}
+	if total != 1000 {
+		t.Fatalf("plays don't sum to horizon: %d", total)
+	}
+	if pol.Name() != "DFL-CSR(greedy2)" {
+		t.Fatalf("name = %q", pol.Name())
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	tests := []struct {
+		got  string
+		want string
+	}{
+		{NewDFLSSO().Name(), "DFL-SSO"},
+		{NewDFLSSOGreedyHop().Name(), "DFL-SSO-hop"},
+		{NewDFLCSO().Name(), "DFL-CSO"},
+		{NewDFLSSR().Name(), "DFL-SSR"},
+		{NewDFLSSRStreaming().Name(), "DFL-SSR-stream"},
+		{NewDFLCSR().Name(), "DFL-CSR"},
+	}
+	for _, tc := range tests {
+		if tc.got != tc.want {
+			t.Errorf("Name = %q, want %q", tc.got, tc.want)
+		}
+	}
+}
+
+func TestDFLSSONilGraphDegeneratesToMOSSLike(t *testing.T) {
+	// With a nil graph, DFL-SSO must still work (classical MAB).
+	means := []float64{0.2, 0.8, 0.4}
+	pol := NewDFLSSO()
+	pol.Reset(bandit.Meta{K: 3, Graph: nil, Scenario: bandit.SSO})
+	r := rng.New(17)
+	pulls := make([]int, 3)
+	for round := 1; round <= 1000; round++ {
+		i := pol.Select(round)
+		pulls[i]++
+		v := 0.0
+		if r.Bernoulli(means[i]) {
+			v = 1
+		}
+		pol.Update(round, i, []bandit.Observation{{Arm: i, Value: v}})
+	}
+	if pulls[1] < 700 {
+		t.Fatalf("best arm pulled %d/1000", pulls[1])
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"netbandit/internal/bandit"
+	"netbandit/internal/graphs"
+	"netbandit/internal/rng"
+	"netbandit/internal/strategy"
+)
+
+// TestSingletonConversionMatchesDFLSSO validates the Section IV conversion
+// end to end: over the singleton strategy family, the strategy relation
+// graph SG coincides with the arm relation graph G (the mutual-containment
+// edge rule degenerates to adjacency), |F| = K, and the com-arm rewards
+// equal the arm rewards — so DFL-CSO must make exactly the same choice as
+// DFL-SSO in every round when fed the same reward stream.
+func TestSingletonConversionMatchesDFLSSO(t *testing.T) {
+	const (
+		k       = 12
+		horizon = 800
+	)
+	r := rng.New(51)
+	g := graphs.Gnp(k, 0.35, r.Split(1))
+	means := make([]float64, k)
+	for i := range means {
+		means[i] = r.Float64()
+	}
+	set, err := strategy.Singletons(k, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Singleton SG must equal G itself.
+	cso := NewDFLCSO()
+	cso.Reset(bandit.ComboMeta{K: k, Graph: g, Strategies: set, Scenario: bandit.CSO})
+	sg := cso.StrategyGraph()
+	if sg.N() != k || sg.M() != g.M() {
+		t.Fatalf("singleton SG: n=%d m=%d, want n=%d m=%d", sg.N(), sg.M(), k, g.M())
+	}
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			// Strategy x is {x}; closure is N̄_x, so the SG edge rule
+			// reduces to mutual neighbourhood membership = adjacency.
+			if sg.HasEdge(u, v) != g.HasEdge(u, v) {
+				t.Fatalf("SG edge (%d,%d)=%v differs from G=%v", u, v, sg.HasEdge(u, v), g.HasEdge(u, v))
+			}
+		}
+	}
+
+	sso := NewDFLSSO()
+	sso.Reset(bandit.Meta{K: k, Graph: g, Scenario: bandit.SSO})
+
+	rewards := r.Split(2)
+	xs := make([]float64, k)
+	var obsS, obsC []bandit.Observation
+	for round := 1; round <= horizon; round++ {
+		// One shared reward realisation per round.
+		for i := range xs {
+			if rewards.Bernoulli(means[i]) {
+				xs[i] = 1
+			} else {
+				xs[i] = 0
+			}
+		}
+		aSSO := sso.Select(round)
+		aCSO := cso.Select(round)
+		if aSSO != aCSO {
+			t.Fatalf("round %d: DFL-SSO chose %d, DFL-CSO chose strategy %d", round, aSSO, aCSO)
+		}
+		obsS = obsS[:0]
+		for _, j := range g.ClosedNeighborhood(aSSO) {
+			obsS = append(obsS, bandit.Observation{Arm: j, Value: xs[j]})
+		}
+		obsC = obsC[:0]
+		for _, j := range set.Closure(aCSO) {
+			obsC = append(obsC, bandit.Observation{Arm: j, Value: xs[j]})
+		}
+		sso.Update(round, aSSO, obsS)
+		cso.Update(round, aCSO, obsC)
+	}
+}
+
+// TestCSRSingletonMatchesSSRObjective checks the analogous degeneration on
+// the reward side: over singletons, DFL-CSR's objective Σ_{i∈Y_x} equals
+// the SSR side reward of the single arm, so its long-run choice must be
+// the best side-reward arm.
+func TestCSRSingletonMatchesSSRObjective(t *testing.T) {
+	g := graphs.Star(8)
+	means := []float64{0.3, 0.55, 0.55, 0.55, 0.55, 0.55, 0.55, 0.55}
+	set, err := strategy.Singletons(8, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plays := playCombo(t, NewDFLCSR(), set, means, 3000, 52, bandit.CSR)
+	// The hub singleton's closure covers all arms (value 4.15 vs <= 1.1
+	// for the leaves): it must dominate.
+	if plays[0] < 2500 {
+		t.Fatalf("hub strategy played %d/3000 times: %v", plays[0], plays)
+	}
+}

@@ -1,0 +1,56 @@
+// Package core implements the paper's contribution: the four
+// distribution-free learning (DFL) policies for networked bandits —
+// DFL-SSO, DFL-CSO, DFL-SSR and DFL-CSR (Algorithms 1-4 of Tang & Zhou) —
+// together with the strategy-relation-graph construction of Section IV and
+// the greedy-hop heuristic sketched in Section IX.
+package core
+
+import "fmt"
+
+// ObsLog is an append-only per-arm observation log storing prefix sums, so
+// the mean of the first m observations of any arm is O(1). DFL-SSR needs
+// exactly this: its composite side-reward estimate B̄_i at update count m
+// is Σ_{j∈N̄_i} mean(first m observations of j) — each member arm may be
+// far ahead of m, so running means do not suffice.
+type ObsLog struct {
+	prefix [][]float64 // prefix[i][c] = sum of the first c+1 observations of arm i
+}
+
+// NewObsLog returns an empty log over k arms.
+func NewObsLog(k int) *ObsLog {
+	return &ObsLog{prefix: make([][]float64, k)}
+}
+
+// Append records one observation of arm i.
+func (l *ObsLog) Append(i int, x float64) {
+	p := l.prefix[i]
+	last := 0.0
+	if len(p) > 0 {
+		last = p[len(p)-1]
+	}
+	l.prefix[i] = append(p, last+x)
+}
+
+// Count returns the number of observations recorded for arm i.
+func (l *ObsLog) Count(i int) int { return len(l.prefix[i]) }
+
+// SumFirst returns the sum of the first m observations of arm i. It panics
+// if fewer than m observations exist or m < 0.
+func (l *ObsLog) SumFirst(i, m int) float64 {
+	if m < 0 || m > len(l.prefix[i]) {
+		panic(fmt.Sprintf("core: SumFirst(%d, %d) with only %d observations", i, m, len(l.prefix[i])))
+	}
+	if m == 0 {
+		return 0
+	}
+	return l.prefix[i][m-1]
+}
+
+// MeanFirst returns the mean of the first m observations of arm i.
+// It panics under the same conditions as SumFirst, or when m == 0.
+func (l *ObsLog) MeanFirst(i, m int) float64 {
+	if m == 0 {
+		panic("core: MeanFirst with m == 0")
+	}
+	return l.SumFirst(i, m) / float64(m)
+}

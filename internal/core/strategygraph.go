@@ -1,0 +1,40 @@
+package core
+
+import (
+	"netbandit/internal/graphs"
+	"netbandit/internal/strategy"
+)
+
+// BuildStrategyGraph constructs the strategy relation graph SG(F, L) of
+// Section IV: one vertex per feasible strategy, and an edge between s_x
+// and s_y exactly when each strategy's component arms lie inside the
+// other's closure — s_y ⊆ Y_x and s_x ⊆ Y_y. Playing either endpoint of an
+// edge reveals every component reward of the other, which is what lets
+// DFL-CSO run the single-play side-observation machinery over com-arms.
+func BuildStrategyGraph(set *strategy.Set) *graphs.Graph {
+	n := set.Len()
+	sg := graphs.New(n)
+	for x := 0; x < n; x++ {
+		for y := x + 1; y < n; y++ {
+			if isSubset(set.Arms(y), set.Closure(x)) && isSubset(set.Arms(x), set.Closure(y)) {
+				sg.MustAddEdge(x, y)
+			}
+		}
+	}
+	return sg
+}
+
+// isSubset reports whether sorted slice a is a subset of sorted slice b.
+func isSubset(a, b []int) bool {
+	i := 0
+	for _, v := range a {
+		for i < len(b) && b[i] < v {
+			i++
+		}
+		if i == len(b) || b[i] != v {
+			return false
+		}
+		i++
+	}
+	return true
+}

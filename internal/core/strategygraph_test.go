@@ -1,0 +1,184 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netbandit/internal/graphs"
+	"netbandit/internal/rng"
+	"netbandit/internal/strategy"
+)
+
+// fig2Setup reproduces the paper's Section IV worked example: the relation
+// graph is the path 1-2-3-4 (0-indexed 0-1-2-3) and the feasible family is
+// the 7 independent sets of size <= 2.
+func fig2Setup(t *testing.T) (*graphs.Graph, *strategy.Set) {
+	t.Helper()
+	g := graphs.New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 3)
+	set, err := strategy.IndependentSets(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 7 {
+		t.Fatalf("|F| = %d, want 7", set.Len())
+	}
+	return g, set
+}
+
+func TestBuildStrategyGraphFig2(t *testing.T) {
+	_, set := fig2Setup(t)
+	sg := BuildStrategyGraph(set)
+	if sg.N() != 7 {
+		t.Fatalf("SG has %d vertices, want 7", sg.N())
+	}
+
+	idx := func(arms ...int) int {
+		x, ok := set.IndexOf(arms)
+		if !ok {
+			t.Fatalf("missing strategy %v", arms)
+		}
+		return x
+	}
+	s1, s2, s3, s4 := idx(0), idx(1), idx(2), idx(3)
+	s5, s6, s7 := idx(0, 2), idx(0, 3), idx(1, 3)
+
+	// Derived by applying the Section IV edge rule (s_y ⊆ Y_x and
+	// s_x ⊆ Y_y) to the paper's listed closures.
+	wantEdges := [][2]int{
+		{s1, s2}, {s2, s3}, {s2, s5}, {s3, s4},
+		{s3, s7}, {s5, s6}, {s5, s7}, {s6, s7},
+	}
+	if sg.M() != len(wantEdges) {
+		t.Fatalf("SG has %d edges, want %d: %v", sg.M(), len(wantEdges), sg.Edges())
+	}
+	for _, e := range wantEdges {
+		if !sg.HasEdge(e[0], e[1]) {
+			t.Errorf("SG missing edge between %v and %v", set.Arms(e[0]), set.Arms(e[1]))
+		}
+	}
+	// The paper's own illustration: s2={2} and s5={1,3} are connected.
+	if !sg.HasEdge(s2, s5) {
+		t.Error("paper's example edge s2-s5 missing")
+	}
+}
+
+// Property: the SG edge rule is exactly mutual closure containment, for
+// random instances.
+func TestStrategyGraphEdgeRuleProperty(t *testing.T) {
+	r := rng.New(6)
+	f := func(seed uint64) bool {
+		rr := r.Split(seed)
+		k := 4 + rr.Intn(5)
+		g := graphs.Gnp(k, 0.4, rr)
+		set, err := strategy.TopM(k, 2, g)
+		if err != nil {
+			return false
+		}
+		sg := BuildStrategyGraph(set)
+		for x := 0; x < set.Len(); x++ {
+			for y := x + 1; y < set.Len(); y++ {
+				want := isSubset(set.Arms(y), set.Closure(x)) &&
+					isSubset(set.Arms(x), set.Closure(y))
+				if sg.HasEdge(x, y) != want {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsSubset(t *testing.T) {
+	tests := []struct {
+		a, b []int
+		want bool
+	}{
+		{nil, nil, true},
+		{nil, []int{1}, true},
+		{[]int{1}, nil, false},
+		{[]int{1, 3}, []int{1, 2, 3}, true},
+		{[]int{1, 4}, []int{1, 2, 3}, false},
+		{[]int{2}, []int{1, 2, 3}, true},
+		{[]int{0, 5}, []int{0, 1, 2, 5}, true},
+		{[]int{0, 5, 6}, []int{0, 1, 2, 5}, false},
+	}
+	for _, tc := range tests {
+		if got := isSubset(tc.a, tc.b); got != tc.want {
+			t.Errorf("isSubset(%v, %v) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestObsLog(t *testing.T) {
+	l := NewObsLog(2)
+	if l.Count(0) != 0 {
+		t.Fatal("fresh log should be empty")
+	}
+	l.Append(0, 1)
+	l.Append(0, 0)
+	l.Append(0, 1)
+	l.Append(1, 0.5)
+	if l.Count(0) != 3 || l.Count(1) != 1 {
+		t.Fatalf("counts = %d, %d", l.Count(0), l.Count(1))
+	}
+	if got := l.SumFirst(0, 2); got != 1 {
+		t.Fatalf("SumFirst(0,2) = %v, want 1", got)
+	}
+	if got := l.SumFirst(0, 0); got != 0 {
+		t.Fatalf("SumFirst(0,0) = %v, want 0", got)
+	}
+	if got := l.MeanFirst(0, 3); got != 2.0/3 {
+		t.Fatalf("MeanFirst(0,3) = %v", got)
+	}
+}
+
+func TestObsLogPanics(t *testing.T) {
+	l := NewObsLog(1)
+	l.Append(0, 1)
+	for name, f := range map[string]func(){
+		"SumFirst beyond count": func() { l.SumFirst(0, 2) },
+		"SumFirst negative":     func() { l.SumFirst(0, -1) },
+		"MeanFirst zero":        func() { l.MeanFirst(0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: MeanFirst(i, m) equals the arithmetic mean of the first m
+// appended values.
+func TestObsLogMeanProperty(t *testing.T) {
+	r := rng.New(8)
+	f := func(seed uint64) bool {
+		rr := r.Split(seed)
+		n := 1 + rr.Intn(50)
+		l := NewObsLog(1)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rr.Float64()
+			l.Append(0, vals[i])
+		}
+		m := 1 + rr.Intn(n)
+		var sum float64
+		for _, v := range vals[:m] {
+			sum += v
+		}
+		diff := l.MeanFirst(0, m) - sum/float64(m)
+		return diff < 1e-9 && diff > -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

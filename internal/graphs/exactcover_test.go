@@ -1,0 +1,74 @@
+package graphs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netbandit/internal/rng"
+)
+
+func TestExactCliqueCoverNumberKnownGraphs(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"empty graph", New(0), 0},
+		{"singleton", New(1), 1},
+		{"edgeless", Empty(5), 5},           // each vertex its own clique
+		{"complete", Complete(6), 1},        // one clique
+		{"path4", Path(4), 2},               // {0,1},{2,3}
+		{"cycle5", Cycle(5), 3},             // odd cycle: ceil(5/2)
+		{"cycle6", Cycle(6), 3},             // three edges
+		{"star5", Star(5), 4},               // hub pairs with one leaf
+		{"caveman", Caveman(3, 4), 3},       // exactly its 3 cliques
+		{"two triangles", Caveman(2, 3), 2}, //
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := ExactCliqueCoverNumber(tc.g); got != tc.want {
+				t.Fatalf("χ̄ = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// Property: greedy cover size >= exact cover number, and the exact number
+// is at least n / (max clique size).
+func TestExactVsGreedyCoverProperty(t *testing.T) {
+	r := rng.New(99)
+	f := func(seed uint64) bool {
+		rr := r.Split(seed)
+		n := 2 + rr.Intn(12)
+		g := Gnp(n, 0.3+0.4*rr.Float64(), rr)
+		exact := ExactCliqueCoverNumber(g)
+		greedy := CliqueCoverNumber(g)
+		if greedy < exact {
+			return false // greedy cannot beat the optimum
+		}
+		maxClique := MaxCliqueSize(g)
+		if maxClique == 0 {
+			return n == 0
+		}
+		// Pigeonhole lower bound.
+		lower := (n + maxClique - 1) / maxClique
+		return exact >= lower
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyCoverNearOptimalOnRandomGraphs(t *testing.T) {
+	// Not a guarantee, but a regression check at our simulation scales:
+	// greedy should stay within 2x of optimal on small dense graphs.
+	r := rng.New(123)
+	for i := 0; i < 10; i++ {
+		g := Gnp(14, 0.5, r.Split(uint64(i)))
+		exact := ExactCliqueCoverNumber(g)
+		greedy := CliqueCoverNumber(g)
+		if greedy > 2*exact {
+			t.Fatalf("greedy cover %d more than 2x optimal %d", greedy, exact)
+		}
+	}
+}

@@ -1,0 +1,283 @@
+// Package graphs implements the undirected relation graphs used throughout
+// the networked-bandit library, together with the graph algorithms the
+// paper's analysis relies on: clique covers (Theorem 1), maximal-clique
+// enumeration, vertex-induced subgraphs for the delta-threshold partition,
+// and a family of random-graph generators for the simulation section.
+//
+// Vertices are integers [0, N). The representation keeps both sorted
+// adjacency slices (for fast iteration) and adjacency bitsets (for O(1)
+// membership tests and fast set intersections in Bron-Kerbosch).
+package graphs
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// Graph is a simple undirected graph on vertices 0..n-1. The zero value is
+// an empty graph with no vertices; use New to create a graph with vertices.
+type Graph struct {
+	n     int
+	m     int
+	adj   [][]int    // sorted neighbour lists
+	bits  [][]uint64 // adjacency bitsets, one row per vertex
+	words int        // number of uint64 words per bitset row
+}
+
+// New returns an edgeless graph with n vertices. It panics if n < 0.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graphs: negative vertex count")
+	}
+	words := (n + 63) / 64
+	g := &Graph{
+		n:     n,
+		adj:   make([][]int, n),
+		bits:  make([][]uint64, n),
+		words: words,
+	}
+	if words > 0 {
+		// One backing array for all rows keeps the graph cache-friendly.
+		backing := make([]uint64, n*words)
+		for v := 0; v < n; v++ {
+			g.bits[v] = backing[v*words : (v+1)*words]
+		}
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.m }
+
+// validVertex reports whether v is a vertex of g.
+func (g *Graph) validVertex(v int) bool { return v >= 0 && v < g.n }
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops and duplicate
+// edges are rejected with an error; the paper's relation graphs are simple.
+func (g *Graph) AddEdge(u, v int) error {
+	if !g.validVertex(u) || !g.validVertex(v) {
+		return fmt.Errorf("graphs: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if u == v {
+		return fmt.Errorf("graphs: self-loop at vertex %d", u)
+	}
+	if g.HasEdge(u, v) {
+		return fmt.Errorf("graphs: duplicate edge (%d,%d)", u, v)
+	}
+	g.insert(u, v)
+	g.insert(v, u)
+	g.m++
+	return nil
+}
+
+// MustAddEdge is AddEdge for construction code with statically valid input;
+// it panics on error.
+func (g *Graph) MustAddEdge(u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+func (g *Graph) insert(u, v int) {
+	list := g.adj[u]
+	i := sort.SearchInts(list, v)
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = v
+	g.adj[u] = list
+	g.bits[u][v/64] |= 1 << (uint(v) % 64)
+}
+
+// HasEdge reports whether the edge {u, v} exists. Out-of-range vertices
+// never have edges.
+func (g *Graph) HasEdge(u, v int) bool {
+	if !g.validVertex(u) || !g.validVertex(v) {
+		return false
+	}
+	return g.bits[u][v/64]&(1<<(uint(v)%64)) != 0
+}
+
+// Degree returns the number of neighbours of v.
+func (g *Graph) Degree(v int) int {
+	if !g.validVertex(v) {
+		return 0
+	}
+	return len(g.adj[v])
+}
+
+// Neighbors returns a copy of v's neighbour list in increasing order.
+func (g *Graph) Neighbors(v int) []int {
+	if !g.validVertex(v) {
+		return nil
+	}
+	out := make([]int, len(g.adj[v]))
+	copy(out, g.adj[v])
+	return out
+}
+
+// AppendNeighbors appends v's neighbours to dst and returns the extended
+// slice. It performs no allocation when dst has sufficient capacity; use it
+// on hot paths instead of Neighbors.
+func (g *Graph) AppendNeighbors(dst []int, v int) []int {
+	if !g.validVertex(v) {
+		return dst
+	}
+	return append(dst, g.adj[v]...)
+}
+
+// ClosedNeighborhood returns {v} ∪ N(v) in increasing order. This is the
+// paper's N̄_i: the set whose rewards become visible when arm v is pulled.
+func (g *Graph) ClosedNeighborhood(v int) []int {
+	if !g.validVertex(v) {
+		return nil
+	}
+	nb := g.adj[v]
+	out := make([]int, 0, len(nb)+1)
+	i := sort.SearchInts(nb, v)
+	out = append(out, nb[:i]...)
+	out = append(out, v)
+	out = append(out, nb[i:]...)
+	return out
+}
+
+// Edges returns every edge {u, v} with u < v, ordered lexicographically.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.m)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of g.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.adj[u] {
+			if u < v {
+				c.MustAddEdge(u, v)
+			}
+		}
+	}
+	return c
+}
+
+// InducedSubgraph returns the subgraph induced by keep, together with the
+// mapping from new vertex ids to original ids (orig[i] is the original id
+// of subgraph vertex i). Duplicate vertices in keep are ignored and the
+// result is ordered by original id.
+func (g *Graph) InducedSubgraph(keep []int) (sub *Graph, orig []int) {
+	set := make(map[int]bool, len(keep))
+	for _, v := range keep {
+		if g.validVertex(v) {
+			set[v] = true
+		}
+	}
+	orig = make([]int, 0, len(set))
+	for v := range set {
+		orig = append(orig, v)
+	}
+	sort.Ints(orig)
+	index := make(map[int]int, len(orig))
+	for i, v := range orig {
+		index[v] = i
+	}
+	sub = New(len(orig))
+	for i, v := range orig {
+		for _, w := range g.adj[v] {
+			if j, ok := index[w]; ok && i < j {
+				sub.MustAddEdge(i, j)
+			}
+		}
+	}
+	return sub, orig
+}
+
+// Complement returns the complement graph: same vertices, an edge wherever
+// g has none (excluding self-loops).
+func (g *Graph) Complement() *Graph {
+	c := New(g.n)
+	for u := 0; u < g.n; u++ {
+		for v := u + 1; v < g.n; v++ {
+			if !g.HasEdge(u, v) {
+				c.MustAddEdge(u, v)
+			}
+		}
+	}
+	return c
+}
+
+// IsClique reports whether every pair of vertices in vs is adjacent.
+// Sets of size 0 and 1 are cliques by convention.
+func (g *Graph) IsClique(vs []int) bool {
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			if !g.HasEdge(vs[i], vs[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsIndependentSet reports whether no pair of vertices in vs is adjacent.
+func (g *Graph) IsIndependentSet(vs []int) bool {
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			if g.HasEdge(vs[i], vs[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AvgDegree returns the mean vertex degree (0 for the empty graph).
+func (g *Graph) AvgDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(g.n)
+}
+
+// MaxDegree returns the largest vertex degree (0 for the empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := 0; v < g.n; v++ {
+		if d := len(g.adj[v]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Density returns m / C(n,2), the fraction of possible edges present.
+func (g *Graph) Density() float64 {
+	if g.n < 2 {
+		return 0
+	}
+	return float64(2*g.m) / (float64(g.n) * float64(g.n-1))
+}
+
+// String summarises the graph for diagnostics.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph(n=%d, m=%d, density=%.3f)", g.n, g.m, g.Density())
+}
+
+// commonNeighborCount returns |N(u) ∩ N(v)| using the bitset rows.
+func (g *Graph) commonNeighborCount(u, v int) int {
+	total := 0
+	bu, bv := g.bits[u], g.bits[v]
+	for w := 0; w < g.words; w++ {
+		total += bits.OnesCount64(bu[w] & bv[w])
+	}
+	return total
+}

@@ -1,0 +1,252 @@
+package graphs
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"netbandit/internal/rng"
+)
+
+func TestNewEmpty(t *testing.T) {
+	g := New(5)
+	if g.N() != 5 || g.M() != 0 {
+		t.Fatalf("New(5): n=%d m=%d", g.N(), g.M())
+	}
+	for v := 0; v < 5; v++ {
+		if g.Degree(v) != 0 {
+			t.Fatalf("vertex %d has degree %d in edgeless graph", v, g.Degree(v))
+		}
+	}
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(-1) did not panic")
+		}
+	}()
+	New(-1)
+}
+
+func TestAddEdgeSymmetry(t *testing.T) {
+	g := New(4)
+	if err := g.AddEdge(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(1, 3) || !g.HasEdge(3, 1) {
+		t.Fatal("edge not symmetric")
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(3)
+	tests := []struct {
+		name string
+		u, v int
+	}{
+		{"self-loop", 1, 1},
+		{"u out of range", -1, 0},
+		{"v out of range", 0, 3},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := g.AddEdge(tc.u, tc.v); err == nil {
+				t.Fatalf("AddEdge(%d,%d) succeeded, want error", tc.u, tc.v)
+			}
+		})
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(1, 0); err == nil {
+		t.Fatal("duplicate edge accepted")
+	}
+}
+
+func TestNeighborsSortedAndCopied(t *testing.T) {
+	g := New(5)
+	g.MustAddEdge(2, 4)
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(2, 3)
+	nb := g.Neighbors(2)
+	if want := []int{0, 3, 4}; !reflect.DeepEqual(nb, want) {
+		t.Fatalf("Neighbors(2) = %v, want %v", nb, want)
+	}
+	nb[0] = 99 // mutating the copy must not corrupt the graph
+	if got := g.Neighbors(2); !reflect.DeepEqual(got, []int{0, 3, 4}) {
+		t.Fatalf("Neighbors returned internal storage: %v", got)
+	}
+}
+
+func TestClosedNeighborhood(t *testing.T) {
+	g := New(5)
+	g.MustAddEdge(2, 4)
+	g.MustAddEdge(2, 0)
+	tests := []struct {
+		v    int
+		want []int
+	}{
+		{2, []int{0, 2, 4}},
+		{0, []int{0, 2}},
+		{1, []int{1}}, // isolated: closed neighbourhood is itself
+		{4, []int{2, 4}},
+	}
+	for _, tc := range tests {
+		if got := g.ClosedNeighborhood(tc.v); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("ClosedNeighborhood(%d) = %v, want %v", tc.v, got, tc.want)
+		}
+	}
+}
+
+func TestEdges(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(3, 1)
+	g.MustAddEdge(0, 2)
+	want := [][2]int{{0, 2}, {1, 3}}
+	if got := g.Edges(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Edges() = %v, want %v", got, want)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1)
+	c := g.Clone()
+	c.MustAddEdge(1, 2)
+	if g.HasEdge(1, 2) {
+		t.Fatal("mutating clone affected original")
+	}
+	if !c.HasEdge(0, 1) {
+		t.Fatal("clone lost an edge")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := New(6)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(3, 4)
+	g.MustAddEdge(0, 5)
+
+	sub, orig := g.InducedSubgraph([]int{1, 3, 2, 2})
+	if want := []int{1, 2, 3}; !reflect.DeepEqual(orig, want) {
+		t.Fatalf("orig = %v, want %v", orig, want)
+	}
+	if sub.N() != 3 || sub.M() != 2 {
+		t.Fatalf("sub: n=%d m=%d, want n=3 m=2", sub.N(), sub.M())
+	}
+	if !sub.HasEdge(0, 1) || !sub.HasEdge(1, 2) || sub.HasEdge(0, 2) {
+		t.Fatal("induced subgraph edges wrong")
+	}
+}
+
+func TestComplement(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1)
+	c := g.Complement()
+	wantM := 4*3/2 - 1
+	if c.M() != wantM {
+		t.Fatalf("complement has %d edges, want %d", c.M(), wantM)
+	}
+	if c.HasEdge(0, 1) {
+		t.Fatal("complement kept an original edge")
+	}
+	if !c.HasEdge(2, 3) {
+		t.Fatal("complement missing an edge")
+	}
+}
+
+func TestIsCliqueAndIndependentSet(t *testing.T) {
+	g := Complete(4)
+	if !g.IsClique([]int{0, 1, 2, 3}) {
+		t.Fatal("K4 should be a clique")
+	}
+	if !g.IsClique(nil) || !g.IsClique([]int{2}) {
+		t.Fatal("empty and singleton sets are cliques by convention")
+	}
+	if g.IsIndependentSet([]int{0, 1}) {
+		t.Fatal("adjacent pair reported independent")
+	}
+	e := Empty(4)
+	if !e.IsIndependentSet([]int{0, 1, 2, 3}) {
+		t.Fatal("edgeless vertex set should be independent")
+	}
+}
+
+func TestDensityStats(t *testing.T) {
+	g := Complete(5)
+	if got := g.Density(); got != 1 {
+		t.Fatalf("K5 density = %v, want 1", got)
+	}
+	if got := g.AvgDegree(); got != 4 {
+		t.Fatalf("K5 avg degree = %v, want 4", got)
+	}
+	if got := g.MaxDegree(); got != 4 {
+		t.Fatalf("K5 max degree = %v, want 4", got)
+	}
+	if d := New(1).Density(); d != 0 {
+		t.Fatalf("single-vertex density = %v, want 0", d)
+	}
+}
+
+// Property: adjacency is always symmetric and HasEdge agrees with the
+// neighbour lists, for random graphs.
+func TestAdjacencyConsistencyProperty(t *testing.T) {
+	r := rng.New(99)
+	f := func(seed uint64) bool {
+		rr := r.Split(seed)
+		n := 2 + rr.Intn(40)
+		g := Gnp(n, 0.4, rr)
+		edges := 0
+		for u := 0; u < n; u++ {
+			for _, v := range g.Neighbors(u) {
+				if !g.HasEdge(u, v) || !g.HasEdge(v, u) {
+					return false
+				}
+				edges++
+			}
+			if g.HasEdge(u, u) {
+				return false
+			}
+		}
+		return edges == 2*g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ClosedNeighborhood(v) always contains v exactly once and is
+// sorted.
+func TestClosedNeighborhoodProperty(t *testing.T) {
+	r := rng.New(123)
+	f := func(seed uint64) bool {
+		rr := r.Split(seed)
+		n := 1 + rr.Intn(30)
+		g := Gnp(n, 0.5, rr)
+		for v := 0; v < n; v++ {
+			cn := g.ClosedNeighborhood(v)
+			count := 0
+			for i, u := range cn {
+				if u == v {
+					count++
+				}
+				if i > 0 && cn[i-1] >= u {
+					return false
+				}
+			}
+			if count != 1 || len(cn) != g.Degree(v)+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,179 @@
+// Package nonstat extends the paper toward its stated future work:
+// networked bandits whose reward means change over time. It provides a
+// piecewise-stationary environment (segments of constant means with
+// abrupt change points), a sliding-window variant of DFL-SSO that forgets
+// stale observations, and a runner that tracks dynamic regret against the
+// per-round optimal arm.
+package nonstat
+
+import (
+	"fmt"
+	"sort"
+
+	"netbandit/internal/bandit"
+	"netbandit/internal/graphs"
+	"netbandit/internal/rng"
+)
+
+// Segment is one stationary phase: from round Start (1-based, inclusive)
+// the arm means are Means.
+type Segment struct {
+	Start int
+	Means []float64
+}
+
+// PiecewiseEnv is a piecewise-stationary networked Bernoulli bandit.
+// Rewards in segment s are Bernoulli(Means_s[i]); the relation graph is
+// fixed across segments.
+type PiecewiseEnv struct {
+	k        int
+	graph    *graphs.Graph
+	segments []Segment
+	bestArm  []int
+	bestMean []float64
+}
+
+// NewPiecewiseEnv validates and builds a piecewise environment. The first
+// segment must start at round 1; starts must be strictly increasing; every
+// segment needs one mean in [0, 1] per arm.
+func NewPiecewiseEnv(g *graphs.Graph, segments []Segment) (*PiecewiseEnv, error) {
+	if g == nil {
+		return nil, fmt.Errorf("nonstat: nil relation graph")
+	}
+	if len(segments) == 0 {
+		return nil, fmt.Errorf("nonstat: need at least one segment")
+	}
+	if segments[0].Start != 1 {
+		return nil, fmt.Errorf("nonstat: first segment must start at round 1, got %d", segments[0].Start)
+	}
+	k := g.N()
+	env := &PiecewiseEnv{
+		k:        k,
+		graph:    g,
+		segments: append([]Segment(nil), segments...),
+		bestArm:  make([]int, len(segments)),
+		bestMean: make([]float64, len(segments)),
+	}
+	for si, seg := range segments {
+		if si > 0 && seg.Start <= segments[si-1].Start {
+			return nil, fmt.Errorf("nonstat: segment %d start %d not after previous %d",
+				si, seg.Start, segments[si-1].Start)
+		}
+		if len(seg.Means) != k {
+			return nil, fmt.Errorf("nonstat: segment %d has %d means, want %d", si, len(seg.Means), k)
+		}
+		best, bestMean := 0, -1.0
+		for i, m := range seg.Means {
+			if m < 0 || m > 1 {
+				return nil, fmt.Errorf("nonstat: segment %d arm %d mean %v outside [0,1]", si, i, m)
+			}
+			if m > bestMean {
+				best, bestMean = i, m
+			}
+		}
+		env.bestArm[si] = best
+		env.bestMean[si] = bestMean
+	}
+	return env, nil
+}
+
+// K returns the number of arms.
+func (e *PiecewiseEnv) K() int { return e.k }
+
+// Graph returns the relation graph (read-only).
+func (e *PiecewiseEnv) Graph() *graphs.Graph { return e.graph }
+
+// segmentAt returns the index of the segment active at round t.
+func (e *PiecewiseEnv) segmentAt(t int) int {
+	// Binary search over starts: find the last segment with Start <= t.
+	idx := sort.Search(len(e.segments), func(i int) bool {
+		return e.segments[i].Start > t
+	})
+	if idx == 0 {
+		return 0
+	}
+	return idx - 1
+}
+
+// MeanAt returns arm i's mean at round t.
+func (e *PiecewiseEnv) MeanAt(t, i int) float64 {
+	return e.segments[e.segmentAt(t)].Means[i]
+}
+
+// OptimalAt returns the best arm and its mean at round t.
+func (e *PiecewiseEnv) OptimalAt(t int) (arm int, mean float64) {
+	s := e.segmentAt(t)
+	return e.bestArm[s], e.bestMean[s]
+}
+
+// SampleAll draws round t's Bernoulli rewards for all arms into buf.
+func (e *PiecewiseEnv) SampleAll(t int, r *rng.RNG, buf []float64) []float64 {
+	if cap(buf) < e.k {
+		buf = make([]float64, e.k)
+	}
+	buf = buf[:e.k]
+	means := e.segments[e.segmentAt(t)].Means
+	for i, m := range means {
+		if r.Bernoulli(m) {
+			buf[i] = 1
+		} else {
+			buf[i] = 0
+		}
+	}
+	return buf
+}
+
+// Changes returns the number of change points (segments minus one).
+func (e *PiecewiseEnv) Changes() int { return len(e.segments) - 1 }
+
+// Result is the outcome of a piecewise run: dynamic regret sampled at
+// checkpoints.
+type Result struct {
+	Policy     string
+	T          []int
+	CumDynamic []float64
+	AvgDynamic []float64
+}
+
+// Run plays a single-play policy against the piecewise environment with
+// SSO feedback (closed-neighbourhood observations) and dynamic-regret
+// accounting: regret at round t is measured against that round's optimal
+// arm.
+func Run(env *PiecewiseEnv, pol bandit.SinglePolicy, horizon int, checkpoints []int, r *rng.RNG) (*Result, error) {
+	if horizon <= 0 {
+		return nil, fmt.Errorf("nonstat: horizon must be positive")
+	}
+	if len(checkpoints) == 0 {
+		checkpoints = []int{horizon}
+	}
+	pol.Reset(bandit.Meta{K: env.k, Graph: env.graph, Scenario: bandit.SSO})
+	res := &Result{
+		Policy:     pol.Name(),
+		T:          checkpoints,
+		CumDynamic: make([]float64, len(checkpoints)),
+		AvgDynamic: make([]float64, len(checkpoints)),
+	}
+	var (
+		xs   []float64
+		obs  []bandit.Observation
+		cum  float64
+		next int
+	)
+	for t := 1; t <= horizon; t++ {
+		i := pol.Select(t)
+		if i < 0 || i >= env.k {
+			return nil, fmt.Errorf("nonstat: round %d: invalid arm %d", t, i)
+		}
+		xs = env.SampleAll(t, r, xs)
+		obs = bandit.AppendObservations(obs[:0], xs, env.graph.ClosedNeighborhood(i))
+		_, opt := env.OptimalAt(t)
+		cum += opt - env.MeanAt(t, i)
+		pol.Update(t, i, obs)
+		if next < len(checkpoints) && t == checkpoints[next] {
+			res.CumDynamic[next] = cum
+			res.AvgDynamic[next] = cum / float64(t)
+			next++
+		}
+	}
+	return res, nil
+}

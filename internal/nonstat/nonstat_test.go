@@ -1,0 +1,198 @@
+package nonstat
+
+import (
+	"math"
+	"testing"
+
+	"netbandit/internal/bandit"
+	"netbandit/internal/core"
+	"netbandit/internal/graphs"
+	"netbandit/internal/rng"
+)
+
+func twoPhaseEnv(t *testing.T, k int) *PiecewiseEnv {
+	t.Helper()
+	g := graphs.Gnp(k, 0.3, rng.New(1))
+	m1 := make([]float64, k)
+	m2 := make([]float64, k)
+	for i := range m1 {
+		m1[i] = 0.2
+		m2[i] = 0.2
+	}
+	m1[0] = 0.9 // phase 1: arm 0 best
+	m2[k-1] = 0.9
+	m2[0] = 0.1 // phase 2: arm k-1 best, arm 0 now bad
+	env, err := NewPiecewiseEnv(g, []Segment{
+		{Start: 1, Means: m1},
+		{Start: 2001, Means: m2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestNewPiecewiseEnvValidation(t *testing.T) {
+	g := graphs.Empty(2)
+	ok := []Segment{{Start: 1, Means: []float64{0.1, 0.2}}}
+	tests := []struct {
+		name string
+		g    *graphs.Graph
+		segs []Segment
+	}{
+		{"nil graph", nil, ok},
+		{"no segments", g, nil},
+		{"start not 1", g, []Segment{{Start: 2, Means: []float64{0.1, 0.2}}}},
+		{"non-increasing", g, []Segment{
+			{Start: 1, Means: []float64{0.1, 0.2}},
+			{Start: 1, Means: []float64{0.1, 0.2}},
+		}},
+		{"wrong arity", g, []Segment{{Start: 1, Means: []float64{0.1}}}},
+		{"mean out of range", g, []Segment{{Start: 1, Means: []float64{0.1, 1.2}}}},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewPiecewiseEnv(tc.g, tc.segs); err == nil {
+				t.Fatal("invalid input accepted")
+			}
+		})
+	}
+}
+
+func TestSegmentLookup(t *testing.T) {
+	g := graphs.Empty(1)
+	env, err := NewPiecewiseEnv(g, []Segment{
+		{Start: 1, Means: []float64{0.1}},
+		{Start: 100, Means: []float64{0.5}},
+		{Start: 200, Means: []float64{0.9}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		t    int
+		want float64
+	}{
+		{1, 0.1}, {99, 0.1}, {100, 0.5}, {199, 0.5}, {200, 0.9}, {10000, 0.9},
+	}
+	for _, tc := range tests {
+		if got := env.MeanAt(tc.t, 0); got != tc.want {
+			t.Errorf("MeanAt(%d) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+	if env.Changes() != 2 {
+		t.Fatalf("changes = %d", env.Changes())
+	}
+}
+
+func TestOptimalTracksChanges(t *testing.T) {
+	env := twoPhaseEnv(t, 10)
+	arm, mean := env.OptimalAt(1)
+	if arm != 0 || mean != 0.9 {
+		t.Fatalf("phase 1 optimum = %d (%v)", arm, mean)
+	}
+	arm, mean = env.OptimalAt(5000)
+	if arm != 9 || mean != 0.9 {
+		t.Fatalf("phase 2 optimum = %d (%v)", arm, mean)
+	}
+}
+
+func TestSampleAllRespectsSegments(t *testing.T) {
+	g := graphs.Empty(1)
+	env, err := NewPiecewiseEnv(g, []Segment{
+		{Start: 1, Means: []float64{0}},
+		{Start: 11, Means: []float64{1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	if xs := env.SampleAll(5, r, nil); xs[0] != 0 {
+		t.Fatal("phase 1 point mass wrong")
+	}
+	if xs := env.SampleAll(15, r, nil); xs[0] != 1 {
+		t.Fatal("phase 2 point mass wrong")
+	}
+}
+
+func TestSWDFLSSOPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSWDFLSSO(0) did not panic")
+		}
+	}()
+	NewSWDFLSSO(0)
+}
+
+func TestSWDFLSSOEviction(t *testing.T) {
+	p := NewSWDFLSSO(5)
+	p.Reset(bandit.Meta{K: 1, Graph: graphs.Empty(1)})
+	for t2 := 1; t2 <= 10; t2++ {
+		p.Update(t2, 0, []bandit.Observation{{Arm: 0, Value: float64(t2)}})
+	}
+	_ = p.Select(11) // triggers eviction of rounds <= 6
+	if got := len(p.rounds[0]); got != 4 {
+		t.Fatalf("window holds %d observations, want 4 (rounds 7-10)", got)
+	}
+	wantSum := 7.0 + 8 + 9 + 10
+	if math.Abs(p.sums[0]-wantSum) > 1e-12 {
+		t.Fatalf("windowed sum = %v, want %v", p.sums[0], wantSum)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	env := twoPhaseEnv(t, 5)
+	if _, err := Run(env, core.NewDFLSSO(), 0, nil, rng.New(1)); err == nil {
+		t.Fatal("zero horizon accepted")
+	}
+}
+
+func TestSlidingWindowAdaptsPlainDoesNot(t *testing.T) {
+	// Two-phase instance with the optimum moving at t=2000. The sliding
+	// window variant must end with much lower dynamic regret than plain
+	// DFL-SSO, which keeps trusting stale phase-1 evidence.
+	env := twoPhaseEnv(t, 10)
+	const horizon = 6000
+	checkpoints := []int{2000, 4000, 6000}
+
+	plain, err := Run(env, core.NewDFLSSO(), horizon, checkpoints, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := Run(env, NewSWDFLSSO(500), horizon, checkpoints, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Both fine in phase 1.
+	if plain.CumDynamic[0] > 200 || sw.CumDynamic[0] > 200 {
+		t.Fatalf("phase-1 regret too high: plain %v, sw %v", plain.CumDynamic[0], sw.CumDynamic[0])
+	}
+	// After the change, the window adapts quickly; plain DFL-SSO does
+	// recover eventually (side observations keep refreshing every arm's
+	// mean) but pays a far larger adaptation cost first.
+	if sw.CumDynamic[2] >= plain.CumDynamic[2]/2 {
+		t.Fatalf("sliding window did not adapt: sw %v vs plain %v",
+			sw.CumDynamic[2], plain.CumDynamic[2])
+	}
+	plainAdaptCost := plain.CumDynamic[1] - plain.CumDynamic[0]
+	swAdaptCost := sw.CumDynamic[1] - sw.CumDynamic[0]
+	if plainAdaptCost < 3*swAdaptCost {
+		t.Fatalf("expected plain adaptation cost (%v) to dwarf the window's (%v)",
+			plainAdaptCost, swAdaptCost)
+	}
+}
+
+func TestRunChecksDefaultCheckpoint(t *testing.T) {
+	env := twoPhaseEnv(t, 5)
+	res, err := Run(env, NewSWDFLSSO(100), 50, nil, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.T) != 1 || res.T[0] != 50 {
+		t.Fatalf("default checkpoints = %v", res.T)
+	}
+	if res.AvgDynamic[0] != res.CumDynamic[0]/50 {
+		t.Fatal("avg inconsistent with cum")
+	}
+}

@@ -1,0 +1,102 @@
+package nonstat
+
+import (
+	"fmt"
+
+	"netbandit/internal/bandit"
+	"netbandit/internal/graphs"
+	"netbandit/internal/stats"
+)
+
+// SWDFLSSO is a sliding-window variant of DFL-SSO for piecewise-stationary
+// means: the per-arm statistics cover only the observations from the last
+// Window rounds, so after a change point stale evidence ages out within
+// one window instead of poisoning the mean forever. The index is the
+// DFL-SSO index computed over the windowed count and mean, with t capped
+// at the window length (matching the effective sample budget).
+type SWDFLSSO struct {
+	// Window is the retention horizon in rounds. Must be positive.
+	Window int
+
+	k     int
+	graph *graphs.Graph
+	index []float64
+	// Per-arm observation queues of (round, value), kept sorted by round.
+	rounds [][]int
+	values [][]float64
+	sums   []float64
+}
+
+// NewSWDFLSSO returns a sliding-window DFL-SSO with the given window.
+// It panics if window <= 0.
+func NewSWDFLSSO(window int) *SWDFLSSO {
+	if window <= 0 {
+		panic(fmt.Sprintf("nonstat: window %d must be positive", window))
+	}
+	return &SWDFLSSO{Window: window}
+}
+
+// Name implements bandit.SinglePolicy.
+func (p *SWDFLSSO) Name() string { return fmt.Sprintf("SW-DFL-SSO(%d)", p.Window) }
+
+// Reset implements bandit.SinglePolicy.
+func (p *SWDFLSSO) Reset(meta bandit.Meta) {
+	p.k = meta.K
+	p.graph = meta.Graph
+	if p.graph == nil {
+		p.graph = graphs.Empty(meta.K)
+	}
+	p.index = make([]float64, meta.K)
+	p.rounds = make([][]int, meta.K)
+	p.values = make([][]float64, meta.K)
+	p.sums = make([]float64, meta.K)
+}
+
+// Select implements bandit.SinglePolicy.
+func (p *SWDFLSSO) Select(t int) int {
+	p.evict(t)
+	effT := t
+	if effT > p.Window {
+		effT = p.Window
+	}
+	for i := 0; i < p.k; i++ {
+		n := int64(len(p.rounds[i]))
+		if n == 0 {
+			p.index[i] = bandit.InfIndex
+			continue
+		}
+		mean := p.sums[i] / float64(n)
+		p.index[i] = mean + stats.MOSSRadius(float64(effT)/float64(p.k), n)
+	}
+	return bandit.ArgmaxFloat(p.index)
+}
+
+// Update implements bandit.SinglePolicy.
+func (p *SWDFLSSO) Update(t int, _ int, obs []bandit.Observation) {
+	for _, o := range obs {
+		p.rounds[o.Arm] = append(p.rounds[o.Arm], t)
+		p.values[o.Arm] = append(p.values[o.Arm], o.Value)
+		p.sums[o.Arm] += o.Value
+	}
+}
+
+// evict drops observations older than t-Window from every arm.
+func (p *SWDFLSSO) evict(t int) {
+	cutoff := t - p.Window
+	if cutoff <= 0 {
+		return
+	}
+	for i := 0; i < p.k; i++ {
+		drop := 0
+		for drop < len(p.rounds[i]) && p.rounds[i][drop] <= cutoff {
+			p.sums[i] -= p.values[i][drop]
+			drop++
+		}
+		if drop > 0 {
+			p.rounds[i] = p.rounds[i][drop:]
+			p.values[i] = p.values[i][drop:]
+		}
+	}
+}
+
+var _ bandit.SinglePolicy = (*SWDFLSSO)(nil)

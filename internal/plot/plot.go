@@ -1,0 +1,183 @@
+// Package plot renders experiment curves without any external dependency:
+// multi-series ASCII line charts for terminal inspection and CSV export for
+// real plotting tools.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Series is one named curve sampled at shared x positions.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Chart describes a multi-series line chart.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+	// Width and Height are the plot-area dimensions in characters;
+	// zero values default to 72×20.
+	Width  int
+	Height int
+}
+
+// seriesMarks assigns one mark per series, cycling when there are many.
+var seriesMarks = []byte{'*', '+', 'o', 'x', '#', '@', '%', '&'}
+
+// RenderASCII draws the chart into a string. Series are clipped to the
+// length of X; NaN/Inf points are skipped.
+func RenderASCII(c Chart) string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+	if len(c.X) == 0 || len(c.Series) == 0 {
+		return c.Title + "\n(no data)\n"
+	}
+
+	xMin, xMax := minMax(c.X)
+	var ys []float64
+	for _, s := range c.Series {
+		for i, v := range s.Y {
+			if i < len(c.X) && !math.IsNaN(v) && !math.IsInf(v, 0) {
+				ys = append(ys, v)
+			}
+		}
+	}
+	if len(ys) == 0 {
+		return c.Title + "\n(no finite data)\n"
+	}
+	yMin, yMax := minMax(ys)
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	// Zero axis if it lies in range.
+	if yMin < 0 && yMax > 0 {
+		row := rowOf(0, yMin, yMax, h)
+		for col := 0; col < w; col++ {
+			grid[row][col] = '-'
+		}
+	}
+	for si, s := range c.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i, v := range s.Y {
+			if i >= len(c.X) || math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			col := int((c.X[i] - xMin) / (xMax - xMin) * float64(w-1))
+			row := rowOf(v, yMin, yMax, h)
+			grid[row][col] = mark
+		}
+	}
+
+	var sb strings.Builder
+	if c.Title != "" {
+		sb.WriteString(c.Title)
+		sb.WriteByte('\n')
+	}
+	yLo := trimFloat(yMin)
+	yHi := trimFloat(yMax)
+	labelWidth := len(yLo)
+	if len(yHi) > labelWidth {
+		labelWidth = len(yHi)
+	}
+	for r := 0; r < h; r++ {
+		switch r {
+		case 0:
+			fmt.Fprintf(&sb, "%*s |", labelWidth, yHi)
+		case h - 1:
+			fmt.Fprintf(&sb, "%*s |", labelWidth, yLo)
+		default:
+			fmt.Fprintf(&sb, "%*s |", labelWidth, "")
+		}
+		sb.Write(grid[r])
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "%*s +%s\n", labelWidth, "", strings.Repeat("-", w))
+	fmt.Fprintf(&sb, "%*s  %-s%*s\n", labelWidth, "", trimFloat(xMin),
+		w-len(trimFloat(xMin)), trimFloat(xMax))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&sb, "x: %s   y: %s\n", c.XLabel, c.YLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&sb, "  %c %s\n", seriesMarks[si%len(seriesMarks)], s.Name)
+	}
+	return sb.String()
+}
+
+func rowOf(v, yMin, yMax float64, h int) int {
+	frac := (v - yMin) / (yMax - yMin)
+	row := int(math.Round(float64(h-1) * (1 - frac)))
+	if row < 0 {
+		row = 0
+	}
+	if row >= h {
+		row = h - 1
+	}
+	return row
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 4, 64)
+}
+
+// WriteCSV writes a header row followed by len(x) data rows; column i+1 of
+// each row is series[i] at that x (empty when the series is shorter).
+func WriteCSV(w io.Writer, xName string, x []float64, series []Series) error {
+	cols := make([]string, 0, len(series)+1)
+	cols = append(cols, xName)
+	for _, s := range series {
+		cols = append(cols, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	row := make([]string, len(series)+1)
+	for i, xv := range x {
+		row[0] = strconv.FormatFloat(xv, 'g', -1, 64)
+		for si, s := range series {
+			if i < len(s.Y) {
+				row[si+1] = strconv.FormatFloat(s.Y[i], 'g', -1, 64)
+			} else {
+				row[si+1] = ""
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

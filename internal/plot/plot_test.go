@@ -1,0 +1,91 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderASCIIBasic(t *testing.T) {
+	chart := Chart{
+		Title:  "demo",
+		XLabel: "t",
+		YLabel: "regret",
+		X:      []float64{0, 1, 2, 3},
+		Series: []Series{
+			{Name: "up", Y: []float64{0, 1, 2, 3}},
+			{Name: "down", Y: []float64{3, 2, 1, 0}},
+		},
+		Width:  40,
+		Height: 10,
+	}
+	out := RenderASCII(chart)
+	for _, want := range []string{"demo", "* up", "+ down", "x: t   y: regret"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatal("marks not plotted")
+	}
+}
+
+func TestRenderASCIIEmpty(t *testing.T) {
+	out := RenderASCII(Chart{Title: "empty"})
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart output: %q", out)
+	}
+	out = RenderASCII(Chart{
+		X:      []float64{1},
+		Series: []Series{{Name: "nan", Y: []float64{math.NaN()}}},
+	})
+	if !strings.Contains(out, "no finite data") {
+		t.Fatalf("NaN-only chart output: %q", out)
+	}
+}
+
+func TestRenderASCIIConstantSeries(t *testing.T) {
+	// Constant y must not divide by zero.
+	out := RenderASCII(Chart{
+		X:      []float64{0, 1},
+		Series: []Series{{Name: "flat", Y: []float64{5, 5}}},
+	})
+	if !strings.Contains(out, "flat") {
+		t.Fatal("constant series not rendered")
+	}
+}
+
+func TestRenderASCIIZeroAxis(t *testing.T) {
+	out := RenderASCII(Chart{
+		X:      []float64{0, 1, 2},
+		Series: []Series{{Name: "s", Y: []float64{-1, 0, 1}}},
+		Width:  20, Height: 9,
+	})
+	if !strings.Contains(out, "--------") {
+		t.Fatalf("zero axis missing:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var sb strings.Builder
+	err := WriteCSV(&sb, "t", []float64{1, 2, 3}, []Series{
+		{Name: "a", Y: []float64{0.5, 1.5, 2.5}},
+		{Name: "b", Y: []float64{9}}, // shorter series -> empty cells
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines: %v", len(lines), lines)
+	}
+	if lines[0] != "t,a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1,0.5,9" {
+		t.Fatalf("row 1 = %q", lines[1])
+	}
+	if lines[3] != "3,2.5," {
+		t.Fatalf("row 3 = %q", lines[3])
+	}
+}

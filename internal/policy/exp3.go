@@ -1,0 +1,91 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+
+	"netbandit/internal/bandit"
+	"netbandit/internal/rng"
+)
+
+// EXP3 is the classical adversarial-bandit exponential-weights policy
+// (Auer et al., 2002). It makes no stochastic assumptions, so it serves as
+// a robustness baseline: on stochastic instances it is typically far
+// slower than index policies. Gamma is the exploration mixture in (0, 1].
+type EXP3 struct {
+	// Gamma is the uniform-exploration mixing coefficient.
+	Gamma float64
+
+	rng     *rng.RNG
+	weights []float64
+	probs   []float64
+	k       int
+}
+
+// NewEXP3 returns an EXP3 policy. It panics unless 0 < gamma <= 1.
+func NewEXP3(gamma float64, r *rng.RNG) *EXP3 {
+	if gamma <= 0 || gamma > 1 {
+		panic(fmt.Sprintf("policy: EXP3 gamma %v outside (0,1]", gamma))
+	}
+	return &EXP3{Gamma: gamma, rng: r}
+}
+
+// Name implements bandit.SinglePolicy.
+func (p *EXP3) Name() string { return fmt.Sprintf("EXP3(%.2f)", p.Gamma) }
+
+// Reset implements bandit.SinglePolicy.
+func (p *EXP3) Reset(meta bandit.Meta) {
+	p.k = meta.K
+	p.weights = make([]float64, meta.K)
+	p.probs = make([]float64, meta.K)
+	for i := range p.weights {
+		p.weights[i] = 1
+	}
+}
+
+// Select implements bandit.SinglePolicy.
+func (p *EXP3) Select(int) int {
+	var total float64
+	for _, w := range p.weights {
+		total += w
+	}
+	for i, w := range p.weights {
+		p.probs[i] = (1-p.Gamma)*w/total + p.Gamma/float64(p.k)
+	}
+	u := p.rng.Float64()
+	var cum float64
+	for i, pr := range p.probs {
+		cum += pr
+		if u < cum {
+			return i
+		}
+	}
+	return p.k - 1
+}
+
+// Update implements bandit.SinglePolicy. Only the chosen arm's reward is
+// used, importance-weighted by its selection probability.
+func (p *EXP3) Update(_ int, chosen int, obs []bandit.Observation) {
+	v, ok := bandit.ChosenValue(chosen, obs)
+	if !ok {
+		return
+	}
+	est := v / p.probs[chosen]
+	p.weights[chosen] *= math.Exp(p.Gamma * est / float64(p.k))
+	// Guard against overflow on long horizons by renormalising when the
+	// largest weight grows beyond a safe magnitude.
+	const weightCeiling = 1e300
+	maxW := 0.0
+	for _, w := range p.weights {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if maxW > weightCeiling {
+		for i := range p.weights {
+			p.weights[i] /= maxW
+		}
+	}
+}
+
+var _ bandit.SinglePolicy = (*EXP3)(nil)

@@ -1,0 +1,11 @@
+// Package policy implements the baseline bandit algorithms the paper
+// compares against (MOSS, and the Δ-dependent side-observation policies
+// UCB-N / UCB-MaxN from prior work) together with standard references
+// (UCB1, ε-greedy, Thompson sampling, EXP3, follow-the-leader, uniform
+// random) and combinatorial baselines (CUCB, combinatorial EXP3, random).
+// The paper's own DFL algorithms live in package core.
+//
+// Shared estimation state (bandit.ArmStats) and index helpers live in
+// package bandit so that both this package and package core use identical
+// machinery.
+package policy

@@ -1,0 +1,72 @@
+package policy
+
+import (
+	"netbandit/internal/bandit"
+	"netbandit/internal/rng"
+)
+
+// Thompson is Beta-Bernoulli Thompson sampling. Non-binary rewards in
+// [0, 1] are handled with the Agrawal-Goyal binarisation trick: a reward x
+// counts as a success with probability x. UseSideObs folds neighbour
+// observations into the posteriors.
+type Thompson struct {
+	// UseSideObs folds every revealed observation into the posteriors.
+	UseSideObs bool
+
+	rng       *rng.RNG
+	successes []float64
+	failures  []float64
+	k         int
+	samples   []float64
+}
+
+// NewThompson returns a Thompson-sampling policy with uniform Beta(1,1)
+// priors.
+func NewThompson(r *rng.RNG) *Thompson { return &Thompson{rng: r} }
+
+// Name implements bandit.SinglePolicy.
+func (p *Thompson) Name() string {
+	if p.UseSideObs {
+		return "Thompson-side"
+	}
+	return "Thompson"
+}
+
+// Reset implements bandit.SinglePolicy.
+func (p *Thompson) Reset(meta bandit.Meta) {
+	p.k = meta.K
+	p.successes = make([]float64, meta.K)
+	p.failures = make([]float64, meta.K)
+	p.samples = make([]float64, meta.K)
+}
+
+// Select implements bandit.SinglePolicy.
+func (p *Thompson) Select(int) int {
+	for i := 0; i < p.k; i++ {
+		p.samples[i] = p.rng.Beta(1+p.successes[i], 1+p.failures[i])
+	}
+	return bandit.ArgmaxFloat(p.samples)
+}
+
+// Update implements bandit.SinglePolicy.
+func (p *Thompson) Update(_ int, chosen int, obs []bandit.Observation) {
+	if p.UseSideObs {
+		for _, o := range obs {
+			p.observe(o.Arm, o.Value)
+		}
+		return
+	}
+	if v, ok := bandit.ChosenValue(chosen, obs); ok {
+		p.observe(chosen, v)
+	}
+}
+
+func (p *Thompson) observe(arm int, x float64) {
+	if p.rng.Bernoulli(x) {
+		p.successes[arm]++
+	} else {
+		p.failures[arm]++
+	}
+}
+
+var _ bandit.SinglePolicy = (*Thompson)(nil)

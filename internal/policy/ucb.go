@@ -1,0 +1,67 @@
+package policy
+
+import (
+	"netbandit/internal/bandit"
+	"netbandit/internal/stats"
+)
+
+// UCB1 is the classical Auer-Cesa-Bianchi-Fischer index policy with index
+// X̄_i + sqrt(2 ln t / T_i). Its regret guarantee depends on the gaps Δ_i
+// (distribution-dependent), unlike MOSS and the DFL family. UseSideObs
+// turns on folding of neighbours' observations into the arm statistics,
+// which preserves the index form but tightens the means faster.
+type UCB1 struct {
+	// UseSideObs, when true, consumes every revealed observation instead
+	// of only the chosen arm's.
+	UseSideObs bool
+
+	stats bandit.ArmStats
+	k     int
+	index []float64
+}
+
+// NewUCB1 returns a UCB1 policy that ignores side observations.
+func NewUCB1() *UCB1 { return &UCB1{} }
+
+// Name implements bandit.SinglePolicy.
+func (p *UCB1) Name() string {
+	if p.UseSideObs {
+		return "UCB1-side"
+	}
+	return "UCB1"
+}
+
+// Reset implements bandit.SinglePolicy.
+func (p *UCB1) Reset(meta bandit.Meta) {
+	p.k = meta.K
+	p.stats.Reset(meta.K)
+	p.index = make([]float64, meta.K)
+}
+
+// Select implements bandit.SinglePolicy.
+func (p *UCB1) Select(t int) int {
+	for i := 0; i < p.k; i++ {
+		n := p.stats.Count[i]
+		if n == 0 {
+			p.index[i] = bandit.InfIndex
+			continue
+		}
+		p.index[i] = p.stats.Mean[i] + stats.UCB1Radius(int64(t), n)
+	}
+	return bandit.ArgmaxFloat(p.index)
+}
+
+// Update implements bandit.SinglePolicy.
+func (p *UCB1) Update(_ int, chosen int, obs []bandit.Observation) {
+	if p.UseSideObs {
+		for _, o := range obs {
+			p.stats.Observe(o.Arm, o.Value)
+		}
+		return
+	}
+	if v, ok := bandit.ChosenValue(chosen, obs); ok {
+		p.stats.Observe(chosen, v)
+	}
+}
+
+var _ bandit.SinglePolicy = (*UCB1)(nil)

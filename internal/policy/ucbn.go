@@ -1,0 +1,112 @@
+package policy
+
+import (
+	"netbandit/internal/bandit"
+	"netbandit/internal/graphs"
+	"netbandit/internal/stats"
+)
+
+// UCBN is the UCB-N policy for bandits with side observations (Caron et
+// al., 2012), the Δ-dependent prior work the paper's related-work section
+// positions DFL-SSO against: classic UCB1 indices, but every revealed
+// observation (the pulled arm and its whole closed neighbourhood) updates
+// the per-arm statistics, so O_i grows much faster than T_i.
+type UCBN struct {
+	stats bandit.ArmStats
+	k     int
+	index []float64
+}
+
+// NewUCBN returns a UCB-N policy.
+func NewUCBN() *UCBN { return &UCBN{} }
+
+// Name implements bandit.SinglePolicy.
+func (p *UCBN) Name() string { return "UCB-N" }
+
+// Reset implements bandit.SinglePolicy.
+func (p *UCBN) Reset(meta bandit.Meta) {
+	p.k = meta.K
+	p.stats.Reset(meta.K)
+	p.index = make([]float64, meta.K)
+}
+
+// Select implements bandit.SinglePolicy.
+func (p *UCBN) Select(t int) int {
+	for i := 0; i < p.k; i++ {
+		n := p.stats.Count[i]
+		if n == 0 {
+			p.index[i] = bandit.InfIndex
+			continue
+		}
+		p.index[i] = p.stats.Mean[i] + stats.UCB1Radius(int64(t), n)
+	}
+	return bandit.ArgmaxFloat(p.index)
+}
+
+// Update implements bandit.SinglePolicy.
+func (p *UCBN) Update(_ int, _ int, obs []bandit.Observation) {
+	for _, o := range obs {
+		p.stats.Observe(o.Arm, o.Value)
+	}
+}
+
+var _ bandit.SinglePolicy = (*UCBN)(nil)
+
+// UCBMaxN is the UCB-MaxN refinement of UCB-N (Caron et al., 2012): pick
+// the arm i* with the best UCB index, then actually pull the arm in N̄_i*
+// with the highest empirical mean — since pulling any member of the
+// neighbourhood yields the same observations, playing the best-looking
+// member is a free improvement. It needs the relation graph at Reset.
+type UCBMaxN struct {
+	stats bandit.ArmStats
+	k     int
+	graph *graphs.Graph
+	index []float64
+}
+
+// NewUCBMaxN returns a UCB-MaxN policy.
+func NewUCBMaxN() *UCBMaxN { return &UCBMaxN{} }
+
+// Name implements bandit.SinglePolicy.
+func (p *UCBMaxN) Name() string { return "UCB-MaxN" }
+
+// Reset implements bandit.SinglePolicy.
+func (p *UCBMaxN) Reset(meta bandit.Meta) {
+	p.k = meta.K
+	p.graph = meta.Graph
+	p.stats.Reset(meta.K)
+	p.index = make([]float64, meta.K)
+}
+
+// Select implements bandit.SinglePolicy.
+func (p *UCBMaxN) Select(t int) int {
+	for i := 0; i < p.k; i++ {
+		n := p.stats.Count[i]
+		if n == 0 {
+			p.index[i] = bandit.InfIndex
+			continue
+		}
+		p.index[i] = p.stats.Mean[i] + stats.UCB1Radius(int64(t), n)
+	}
+	star := bandit.ArgmaxFloat(p.index)
+	if p.graph == nil {
+		return star
+	}
+	// Hop to the empirically best member of the chosen neighbourhood.
+	best, bestMean := star, p.stats.Mean[star]
+	for _, j := range p.graph.ClosedNeighborhood(star) {
+		if p.stats.Count[j] > 0 && p.stats.Mean[j] > bestMean {
+			best, bestMean = j, p.stats.Mean[j]
+		}
+	}
+	return best
+}
+
+// Update implements bandit.SinglePolicy.
+func (p *UCBMaxN) Update(_ int, _ int, obs []bandit.Observation) {
+	for _, o := range obs {
+		p.stats.Observe(o.Arm, o.Value)
+	}
+}
+
+var _ bandit.SinglePolicy = (*UCBMaxN)(nil)

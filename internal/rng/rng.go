@@ -1,0 +1,219 @@
+// Package rng provides a small, deterministic, splittable pseudo-random
+// number generator used by every stochastic component in this repository.
+//
+// Determinism matters here: experiments must be exactly reproducible from a
+// single seed, including when replications run in parallel. The package
+// therefore avoids math/rand's global state entirely. The generator is
+// xoshiro256++ seeded through SplitMix64, following the reference
+// construction by Blackman and Vigna. Independent streams for parallel
+// replications are derived with Split, which hashes a label into a fresh,
+// statistically independent seed.
+package rng
+
+import "math"
+
+// RNG is a deterministic xoshiro256++ generator. It is not safe for
+// concurrent use; derive one generator per goroutine with Split.
+type RNG struct {
+	s0, s1, s2, s3 uint64
+
+	// Cached second output of the Marsaglia polar method.
+	spare     float64
+	haveSpare bool
+}
+
+// splitmix64 advances a SplitMix64 state and returns the next output.
+// It is used only for seeding, never for user-visible randomness.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a generator seeded deterministically from seed.
+// Two generators built from the same seed produce identical sequences.
+func New(seed uint64) *RNG {
+	var r RNG
+	r.reseed(seed)
+	return &r
+}
+
+func (r *RNG) reseed(seed uint64) {
+	st := seed
+	r.s0 = splitmix64(&st)
+	r.s1 = splitmix64(&st)
+	r.s2 = splitmix64(&st)
+	r.s3 = splitmix64(&st)
+	// xoshiro must not start from the all-zero state; SplitMix64 cannot
+	// produce four zero outputs in a row, but guard anyway.
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 0x9e3779b97f4a7c15
+	}
+}
+
+func rotl(x uint64, k uint) uint64 {
+	return (x << k) | (x >> (64 - k))
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s0+r.s3, 23) + r.s0
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Split derives an independent generator from the current generator state
+// and a caller-chosen label. Splitting with distinct labels yields streams
+// that do not overlap in practice; the parent generator is not advanced, so
+// Split(1), Split(2), ... may be used to fan out replications
+// deterministically.
+func (r *RNG) Split(label uint64) *RNG {
+	// Mix the parent state with the label through SplitMix64 so that
+	// (parent, label) pairs map to well-separated child seeds.
+	st := r.s0 ^ rotl(r.s2, 13) ^ (label * 0xd1342543de82ef95)
+	child := splitmix64(&st) ^ rotl(splitmix64(&st), 29)
+	return New(child)
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n) using Lemire's nearly
+// division-free bounded rejection method. It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	// 128-bit multiply high via math/bits-free decomposition is slower;
+	// use the straightforward threshold rejection on the low word.
+	for {
+		v := r.Uint64()
+		// Avoid modulo bias: reject values in the final partial bucket.
+		if v < (^uint64(0) - (^uint64(0) % n)) {
+			return v % n
+		}
+	}
+}
+
+// Perm returns a pseudo-random permutation of the integers [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using Fisher-Yates.
+// swap swaps the elements with indexes i and j.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Bernoulli returns true with probability p. Values of p outside [0, 1]
+// are clamped.
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate via the Marsaglia polar
+// method. A spare variate is cached between calls.
+func (r *RNG) NormFloat64() float64 {
+	if r.haveSpare {
+		r.haveSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		mul := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * mul
+		r.haveSpare = true
+		return u * mul
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (r *RNG) ExpFloat64() float64 {
+	// 1 - Float64() is in (0, 1], so the logarithm is finite.
+	return -math.Log(1 - r.Float64())
+}
+
+// Gamma returns a Gamma(shape, 1) variate using the Marsaglia-Tsang
+// squeeze method, with the standard boost for shape < 1. It panics if
+// shape <= 0.
+func (r *RNG) Gamma(shape float64) float64 {
+	if shape <= 0 {
+		panic("rng: Gamma called with non-positive shape")
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^{1/a}.
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return r.Gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// Beta returns a Beta(a, b) variate. It panics if a <= 0 or b <= 0.
+func (r *RNG) Beta(a, b float64) float64 {
+	if a <= 0 || b <= 0 {
+		panic("rng: Beta called with non-positive parameters")
+	}
+	x := r.Gamma(a)
+	y := r.Gamma(b)
+	if x+y == 0 {
+		return 0.5
+	}
+	return x / (x + y)
+}

@@ -1,0 +1,308 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if got, want := a.Uint64(), b.Uint64(); got != want {
+			t.Fatalf("sequence diverged at step %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestDistinctSeedsDiverge(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 1 {
+		t.Fatalf("seeds 1 and 2 collided on %d of 100 outputs", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	c1 := parent.Split(1)
+	c2 := parent.Split(2)
+	c1again := parent.Split(1)
+
+	var s1, s2, s1again []uint64
+	for i := 0; i < 64; i++ {
+		s1 = append(s1, c1.Uint64())
+		s2 = append(s2, c2.Uint64())
+		s1again = append(s1again, c1again.Uint64())
+	}
+	for i := range s1 {
+		if s1[i] != s1again[i] {
+			t.Fatalf("Split(1) is not deterministic at %d", i)
+		}
+	}
+	diff := 0
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			diff++
+		}
+	}
+	if diff < 60 {
+		t.Fatalf("Split(1) and Split(2) overlap too much: only %d of 64 differ", diff)
+	}
+}
+
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	a := New(3)
+	b := New(3)
+	_ = a.Split(99)
+	for i := 0; i < 16; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("Split advanced the parent generator")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(11)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(12)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(13)
+	for _, n := range []int{1, 2, 3, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(14)
+	const buckets = 10
+	const n = 100000
+	var counts [buckets]int
+	for i := 0; i < n; i++ {
+		counts[r.Intn(buckets)]++
+	}
+	want := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 5*math.Sqrt(want) {
+			t.Fatalf("bucket %d has %d draws, want ~%v", b, c, want)
+		}
+	}
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(15)
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{-0.5, 0}, {0, 0}, {0.25, 0.25}, {0.5, 0.5}, {0.9, 0.9}, {1, 1}, {1.5, 1},
+	}
+	const n = 100000
+	for _, tc := range tests {
+		hits := 0
+		for i := 0; i < n; i++ {
+			if r.Bernoulli(tc.p) {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		if math.Abs(got-tc.want) > 0.01 {
+			t.Errorf("Bernoulli(%v) frequency = %v, want ~%v", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(16)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Moments(t *testing.T) {
+	r := New(17)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := r.ExpFloat64()
+		if x < 0 {
+			t.Fatalf("exponential variate negative: %v", x)
+		}
+		sum += x
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("exponential mean = %v, want ~1", mean)
+	}
+}
+
+func TestGammaMoments(t *testing.T) {
+	r := New(18)
+	const n = 100000
+	for _, shape := range []float64{0.5, 1, 2.5, 9} {
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += r.Gamma(shape)
+		}
+		mean := sum / n
+		if math.Abs(mean-shape) > 0.05*math.Max(1, shape) {
+			t.Errorf("Gamma(%v) mean = %v, want ~%v", shape, mean, shape)
+		}
+	}
+}
+
+func TestBetaMoments(t *testing.T) {
+	r := New(19)
+	const n = 100000
+	tests := []struct{ a, b float64 }{{1, 1}, {2, 5}, {0.5, 0.5}, {8, 2}}
+	for _, tc := range tests {
+		var sum float64
+		for i := 0; i < n; i++ {
+			x := r.Beta(tc.a, tc.b)
+			if x < 0 || x > 1 {
+				t.Fatalf("Beta(%v,%v) out of [0,1]: %v", tc.a, tc.b, x)
+			}
+			sum += x
+		}
+		want := tc.a / (tc.a + tc.b)
+		if mean := sum / n; math.Abs(mean-want) > 0.01 {
+			t.Errorf("Beta(%v,%v) mean = %v, want ~%v", tc.a, tc.b, mean, want)
+		}
+	}
+}
+
+func TestGammaPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gamma(0) did not panic")
+		}
+	}()
+	New(1).Gamma(0)
+}
+
+func TestBetaPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Beta(0,1) did not panic")
+		}
+	}()
+	New(1).Beta(0, 1)
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(20)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+// Property: Uint64n(n) < n for every n > 0.
+func TestUint64nBoundProperty(t *testing.T) {
+	r := New(21)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return r.Uint64n(n) < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the same seed always reproduces the same k-th output.
+func TestSeedReproducibilityProperty(t *testing.T) {
+	f := func(seed uint64, k uint8) bool {
+		a, b := New(seed), New(seed)
+		for i := 0; i < int(k); i++ {
+			a.Uint64()
+			b.Uint64()
+		}
+		return a.Uint64() == b.Uint64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Float64()
+	}
+}
+
+func BenchmarkNormFloat64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.NormFloat64()
+	}
+}

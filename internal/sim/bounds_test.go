@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestBoundsExperimentRegistered(t *testing.T) {
+	if _, ok := FindExperiment("abl-bounds"); !ok {
+		t.Fatal("abl-bounds not registered")
+	}
+}
+
+func TestMeasuredRegretBelowBounds(t *testing.T) {
+	e, _ := FindExperiment("abl-bounds")
+	table, err := e.Run(Params{Horizon: 2000, Reps: 3, Seed: 3, Points: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(name string) []float64 {
+		for _, c := range table.Curves {
+			if c.Name == name {
+				return c.Mean
+			}
+		}
+		t.Fatalf("curve %q missing", name)
+		return nil
+	}
+	dfl := find("DFL-SSO (measured)")
+	moss := find("MOSS (measured)")
+	t1 := find("Theorem 1 bound")
+	mossB := find("MOSS bound (49*sqrt(nK))")
+	for i := range table.X {
+		if dfl[i] > t1[i] {
+			t.Fatalf("at t=%v: measured DFL-SSO %v exceeds Theorem 1 bound %v",
+				table.X[i], dfl[i], t1[i])
+		}
+		if moss[i] > mossB[i] {
+			t.Fatalf("at t=%v: measured MOSS %v exceeds its bound %v",
+				table.X[i], moss[i], mossB[i])
+		}
+		// The paper's point: the Theorem 1 ceiling sits below the MOSS
+		// ceiling whenever the cover is small relative to K.
+		if t1[i] >= mossB[i] {
+			t.Fatalf("at t=%v: Theorem 1 bound %v not below MOSS bound %v",
+				table.X[i], t1[i], mossB[i])
+		}
+	}
+}

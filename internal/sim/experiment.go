@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Params are the caller-adjustable knobs of a registered experiment. Zero
+// values select the experiment's defaults, so benchmarks can shrink
+// horizons/replications while cmd/experiments reproduces the paper-scale
+// figures.
+type Params struct {
+	// Horizon overrides the number of rounds n.
+	Horizon int
+	// Reps overrides the number of replications averaged.
+	Reps int
+	// Seed roots all randomness (environment and replication streams).
+	Seed uint64
+	// Workers bounds replication parallelism; 0 = GOMAXPROCS.
+	Workers int
+	// Points overrides the number of checkpoints sampled per curve.
+	Points int
+}
+
+// DefaultSeed is used when Params.Seed is zero. The value is arbitrary but
+// fixed so published numbers are reproducible.
+const DefaultSeed = 20170605
+
+func (p Params) withDefaults(horizon, reps int) Params {
+	if p.Horizon == 0 {
+		p.Horizon = horizon
+	}
+	if p.Reps == 0 {
+		p.Reps = reps
+	}
+	if p.Seed == 0 {
+		p.Seed = DefaultSeed
+	}
+	if p.Points == 0 {
+		p.Points = 100
+	}
+	return p
+}
+
+// Curve is one aggregated series of a reproduced figure.
+type Curve struct {
+	Name   string
+	Mean   []float64
+	StdErr []float64
+}
+
+// Table is the data behind one reproduced figure (or ablation): shared x
+// positions plus one or more aggregated curves.
+type Table struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Curves []Curve
+}
+
+// FinalValue returns the last mean value of the named curve, or an error
+// if the curve does not exist. Benchmarks report these as metrics.
+func (t *Table) FinalValue(name string) (float64, error) {
+	for _, c := range t.Curves {
+		if c.Name == name {
+			if len(c.Mean) == 0 {
+				return 0, fmt.Errorf("sim: curve %q in %s is empty", name, t.ID)
+			}
+			return c.Mean[len(c.Mean)-1], nil
+		}
+	}
+	return 0, fmt.Errorf("sim: no curve %q in table %s", name, t.ID)
+}
+
+// Experiment is a registered, reproducible experiment: one paper figure or
+// one ablation.
+type Experiment struct {
+	// ID is the registry key, e.g. "fig3a" or "abl-density".
+	ID string
+	// Title describes the reproduced artifact.
+	Title string
+	// Notes records workload parameters and the expected qualitative shape.
+	Notes string
+	// DefaultHorizon and DefaultReps are the paper-scale parameters.
+	DefaultHorizon int
+	DefaultReps    int
+	// Run executes the experiment.
+	Run func(p Params) (*Table, error)
+}
+
+// registry is populated by figures.go at init time; it is written once and
+// only read afterwards.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("sim: duplicate experiment id %q", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// Experiments lists all registered experiments ordered by ID.
+func Experiments() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// FindExperiment returns the experiment registered under id.
+func FindExperiment(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// intsToFloats converts checkpoint rounds to chart x positions.
+func intsToFloats(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}

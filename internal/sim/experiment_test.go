@@ -1,0 +1,183 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallParams shrinks every experiment to test scale.
+var smallParams = Params{Horizon: 400, Reps: 2, Seed: 42, Points: 20}
+
+func TestRegistryComplete(t *testing.T) {
+	wantIDs := []string{
+		"fig3a", "fig3b", "fig4a", "fig4b", "fig5", "fig6",
+		"abl-hop", "abl-ssr-stream", "abl-csr-oracle", "abl-density",
+		"abl-baselines", "abl-bounds", "abl-nonstat", "abl-homophily",
+	}
+	for _, id := range wantIDs {
+		if _, ok := FindExperiment(id); !ok {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if got := len(Experiments()); got != len(wantIDs) {
+		t.Errorf("registry has %d experiments, want %d", got, len(wantIDs))
+	}
+	// Stable ordering by ID.
+	exps := Experiments()
+	for i := 1; i < len(exps); i++ {
+		if exps[i-1].ID >= exps[i].ID {
+			t.Fatalf("Experiments() not sorted: %s >= %s", exps[i-1].ID, exps[i].ID)
+		}
+	}
+}
+
+func TestFindExperimentMiss(t *testing.T) {
+	if _, ok := FindExperiment("fig99"); ok {
+		t.Fatal("nonexistent experiment found")
+	}
+}
+
+func TestAllExperimentsRunAtSmallScale(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			p := smallParams
+			if e.ID == "abl-density" || e.ID == "abl-baselines" {
+				p.Reps = 2
+				p.Horizon = 300
+			}
+			table, err := e.Run(p)
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if table.ID != e.ID {
+				t.Fatalf("table id %q != experiment id %q", table.ID, e.ID)
+			}
+			if len(table.Curves) == 0 || len(table.X) == 0 {
+				t.Fatalf("%s produced empty table", e.ID)
+			}
+			for _, c := range table.Curves {
+				if len(c.Mean) != len(table.X) {
+					t.Fatalf("%s curve %q length %d != x length %d",
+						e.ID, c.Name, len(c.Mean), len(table.X))
+				}
+			}
+		})
+	}
+}
+
+func TestParamsWithDefaults(t *testing.T) {
+	p := Params{}.withDefaults(1234, 7)
+	if p.Horizon != 1234 || p.Reps != 7 || p.Seed != DefaultSeed || p.Points != 100 {
+		t.Fatalf("defaults not applied: %+v", p)
+	}
+	p = Params{Horizon: 10, Reps: 1, Seed: 5, Points: 3}.withDefaults(1234, 7)
+	if p.Horizon != 10 || p.Reps != 1 || p.Seed != 5 || p.Points != 3 {
+		t.Fatalf("overrides clobbered: %+v", p)
+	}
+}
+
+func TestTableFinalValue(t *testing.T) {
+	tbl := &Table{
+		ID: "x",
+		Curves: []Curve{
+			{Name: "a", Mean: []float64{1, 2, 3}},
+			{Name: "empty"},
+		},
+	}
+	v, err := tbl.FinalValue("a")
+	if err != nil || v != 3 {
+		t.Fatalf("FinalValue = %v, %v", v, err)
+	}
+	if _, err := tbl.FinalValue("missing"); err == nil {
+		t.Fatal("missing curve accepted")
+	}
+	if _, err := tbl.FinalValue("empty"); err == nil {
+		t.Fatal("empty curve accepted")
+	}
+}
+
+func TestExportHelpers(t *testing.T) {
+	e, ok := FindExperiment("fig3a")
+	if !ok {
+		t.Fatal("fig3a missing")
+	}
+	table, err := e.Run(Params{Horizon: 200, Reps: 2, Seed: 1, Points: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var csv strings.Builder
+	if err := WriteCSV(&csv, table); err != nil {
+		t.Fatal(err)
+	}
+	out := csv.String()
+	if !strings.Contains(out, "MOSS") || !strings.Contains(out, "DFL-SSO") {
+		t.Fatalf("CSV missing series names:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != len(table.X)+1 {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), len(table.X)+1)
+	}
+
+	ascii := RenderASCII(table)
+	if !strings.Contains(ascii, "fig3a") {
+		t.Fatalf("ASCII chart missing title:\n%s", ascii)
+	}
+
+	summary := Summary(table)
+	if !strings.Contains(summary, "final =") {
+		t.Fatalf("summary malformed:\n%s", summary)
+	}
+}
+
+func TestFig3ShapeSmallScale(t *testing.T) {
+	// Even at reduced scale, DFL-SSO's accumulated regret should be well
+	// below MOSS's by the end of the run (the Fig. 3(b) shape).
+	e, _ := FindExperiment("fig3b")
+	table, err := e.Run(Params{Horizon: 3000, Reps: 3, Seed: 7, Points: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moss, err := table.FinalValue("MOSS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dfl, err := table.FinalValue("DFL-SSO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dfl >= moss/2 {
+		t.Fatalf("fig3b shape violated: DFL-SSO %v vs MOSS %v", dfl, moss)
+	}
+}
+
+func TestFig4DensityShapeSmallScale(t *testing.T) {
+	// Dense side observation should not be worse than sparse at equal
+	// horizon (the Fig. 4 mechanism), comparing final expected regret.
+	a, _ := FindExperiment("fig4a")
+	b, _ := FindExperiment("fig4b")
+	p := Params{Horizon: 2000, Reps: 3, Seed: 9, Points: 20}
+	ta, err := a.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := b.Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := ta.FinalValue("DFL-CSO (avg-pseudo)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := tb.FinalValue("DFL-CSO (avg-pseudo)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different graphs mean different gap structure, so allow slack: dense
+	// must not be dramatically worse.
+	if dense > 2*sparse+0.05 {
+		t.Fatalf("dense regret %v much worse than sparse %v", dense, sparse)
+	}
+}

@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"netbandit/internal/plot"
+)
+
+// WriteCSV exports a reproduced table as CSV: x column, then one mean
+// column and one stderr column per curve.
+func WriteCSV(w io.Writer, t *Table) error {
+	series := make([]plot.Series, 0, 2*len(t.Curves))
+	for _, c := range t.Curves {
+		series = append(series,
+			plot.Series{Name: csvName(c.Name), Y: c.Mean},
+			plot.Series{Name: csvName(c.Name) + "_stderr", Y: c.StdErr},
+		)
+	}
+	return plot.WriteCSV(w, csvName(t.XLabel), t.X, series)
+}
+
+// csvName makes a curve name CSV-safe.
+func csvName(s string) string {
+	s = strings.ReplaceAll(s, ",", ";")
+	s = strings.ReplaceAll(s, " ", "_")
+	return s
+}
+
+// RenderASCII draws a reproduced table as an ASCII chart.
+func RenderASCII(t *Table) string {
+	series := make([]plot.Series, 0, len(t.Curves))
+	for _, c := range t.Curves {
+		series = append(series, plot.Series{Name: c.Name, Y: c.Mean})
+	}
+	return plot.RenderASCII(plot.Chart{
+		Title:  fmt.Sprintf("[%s] %s", t.ID, t.Title),
+		XLabel: t.XLabel,
+		YLabel: t.YLabel,
+		X:      t.X,
+		Series: series,
+	})
+}
+
+// Summary prints each curve's final value — the one-line digest used by
+// the CLI and recorded in EXPERIMENTS.md.
+func Summary(t *Table) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
+	for _, c := range t.Curves {
+		if len(c.Mean) == 0 {
+			continue
+		}
+		last := len(c.Mean) - 1
+		fmt.Fprintf(&sb, "  %-28s final = %10.4f (± %.4f stderr)\n",
+			c.Name, c.Mean[last], c.StdErr[last])
+	}
+	return sb.String()
+}

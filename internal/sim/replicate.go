@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"netbandit/internal/bandit"
+	"netbandit/internal/rng"
+	"netbandit/internal/stats"
+	"netbandit/internal/strategy"
+)
+
+// SingleFactory builds a fresh single-play policy for one replication.
+// The supplied generator is that replication's private random stream;
+// policies without internal randomness may ignore it.
+type SingleFactory func(r *rng.RNG) bandit.SinglePolicy
+
+// ComboFactory builds a fresh combinatorial policy for one replication.
+type ComboFactory func(r *rng.RNG) bandit.ComboPolicy
+
+// Metric selects which of the four regret curves an aggregate exposes.
+type Metric int
+
+// The four regret curves recorded per replication.
+const (
+	// CumPseudo is cumulative pseudo-regret Σ (optimal mean − chosen mean).
+	CumPseudo Metric = iota + 1
+	// CumRealized is cumulative realized regret Σ (optimal mean − collected).
+	CumRealized
+	// AvgPseudo is pseudo-regret divided by t — the paper's
+	// "expected regret" curves.
+	AvgPseudo
+	// AvgRealized is realized regret divided by t.
+	AvgRealized
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case CumPseudo:
+		return "cum-pseudo"
+	case CumRealized:
+		return "cum-realized"
+	case AvgPseudo:
+		return "avg-pseudo"
+	case AvgRealized:
+		return "avg-realized"
+	default:
+		return fmt.Sprintf("metric(%d)", int(m))
+	}
+}
+
+// Aggregate is the cross-replication summary of one policy's run: four
+// pointwise mean curves with error bands.
+type Aggregate struct {
+	Policy string
+	T      []int
+	Reps   int
+
+	bands map[Metric]*stats.CurveBand
+}
+
+func newAggregate(policy string, checkpoints []int) *Aggregate {
+	a := &Aggregate{
+		Policy: policy,
+		T:      checkpoints,
+		bands:  make(map[Metric]*stats.CurveBand, 4),
+	}
+	for _, m := range []Metric{CumPseudo, CumRealized, AvgPseudo, AvgRealized} {
+		a.bands[m] = stats.NewCurveBand(len(checkpoints))
+	}
+	return a
+}
+
+func (a *Aggregate) add(s *Series) error {
+	curves := map[Metric][]float64{
+		CumPseudo:   s.CumPseudo,
+		CumRealized: s.CumRealized,
+		AvgPseudo:   s.AvgPseudo,
+		AvgRealized: s.AvgRealized,
+	}
+	for m, c := range curves {
+		if err := a.bands[m].AddCurve(c); err != nil {
+			return err
+		}
+	}
+	a.Reps++
+	return nil
+}
+
+// Mean returns the pointwise mean curve of the chosen metric.
+func (a *Aggregate) Mean(m Metric) []float64 { return a.bands[m].Mean() }
+
+// StdErr returns the pointwise standard error of the chosen metric.
+func (a *Aggregate) StdErr(m Metric) []float64 { return a.bands[m].StdErr() }
+
+// CI95 returns the pointwise 95% confidence half-width of the metric.
+func (a *Aggregate) CI95(m Metric) []float64 { return a.bands[m].CI95() }
+
+// Final returns the mean value of the metric at the last checkpoint.
+func (a *Aggregate) Final(m Metric) float64 {
+	mean := a.Mean(m)
+	if len(mean) == 0 {
+		return 0
+	}
+	return mean[len(mean)-1]
+}
+
+// ReplicateOptions controls parallel replication.
+type ReplicateOptions struct {
+	// Reps is the number of independent replications. Required.
+	Reps int
+	// Seed roots the deterministic replication streams: replication i uses
+	// rng.New(Seed).Split(i) regardless of scheduling, so results are
+	// reproducible under any worker count.
+	Seed uint64
+	// Workers bounds the parallelism; 0 means GOMAXPROCS.
+	Workers int
+}
+
+func (o ReplicateOptions) validate() error {
+	if o.Reps <= 0 {
+		return fmt.Errorf("sim: need at least one replication, got %d", o.Reps)
+	}
+	return nil
+}
+
+func (o ReplicateOptions) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// ReplicateSingle runs Reps independent replications of a single-play
+// experiment in parallel and aggregates the curves.
+func ReplicateSingle(env *bandit.Env, scen bandit.Scenario, factory SingleFactory, cfg Config, opts ReplicateOptions) (*Aggregate, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	run := func(rep int) (*Series, error) {
+		stream := rng.New(opts.Seed).Split(uint64(rep) + 1)
+		pol := factory(stream.Split(0))
+		return RunSingle(env, scen, pol, cfg, stream.Split(1))
+	}
+	return replicate(run, cfg, opts)
+}
+
+// ReplicateCombo runs Reps independent replications of a combinatorial
+// experiment in parallel and aggregates the curves.
+func ReplicateCombo(env *bandit.Env, set *strategy.Set, scen bandit.Scenario, factory ComboFactory, cfg Config, opts ReplicateOptions) (*Aggregate, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	run := func(rep int) (*Series, error) {
+		stream := rng.New(opts.Seed).Split(uint64(rep) + 1)
+		pol := factory(stream.Split(0))
+		return RunCombo(env, set, scen, pol, cfg, stream.Split(1))
+	}
+	return replicate(run, cfg, opts)
+}
+
+// replicate fans the per-replication closure out over a bounded worker
+// pool, preserving determinism by keying all randomness on the replication
+// index rather than on scheduling order.
+func replicate(run func(rep int) (*Series, error), cfg Config, opts ReplicateOptions) (*Aggregate, error) {
+	type result struct {
+		rep    int
+		series *Series
+		err    error
+	}
+	jobs := make(chan int)
+	results := make(chan result)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := range jobs {
+				s, err := run(rep)
+				results <- result{rep: rep, series: s, err: err}
+			}
+		}()
+	}
+	go func() {
+		for rep := 0; rep < opts.Reps; rep++ {
+			jobs <- rep
+		}
+		close(jobs)
+		wg.Wait()
+		close(results)
+	}()
+
+	// Collect in arrival order but fold deterministically afterwards:
+	// CurveBand means are order-insensitive, yet we sort by replication
+	// index anyway so stderr accumulation is bit-for-bit reproducible.
+	collected := make([]*Series, opts.Reps)
+	var firstErr error
+	for res := range results {
+		if res.err != nil && firstErr == nil {
+			firstErr = res.err
+		}
+		collected[res.rep] = res.series
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	var agg *Aggregate
+	for rep, s := range collected {
+		if s == nil {
+			return nil, fmt.Errorf("sim: replication %d produced no series", rep)
+		}
+		if agg == nil {
+			agg = newAggregate(s.Policy, s.T)
+		}
+		if err := agg.add(s); err != nil {
+			return nil, err
+		}
+	}
+	return agg, nil
+}

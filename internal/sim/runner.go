@@ -1,0 +1,249 @@
+// Package sim is the experiment harness: it drives policies against
+// environments round by round with the correct per-scenario feedback and
+// regret accounting, fans replications out across goroutines with
+// deterministic per-replication random streams, and exposes the named
+// experiment registry that regenerates every figure of the paper's
+// evaluation section.
+package sim
+
+import (
+	"fmt"
+
+	"netbandit/internal/bandit"
+	"netbandit/internal/rng"
+	"netbandit/internal/strategy"
+	"netbandit/internal/trace"
+)
+
+// Config controls a single simulation run.
+type Config struct {
+	// Horizon is the number of rounds n. Required.
+	Horizon int
+	// Checkpoints are the 1-based rounds at which the regret curves are
+	// sampled, in increasing order. Nil selects an even 100-point grid.
+	Checkpoints []int
+	// AnnounceHorizon passes Horizon to the policy via Meta (MOSS uses
+	// it); when false the policy runs anytime.
+	AnnounceHorizon bool
+	// Observer, when non-nil, receives one trace.Event per round. The
+	// event's observation slice is reused between rounds; observers must
+	// copy what they keep (trace.Recorder does).
+	Observer trace.Observer
+}
+
+func (c Config) validate() error {
+	if c.Horizon <= 0 {
+		return fmt.Errorf("sim: horizon must be positive, got %d", c.Horizon)
+	}
+	for i, cp := range c.Checkpoints {
+		if cp < 1 || cp > c.Horizon {
+			return fmt.Errorf("sim: checkpoint %d out of range [1,%d]", cp, c.Horizon)
+		}
+		if i > 0 && cp <= c.Checkpoints[i-1] {
+			return fmt.Errorf("sim: checkpoints must be strictly increasing")
+		}
+	}
+	return nil
+}
+
+// checkpoints returns the configured grid, or an even default grid.
+func (c Config) checkpoints() []int {
+	if len(c.Checkpoints) > 0 {
+		return c.Checkpoints
+	}
+	return DefaultCheckpoints(c.Horizon, 100)
+}
+
+// DefaultCheckpoints builds an even grid of `points` checkpoints over
+// [1, horizon], always ending exactly at horizon.
+func DefaultCheckpoints(horizon, points int) []int {
+	if points > horizon {
+		points = horizon
+	}
+	if points < 1 {
+		points = 1
+	}
+	out := make([]int, 0, points)
+	for i := 1; i <= points; i++ {
+		cp := i * horizon / points
+		if cp < 1 {
+			cp = 1
+		}
+		if len(out) > 0 && cp == out[len(out)-1] {
+			continue
+		}
+		out = append(out, cp)
+	}
+	return out
+}
+
+// Series is one replication's regret curves sampled at T.
+type Series struct {
+	Policy      string
+	T           []int
+	CumPseudo   []float64
+	CumRealized []float64
+	AvgPseudo   []float64
+	AvgRealized []float64
+}
+
+// RunSingle plays one replication of a single-play scenario (SSO or SSR).
+// The policy is Reset first; r drives both the environment and any policy
+// randomness the caller wired in.
+func RunSingle(env *bandit.Env, scen bandit.Scenario, pol bandit.SinglePolicy, cfg Config, r *rng.RNG) (*Series, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if scen.Combinatorial() {
+		return nil, fmt.Errorf("sim: RunSingle called with combinatorial scenario %v", scen)
+	}
+	horizon := 0
+	if cfg.AnnounceHorizon {
+		horizon = cfg.Horizon
+	}
+	pol.Reset(bandit.Meta{
+		K:        env.K(),
+		Horizon:  horizon,
+		Graph:    env.Graph(),
+		Scenario: scen,
+	})
+
+	var optimal float64
+	if scen == bandit.SSR {
+		_, optimal = env.BestSideArm()
+	} else {
+		_, optimal = env.BestArm()
+	}
+	tracker := bandit.NewRegretTracker(optimal)
+	out := newSeries(pol.Name(), cfg.checkpoints())
+
+	var (
+		xs  []float64
+		obs []bandit.Observation
+	)
+	next := 0
+	for t := 1; t <= cfg.Horizon; t++ {
+		i := pol.Select(t)
+		if i < 0 || i >= env.K() {
+			return nil, fmt.Errorf("sim: round %d: policy %s selected invalid arm %d", t, pol.Name(), i)
+		}
+		xs = env.SampleAll(r, xs)
+		closed := env.Closed(i)
+		obs = bandit.AppendObservations(obs[:0], xs, closed)
+
+		var chosenMean, realized float64
+		if scen == bandit.SSR {
+			chosenMean = env.SideMean(i)
+			realized = bandit.SumValues(xs, closed)
+		} else {
+			chosenMean = env.Mean(i)
+			realized = xs[i]
+		}
+		tracker.Record(chosenMean, realized)
+		if cfg.Observer != nil {
+			cfg.Observer.ObserveRound(trace.Event{
+				T: t, Chosen: i, ChosenMean: chosenMean,
+				Realized: realized, Observations: obs,
+			})
+		}
+		pol.Update(t, i, obs)
+
+		if next < len(out.T) && t == out.T[next] {
+			out.record(next, tracker)
+			next++
+		}
+	}
+	return out, nil
+}
+
+// RunCombo plays one replication of a combinatorial scenario (CSO or CSR)
+// over the given feasible strategy set.
+func RunCombo(env *bandit.Env, set *strategy.Set, scen bandit.Scenario, pol bandit.ComboPolicy, cfg Config, r *rng.RNG) (*Series, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if !scen.Combinatorial() {
+		return nil, fmt.Errorf("sim: RunCombo called with single-play scenario %v", scen)
+	}
+	if set.K() != env.K() {
+		return nil, fmt.Errorf("sim: strategy set over %d arms, environment has %d", set.K(), env.K())
+	}
+	horizon := 0
+	if cfg.AnnounceHorizon {
+		horizon = cfg.Horizon
+	}
+	pol.Reset(bandit.ComboMeta{
+		K:          env.K(),
+		Horizon:    horizon,
+		Graph:      env.Graph(),
+		Strategies: set,
+		Scenario:   scen,
+	})
+
+	means := env.Means()
+	var optimal float64
+	if scen == bandit.CSR {
+		_, optimal = set.BestClosure(means)
+	} else {
+		_, optimal = set.BestDirect(means)
+	}
+	tracker := bandit.NewRegretTracker(optimal)
+	out := newSeries(pol.Name(), cfg.checkpoints())
+
+	var (
+		xs  []float64
+		obs []bandit.Observation
+	)
+	next := 0
+	for t := 1; t <= cfg.Horizon; t++ {
+		x := pol.Select(t)
+		if x < 0 || x >= set.Len() {
+			return nil, fmt.Errorf("sim: round %d: policy %s selected invalid strategy %d", t, pol.Name(), x)
+		}
+		xs = env.SampleAll(r, xs)
+		closure := set.Closure(x)
+		obs = bandit.AppendObservations(obs[:0], xs, closure)
+
+		var chosenMean, realized float64
+		if scen == bandit.CSR {
+			chosenMean = set.ClosureMean(x, means)
+			realized = bandit.SumValues(xs, closure)
+		} else {
+			chosenMean = set.DirectMean(x, means)
+			realized = bandit.SumValues(xs, set.Arms(x))
+		}
+		tracker.Record(chosenMean, realized)
+		if cfg.Observer != nil {
+			cfg.Observer.ObserveRound(trace.Event{
+				T: t, Chosen: x, ChosenMean: chosenMean,
+				Realized: realized, Observations: obs,
+			})
+		}
+		pol.Update(t, x, obs)
+
+		if next < len(out.T) && t == out.T[next] {
+			out.record(next, tracker)
+			next++
+		}
+	}
+	return out, nil
+}
+
+func newSeries(name string, checkpoints []int) *Series {
+	n := len(checkpoints)
+	return &Series{
+		Policy:      name,
+		T:           checkpoints,
+		CumPseudo:   make([]float64, n),
+		CumRealized: make([]float64, n),
+		AvgPseudo:   make([]float64, n),
+		AvgRealized: make([]float64, n),
+	}
+}
+
+func (s *Series) record(i int, tr *bandit.RegretTracker) {
+	s.CumPseudo[i] = tr.CumPseudo()
+	s.CumRealized[i] = tr.CumRealized()
+	s.AvgPseudo[i] = tr.AvgPseudo()
+	s.AvgRealized[i] = tr.AvgRealized()
+}

@@ -1,0 +1,81 @@
+package stats
+
+import "fmt"
+
+// CurveBand aggregates several replications of the same experiment curve
+// (e.g. cumulative regret sampled at fixed checkpoints) into a pointwise
+// mean with error bands.
+type CurveBand struct {
+	points []Welford
+}
+
+// NewCurveBand returns an aggregator for curves with the given number of
+// checkpoints. It panics if checkpoints <= 0.
+func NewCurveBand(checkpoints int) *CurveBand {
+	if checkpoints <= 0 {
+		panic("stats: CurveBand needs at least one checkpoint")
+	}
+	return &CurveBand{points: make([]Welford, checkpoints)}
+}
+
+// AddCurve folds one replication's curve into the band. The curve length
+// must match the configured checkpoint count.
+func (c *CurveBand) AddCurve(curve []float64) error {
+	if len(curve) != len(c.points) {
+		return fmt.Errorf("stats: curve has %d points, band expects %d", len(curve), len(c.points))
+	}
+	for i, v := range curve {
+		c.points[i].Add(v)
+	}
+	return nil
+}
+
+// Reps returns the number of curves folded in so far.
+func (c *CurveBand) Reps() int64 {
+	if len(c.points) == 0 {
+		return 0
+	}
+	return c.points[0].N()
+}
+
+// Len returns the number of checkpoints.
+func (c *CurveBand) Len() int { return len(c.points) }
+
+// Mean returns the pointwise mean curve.
+func (c *CurveBand) Mean() []float64 {
+	out := make([]float64, len(c.points))
+	for i := range c.points {
+		out[i] = c.points[i].Mean()
+	}
+	return out
+}
+
+// StdErr returns the pointwise standard error of the mean.
+func (c *CurveBand) StdErr() []float64 {
+	out := make([]float64, len(c.points))
+	for i := range c.points {
+		out[i] = c.points[i].StdErr()
+	}
+	return out
+}
+
+// CI95 returns the pointwise half-width of the 95% confidence interval
+// around the mean (normal approximation).
+func (c *CurveBand) CI95() []float64 {
+	out := c.StdErr()
+	for i := range out {
+		out[i] *= Normal95
+	}
+	return out
+}
+
+// Merge combines another band (same checkpoint count) into c.
+func (c *CurveBand) Merge(o *CurveBand) error {
+	if len(o.points) != len(c.points) {
+		return fmt.Errorf("stats: merging band with %d points into band with %d", len(o.points), len(c.points))
+	}
+	for i := range c.points {
+		c.points[i].Merge(o.points[i])
+	}
+	return nil
+}

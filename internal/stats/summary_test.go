@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"testing"
+)
+
+func TestCurveBandBasics(t *testing.T) {
+	b := NewCurveBand(3)
+	if err := b.AddCurve([]float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddCurve([]float64{3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Reps() != 2 || b.Len() != 3 {
+		t.Fatalf("reps=%d len=%d", b.Reps(), b.Len())
+	}
+	mean := b.Mean()
+	want := []float64{2, 3, 4}
+	for i := range want {
+		if !almostEqual(mean[i], want[i], 1e-12) {
+			t.Fatalf("mean = %v, want %v", mean, want)
+		}
+	}
+	se := b.StdErr()
+	// Two samples 1,3: sample variance 2, stderr = sqrt(2/2) = 1.
+	if !almostEqual(se[0], 1, 1e-12) {
+		t.Fatalf("stderr = %v, want 1", se[0])
+	}
+	ci := b.CI95()
+	if !almostEqual(ci[0], Normal95, 1e-12) {
+		t.Fatalf("ci = %v, want %v", ci[0], Normal95)
+	}
+}
+
+func TestCurveBandLengthMismatch(t *testing.T) {
+	b := NewCurveBand(2)
+	if err := b.AddCurve([]float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestCurveBandMerge(t *testing.T) {
+	a := NewCurveBand(2)
+	b := NewCurveBand(2)
+	if err := a.AddCurve([]float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AddCurve([]float64{3, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Reps() != 2 {
+		t.Fatalf("merged reps = %d, want 2", a.Reps())
+	}
+	if m := a.Mean(); !almostEqual(m[0], 2, 1e-12) {
+		t.Fatalf("merged mean = %v, want 2", m[0])
+	}
+	c := NewCurveBand(3)
+	if err := a.Merge(c); err == nil {
+		t.Fatal("mismatched merge accepted")
+	}
+}
+
+func TestCurveBandPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCurveBand(0) did not panic")
+		}
+	}()
+	NewCurveBand(0)
+}

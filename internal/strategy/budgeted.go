@@ -1,0 +1,65 @@
+package strategy
+
+import (
+	"fmt"
+
+	"netbandit/internal/graphs"
+)
+
+// Budgeted enumerates every non-empty arm subset whose total cost stays
+// within budget — the "arbitrary constraints" generalisation the paper's
+// combinatorial model allows (strategies need not have a fixed size, only
+// satisfy the constraint imposed on F). Costs must be positive; the
+// family is capped at MaxEnumerable like every other constructor.
+//
+// A typical use is ad placement with heterogeneous slot prices: each ad i
+// costs cost[i], the page budget is fixed, and any affordable set of ads
+// is feasible.
+func Budgeted(costs []float64, budget float64, g *graphs.Graph) (*Set, error) {
+	k := len(costs)
+	if k == 0 {
+		return nil, fmt.Errorf("strategy: Budgeted needs at least one arm")
+	}
+	for i, c := range costs {
+		if c <= 0 {
+			return nil, fmt.Errorf("strategy: arm %d has non-positive cost %v", i, c)
+		}
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("strategy: budget %v must be positive", budget)
+	}
+	var all [][]int
+	combo := make([]int, 0, k)
+	var rec func(start int, remaining float64) error
+	rec = func(start int, remaining float64) error {
+		if len(combo) > 0 {
+			if len(all) >= MaxEnumerable {
+				return fmt.Errorf("strategy: budgeted family exceeds enumeration cap %d", MaxEnumerable)
+			}
+			all = append(all, append([]int(nil), combo...))
+		}
+		for a := start; a < k; a++ {
+			if costs[a] > remaining {
+				continue
+			}
+			combo = append(combo, a)
+			if err := rec(a+1, remaining-costs[a]); err != nil {
+				return err
+			}
+			combo = combo[:len(combo)-1]
+		}
+		return nil
+	}
+	if err := rec(0, budget); err != nil {
+		return nil, err
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("strategy: no arm is affordable under budget %v", budget)
+	}
+	s, err := NewExplicit(k, all, g)
+	if err != nil {
+		return nil, err
+	}
+	s.name = "budgeted"
+	return s, nil
+}

@@ -1,0 +1,114 @@
+package strategy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netbandit/internal/graphs"
+	"netbandit/internal/rng"
+)
+
+func TestBudgetedBasics(t *testing.T) {
+	// Costs 1,1,2,3 with budget 3: feasible sets are every subset with
+	// total cost <= 3.
+	s, err := Budgeted([]float64{1, 1, 2, 3}, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0}, {1}, {2}, {3}, {0, 1}, {0, 2}, {1, 2}}
+	if s.Len() != len(want) {
+		t.Fatalf("|F| = %d, want %d", s.Len(), len(want))
+	}
+	for _, arms := range want {
+		if _, ok := s.IndexOf(arms); !ok {
+			t.Errorf("missing feasible set %v", arms)
+		}
+	}
+	if _, ok := s.IndexOf([]int{0, 3}); ok {
+		t.Error("over-budget set {0,3} (cost 4) included")
+	}
+	if s.Name() != "budgeted" {
+		t.Fatalf("name = %q", s.Name())
+	}
+}
+
+func TestBudgetedValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		costs  []float64
+		budget float64
+	}{
+		{"no arms", nil, 1},
+		{"zero cost", []float64{0, 1}, 1},
+		{"negative cost", []float64{-1}, 1},
+		{"zero budget", []float64{1}, 0},
+		{"nothing affordable", []float64{5, 6}, 4},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Budgeted(tc.costs, tc.budget, nil); err == nil {
+				t.Fatal("invalid input accepted")
+			}
+		})
+	}
+}
+
+func TestBudgetedWithGraphClosures(t *testing.T) {
+	g := graphs.Star(4)
+	s, err := Budgeted([]float64{1, 1, 1, 1}, 2, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, ok := s.IndexOf([]int{0}) // the hub
+	if !ok {
+		t.Fatal("hub singleton missing")
+	}
+	if got := s.Closure(x); len(got) != 4 {
+		t.Fatalf("hub closure = %v", got)
+	}
+}
+
+// Property: every enumerated set respects the budget, and every singleton
+// with cost <= budget appears.
+func TestBudgetedProperty(t *testing.T) {
+	r := rng.New(21)
+	f := func(seed uint64) bool {
+		rr := r.Split(seed)
+		k := 1 + rr.Intn(8)
+		costs := make([]float64, k)
+		for i := range costs {
+			costs[i] = 0.1 + rr.Float64()
+		}
+		budget := 0.5 + 2*rr.Float64()
+		s, err := Budgeted(costs, budget, nil)
+		if err != nil {
+			// Only acceptable when nothing is affordable.
+			for _, c := range costs {
+				if c <= budget {
+					return false
+				}
+			}
+			return true
+		}
+		for x := 0; x < s.Len(); x++ {
+			var total float64
+			for _, a := range s.Arms(x) {
+				total += costs[a]
+			}
+			if total > budget+1e-9 {
+				return false
+			}
+		}
+		for i, c := range costs {
+			if c <= budget {
+				if _, ok := s.IndexOf([]int{i}); !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+package strategy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Oracle solves the per-round combinatorial problem of DFL-CSR:
+// argmax_x Σ_{i∈Y_x} w_i over the feasible family. Theorem 4 assumes this
+// is solved optimally; ExactOracle does so by enumeration, GreedyOracle
+// trades optimality for speed on top-M families.
+type Oracle interface {
+	// Name identifies the oracle in reports.
+	Name() string
+	// ArgmaxClosure returns the index of a strategy maximising the closure
+	// weight sum. w has one entry per arm; entries may be +Inf to force
+	// exploration of unobserved arms.
+	ArgmaxClosure(s *Set, w []float64) int
+}
+
+// ExactOracle maximises by full enumeration of the family — optimal, O(Σ|Y_x|).
+type ExactOracle struct{}
+
+// Name implements Oracle.
+func (ExactOracle) Name() string { return "exact" }
+
+// ArgmaxClosure implements Oracle. Infinite weights are handled by
+// preferring the strategy whose closure covers the most +Inf arms, then the
+// largest finite sum — this makes the initial forced-exploration phase
+// sweep unobserved arms as fast as an optimal oracle would.
+func (ExactOracle) ArgmaxClosure(s *Set, w []float64) int {
+	bestX := 0
+	bestInf, bestSum := closureScore(s, 0, w)
+	for x := 1; x < s.Len(); x++ {
+		inf, sum := closureScore(s, x, w)
+		if inf > bestInf || (inf == bestInf && sum > bestSum) {
+			bestX, bestInf, bestSum = x, inf, sum
+		}
+	}
+	return bestX
+}
+
+// closureScore splits the closure weight of strategy x into the count of
+// infinite entries and the finite remainder.
+func closureScore(s *Set, x int, w []float64) (infCount int, finiteSum float64) {
+	for _, i := range s.Closure(x) {
+		if math.IsInf(w[i], 1) {
+			infCount++
+		} else {
+			finiteSum += w[i]
+		}
+	}
+	return infCount, finiteSum
+}
+
+// GreedyOracle approximately maximises the closure weight by greedy
+// marginal-gain selection of component arms — the classical (1-1/e)
+// approximation for weighted max coverage. It requires the family to
+// contain the greedily built arm set (true for TopM/UpToM families); when
+// the built set is not feasible it falls back to exact enumeration, so the
+// result is always a valid strategy index.
+type GreedyOracle struct {
+	// Size is the number of arms the greedy pass selects. Use the family's
+	// strategy size (e.g. m for TopM).
+	Size int
+}
+
+// Name implements Oracle.
+func (o GreedyOracle) Name() string { return fmt.Sprintf("greedy%d", o.Size) }
+
+// ArgmaxClosure implements Oracle.
+func (o GreedyOracle) ArgmaxClosure(s *Set, w []float64) int {
+	if o.Size <= 0 {
+		return ExactOracle{}.ArgmaxClosure(s, w)
+	}
+	g := s.Graph()
+	k := s.K()
+	covered := make([]bool, k)
+	chosen := make([]int, 0, o.Size)
+	inSet := make([]bool, k)
+	for len(chosen) < o.Size && len(chosen) < k {
+		bestArm := -1
+		bestInf := 0
+		bestGain := math.Inf(-1)
+		for a := 0; a < k; a++ {
+			if inSet[a] {
+				continue
+			}
+			inf, gain := 0, 0.0
+			for _, j := range g.ClosedNeighborhood(a) {
+				if covered[j] {
+					continue
+				}
+				if math.IsInf(w[j], 1) {
+					inf++
+				} else {
+					gain += w[j]
+				}
+			}
+			if inf > bestInf || (inf == bestInf && gain > bestGain) {
+				bestArm, bestInf, bestGain = a, inf, gain
+			}
+		}
+		if bestArm < 0 {
+			break
+		}
+		chosen = append(chosen, bestArm)
+		inSet[bestArm] = true
+		for _, j := range g.ClosedNeighborhood(bestArm) {
+			covered[j] = true
+		}
+	}
+	sort.Ints(chosen)
+	if x, ok := s.IndexOf(chosen); ok {
+		return x
+	}
+	// The greedy set is not feasible under this family; fall back to the
+	// optimal answer rather than returning something invalid.
+	return ExactOracle{}.ArgmaxClosure(s, w)
+}
+
+// Compile-time interface compliance checks.
+var (
+	_ Oracle = ExactOracle{}
+	_ Oracle = GreedyOracle{}
+)

@@ -1,0 +1,359 @@
+// Package strategy models the combinatorial action spaces ("com-arms") of
+// the paper's CSO and CSR scenarios: explicitly enumerable families of
+// feasible arm subsets, their neighbourhood closures Y_x, and the
+// combinatorial oracles that maximise a per-arm weight sum over the family.
+package strategy
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"netbandit/internal/graphs"
+)
+
+// MaxEnumerable caps the size of explicitly enumerated strategy sets; the
+// constructors return an error rather than silently allocating gigabytes
+// when a caller asks for, say, TopM(100, 10).
+const MaxEnumerable = 1 << 20
+
+// Set is an immutable, explicitly enumerated family of feasible strategies
+// over arms 0..K-1. Strategies are indexed 0..Len()-1. Each strategy is a
+// non-empty sorted set of distinct arms; its closure Y_x is the union of
+// closed neighbourhoods of its component arms under the relation graph
+// supplied at construction.
+type Set struct {
+	k      int
+	graph  *graphs.Graph // never nil after construction (empty graph if none given)
+	arms   [][]int
+	closed [][]int
+	index  map[string]int // canonical arm-set key -> strategy index
+	name   string
+	maxY   int
+}
+
+// NewExplicit builds a Set from caller-supplied strategies. The graph may
+// be nil (closures then equal the strategies themselves). Strategies must
+// be non-empty, within range, and duplicate-free; duplicated strategies
+// are rejected.
+func NewExplicit(k int, strategies [][]int, g *graphs.Graph) (*Set, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("strategy: need a positive arm count, got %d", k)
+	}
+	if g != nil && g.N() != k {
+		return nil, fmt.Errorf("strategy: graph has %d vertices, want %d", g.N(), k)
+	}
+	if g == nil {
+		g = graphs.Empty(k)
+	}
+	if len(strategies) == 0 {
+		return nil, fmt.Errorf("strategy: empty strategy family")
+	}
+	if len(strategies) > MaxEnumerable {
+		return nil, fmt.Errorf("strategy: %d strategies exceeds enumeration cap %d", len(strategies), MaxEnumerable)
+	}
+	s := &Set{
+		k:      k,
+		graph:  g,
+		arms:   make([][]int, 0, len(strategies)),
+		closed: make([][]int, 0, len(strategies)),
+		index:  make(map[string]int, len(strategies)),
+		name:   "explicit",
+	}
+	for xi, raw := range strategies {
+		a := append([]int(nil), raw...)
+		sort.Ints(a)
+		if len(a) == 0 {
+			return nil, fmt.Errorf("strategy: strategy %d is empty", xi)
+		}
+		for j, arm := range a {
+			if arm < 0 || arm >= k {
+				return nil, fmt.Errorf("strategy: strategy %d contains out-of-range arm %d", xi, arm)
+			}
+			if j > 0 && a[j-1] == arm {
+				return nil, fmt.Errorf("strategy: strategy %d repeats arm %d", xi, arm)
+			}
+		}
+		key := canonicalKey(a)
+		if prev, dup := s.index[key]; dup {
+			return nil, fmt.Errorf("strategy: strategy %d duplicates strategy %d", xi, prev)
+		}
+		s.index[key] = len(s.arms)
+		s.arms = append(s.arms, a)
+		cl := closureOf(g, a)
+		s.closed = append(s.closed, cl)
+		if len(cl) > s.maxY {
+			s.maxY = len(cl)
+		}
+	}
+	return s, nil
+}
+
+// canonicalKey builds a map key for a sorted arm set.
+func canonicalKey(sorted []int) string {
+	var sb strings.Builder
+	for i, a := range sorted {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(a))
+	}
+	return sb.String()
+}
+
+// closureOf returns Y = ∪_{i∈arms} N̄_i, sorted.
+func closureOf(g *graphs.Graph, arms []int) []int {
+	seen := make(map[int]bool, len(arms)*4)
+	for _, i := range arms {
+		for _, j := range g.ClosedNeighborhood(i) {
+			seen[j] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// TopM enumerates all size-m subsets of the k arms — the "place at most m
+// advertisements" constraint from the paper's introduction, with exactly m
+// slots filled. It returns an error when C(k, m) exceeds MaxEnumerable.
+func TopM(k, m int, g *graphs.Graph) (*Set, error) {
+	if m <= 0 || m > k {
+		return nil, fmt.Errorf("strategy: TopM needs 0 < m <= k, got m=%d k=%d", m, k)
+	}
+	if c := binomial(k, m); c < 0 || c > MaxEnumerable {
+		return nil, fmt.Errorf("strategy: C(%d,%d) exceeds enumeration cap %d", k, m, MaxEnumerable)
+	}
+	var all [][]int
+	combo := make([]int, m)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == m {
+			all = append(all, append([]int(nil), combo...))
+			return
+		}
+		for a := start; a <= k-(m-depth); a++ {
+			combo[depth] = a
+			rec(a+1, depth+1)
+		}
+	}
+	rec(0, 0)
+	s, err := NewExplicit(k, all, g)
+	if err != nil {
+		return nil, err
+	}
+	s.name = fmt.Sprintf("top%d", m)
+	return s, nil
+}
+
+// UpToM enumerates all non-empty subsets with at most m arms — the paper's
+// relaxed constraint where a strategy "may consist of less than M random
+// variables".
+func UpToM(k, m int, g *graphs.Graph) (*Set, error) {
+	if m <= 0 || m > k {
+		return nil, fmt.Errorf("strategy: UpToM needs 0 < m <= k, got m=%d k=%d", m, k)
+	}
+	total := 0
+	for size := 1; size <= m; size++ {
+		c := binomial(k, size)
+		if c < 0 || total+c > MaxEnumerable {
+			return nil, fmt.Errorf("strategy: Σ C(%d,1..%d) exceeds enumeration cap %d", k, m, MaxEnumerable)
+		}
+		total += c
+	}
+	var all [][]int
+	combo := make([]int, 0, m)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(combo) > 0 {
+			all = append(all, append([]int(nil), combo...))
+		}
+		if len(combo) == m {
+			return
+		}
+		for a := start; a < k; a++ {
+			combo = append(combo, a)
+			rec(a + 1)
+			combo = combo[:len(combo)-1]
+		}
+	}
+	rec(0)
+	s, err := NewExplicit(k, all, g)
+	if err != nil {
+		return nil, err
+	}
+	s.name = fmt.Sprintf("upto%d", m)
+	return s, nil
+}
+
+// IndependentSets enumerates the non-empty independent sets of g with at
+// most maxSize vertices — the max-weight-independent-set strategy space of
+// the paper's Fig. 2 worked example.
+func IndependentSets(g *graphs.Graph, maxSize int) (*Set, error) {
+	if g == nil {
+		return nil, fmt.Errorf("strategy: IndependentSets needs a graph")
+	}
+	if maxSize <= 0 {
+		return nil, fmt.Errorf("strategy: IndependentSets needs maxSize > 0")
+	}
+	k := g.N()
+	var all [][]int
+	combo := make([]int, 0, maxSize)
+	var rec func(start int) error
+	rec = func(start int) error {
+		if len(combo) > 0 {
+			if len(all) >= MaxEnumerable {
+				return fmt.Errorf("strategy: independent-set family exceeds enumeration cap %d", MaxEnumerable)
+			}
+			all = append(all, append([]int(nil), combo...))
+		}
+		if len(combo) == maxSize {
+			return nil
+		}
+		for a := start; a < k; a++ {
+			ok := true
+			for _, b := range combo {
+				if g.HasEdge(a, b) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			combo = append(combo, a)
+			if err := rec(a + 1); err != nil {
+				return err
+			}
+			combo = combo[:len(combo)-1]
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("strategy: graph has no independent sets (no vertices)")
+	}
+	s, err := NewExplicit(k, all, g)
+	if err != nil {
+		return nil, err
+	}
+	s.name = fmt.Sprintf("indsets%d", maxSize)
+	return s, nil
+}
+
+// Singletons returns the trivial family {{0}, {1}, ..., {k-1}}, under which
+// combinatorial play degenerates to single play — handy for cross-checking
+// the combinatorial algorithms against their single-play counterparts.
+func Singletons(k int, g *graphs.Graph) (*Set, error) {
+	all := make([][]int, k)
+	for i := range all {
+		all[i] = []int{i}
+	}
+	s, err := NewExplicit(k, all, g)
+	if err != nil {
+		return nil, err
+	}
+	s.name = "singletons"
+	return s, nil
+}
+
+// binomial returns C(n, k), or -1 on overflow past MaxEnumerable bounds.
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1
+	for i := 0; i < k; i++ {
+		c = c * (n - i) / (i + 1)
+		if c < 0 || c > 4*MaxEnumerable {
+			return -1
+		}
+	}
+	return c
+}
+
+// K returns the number of arms.
+func (s *Set) K() int { return s.k }
+
+// Len returns the number of strategies.
+func (s *Set) Len() int { return len(s.arms) }
+
+// Name identifies the family (e.g. "top2", "indsets2").
+func (s *Set) Name() string { return s.name }
+
+// Graph returns the relation graph used to compute closures. Callers must
+// treat it as read-only.
+func (s *Set) Graph() *graphs.Graph { return s.graph }
+
+// Arms returns the sorted component arms of strategy x. The slice is
+// shared; callers must not modify it.
+func (s *Set) Arms(x int) []int { return s.arms[x] }
+
+// Closure returns Y_x = ∪_{i∈s_x} N̄_i, sorted. The slice is shared;
+// callers must not modify it.
+func (s *Set) Closure(x int) []int { return s.closed[x] }
+
+// MaxClosureSize returns N = max_x |Y_x|, the constant in Theorem 4.
+func (s *Set) MaxClosureSize() int { return s.maxY }
+
+// IndexOf returns the index of the strategy with exactly the given arms
+// (order-insensitive), or ok=false if the family does not contain it.
+func (s *Set) IndexOf(arms []int) (x int, ok bool) {
+	a := append([]int(nil), arms...)
+	sort.Ints(a)
+	x, ok = s.index[canonicalKey(a)]
+	return x, ok
+}
+
+// DirectMean returns λ_x = Σ_{i∈s_x} w_i for the given per-arm values.
+func (s *Set) DirectMean(x int, w []float64) float64 {
+	var sum float64
+	for _, i := range s.arms[x] {
+		sum += w[i]
+	}
+	return sum
+}
+
+// ClosureMean returns σ_x = Σ_{i∈Y_x} w_i for the given per-arm values.
+func (s *Set) ClosureMean(x int, w []float64) float64 {
+	var sum float64
+	for _, i := range s.closed[x] {
+		sum += w[i]
+	}
+	return sum
+}
+
+// BestDirect returns the strategy maximising DirectMean. Ties break toward
+// the lowest index.
+func (s *Set) BestDirect(w []float64) (x int, mean float64) {
+	return s.argmax(w, s.DirectMean)
+}
+
+// BestClosure returns the strategy maximising ClosureMean.
+func (s *Set) BestClosure(w []float64) (x int, mean float64) {
+	return s.argmax(w, s.ClosureMean)
+}
+
+func (s *Set) argmax(w []float64, value func(int, []float64) float64) (int, float64) {
+	bestX, bestV := 0, value(0, w)
+	for x := 1; x < len(s.arms); x++ {
+		if v := value(x, w); v > bestV {
+			bestX, bestV = x, v
+		}
+	}
+	return bestX, bestV
+}
+
+// String summarises the family.
+func (s *Set) String() string {
+	return fmt.Sprintf("strategies(%s, |F|=%d, K=%d, N=%d)", s.name, s.Len(), s.k, s.maxY)
+}

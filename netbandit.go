@@ -1,0 +1,286 @@
+package netbandit
+
+import (
+	"io"
+
+	"netbandit/internal/armdist"
+	"netbandit/internal/bandit"
+	"netbandit/internal/core"
+	"netbandit/internal/graphs"
+	"netbandit/internal/policy"
+	"netbandit/internal/rng"
+	"netbandit/internal/sim"
+	"netbandit/internal/strategy"
+)
+
+// Core model types, re-exported from the internal implementation.
+type (
+	// RNG is the deterministic, splittable generator all randomness
+	// flows through.
+	RNG = rng.RNG
+	// Graph is an undirected relation graph over arms.
+	Graph = graphs.Graph
+	// Env is an immutable networked bandit environment.
+	Env = bandit.Env
+	// Scenario selects one of the paper's four settings.
+	Scenario = bandit.Scenario
+	// Observation is one revealed arm reward.
+	Observation = bandit.Observation
+	// Meta describes a single-play game to a policy.
+	Meta = bandit.Meta
+	// ComboMeta describes a combinatorial game to a policy.
+	ComboMeta = bandit.ComboMeta
+	// SinglePolicy is a single-play decision rule.
+	SinglePolicy = bandit.SinglePolicy
+	// ComboPolicy is a combinatorial decision rule.
+	ComboPolicy = bandit.ComboPolicy
+	// Distribution is a reward law with support in [0, 1].
+	Distribution = armdist.Distribution
+	// StrategySet is an enumerable family of feasible strategies.
+	StrategySet = strategy.Set
+	// Oracle solves the per-round combinatorial maximisation of DFL-CSR.
+	Oracle = strategy.Oracle
+)
+
+// Simulation harness types.
+type (
+	// Config controls one simulation run.
+	Config = sim.Config
+	// Series is one replication's regret curves.
+	Series = sim.Series
+	// Aggregate summarises curves across replications.
+	Aggregate = sim.Aggregate
+	// Metric selects one of the four regret curves.
+	Metric = sim.Metric
+	// ReplicateOptions controls parallel replication.
+	ReplicateOptions = sim.ReplicateOptions
+	// SingleFactory builds a fresh single-play policy per replication.
+	SingleFactory = sim.SingleFactory
+	// ComboFactory builds a fresh combinatorial policy per replication.
+	ComboFactory = sim.ComboFactory
+	// Params tunes a registered experiment.
+	Params = sim.Params
+	// Experiment is a registered, reproducible experiment.
+	Experiment = sim.Experiment
+	// Table is the data behind one reproduced figure.
+	Table = sim.Table
+	// Curve is one aggregated series of a reproduced figure.
+	Curve = sim.Curve
+)
+
+// The four scenarios.
+const (
+	// SSO is single-play with side observation.
+	SSO = bandit.SSO
+	// CSO is combinatorial-play with side observation.
+	CSO = bandit.CSO
+	// SSR is single-play with side reward.
+	SSR = bandit.SSR
+	// CSR is combinatorial-play with side reward.
+	CSR = bandit.CSR
+)
+
+// The four per-replication regret metrics.
+const (
+	// CumPseudo is cumulative pseudo-regret.
+	CumPseudo = sim.CumPseudo
+	// CumRealized is cumulative realized regret.
+	CumRealized = sim.CumRealized
+	// AvgPseudo is pseudo-regret per round (the paper's "expected regret").
+	AvgPseudo = sim.AvgPseudo
+	// AvgRealized is realized regret per round.
+	AvgRealized = sim.AvgRealized
+)
+
+// NewRNG returns a deterministic generator seeded from seed.
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }
+
+// NewGraph returns an edgeless relation graph on n arms; add edges with
+// AddEdge.
+func NewGraph(n int) *Graph { return graphs.New(n) }
+
+// GnpGraph returns an Erdős–Rényi G(n, p) relation graph — the paper's
+// simulation topology.
+func GnpGraph(n int, p float64, r *RNG) *Graph { return graphs.Gnp(n, p, r) }
+
+// StarGraph returns a hub-and-leaves relation graph.
+func StarGraph(n int) *Graph { return graphs.Star(n) }
+
+// CompleteGraph returns the complete relation graph (full side
+// observability).
+func CompleteGraph(n int) *Graph { return graphs.Complete(n) }
+
+// NewBernoulliEnv builds an environment with Bernoulli(means[i]) arms over
+// the given relation graph (nil graph = classical MAB).
+func NewBernoulliEnv(g *Graph, means []float64) (*Env, error) {
+	dists, err := armdist.BernoulliArms(means)
+	if err != nil {
+		return nil, err
+	}
+	return bandit.NewEnv(g, dists)
+}
+
+// NewRandomBernoulliEnv builds the paper's Section VII environment: k
+// Bernoulli arms with means drawn uniformly from [0, 1].
+func NewRandomBernoulliEnv(g *Graph, k int, r *RNG) (*Env, error) {
+	return bandit.NewEnv(g, armdist.RandomBernoulliArms(k, r))
+}
+
+// NewEnv builds an environment from explicit reward distributions.
+func NewEnv(g *Graph, dists []Distribution) (*Env, error) {
+	return bandit.NewEnv(g, dists)
+}
+
+// Bernoulli returns a Bernoulli(p) reward distribution.
+func Bernoulli(p float64) (Distribution, error) { return armdist.NewBernoulli(p) }
+
+// Beta returns a Beta(a, b) reward distribution.
+func Beta(a, b float64) (Distribution, error) { return armdist.NewBeta(a, b) }
+
+// TruncGaussian returns a [0,1]-clamped Gaussian reward distribution.
+func TruncGaussian(mu, sigma float64) (Distribution, error) {
+	return armdist.NewTruncGaussian(mu, sigma)
+}
+
+// TopM enumerates all size-m strategies over k arms as the feasible family.
+func TopM(k, m int, g *Graph) (*StrategySet, error) { return strategy.TopM(k, m, g) }
+
+// UpToM enumerates all non-empty strategies with at most m arms.
+func UpToM(k, m int, g *Graph) (*StrategySet, error) { return strategy.UpToM(k, m, g) }
+
+// IndependentSets enumerates the independent sets of g with at most
+// maxSize arms — the strategy family of the paper's Fig. 2 example.
+func IndependentSets(g *Graph, maxSize int) (*StrategySet, error) {
+	return strategy.IndependentSets(g, maxSize)
+}
+
+// ExplicitStrategies builds a feasible family from caller-supplied arm
+// sets.
+func ExplicitStrategies(k int, strategies [][]int, g *Graph) (*StrategySet, error) {
+	return strategy.NewExplicit(k, strategies, g)
+}
+
+// BudgetedStrategies enumerates every arm subset whose total cost stays
+// within budget — heterogeneous-cost constraints such as priced ad slots.
+func BudgetedStrategies(costs []float64, budget float64, g *Graph) (*StrategySet, error) {
+	return strategy.Budgeted(costs, budget, g)
+}
+
+// ExactOracle returns the enumeration oracle assumed by Theorem 4.
+func ExactOracle() Oracle { return strategy.ExactOracle{} }
+
+// GreedyOracle returns the (1-1/e) weighted max-coverage oracle selecting
+// size arms greedily.
+func GreedyOracle(size int) Oracle { return strategy.GreedyOracle{Size: size} }
+
+// BuildStrategyGraph constructs the Section IV strategy relation graph
+// SG(F, L) for a feasible family.
+func BuildStrategyGraph(set *StrategySet) *Graph { return core.BuildStrategyGraph(set) }
+
+// The paper's algorithms (package core).
+
+// NewDFLSSO returns Algorithm 1: distribution-free learning for
+// single-play with side observation.
+func NewDFLSSO() SinglePolicy { return core.NewDFLSSO() }
+
+// NewDFLSSOGreedyHop returns the Section IX greedy-hop heuristic over
+// DFL-SSO.
+func NewDFLSSOGreedyHop() SinglePolicy { return core.NewDFLSSOGreedyHop() }
+
+// NewDFLCSO returns Algorithm 2: distribution-free learning for
+// combinatorial-play with side observation.
+func NewDFLCSO() ComboPolicy { return core.NewDFLCSO() }
+
+// NewDFLSSR returns Algorithm 3: distribution-free learning for
+// single-play with side reward (exact observation-log estimator).
+func NewDFLSSR() SinglePolicy { return core.NewDFLSSR() }
+
+// NewDFLSSRStreaming returns the bounded-memory DFL-SSR variant.
+func NewDFLSSRStreaming() SinglePolicy { return core.NewDFLSSRStreaming() }
+
+// NewDFLCSR returns Algorithm 4: distribution-free learning for
+// combinatorial-play with side reward, with the exact oracle.
+func NewDFLCSR() ComboPolicy { return core.NewDFLCSR() }
+
+// NewDFLCSRWithOracle returns Algorithm 4 with a custom combinatorial
+// oracle.
+func NewDFLCSRWithOracle(o Oracle) ComboPolicy { return core.NewDFLCSRWithOracle(o) }
+
+// Baselines (package policy).
+
+// NewMOSS returns the MOSS baseline the paper's Fig. 3 compares against.
+func NewMOSS() SinglePolicy { return policy.NewMOSS() }
+
+// NewUCB1 returns the classical UCB1 baseline.
+func NewUCB1() SinglePolicy { return policy.NewUCB1() }
+
+// NewUCBN returns the Δ-dependent side-observation baseline UCB-N.
+func NewUCBN() SinglePolicy { return policy.NewUCBN() }
+
+// NewUCBMaxN returns the UCB-MaxN side-observation baseline.
+func NewUCBMaxN() SinglePolicy { return policy.NewUCBMaxN() }
+
+// NewThompson returns Beta-Bernoulli Thompson sampling.
+func NewThompson(r *RNG) SinglePolicy { return policy.NewThompson(r) }
+
+// NewEpsilonGreedy returns a constant-ε greedy baseline.
+func NewEpsilonGreedy(eps float64, r *RNG) SinglePolicy {
+	return policy.NewEpsilonGreedy(eps, r)
+}
+
+// NewEXP3 returns the adversarial EXP3 baseline.
+func NewEXP3(gamma float64, r *RNG) SinglePolicy { return policy.NewEXP3(gamma, r) }
+
+// NewRandomPolicy returns the uniform-random baseline.
+func NewRandomPolicy(r *RNG) SinglePolicy { return policy.NewRandom(r) }
+
+// NewCUCBDirect returns the combinatorial UCB baseline targeting direct
+// reward (CSO objective).
+func NewCUCBDirect() ComboPolicy { return policy.NewCUCB(policy.Direct) }
+
+// NewCUCBClosure returns the combinatorial UCB baseline targeting closure
+// reward (CSR objective).
+func NewCUCBClosure() ComboPolicy { return policy.NewCUCB(policy.Closure) }
+
+// NewComboRandom returns the uniform-random combinatorial baseline.
+func NewComboRandom(r *RNG) ComboPolicy { return policy.NewComboRandom(r) }
+
+// Simulation entry points (package sim).
+
+// RunSingle plays one replication of a single-play scenario.
+func RunSingle(env *Env, scen Scenario, pol SinglePolicy, cfg Config, r *RNG) (*Series, error) {
+	return sim.RunSingle(env, scen, pol, cfg, r)
+}
+
+// RunCombo plays one replication of a combinatorial scenario.
+func RunCombo(env *Env, set *StrategySet, scen Scenario, pol ComboPolicy, cfg Config, r *RNG) (*Series, error) {
+	return sim.RunCombo(env, set, scen, pol, cfg, r)
+}
+
+// ReplicateSingle runs many single-play replications in parallel and
+// aggregates the regret curves.
+func ReplicateSingle(env *Env, scen Scenario, f SingleFactory, cfg Config, opts ReplicateOptions) (*Aggregate, error) {
+	return sim.ReplicateSingle(env, scen, f, cfg, opts)
+}
+
+// ReplicateCombo runs many combinatorial replications in parallel.
+func ReplicateCombo(env *Env, set *StrategySet, scen Scenario, f ComboFactory, cfg Config, opts ReplicateOptions) (*Aggregate, error) {
+	return sim.ReplicateCombo(env, set, scen, f, cfg, opts)
+}
+
+// Experiments lists the registered figure/ablation reproductions.
+func Experiments() []Experiment { return sim.Experiments() }
+
+// FindExperiment returns the experiment registered under id (e.g.
+// "fig3a").
+func FindExperiment(id string) (Experiment, bool) { return sim.FindExperiment(id) }
+
+// RenderASCII draws a reproduced table as an ASCII chart.
+func RenderASCII(t *Table) string { return sim.RenderASCII(t) }
+
+// WriteCSV exports a reproduced table as CSV (x column, then mean and
+// stderr columns per curve).
+func WriteCSV(w io.Writer, t *Table) error { return sim.WriteCSV(w, t) }
+
+// Summary prints each curve's final value.
+func Summary(t *Table) string { return sim.Summary(t) }
