@@ -21,14 +21,15 @@ import (
 
 func main() {
 	var (
-		only    = flag.String("only", "", "comma-separated experiment ids (default: all)")
-		outDir  = flag.String("out", "results", "output directory for CSV and ASCII files")
-		horizon = flag.Int("horizon", 0, "override horizon n (0 = experiment default)")
-		reps    = flag.Int("reps", 0, "override replication count (0 = experiment default)")
-		seed    = flag.Uint64("seed", 0, "override random seed (0 = default)")
-		workers = flag.Int("workers", 0, "parallel replication workers (0 = GOMAXPROCS)")
-		list    = flag.Bool("list", false, "list registered experiments and exit")
-		quiet   = flag.Bool("quiet", false, "suppress ASCII charts on stdout")
+		only     = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		outDir   = flag.String("out", "results", "output directory for CSV and ASCII files")
+		horizon  = flag.Int("horizon", 0, "override horizon n (0 = experiment default)")
+		reps     = flag.Int("reps", 0, "override replication count (0 = experiment default)")
+		seed     = flag.Uint64("seed", 0, "override random seed (0 = default)")
+		workers  = flag.Int("workers", 0, "parallel replication workers (0 = GOMAXPROCS)")
+		list     = flag.Bool("list", false, "list registered experiments and exit")
+		quiet    = flag.Bool("quiet", false, "suppress ASCII charts on stdout")
+		progress = flag.Bool("progress", false, "report per-replication progress on stderr")
 	)
 	flag.Parse()
 
@@ -63,6 +64,14 @@ func main() {
 		Reps:    *reps,
 		Seed:    *seed,
 		Workers: *workers,
+	}
+	if *progress {
+		params.Progress = func(p netbandit.SweepProgress) {
+			fmt.Fprintf(os.Stderr, "\r  %d/%d replications (%s)    ", p.Done, p.Total, p.Cell)
+			if p.Done == p.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
 	}
 	for _, e := range selected {
 		fmt.Printf("running %s (%s)...\n", e.ID, e.Title)

@@ -1,4 +1,4 @@
-// Command nbandit runs a single ad-hoc networked-bandit simulation: pick a
+// Command nbandit runs ad-hoc networked-bandit simulations: pick a
 // scenario, a policy, a relation graph and a horizon, get the aggregated
 // regret curves as a table, CSV, or ASCII chart.
 //
@@ -7,6 +7,20 @@
 //	nbandit -scenario sso -policy dfl -k 100 -graph gnp -p 0.3 -n 10000 -reps 20
 //	nbandit -scenario csr -policy dfl -k 20 -m 2 -n 5000
 //	nbandit -scenario sso -policy moss -k 50 -format csv > moss.csv
+//
+// The sweep subcommand runs a whole parameter grid — policies × graph
+// parameters × horizons — on one shared bounded worker pool, with
+// deterministic per-cell aggregates and fail-fast cancellation:
+//
+//	nbandit sweep -scenario sso -policies dfl,moss,ucb1 -k 100 -p 0.1,0.3,0.6 -n 10000 -reps 20
+//	nbandit sweep -scenario cso -policies dfl,cucb -k 20 -m 2 -p 0.3,0.6 -format csv > grid.csv
+//	nbandit sweep -scenario sso -policies dfl -p 0.3 -n 1000,10000 -format json -progress
+//
+// Sweeps derive every environment and replication stream from per-axis
+// splits of -seed so that cells are independent; a one-cell sweep therefore
+// does not reproduce the numbers of a plain nbandit run with the same seed
+// (sweep results are comparable to other sweep results, single runs to
+// single runs).
 package main
 
 import (
@@ -27,6 +41,13 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		if err := runSweep(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "nbandit sweep:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "nbandit:", err)
 		os.Exit(1)

@@ -1,0 +1,223 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+
+	"netbandit/internal/bandit"
+	"netbandit/internal/graphs"
+	"netbandit/internal/sim"
+)
+
+// sweepOptions are the flags of the `nbandit sweep` subcommand: a full
+// parameter grid (policies × graph densities × horizons) executed on one
+// shared worker pool.
+type sweepOptions struct {
+	scenario string
+	policies string
+	graph    string
+	k        int
+	m        int
+	params   string
+	horizons string
+	points   int
+	reps     int
+	seed     uint64
+	workers  int
+	format   string
+	metric   string
+	progress bool
+}
+
+func sweepFlags(fs *flag.FlagSet, o *sweepOptions) {
+	fs.StringVar(&o.scenario, "scenario", "sso", "scenario: sso|cso|ssr|csr")
+	fs.StringVar(&o.policies, "policies", "dfl,moss", "comma-separated policy names (one grid axis)")
+	fs.StringVar(&o.graph, "graph", "gnp", "relation graph generator: "+strings.Join(graphs.GeneratorNames(), "|"))
+	fs.IntVar(&o.k, "k", 100, "number of arms")
+	fs.IntVar(&o.m, "m", 2, "strategy size for combinatorial scenarios")
+	fs.StringVar(&o.params, "p", "0.3", "comma-separated graph parameters, e.g. G(n,p) densities (one grid axis)")
+	fs.StringVar(&o.horizons, "n", "10000", "comma-separated horizons (one grid axis)")
+	fs.IntVar(&o.points, "points", 100, "checkpoints sampled per curve")
+	fs.IntVar(&o.reps, "reps", 10, "replications per cell")
+	fs.Uint64Var(&o.seed, "seed", 1, "random seed rooting the whole grid")
+	fs.IntVar(&o.workers, "workers", 0, "shared pool size (0 = GOMAXPROCS)")
+	fs.StringVar(&o.format, "format", "summary", "output: summary|csv|json")
+	fs.StringVar(&o.metric, "metric", "avg-pseudo", "metric shown by the summary format")
+	fs.BoolVar(&o.progress, "progress", false, "report per-replication progress on stderr")
+}
+
+// runSweep is the `nbandit sweep` entry point.
+func runSweep(args []string) error {
+	fs := flag.NewFlagSet("nbandit sweep", flag.ExitOnError)
+	var o sweepOptions
+	sweepFlags(fs, &o)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// Validate output options before burning compute on the grid.
+	metric, err := parseMetric(o.metric)
+	if err != nil {
+		return err
+	}
+	switch o.format {
+	case "summary", "csv", "json":
+	default:
+		return fmt.Errorf("unknown format %q (valid: summary, csv, json)", o.format)
+	}
+	sw, err := buildSweep(o)
+	if err != nil {
+		return err
+	}
+	if o.progress {
+		sw.Progress = func(p sim.Progress) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d replications (%s rep %d)    ", p.Done, p.Total, p.Cell, p.Rep)
+			if p.Done == p.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := sw.Run(ctx)
+	if err != nil {
+		return err
+	}
+	return emitSweep(os.Stdout, res, o.format, metric)
+}
+
+// buildSweep expands the CLI flags into the engine's grid description.
+func buildSweep(o sweepOptions) (sim.Sweep, error) {
+	scen, err := bandit.ParseScenario(o.scenario)
+	if err != nil {
+		return sim.Sweep{}, err
+	}
+	params, err := parseFloatList(o.params)
+	if err != nil {
+		return sim.Sweep{}, fmt.Errorf("parsing -p: %w", err)
+	}
+	horizons, err := parseIntList(o.horizons)
+	if err != nil {
+		return sim.Sweep{}, fmt.Errorf("parsing -n: %w", err)
+	}
+
+	var envs []sim.EnvSpec
+	for _, p := range params {
+		envs = append(envs, gridEnvSpec(graphs.GeneratorName(o.graph), scen, o.k, o.m, p))
+	}
+
+	var policies []sim.PolicySpec
+	for _, name := range strings.Split(o.policies, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		spec := sim.PolicySpec{Name: name}
+		if scen.Combinatorial() {
+			factory, err := comboFactory(name, scen)
+			if err != nil {
+				return sim.Sweep{}, err
+			}
+			spec.Combo = factory
+		} else {
+			factory, err := singleFactory(name, scen)
+			if err != nil {
+				return sim.Sweep{}, err
+			}
+			spec.Single = factory
+		}
+		policies = append(policies, spec)
+	}
+	if len(policies) == 0 {
+		return sim.Sweep{}, fmt.Errorf("no policies in %q", o.policies)
+	}
+
+	var configs []sim.ConfigSpec
+	for _, n := range horizons {
+		cfg := sim.ConfigSpec{
+			Config: sim.Config{
+				Horizon:         n,
+				Checkpoints:     sim.DefaultCheckpoints(n, o.points),
+				AnnounceHorizon: true,
+			},
+		}
+		if len(horizons) > 1 {
+			cfg.Name = fmt.Sprintf("n=%d", n)
+		}
+		configs = append(configs, cfg)
+	}
+
+	return sim.Sweep{
+		Name:     fmt.Sprintf("%s sweep (%s, K=%d)", o.scenario, o.graph, o.k),
+		Envs:     envs,
+		Policies: policies,
+		Configs:  configs,
+		Reps:     o.reps,
+		Seed:     o.seed,
+		Workers:  o.workers,
+	}, nil
+}
+
+// gridEnvSpec is one environment axis point: a named random graph with
+// uniform-random Bernoulli arms, plus the TopM family for combinatorial
+// scenarios.
+func gridEnvSpec(gen graphs.GeneratorName, scen bandit.Scenario, k, m int, param float64) sim.EnvSpec {
+	return sim.GeneratorEnv(fmt.Sprintf("%s(%g)", gen, param), scen, gen, k, m, param)
+}
+
+func emitSweep(w io.Writer, res *sim.SweepResult, format string, metric sim.Metric) error {
+	switch format {
+	case "summary":
+		_, err := fmt.Fprint(w, sim.SweepSummary(res, metric))
+		return err
+	case "csv":
+		return sim.WriteSweepCSV(w, res)
+	case "json":
+		return sim.WriteSweepJSON(w, res)
+	default:
+		return fmt.Errorf("unknown format %q (valid: summary, csv, json)", format)
+	}
+}
+
+func parseFloatList(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list %q", s)
+	}
+	return out, nil
+}
+
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list %q", s)
+	}
+	return out, nil
+}

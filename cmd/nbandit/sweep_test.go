@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"netbandit/internal/sim"
+)
+
+func testSweepOptions() sweepOptions {
+	return sweepOptions{
+		scenario: "sso",
+		policies: "dfl,moss,ucb1",
+		graph:    "gnp",
+		k:        10,
+		m:        2,
+		params:   "0.2, 0.4, 0.6",
+		horizons: "200",
+		points:   10,
+		reps:     3,
+		seed:     7,
+		workers:  2,
+		format:   "summary",
+		metric:   "avg-pseudo",
+	}
+}
+
+// TestBuildSweepGrid covers the acceptance-criterion shape: 3 policies ×
+// 3 G(n, p) densities expand to 9 cells and run through one engine call.
+func TestBuildSweepGrid(t *testing.T) {
+	sw, err := buildSweep(testSweepOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Envs) != 3 || len(sw.Policies) != 3 || len(sw.Configs) != 1 {
+		t.Fatalf("axes = %d envs × %d policies × %d configs",
+			len(sw.Envs), len(sw.Policies), len(sw.Configs))
+	}
+	res, err := sw.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 9 {
+		t.Fatalf("grid ran %d cells, want 9", len(res.Cells))
+	}
+
+	var buf bytes.Buffer
+	if err := emitSweep(&buf, res, "summary", sim.AvgPseudo); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"gnp(0.2)/dfl", "gnp(0.6)/ucb1"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("summary missing %q:\n%s", want, buf.String())
+		}
+	}
+	buf.Reset()
+	if err := emitSweep(&buf, res, "csv", sim.AvgPseudo); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "cell,env,policy,config,scenario,reps,t") {
+		t.Fatalf("csv header wrong: %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	if err := emitSweep(&buf, res, "bogus", sim.AvgPseudo); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestBuildSweepMultiHorizonNamesConfigs(t *testing.T) {
+	o := testSweepOptions()
+	o.horizons = "100,300"
+	o.policies = "dfl"
+	o.params = "0.3"
+	sw, err := buildSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Configs) != 2 || sw.Configs[0].Name != "n=100" || sw.Configs[1].Name != "n=300" {
+		t.Fatalf("configs = %+v", sw.Configs)
+	}
+	res, err := sw.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("ran %d cells, want 2", len(res.Cells))
+	}
+	if res.Cells[0].Cell != "gnp(0.3)/dfl/n=100" {
+		t.Fatalf("first cell = %q", res.Cells[0].Cell)
+	}
+}
+
+func TestBuildSweepRejectsBadInput(t *testing.T) {
+	for name, mutate := range map[string]func(*sweepOptions){
+		"bad scenario": func(o *sweepOptions) { o.scenario = "bogus" },
+		"bad policy":   func(o *sweepOptions) { o.policies = "nonesuch" },
+		"empty params": func(o *sweepOptions) { o.params = " , " },
+		"bad horizon":  func(o *sweepOptions) { o.horizons = "ten" },
+	} {
+		o := testSweepOptions()
+		mutate(&o)
+		if _, err := buildSweep(o); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParseLists(t *testing.T) {
+	fs, err := parseFloatList("0.1, 0.3,0.6")
+	if err != nil || len(fs) != 3 || fs[1] != 0.3 {
+		t.Fatalf("parseFloatList = %v, %v", fs, err)
+	}
+	is, err := parseIntList("100,200")
+	if err != nil || len(is) != 2 || is[1] != 200 {
+		t.Fatalf("parseIntList = %v, %v", is, err)
+	}
+	if _, err := parseFloatList(""); err == nil {
+		t.Fatal("empty float list accepted")
+	}
+	if _, err := parseIntList("1.5"); err == nil {
+		t.Fatal("float accepted as int")
+	}
+}

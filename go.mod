@@ -1,0 +1,3 @@
+module netbandit
+
+go 1.21

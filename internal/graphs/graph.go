@@ -82,13 +82,24 @@ func (g *Graph) MustAddEdge(u, v int) {
 	}
 }
 
+// insert adds v to u's adjacency list, keeping the list sorted. Bulk
+// construction (every generator, and any caller adding a vertex's edges in
+// increasing neighbour order) appends in O(1); only out-of-order insertion
+// pays the O(deg) copy-insert. Keeping the invariant on every insert — as
+// opposed to deferring one sort to the first read — means a fully built
+// graph is immutable and therefore safe to share across replication
+// workers without synchronisation.
 func (g *Graph) insert(u, v int) {
 	list := g.adj[u]
-	i := sort.SearchInts(list, v)
-	list = append(list, 0)
-	copy(list[i+1:], list[i:])
-	list[i] = v
-	g.adj[u] = list
+	if n := len(list); n == 0 || list[n-1] < v {
+		g.adj[u] = append(list, v)
+	} else {
+		i := sort.SearchInts(list, v)
+		list = append(list, 0)
+		copy(list[i+1:], list[i:])
+		list[i] = v
+		g.adj[u] = list
+	}
 	g.bits[u][v/64] |= 1 << (uint(v) % 64)
 }
 

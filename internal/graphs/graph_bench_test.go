@@ -1,0 +1,57 @@
+package graphs
+
+import (
+	"sort"
+	"testing"
+
+	"netbandit/internal/rng"
+)
+
+// TestGeneratorsKeepAdjacencySorted pins the insert fast path's invariant:
+// whatever order a generator adds edges in, adjacency lists stay sorted.
+func TestGeneratorsKeepAdjacencySorted(t *testing.T) {
+	r := rng.New(9)
+	for name, g := range map[string]*Graph{
+		"gnp":       Gnp(60, 0.4, r.Split(1)),
+		"ba":        BarabasiAlbert(60, 3, r.Split(2)),
+		"ws":        WattsStrogatz(60, 4, 0.3, r.Split(3)),
+		"geometric": RandomGeometric(60, 0.25, r.Split(4)),
+		"complete":  Complete(30),
+		"caveman":   Caveman(5, 6),
+	} {
+		for v := 0; v < g.N(); v++ {
+			if nb := g.Neighbors(v); !sort.IntsAreSorted(nb) {
+				t.Fatalf("%s: adjacency of %d not sorted: %v", name, v, nb)
+			}
+		}
+	}
+}
+
+func BenchmarkCompleteConstruct2000(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Complete(2000)
+	}
+}
+
+func BenchmarkGnpDenseConstruct2000(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Gnp(2000, 0.6, rng.New(1))
+	}
+}
+
+// BenchmarkReverseOrderConstruct exercises the out-of-order fallback path:
+// every edge lands at the front of the neighbour list.
+func BenchmarkReverseOrderConstruct(b *testing.B) {
+	b.ReportAllocs()
+	const n = 600
+	for i := 0; i < b.N; i++ {
+		g := New(n)
+		for u := n - 1; u >= 0; u-- {
+			for v := n - 1; v > u; v-- {
+				g.MustAddEdge(u, v)
+			}
+		}
+	}
+}

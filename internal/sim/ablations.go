@@ -139,7 +139,7 @@ func registerAblationDensity() {
 			densities := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
 			cfg := Config{Horizon: p.Horizon, AnnounceHorizon: true,
 				Checkpoints: []int{p.Horizon}}
-			opts := ReplicateOptions{Reps: p.Reps, Seed: p.Seed, Workers: p.Workers}
+			opts := ReplicateOptions{Reps: p.Reps, Seed: p.Seed, Workers: p.Workers, Progress: p.Progress}
 
 			finals := make([]float64, 0, len(densities))
 			stderrs := make([]float64, 0, len(densities))

@@ -20,6 +20,9 @@ type Params struct {
 	Workers int
 	// Points overrides the number of checkpoints sampled per curve.
 	Points int
+	// Progress, when non-nil, receives one callback per folded replication
+	// from the sweep engine backing the experiment.
+	Progress ProgressFunc
 }
 
 // DefaultSeed is used when Params.Seed is zero. The value is arbitrary but

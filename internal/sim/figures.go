@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"netbandit/internal/armdist"
@@ -52,55 +53,66 @@ func newComboEnv(k, m int, p float64, seed uint64) (*bandit.Env, *strategy.Set, 
 	return env, set, nil
 }
 
-// singleCurves replicates each factory and extracts the chosen metrics as
-// named curves.
-func singleCurves(env *bandit.Env, scen bandit.Scenario, factories []SingleFactory, names []string, metrics []Metric, metricSuffix bool, p Params) ([]Curve, []int, error) {
-	cfg := Config{
+// figureConfig is the shared run configuration of every registered figure.
+func figureConfig(p Params) Config {
+	return Config{
 		Horizon:         p.Horizon,
 		Checkpoints:     DefaultCheckpoints(p.Horizon, p.Points),
 		AnnounceHorizon: true,
 	}
-	opts := ReplicateOptions{Reps: p.Reps, Seed: p.Seed, Workers: p.Workers}
+}
+
+// figureCurves runs one figure's policy panel as a single sweep over the
+// prebuilt environment — every contender shares one bounded worker pool —
+// and extracts the chosen metrics as named curves. CommonStreams keeps the
+// per-replication randomness identical across policies (and identical to a
+// per-policy ReplicateSingle/ReplicateCombo loop), so recorded figure
+// outputs are unchanged.
+func figureCurves(envSpec EnvSpec, policies []PolicySpec, metrics []Metric, metricSuffix bool, p Params) ([]Curve, []int, error) {
+	cfg := figureConfig(p)
+	sw := Sweep{
+		Envs:          []EnvSpec{envSpec},
+		Policies:      policies,
+		Config:        cfg,
+		Reps:          p.Reps,
+		Seed:          p.Seed,
+		Workers:       p.Workers,
+		CommonStreams: true,
+		Progress:      p.Progress,
+	}
+	res, err := sw.Run(context.Background())
+	if err != nil {
+		return nil, nil, err
+	}
 	var curves []Curve
-	for fi, factory := range factories {
-		agg, err := ReplicateSingle(env, scen, factory, cfg, opts)
-		if err != nil {
-			return nil, nil, err
-		}
+	for _, cell := range res.Cells {
 		for _, m := range metrics {
-			name := names[fi]
+			name := cell.Policy
 			if metricSuffix {
-				name = fmt.Sprintf("%s (%s)", names[fi], m)
+				name = fmt.Sprintf("%s (%s)", cell.Policy, m)
 			}
-			curves = append(curves, Curve{Name: name, Mean: agg.Mean(m), StdErr: agg.StdErr(m)})
+			curves = append(curves, Curve{Name: name, Mean: cell.Agg.Mean(m), StdErr: cell.Agg.StdErr(m)})
 		}
 	}
 	return curves, cfg.Checkpoints, nil
 }
 
-// comboCurves is singleCurves for combinatorial scenarios.
+// singleCurves adapts a single-play factory panel to figureCurves.
+func singleCurves(env *bandit.Env, scen bandit.Scenario, factories []SingleFactory, names []string, metrics []Metric, metricSuffix bool, p Params) ([]Curve, []int, error) {
+	policies := make([]PolicySpec, len(factories))
+	for i := range factories {
+		policies[i] = PolicySpec{Name: names[i], Single: factories[i]}
+	}
+	return figureCurves(FixedEnv("", scen, env, nil), policies, metrics, metricSuffix, p)
+}
+
+// comboCurves adapts a combinatorial factory panel to figureCurves.
 func comboCurves(env *bandit.Env, set *strategy.Set, scen bandit.Scenario, factories []ComboFactory, names []string, metrics []Metric, metricSuffix bool, p Params) ([]Curve, []int, error) {
-	cfg := Config{
-		Horizon:         p.Horizon,
-		Checkpoints:     DefaultCheckpoints(p.Horizon, p.Points),
-		AnnounceHorizon: true,
+	policies := make([]PolicySpec, len(factories))
+	for i := range factories {
+		policies[i] = PolicySpec{Name: names[i], Combo: factories[i]}
 	}
-	opts := ReplicateOptions{Reps: p.Reps, Seed: p.Seed, Workers: p.Workers}
-	var curves []Curve
-	for fi, factory := range factories {
-		agg, err := ReplicateCombo(env, set, scen, factory, cfg, opts)
-		if err != nil {
-			return nil, nil, err
-		}
-		for _, m := range metrics {
-			name := names[fi]
-			if metricSuffix {
-				name = fmt.Sprintf("%s (%s)", names[fi], m)
-			}
-			curves = append(curves, Curve{Name: name, Mean: agg.Mean(m), StdErr: agg.StdErr(m)})
-		}
-	}
-	return curves, cfg.Checkpoints, nil
+	return figureCurves(FixedEnv("", scen, env, set), policies, metrics, metricSuffix, p)
 }
 
 func init() {

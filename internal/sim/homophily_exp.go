@@ -59,7 +59,7 @@ func registerHomophily() {
 				Checkpoints:     DefaultCheckpoints(p.Horizon, p.Points),
 				AnnounceHorizon: true,
 			}
-			opts := ReplicateOptions{Reps: p.Reps, Seed: p.Seed, Workers: p.Workers}
+			opts := ReplicateOptions{Reps: p.Reps, Seed: p.Seed, Workers: p.Workers, Progress: p.Progress}
 
 			var curves []Curve
 			for _, w := range workloads {

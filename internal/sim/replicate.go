@@ -1,9 +1,9 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
-	"sync"
 
 	"netbandit/internal/bandit"
 	"netbandit/internal/rng"
@@ -112,11 +112,14 @@ type ReplicateOptions struct {
 	// Reps is the number of independent replications. Required.
 	Reps int
 	// Seed roots the deterministic replication streams: replication i uses
-	// rng.New(Seed).Split(i) regardless of scheduling, so results are
+	// rng.New(Seed).Split(i+1) regardless of scheduling, so results are
 	// reproducible under any worker count.
 	Seed uint64
 	// Workers bounds the parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// Progress, when non-nil, receives one callback per folded
+	// replication.
+	Progress ProgressFunc
 }
 
 func (o ReplicateOptions) validate() error {
@@ -134,7 +137,10 @@ func (o ReplicateOptions) workers() int {
 }
 
 // ReplicateSingle runs Reps independent replications of a single-play
-// experiment in parallel and aggregates the curves.
+// experiment in parallel and aggregates the curves. Results stream into the
+// aggregate through a bounded reorder window (peak series memory is
+// O(workers), not O(reps)) and the pool stops dispatching on the first
+// replication error, returning every error that occurred joined.
 func ReplicateSingle(env *bandit.Env, scen bandit.Scenario, factory SingleFactory, cfg Config, opts ReplicateOptions) (*Aggregate, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
@@ -144,11 +150,12 @@ func ReplicateSingle(env *bandit.Env, scen bandit.Scenario, factory SingleFactor
 		pol := factory(stream.Split(0))
 		return RunSingle(env, scen, pol, cfg, stream.Split(1))
 	}
-	return replicate(run, cfg, opts)
+	return replicate(run, opts)
 }
 
 // ReplicateCombo runs Reps independent replications of a combinatorial
-// experiment in parallel and aggregates the curves.
+// experiment in parallel and aggregates the curves, with the same
+// streaming, fail-fast semantics as ReplicateSingle.
 func ReplicateCombo(env *bandit.Env, set *strategy.Set, scen bandit.Scenario, factory ComboFactory, cfg Config, opts ReplicateOptions) (*Aggregate, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
@@ -158,66 +165,17 @@ func ReplicateCombo(env *bandit.Env, set *strategy.Set, scen bandit.Scenario, fa
 		pol := factory(stream.Split(0))
 		return RunCombo(env, set, scen, pol, cfg, stream.Split(1))
 	}
-	return replicate(run, cfg, opts)
+	return replicate(run, opts)
 }
 
-// replicate fans the per-replication closure out over a bounded worker
-// pool, preserving determinism by keying all randomness on the replication
-// index rather than on scheduling order.
-func replicate(run func(rep int) (*Series, error), cfg Config, opts ReplicateOptions) (*Aggregate, error) {
-	type result struct {
-		rep    int
-		series *Series
-		err    error
+// replicate runs the per-replication closure as a one-cell sweep on the
+// shared streaming executor; determinism comes from keying all randomness
+// on the replication index rather than on scheduling order.
+func replicate(run func(rep int) (*Series, error), opts ReplicateOptions) (*Aggregate, error) {
+	cells := []execCell{{reps: opts.Reps, run: run}}
+	aggs, _, err := executeCells(context.Background(), cells, opts.workers(), 0, opts.Progress)
+	if err != nil {
+		return nil, err
 	}
-	jobs := make(chan int)
-	results := make(chan result)
-	var wg sync.WaitGroup
-	for w := 0; w < opts.workers(); w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for rep := range jobs {
-				s, err := run(rep)
-				results <- result{rep: rep, series: s, err: err}
-			}
-		}()
-	}
-	go func() {
-		for rep := 0; rep < opts.Reps; rep++ {
-			jobs <- rep
-		}
-		close(jobs)
-		wg.Wait()
-		close(results)
-	}()
-
-	// Collect in arrival order but fold deterministically afterwards:
-	// CurveBand means are order-insensitive, yet we sort by replication
-	// index anyway so stderr accumulation is bit-for-bit reproducible.
-	collected := make([]*Series, opts.Reps)
-	var firstErr error
-	for res := range results {
-		if res.err != nil && firstErr == nil {
-			firstErr = res.err
-		}
-		collected[res.rep] = res.series
-	}
-	if firstErr != nil {
-		return nil, firstErr
-	}
-
-	var agg *Aggregate
-	for rep, s := range collected {
-		if s == nil {
-			return nil, fmt.Errorf("sim: replication %d produced no series", rep)
-		}
-		if agg == nil {
-			agg = newAggregate(s.Policy, s.T)
-		}
-		if err := agg.add(s); err != nil {
-			return nil, err
-		}
-	}
-	return agg, nil
+	return aggs[0], nil
 }

@@ -1,0 +1,487 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"netbandit/internal/armdist"
+	"netbandit/internal/bandit"
+	"netbandit/internal/graphs"
+	"netbandit/internal/rng"
+	"netbandit/internal/strategy"
+)
+
+// This file implements the grid-sweep engine: a Sweep describes the
+// Cartesian product of named environment, policy, and configuration axes,
+// and Run executes every cell's replications on one shared bounded worker
+// pool. Replication results are folded into the per-cell aggregates through
+// a bounded reorder window, so peak series memory is O(workers) regardless
+// of the replication count, results are bit-identical under any worker
+// count, and the pool stops dispatching on the first error.
+
+// EnvSpec is one environment axis point of a sweep. Exactly one of Build or
+// Env must be set; combinatorial scenarios additionally need a strategy set
+// (returned by Build or supplied as Set).
+type EnvSpec struct {
+	// Name labels the axis point in cell names and exports.
+	Name string
+	// Scenario selects the feedback/regret semantics for every cell using
+	// this environment.
+	Scenario bandit.Scenario
+	// Build constructs the environment from the axis' private random
+	// stream. It runs once per sweep; all cells sharing the axis see the
+	// same instance.
+	Build func(r *rng.RNG) (*bandit.Env, *strategy.Set, error)
+	// Env and Set supply a prebuilt environment instead of Build.
+	Env *bandit.Env
+	Set *strategy.Set
+}
+
+// GeneratorEnv returns a sweep axis over any named relation-graph
+// generator, with Bernoulli arms whose means are drawn uniformly from
+// [0, 1]. The axis stream is split as Split(1) for the graph and Split(2)
+// for the arm means; combinatorial scenarios get the all-m-subsets family.
+func GeneratorEnv(name string, scen bandit.Scenario, gen graphs.GeneratorName, k, m int, param float64) EnvSpec {
+	return EnvSpec{
+		Name:     name,
+		Scenario: scen,
+		Build: func(r *rng.RNG) (*bandit.Env, *strategy.Set, error) {
+			g, err := graphs.FromName(gen, k, param, r.Split(1))
+			if err != nil {
+				return nil, nil, err
+			}
+			env, err := bandit.NewEnv(g, armdist.RandomBernoulliArms(k, r.Split(2)))
+			if err != nil {
+				return nil, nil, err
+			}
+			if !scen.Combinatorial() {
+				return env, nil, nil
+			}
+			set, err := strategy.TopM(k, m, g)
+			if err != nil {
+				return nil, nil, err
+			}
+			return env, set, nil
+		},
+	}
+}
+
+// GnpBernoulliEnv returns the paper's Section VII environment as a sweep
+// axis: a G(k, p) relation graph with uniform-random Bernoulli arms.
+func GnpBernoulliEnv(name string, scen bandit.Scenario, k, m int, p float64) EnvSpec {
+	return GeneratorEnv(name, scen, graphs.GenGnp, k, m, p)
+}
+
+// FixedEnv wraps a prebuilt environment (and, for combinatorial scenarios,
+// its strategy set) as a sweep axis.
+func FixedEnv(name string, scen bandit.Scenario, env *bandit.Env, set *strategy.Set) EnvSpec {
+	return EnvSpec{Name: name, Scenario: scen, Env: env, Set: set}
+}
+
+// PolicySpec is one policy axis point. Single serves the single-play
+// scenarios, Combo the combinatorial ones; a spec crossed with an
+// incompatible environment axis is a sweep validation error.
+type PolicySpec struct {
+	Name   string
+	Single SingleFactory
+	Combo  ComboFactory
+}
+
+// ConfigSpec is one run-configuration axis point (horizon, checkpoints).
+type ConfigSpec struct {
+	Name   string
+	Config Config
+}
+
+// Progress reports one folded replication. Callbacks run on the folding
+// goroutine, strictly ordered per cell.
+type Progress struct {
+	// CellIndex and Cell identify the cell the replication belongs to.
+	CellIndex int
+	Cell      string
+	// Rep is the replication index just folded into the cell aggregate.
+	Rep int
+	// CellDone/CellReps count folded replications within the cell,
+	// Done/Total across the whole sweep.
+	CellDone, CellReps int
+	Done, Total        int
+}
+
+// ProgressFunc receives per-replication progress events.
+type ProgressFunc func(Progress)
+
+// Sweep describes a grid of experiment cells: the Cartesian product
+// Envs × Policies × Configs, each cell replicated Reps times.
+type Sweep struct {
+	// Name labels the sweep in exports.
+	Name string
+	// Envs, Policies, and Configs are the grid axes. Envs and Policies are
+	// required; an empty Configs uses Config as the single unnamed point.
+	Envs     []EnvSpec
+	Policies []PolicySpec
+	Configs  []ConfigSpec
+	// Config is the run configuration used when Configs is empty.
+	Config Config
+	// Reps is the number of replications per cell. Required.
+	Reps int
+	// Seed roots every random stream in the sweep. Cell c's replication r
+	// draws from rng.New(Seed).Split(c+1).Split(r+1) (or, with
+	// CommonStreams, rng.New(Seed).Split(r+1)), so results are bit-identical
+	// under any worker count. Environment axis i builds from
+	// rng.New(Seed).Split(0).Split(i+1), disjoint from the cell namespace.
+	Seed uint64
+	// Workers bounds the shared pool; 0 means GOMAXPROCS.
+	Workers int
+	// Window bounds how many replications may be dispatched ahead of the
+	// slowest unfolded one — the reorder-buffer size and therefore the peak
+	// number of retained Series. 0 means 2×Workers.
+	Window int
+	// CommonStreams reuses the same replication streams in every cell
+	// (common random numbers: paired comparisons across cells, and the
+	// derivation ReplicateSingle/ReplicateCombo use). Otherwise each cell
+	// gets an independent stream family.
+	CommonStreams bool
+	// Progress, when non-nil, receives one event per folded replication.
+	Progress ProgressFunc
+}
+
+// CellResult is one cell's aggregate plus its grid coordinates.
+type CellResult struct {
+	// Index is the cell's position in deterministic grid order
+	// (env-major, then policy, then config).
+	Index int
+	// Cell is the slash-joined display name of the coordinates.
+	Cell string
+	// Env, Policy, and Config are the axis-point names.
+	Env, Policy, Config string
+	// Scenario is inherited from the environment axis.
+	Scenario bandit.Scenario
+	// Agg holds the four aggregated regret curves.
+	Agg *Aggregate
+}
+
+// SweepResult is the outcome of a completed sweep.
+type SweepResult struct {
+	Name string
+	Seed uint64
+	Reps int
+	// Cells are in deterministic grid order.
+	Cells []CellResult
+	// MaxBuffered is the peak number of completed Series held in the
+	// reorder window, an observability hook for the O(workers) memory
+	// guarantee: it never exceeds the window.
+	MaxBuffered int
+}
+
+func (s *Sweep) workers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (s *Sweep) validate() error {
+	if len(s.Envs) == 0 {
+		return errors.New("sim: sweep needs at least one environment axis point")
+	}
+	if len(s.Policies) == 0 {
+		return errors.New("sim: sweep needs at least one policy axis point")
+	}
+	if s.Reps <= 0 {
+		return fmt.Errorf("sim: sweep needs at least one replication, got %d", s.Reps)
+	}
+	return nil
+}
+
+// cellName joins non-empty coordinate names with "/".
+func cellName(parts ...string) string {
+	name := ""
+	for _, p := range parts {
+		if p == "" {
+			continue
+		}
+		if name != "" {
+			name += "/"
+		}
+		name += p
+	}
+	return name
+}
+
+// Run executes the full grid. It returns after every replication of every
+// cell has been folded, or as soon as the pool has drained following the
+// first replication error (fail-fast) or a context cancellation. On
+// failure the returned error joins every replication error that occurred
+// before the pool drained.
+func (s *Sweep) Run(ctx context.Context) (*SweepResult, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	configs := s.Configs
+	if len(configs) == 0 {
+		configs = []ConfigSpec{{Config: s.Config}}
+	}
+
+	// Build each environment axis once, from its private stream.
+	type builtEnv struct {
+		env *bandit.Env
+		set *strategy.Set
+	}
+	envRoot := rng.New(s.Seed).Split(0)
+	built := make([]builtEnv, len(s.Envs))
+	for i, e := range s.Envs {
+		env, set := e.Env, e.Set
+		if e.Build != nil {
+			var err error
+			env, set, err = e.Build(envRoot.Split(uint64(i) + 1))
+			if err != nil {
+				return nil, fmt.Errorf("sim: building environment %q: %w", e.Name, err)
+			}
+		}
+		if env == nil {
+			return nil, fmt.Errorf("sim: environment axis %q has neither Build nor Env", e.Name)
+		}
+		if e.Scenario.Combinatorial() && set == nil {
+			return nil, fmt.Errorf("sim: environment axis %q is combinatorial but has no strategy set", e.Name)
+		}
+		built[i] = builtEnv{env: env, set: set}
+	}
+
+	// Expand the grid into executable cells in deterministic order.
+	var cells []execCell
+	var metas []CellResult
+	for ei, e := range s.Envs {
+		for _, pol := range s.Policies {
+			for _, c := range configs {
+				idx := len(cells)
+				name := cellName(e.Name, pol.Name, c.Name)
+				repStream := func(rep int) *rng.RNG {
+					if s.CommonStreams {
+						return rng.New(s.Seed).Split(uint64(rep) + 1)
+					}
+					return rng.New(s.Seed).Split(uint64(idx) + 1).Split(uint64(rep) + 1)
+				}
+				var run func(rep int) (*Series, error)
+				env, set, scen, cfg := built[ei].env, built[ei].set, e.Scenario, c.Config
+				switch {
+				case scen.Combinatorial():
+					if pol.Combo == nil {
+						return nil, fmt.Errorf("sim: cell %q: policy %q has no combinatorial factory for scenario %v", name, pol.Name, scen)
+					}
+					factory := pol.Combo
+					run = func(rep int) (*Series, error) {
+						stream := repStream(rep)
+						return RunCombo(env, set, scen, factory(stream.Split(0)), cfg, stream.Split(1))
+					}
+				default:
+					if pol.Single == nil {
+						return nil, fmt.Errorf("sim: cell %q: policy %q has no single-play factory for scenario %v", name, pol.Name, scen)
+					}
+					factory := pol.Single
+					run = func(rep int) (*Series, error) {
+						stream := repStream(rep)
+						return RunSingle(env, scen, factory(stream.Split(0)), cfg, stream.Split(1))
+					}
+				}
+				cells = append(cells, execCell{name: name, reps: s.Reps, run: run})
+				metas = append(metas, CellResult{
+					Index: idx, Cell: name,
+					Env: e.Name, Policy: pol.Name, Config: c.Name,
+					Scenario: scen,
+				})
+			}
+		}
+	}
+
+	aggs, maxBuffered, err := executeCells(ctx, cells, s.workers(), s.Window, s.Progress)
+	if err != nil {
+		return nil, err
+	}
+	for i := range metas {
+		metas[i].Agg = aggs[i]
+	}
+	return &SweepResult{
+		Name: s.Name, Seed: s.Seed, Reps: s.Reps,
+		Cells: metas, MaxBuffered: maxBuffered,
+	}, nil
+}
+
+// Find returns the first cell (in grid order) whose coordinates match;
+// empty strings act as wildcards.
+func (r *SweepResult) Find(env, policy, config string) (CellResult, bool) {
+	for _, c := range r.Cells {
+		if (env == "" || c.Env == env) &&
+			(policy == "" || c.Policy == policy) &&
+			(config == "" || c.Config == config) {
+			return c, true
+		}
+	}
+	return CellResult{}, false
+}
+
+// wrapRepErr attributes a replication error to its grid coordinates.
+func wrapRepErr(cell string, rep int, err error) error {
+	if cell == "" {
+		return fmt.Errorf("sim: replication %d: %w", rep, err)
+	}
+	return fmt.Errorf("sim: cell %q replication %d: %w", cell, rep, err)
+}
+
+// execCell is the executor's view of one cell: a name for error reporting,
+// a replication count, and the per-replication closure.
+type execCell struct {
+	name string
+	reps int
+	run  func(rep int) (*Series, error)
+}
+
+// executeCells fans every cell's replications out over one shared bounded
+// worker pool and folds finished Series into per-cell aggregates in strict
+// replication order through a bounded reorder window.
+//
+// The window caps how far dispatch may run ahead of the slowest unfolded
+// replication, which bounds retained Series to O(window) = O(workers): a
+// completed replication holds its window token until it is folded, and the
+// dispatcher blocks once all tokens are out.
+//
+// On the first replication error the shared pool is cancelled: dispatch
+// stops, queued replications are discarded, and after in-flight work drains
+// every error that occurred is returned joined.
+func executeCells(ctx context.Context, cells []execCell, workers, window int, progress ProgressFunc) ([]*Aggregate, int, error) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if window <= 0 {
+		window = 2 * workers
+	}
+	if window < workers {
+		window = workers
+	}
+	total := 0
+	for _, c := range cells {
+		total += c.reps
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type job struct{ cell, rep int }
+	type outcome struct {
+		cell, rep int
+		series    *Series
+		err       error
+	}
+	jobs := make(chan job)
+	results := make(chan outcome)
+	tokens := make(chan struct{}, window)
+
+	// Dispatcher: enumerate (cell, rep) in deterministic grid order, but
+	// never run more than `window` replications ahead of the fold frontier.
+	go func() {
+		defer close(jobs)
+		for c := range cells {
+			for rep := 0; rep < cells[c].reps; rep++ {
+				select {
+				case tokens <- struct{}{}:
+				case <-ctx.Done():
+					return
+				}
+				select {
+				case jobs <- job{cell: c, rep: rep}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if ctx.Err() != nil {
+					continue // cancelled: discard without running
+				}
+				s, err := cells[j.cell].run(j.rep)
+				if err == nil && s == nil {
+					err = errors.New("replication produced no series")
+				}
+				results <- outcome{cell: j.cell, rep: j.rep, series: s, err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Fold loop: consume arrival-ordered outcomes, fold each cell's series
+	// in strict replication order so Welford accumulation is bit-for-bit
+	// reproducible under any worker count.
+	aggs := make([]*Aggregate, len(cells))
+	frontier := make([]int, len(cells))
+	pending := make([]map[int]*Series, len(cells))
+	for i := range pending {
+		pending[i] = make(map[int]*Series, workers)
+	}
+	buffered, maxBuffered, done := 0, 0, 0
+	var errs []error
+	for res := range results {
+		if res.err != nil {
+			errs = append(errs, wrapRepErr(cells[res.cell].name, res.rep, res.err))
+			cancel()
+			continue
+		}
+		if len(errs) > 0 {
+			continue // failing: drain without folding
+		}
+		pending[res.cell][res.rep] = res.series
+		buffered++
+		if buffered > maxBuffered {
+			maxBuffered = buffered
+		}
+		for {
+			cell := res.cell
+			s, ok := pending[cell][frontier[cell]]
+			if !ok {
+				break
+			}
+			delete(pending[cell], frontier[cell])
+			buffered--
+			if aggs[cell] == nil {
+				aggs[cell] = newAggregate(s.Policy, s.T)
+			}
+			if err := aggs[cell].add(s); err != nil {
+				errs = append(errs, wrapRepErr(cells[cell].name, frontier[cell], err))
+				cancel()
+				break
+			}
+			frontier[cell]++
+			done++
+			<-tokens
+			if progress != nil {
+				progress(Progress{
+					CellIndex: cell, Cell: cells[cell].name,
+					Rep:      frontier[cell] - 1,
+					CellDone: frontier[cell], CellReps: cells[cell].reps,
+					Done: done, Total: total,
+				})
+			}
+		}
+	}
+	if len(errs) > 0 {
+		return nil, maxBuffered, errors.Join(errs...)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, maxBuffered, fmt.Errorf("sim: sweep cancelled: %w", err)
+	}
+	if done != total {
+		return nil, maxBuffered, fmt.Errorf("sim: internal error: folded %d of %d replications", done, total)
+	}
+	return aggs, maxBuffered, nil
+}

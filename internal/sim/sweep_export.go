@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// sweepMetrics fixes the export order of the four regret curves.
+var sweepMetrics = []Metric{CumPseudo, CumRealized, AvgPseudo, AvgRealized}
+
+type sweepCurveJSON struct {
+	Mean   []float64 `json:"mean"`
+	StdErr []float64 `json:"stderr"`
+}
+
+type sweepCellJSON struct {
+	Cell     string                    `json:"cell"`
+	Env      string                    `json:"env,omitempty"`
+	Policy   string                    `json:"policy,omitempty"`
+	Config   string                    `json:"config,omitempty"`
+	Scenario string                    `json:"scenario"`
+	Reps     int                       `json:"reps"`
+	T        []int                     `json:"t"`
+	Metrics  map[string]sweepCurveJSON `json:"metrics"`
+}
+
+type sweepJSON struct {
+	Name  string          `json:"name,omitempty"`
+	Seed  uint64          `json:"seed"`
+	Reps  int             `json:"reps"`
+	Cells []sweepCellJSON `json:"cells"`
+}
+
+// WriteSweepJSON exports the full per-cell aggregate curves as one JSON
+// document.
+func WriteSweepJSON(w io.Writer, res *SweepResult) error {
+	doc := sweepJSON{Name: res.Name, Seed: res.Seed, Reps: res.Reps}
+	for _, c := range res.Cells {
+		cell := sweepCellJSON{
+			Cell: c.Cell, Env: c.Env, Policy: c.Policy, Config: c.Config,
+			Scenario: c.Scenario.String(),
+			Reps:     c.Agg.Reps,
+			T:        c.Agg.T,
+			Metrics:  make(map[string]sweepCurveJSON, len(sweepMetrics)),
+		}
+		for _, m := range sweepMetrics {
+			cell.Metrics[m.String()] = sweepCurveJSON{Mean: c.Agg.Mean(m), StdErr: c.Agg.StdErr(m)}
+		}
+		doc.Cells = append(doc.Cells, cell)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// WriteSweepCSV exports per-cell aggregates in long format: one row per
+// (cell, checkpoint) with mean and stderr columns for all four metrics.
+func WriteSweepCSV(w io.Writer, res *SweepResult) error {
+	cw := csv.NewWriter(w)
+	header := []string{"cell", "env", "policy", "config", "scenario", "reps", "t"}
+	for _, m := range sweepMetrics {
+		col := strings.ReplaceAll(m.String(), "-", "_")
+		header = append(header, col+"_mean", col+"_stderr")
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, c := range res.Cells {
+		means := make([][]float64, len(sweepMetrics))
+		errs := make([][]float64, len(sweepMetrics))
+		for mi, m := range sweepMetrics {
+			means[mi], errs[mi] = c.Agg.Mean(m), c.Agg.StdErr(m)
+		}
+		for ti, t := range c.Agg.T {
+			row := []string{
+				c.Cell, c.Env, c.Policy, c.Config, c.Scenario.String(),
+				strconv.Itoa(c.Agg.Reps), strconv.Itoa(t),
+			}
+			for mi := range sweepMetrics {
+				row = append(row,
+					formatFloat(means[mi][ti]), formatFloat(errs[mi][ti]))
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SweepSummary renders each cell's final metric values as a fixed-width
+// text table — the CLI's default sweep output.
+func SweepSummary(res *SweepResult, m Metric) string {
+	var sb strings.Builder
+	title := res.Name
+	if title == "" {
+		title = "sweep"
+	}
+	fmt.Fprintf(&sb, "%s — %d cells × %d reps, seed %d, final %s\n",
+		title, len(res.Cells), res.Reps, res.Seed, m)
+	width := 4
+	for _, c := range res.Cells {
+		if len(c.Cell) > width {
+			width = len(c.Cell)
+		}
+	}
+	for _, c := range res.Cells {
+		fmt.Fprintf(&sb, "  %-*s  %12.4f (± %.4f stderr)\n",
+			width, c.Cell, c.Agg.Final(m), finalStdErr(c.Agg, m))
+	}
+	return sb.String()
+}
+
+func finalStdErr(a *Aggregate, m Metric) float64 {
+	se := a.StdErr(m)
+	if len(se) == 0 {
+		return 0
+	}
+	return se[len(se)-1]
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

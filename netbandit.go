@@ -68,6 +68,29 @@ type (
 	Curve = sim.Curve
 )
 
+// Grid-sweep engine types: a Sweep describes the Cartesian product of
+// environment, policy, and configuration axes, executed on one shared
+// bounded worker pool with streaming aggregation, deterministic seeding,
+// and fail-fast cancellation.
+type (
+	// Sweep describes a grid of experiment cells.
+	Sweep = sim.Sweep
+	// EnvSpec is one environment axis point of a sweep.
+	EnvSpec = sim.EnvSpec
+	// PolicySpec is one policy axis point of a sweep.
+	PolicySpec = sim.PolicySpec
+	// ConfigSpec is one run-configuration axis point of a sweep.
+	ConfigSpec = sim.ConfigSpec
+	// SweepResult is the outcome of a completed sweep.
+	SweepResult = sim.SweepResult
+	// CellResult is one cell's aggregate plus its grid coordinates.
+	CellResult = sim.CellResult
+	// SweepProgress reports one folded replication of a running sweep.
+	SweepProgress = sim.Progress
+	// ProgressFunc receives per-replication progress events.
+	ProgressFunc = sim.ProgressFunc
+)
+
 // The four scenarios.
 const (
 	// SSO is single-play with side observation.
@@ -267,6 +290,38 @@ func ReplicateSingle(env *Env, scen Scenario, f SingleFactory, cfg Config, opts 
 func ReplicateCombo(env *Env, set *StrategySet, scen Scenario, f ComboFactory, cfg Config, opts ReplicateOptions) (*Aggregate, error) {
 	return sim.ReplicateCombo(env, set, scen, f, cfg, opts)
 }
+
+// GraphGenerator names a relation-graph generator for sweep axes ("gnp",
+// "ba", "ws", "complete", ...).
+type GraphGenerator = graphs.GeneratorName
+
+// GnpBernoulliEnv returns the paper's Section VII environment as a sweep
+// axis: a G(k, p) relation graph with uniform-random Bernoulli arms (and,
+// for combinatorial scenarios, the all-m-subsets family).
+func GnpBernoulliEnv(name string, scen Scenario, k, m int, p float64) EnvSpec {
+	return sim.GnpBernoulliEnv(name, scen, k, m, p)
+}
+
+// GeneratorEnv returns a sweep axis over any named relation-graph
+// generator with uniform-random Bernoulli arms.
+func GeneratorEnv(name string, scen Scenario, gen GraphGenerator, k, m int, param float64) EnvSpec {
+	return sim.GeneratorEnv(name, scen, gen, k, m, param)
+}
+
+// FixedEnv wraps a prebuilt environment (plus strategy set for
+// combinatorial scenarios) as a sweep axis.
+func FixedEnv(name string, scen Scenario, env *Env, set *StrategySet) EnvSpec {
+	return sim.FixedEnv(name, scen, env, set)
+}
+
+// WriteSweepCSV exports per-cell sweep aggregates in long CSV format.
+func WriteSweepCSV(w io.Writer, res *SweepResult) error { return sim.WriteSweepCSV(w, res) }
+
+// WriteSweepJSON exports the full per-cell sweep curves as JSON.
+func WriteSweepJSON(w io.Writer, res *SweepResult) error { return sim.WriteSweepJSON(w, res) }
+
+// SweepSummary renders each cell's final metric value as a text table.
+func SweepSummary(res *SweepResult, m Metric) string { return sim.SweepSummary(res, m) }
 
 // Experiments lists the registered figure/ablation reproductions.
 func Experiments() []Experiment { return sim.Experiments() }
