@@ -1,0 +1,277 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"sort"
+	"testing"
+
+	"netbandit"
+)
+
+// The bench subcommand runs the repository's hot-path micro-benchmarks and
+// the quick figure reproductions through testing.Benchmark and writes the
+// results into a JSON trajectory file (ns/op, allocs/op, derived ns/round,
+// final-regret metrics), merging under a label so before/after pairs live
+// side by side:
+//
+//	nbandit bench -json BENCH_PR2.json -label after
+//
+// The file is read-modify-write: existing labels (for example a recorded
+// pre-optimisation baseline) are preserved.
+
+type benchResult struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Iterations  int                `json:"iterations"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+func runBench(args []string) error {
+	flags := flag.NewFlagSet("bench", flag.ContinueOnError)
+	jsonPath := flags.String("json", "BENCH_PR2.json", "trajectory file to merge results into ('-' for stdout only)")
+	label := flags.String("label", "after", "key to store this run under")
+	benchtime := flags.String("benchtime", "2s", "per-benchmark measurement time (testing -benchtime)")
+	if err := flags.Parse(args); err != nil {
+		return err
+	}
+	testing.Init()
+	if err := flag.Set("test.benchtime", *benchtime); err != nil {
+		return err
+	}
+
+	results := map[string]benchResult{}
+	for _, b := range benchSuite() {
+		fmt.Fprintf(os.Stderr, "bench: %s...\n", b.name)
+		r := testing.Benchmark(b.fn)
+		br := benchResult{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+		if len(r.Extra) > 0 {
+			br.Extra = map[string]float64{}
+			for k, v := range r.Extra {
+				br.Extra[k] = v
+			}
+		}
+		if rounds, ok := br.Extra["rounds/op"]; ok && rounds > 0 {
+			br.Extra["ns/round"] = br.NsPerOp / rounds
+		}
+		results[b.name] = br
+	}
+
+	doc := map[string]json.RawMessage{}
+	if *jsonPath != "-" {
+		raw, err := os.ReadFile(*jsonPath)
+		switch {
+		case err == nil:
+			if err := json.Unmarshal(raw, &doc); err != nil {
+				return fmt.Errorf("bench: %s exists but is not a JSON object: %w", *jsonPath, err)
+			}
+		case errors.Is(err, fs.ErrNotExist):
+			// Fresh trajectory file.
+		default:
+			// Anything else (permissions, I/O) must not silently discard
+			// the recorded labels by overwriting with only this run.
+			return fmt.Errorf("bench: reading %s: %w", *jsonPath, err)
+		}
+	}
+	enc, err := json.MarshalIndent(results, "  ", "  ")
+	if err != nil {
+		return err
+	}
+	doc[*label] = enc
+	out, err := marshalOrdered(doc)
+	if err != nil {
+		return err
+	}
+	if *jsonPath == "-" {
+		fmt.Println(string(out))
+		return nil
+	}
+	if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %q under label %q\n", *jsonPath, *label)
+	return nil
+}
+
+// marshalOrdered renders the label->results document with sorted keys so
+// the trajectory file diffs cleanly between runs.
+func marshalOrdered(doc map[string]json.RawMessage) ([]byte, error) {
+	keys := make([]string, 0, len(doc))
+	for k := range doc {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf := []byte("{\n")
+	for i, k := range keys {
+		kj, err := json.Marshal(k)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, "  "...)
+		buf = append(buf, kj...)
+		buf = append(buf, ": "...)
+		buf = append(buf, doc[k]...)
+		if i < len(keys)-1 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, '\n')
+	}
+	return append(buf, "}\n"...), nil
+}
+
+type namedBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// benchSuite mirrors the micro-benchmarks of bench_test.go plus a quick
+// figure run, as callable functions (testing.Benchmark does not see the
+// _test.go files from a built binary).
+func benchSuite() []namedBench {
+	return []namedBench{
+		{"dflsso_replication_k100", func(b *testing.B) {
+			r := netbandit.NewRNG(1)
+			g := netbandit.GnpGraph(100, 0.3, r)
+			env, err := netbandit.NewRandomBernoulliEnv(g, 100, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := netbandit.Config{Horizon: 1000, AnnounceHorizon: true}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := netbandit.RunSingle(env, netbandit.SSO, netbandit.NewDFLSSO(), cfg, netbandit.NewRNG(uint64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(1000, "rounds/op")
+		}},
+		{"dflsso_steady_state_round", func(b *testing.B) {
+			const warmup = 2000
+			r := netbandit.NewRNG(1)
+			g := netbandit.GnpGraph(100, 0.3, r)
+			env, err := netbandit.NewRandomBernoulliEnv(g, 100, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := netbandit.Config{Horizon: warmup + b.N, AnnounceHorizon: true}
+			run, err := netbandit.NewSingleRun(env, netbandit.SSO, netbandit.NewDFLSSO(), cfg, netbandit.NewRNG(7))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < warmup; i++ {
+				if err := run.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := run.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(1, "rounds/op")
+		}},
+		{"strategy_graph_construction_top2_k20", func(b *testing.B) {
+			r := netbandit.NewRNG(3)
+			g := netbandit.GnpGraph(20, 0.3, r)
+			set, err := netbandit.TopM(20, 2, g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sg := netbandit.BuildStrategyGraph(set)
+				if sg.N() != set.Len() {
+					b.Fatal("bad SG")
+				}
+			}
+		}},
+		{"sample_observed_closure", func(b *testing.B) {
+			r := netbandit.NewRNG(9)
+			g := netbandit.GnpGraph(100, 0.3, r)
+			env, err := netbandit.NewRandomBernoulliEnv(g, 100, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctr := netbandit.NewCounter(9)
+			scratch := netbandit.NewRNG(9)
+			buf := make([]float64, env.K())
+			closed := env.Closed(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				env.SampleObserved(ctr, i+1, closed, buf, scratch)
+			}
+			b.ReportMetric(float64(len(closed)), "arms/op")
+		}},
+		{"sample_all_k100", func(b *testing.B) {
+			r := netbandit.NewRNG(9)
+			g := netbandit.GnpGraph(100, 0.3, r)
+			env, err := netbandit.NewRandomBernoulliEnv(g, 100, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			stream := netbandit.NewRNG(10)
+			buf := make([]float64, env.K())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				env.SampleAll(stream, buf)
+			}
+			b.ReportMetric(float64(env.K()), "arms/op")
+		}},
+		{"dflcsr_replication_k20", func(b *testing.B) {
+			r := netbandit.NewRNG(2)
+			g := netbandit.GnpGraph(20, 0.3, r)
+			env, err := netbandit.NewRandomBernoulliEnv(g, 20, r)
+			if err != nil {
+				b.Fatal(err)
+			}
+			set, err := netbandit.TopM(20, 2, g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := netbandit.Config{Horizon: 500, AnnounceHorizon: true}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := netbandit.RunCombo(env, set, netbandit.CSR, netbandit.NewDFLCSR(), cfg, netbandit.NewRNG(uint64(i))); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(500, "rounds/op")
+		}},
+		{"fig3a_quick", func(b *testing.B) {
+			e, ok := netbandit.FindExperiment("fig3a")
+			if !ok {
+				b.Fatal("fig3a not registered")
+			}
+			params := netbandit.Params{Horizon: 2000, Reps: 2, Seed: 99, Points: 10}
+			var table *netbandit.Table
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				table, err = e.Run(params)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			for _, c := range table.Curves {
+				if len(c.Mean) > 0 {
+					b.ReportMetric(c.Mean[len(c.Mean)-1], "final_regret_"+c.Name)
+				}
+			}
+		}},
+	}
+}

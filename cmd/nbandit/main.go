@@ -48,6 +48,13 @@ func main() {
 		}
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		if err := runBench(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "nbandit bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "nbandit:", err)
 		os.Exit(1)

@@ -10,6 +10,7 @@ package bandit
 
 import (
 	"fmt"
+	"math"
 
 	"netbandit/internal/armdist"
 	"netbandit/internal/graphs"
@@ -28,12 +29,26 @@ type Env struct {
 	means  []float64
 	closed [][]int // closed[i] = N̄_i, sorted
 
+	// bernThresh[i] is the 53-bit integer threshold equivalent to
+	// Float64() < p for Bernoulli arms (notBernoulli otherwise): the
+	// counter-based sampler resolves those draws with one hash and one
+	// compare instead of materialising generator state.
+	bernThresh []uint64
+	// armPremix[i] caches rng.PremixArm(i), the arm half of the counter
+	// hash; selfPos[i] is the position of i within closed[i].
+	armPremix []uint64
+	selfPos   []int
+
 	bestArm      int
 	bestArmMean  float64
 	sideMeans    []float64 // u_i = Σ_{j∈N̄_i} mu_j
 	bestSideArm  int
 	bestSideMean float64
 }
+
+// notBernoulli marks arms whose draws need the full scratch generator. It
+// is far above any valid threshold (those are at most 2^53).
+const notBernoulli = ^uint64(0)
 
 // NewEnv builds an environment from a relation graph and one distribution
 // per vertex. The graph may be nil, which models the classical MAB (every
@@ -50,11 +65,14 @@ func NewEnv(g *graphs.Graph, dists []armdist.Distribution) (*Env, error) {
 		g = graphs.Empty(k)
 	}
 	e := &Env{
-		k:      k,
-		graph:  g,
-		dists:  append([]armdist.Distribution(nil), dists...),
-		means:  make([]float64, k),
-		closed: make([][]int, k),
+		k:          k,
+		graph:      g,
+		dists:      append([]armdist.Distribution(nil), dists...),
+		means:      make([]float64, k),
+		closed:     make([][]int, k),
+		bernThresh: make([]uint64, k),
+		armPremix:  make([]uint64, k),
+		selfPos:    make([]int, k),
 	}
 	for i, d := range dists {
 		if d == nil {
@@ -66,6 +84,20 @@ func NewEnv(g *graphs.Graph, dists []armdist.Distribution) (*Env, error) {
 		}
 		e.means[i] = m
 		e.closed[i] = g.ClosedNeighborhood(i)
+		e.armPremix[i] = rng.PremixArm(uint64(i))
+		for pos, j := range e.closed[i] {
+			if j == i {
+				e.selfPos[i] = pos
+				break
+			}
+		}
+		if b, ok := d.(armdist.Bernoulli); ok {
+			// u>>11 < ceil(p·2^53) is exactly Float64() < p: scaling p by a
+			// power of two is lossless, and the mantissa compare is integral.
+			e.bernThresh[i] = uint64(math.Ceil(b.P * (1 << 53)))
+		} else {
+			e.bernThresh[i] = notBernoulli
+		}
 	}
 
 	e.bestArm = 0
@@ -132,9 +164,12 @@ func (e *Env) SideMeans() []float64 {
 func (e *Env) BestSideArm() (arm int, mean float64) { return e.bestSideArm, e.bestSideMean }
 
 // SampleAll draws this round's reward realisation X_{i,t} for every arm
-// into buf (grown if needed) and returns it. Rewards for all arms are
-// drawn each round whether or not they are observed; this matches the
-// model, where X_{j,t} exists independently of the player's choice.
+// into buf (grown if needed) and returns it, consuming r sequentially.
+// Rewards for all arms are drawn each round whether or not they are
+// observed; this matches the model, where X_{j,t} exists independently of
+// the player's choice. The hot simulation path uses the counter-based
+// SampleObserved instead; SampleAll remains for traces, audits, and
+// callers that want the sequential-stream scheme.
 func (e *Env) SampleAll(r *rng.RNG, buf []float64) []float64 {
 	if cap(buf) < e.k {
 		buf = make([]float64, e.k)
@@ -144,6 +179,103 @@ func (e *Env) SampleAll(r *rng.RNG, buf []float64) []float64 {
 		buf[i] = d.Sample(r)
 	}
 	return buf
+}
+
+// SampleArm draws the round-t realisation X_{arm,t} from the counter
+// stream c. The draw is a pure function of (c, arm, t): it does not depend
+// on which other arms are sampled or in what order, so runners can draw
+// only the closure actually revealed and stay bit-identical to a run that
+// draws everything. Bernoulli arms resolve with a single hash-and-compare;
+// other laws reseed the caller's scratch generator (not used otherwise).
+func (e *Env) SampleArm(c rng.Counter, arm, t int, scratch *rng.RNG) float64 {
+	if thr := e.bernThresh[arm]; thr != notBernoulli {
+		// Branch-free success test: both operands are < 2^62, so the sign
+		// bit of the wrapped difference is exactly (u>>11) < thr. The
+		// outcome bit is random, so a conditional here mispredicts ~40% of
+		// the time on the hot path.
+		u := c.Uint64At(uint64(arm), uint64(t)) >> 11
+		return float64((u - thr) >> 63)
+	}
+	c.Reseed(scratch, uint64(arm), uint64(t))
+	return e.dists[arm].Sample(scratch)
+}
+
+// SampleObserved draws X_{i,t} for exactly the arms listed (typically a
+// closed neighbourhood or strategy closure), writing each value at its arm
+// index in buf (grown to K if needed) and returning buf. Entries for arms
+// not listed are left untouched. Cost is O(len(arms)) regardless of K, and
+// zero allocations once buf has capacity.
+func (e *Env) SampleObserved(c rng.Counter, t int, arms []int, buf []float64, scratch *rng.RNG) []float64 {
+	if cap(buf) < e.k {
+		buf = make([]float64, e.k)
+	}
+	buf = buf[:e.k]
+	for _, i := range arms {
+		buf[i] = e.SampleArm(c, i, t, scratch)
+	}
+	return buf
+}
+
+// SampleObservations is the round loop's fused sampling pass: it draws
+// X_{i,t} for the listed arms from the counter stream and appends one
+// Observation per arm to dst, returning the extended slice. When xs is
+// non-nil each value is also written at its arm index. Identical draws to
+// SampleArm, with the per-round and per-arm hash halves hoisted out of the
+// loop. Runners recover the chosen arm's value via SelfPos and sum
+// side-reward realisations afterwards with SumObservations, keeping this
+// loop free of serial dependencies.
+func (e *Env) SampleObservations(c rng.Counter, t int, arms []int, xs []float64, dst []Observation, scratch *rng.RNG) []Observation {
+	cr := c.Round(uint64(t))
+	thresh := e.bernThresh
+	premix := e.armPremix
+	base := len(dst)
+	if need := base + len(arms); cap(dst) < need {
+		dst = append(dst[:cap(dst)], make([]Observation, need-cap(dst))...)
+	}
+	dst = dst[:base+len(arms)]
+	out := dst[base:]
+	if xs == nil {
+		for idx, i := range arms {
+			var v float64
+			if thr := thresh[i]; thr != notBernoulli {
+				u := cr.Uint64AtPremixed(premix[i]) >> 11
+				v = float64((u - thr) >> 63) // branch-free u < thr, as in SampleArm
+			} else {
+				cr.ReseedPremixed(scratch, premix[i])
+				v = e.dists[i].Sample(scratch)
+			}
+			out[idx] = Observation{Arm: i, Value: v}
+		}
+		return dst
+	}
+	for idx, i := range arms {
+		var v float64
+		if thr := thresh[i]; thr != notBernoulli {
+			u := cr.Uint64AtPremixed(premix[i]) >> 11
+			v = float64((u - thr) >> 63) // branch-free u < thr, as in SampleArm
+		} else {
+			cr.ReseedPremixed(scratch, premix[i])
+			v = e.dists[i].Sample(scratch)
+		}
+		out[idx] = Observation{Arm: i, Value: v}
+		xs[i] = v
+	}
+	return dst
+}
+
+// SelfPos returns the position of arm i within its own closed
+// neighbourhood Closed(i) — the index at which a round's observation list
+// for a pull of i carries X_{i,t}.
+func (e *Env) SelfPos(i int) int { return e.selfPos[i] }
+
+// SumObservations returns Σ o.Value over obs — the realized side/closure
+// reward of a round, in observation (= ascending arm) order.
+func SumObservations(obs []Observation) float64 {
+	var sum float64
+	for _, o := range obs {
+		sum += o.Value
+	}
+	return sum
 }
 
 // BestStrategyDirect returns the feasible strategy maximising the expected

@@ -1,0 +1,189 @@
+package bandit
+
+import (
+	"math"
+	"testing"
+
+	"netbandit/internal/armdist"
+	"netbandit/internal/graphs"
+	"netbandit/internal/rng"
+)
+
+func mixedDistEnv(t *testing.T) *Env {
+	t.Helper()
+	mk := func(d armdist.Distribution, err error) armdist.Distribution {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	dists := []armdist.Distribution{
+		mk(armdist.NewBernoulli(0.35)),
+		mk(armdist.NewBernoulli(0.8)),
+		mk(armdist.NewBeta(2, 5)),
+		mk(armdist.NewTruncGaussian(0.4, 0.2)),
+		mk(armdist.NewUniform(0.1, 0.9)),
+		mk(armdist.NewBernoulli(0)),
+		mk(armdist.NewBernoulli(1)),
+		mk(armdist.NewPoint(0.25)),
+	}
+	env, err := NewEnv(graphs.Complete(len(dists)), dists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// TestSampleArmPureFunction is the counter-sampling contract: X_{i,t} must
+// not depend on which other arms are drawn, in what order, or how often.
+func TestSampleArmPureFunction(t *testing.T) {
+	env := mixedDistEnv(t)
+	c := rng.NewCounter(7)
+	scratch := rng.New(0)
+	want := make(map[[2]int]float64)
+	for tt := 1; tt <= 50; tt++ {
+		for arm := 0; arm < env.K(); arm++ {
+			want[[2]int{arm, tt}] = env.SampleArm(c, arm, tt, scratch)
+		}
+	}
+	// Re-draw in reverse order, interleaved and redundantly.
+	for tt := 50; tt >= 1; tt-- {
+		for arm := env.K() - 1; arm >= 0; arm-- {
+			env.SampleArm(c, (arm+3)%env.K(), (tt%50)+1, scratch) // unrelated draw
+			if got := env.SampleArm(c, arm, tt, scratch); got != want[[2]int{arm, tt}] {
+				t.Fatalf("X_{%d,%d} changed across draw orders: %v vs %v", arm, tt, got, want[[2]int{arm, tt}])
+			}
+		}
+	}
+}
+
+// TestSampleArmBernoulliMatchesGenericPath pins the Bernoulli fast path
+// (one hash, integer threshold compare) to the generic contract
+// "reseed the cell's generator, then Float64() < p".
+func TestSampleArmBernoulliMatchesGenericPath(t *testing.T) {
+	for _, p := range []float64{0, 0.25, 0.5, 1 - 1e-12, 1} {
+		d, err := armdist.NewBernoulli(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := NewEnv(nil, []armdist.Distribution{d})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := rng.NewCounter(3)
+		scratch := rng.New(0)
+		var r rng.RNG
+		for tt := 1; tt <= 2000; tt++ {
+			c.Reseed(&r, 0, uint64(tt))
+			want := 0.0
+			if r.Float64() < p {
+				want = 1
+			}
+			if got := env.SampleArm(c, 0, tt, scratch); got != want {
+				t.Fatalf("p=%v t=%d: fast path %v, generic %v", p, tt, got, want)
+			}
+		}
+	}
+}
+
+func TestSampleObservedSubsetConsistency(t *testing.T) {
+	env := mixedDistEnv(t)
+	c := rng.NewCounter(11)
+	scratch := rng.New(0)
+	all := make([]int, env.K())
+	for i := range all {
+		all[i] = i
+	}
+	full := env.SampleObserved(c, 5, all, nil, scratch)
+	sub := env.SampleObserved(c, 5, []int{6, 1, 3}, nil, scratch)
+	for _, i := range []int{1, 3, 6} {
+		if sub[i] != full[i] {
+			t.Fatalf("arm %d: subset draw %v != full draw %v", i, sub[i], full[i])
+		}
+	}
+	// Reusing a buffer with capacity must not allocate a new one.
+	buf := make([]float64, env.K())
+	if got := env.SampleObserved(c, 6, all, buf, scratch); &got[0] != &buf[0] {
+		t.Fatal("SampleObserved reallocated despite sufficient capacity")
+	}
+}
+
+func TestSampleObservationsMatchesSampleArm(t *testing.T) {
+	env := mixedDistEnv(t)
+	c := rng.NewCounter(13)
+	scratch := rng.New(0)
+	arms := []int{0, 2, 3, 6, 7}
+	xs := make([]float64, env.K())
+	obs := env.SampleObservations(c, 9, arms, xs, nil, scratch)
+	if len(obs) != len(arms) {
+		t.Fatalf("got %d observations, want %d", len(obs), len(arms))
+	}
+	var sum float64
+	for pos, i := range arms {
+		want := env.SampleArm(c, i, 9, scratch)
+		if obs[pos].Arm != i || obs[pos].Value != want {
+			t.Fatalf("obs[%d] = %+v, want arm %d value %v", pos, obs[pos], i, want)
+		}
+		if xs[i] != want {
+			t.Fatalf("xs[%d] = %v, want %v", i, xs[i], want)
+		}
+		sum += want
+	}
+	if got := SumObservations(obs); got != sum {
+		t.Fatalf("SumObservations = %v, want %v", got, sum)
+	}
+}
+
+func TestSelfPos(t *testing.T) {
+	env := mixedDistEnv(t)
+	for i := 0; i < env.K(); i++ {
+		closed := env.Closed(i)
+		if closed[env.SelfPos(i)] != i {
+			t.Fatalf("SelfPos(%d) = %d, but closed=%v", i, env.SelfPos(i), closed)
+		}
+	}
+}
+
+// TestCounterSamplingStatisticalEquivalence is the satellite acceptance
+// check: per-arm empirical mean and variance of counter-based draws match
+// the distribution's analytic moments within tolerance, for Bernoulli,
+// Beta, and truncated-Gaussian arms.
+func TestCounterSamplingStatisticalEquivalence(t *testing.T) {
+	mk := func(d armdist.Distribution, err error) armdist.Distribution {
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	bern := mk(armdist.NewBernoulli(0.3))
+	beta := mk(armdist.NewBeta(2, 3))
+	tg := mk(armdist.NewTruncGaussian(0.5, 0.15))
+	dists := []armdist.Distribution{bern, beta, tg}
+	env, err := NewEnv(nil, dists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Analytic variances: p(1-p); ab/((a+b)²(a+b+1)); ~σ² for a mildly
+	// truncated Gaussian (tolerance below absorbs the truncation effect).
+	wantVar := []float64{0.3 * 0.7, 2 * 3 / (25.0 * 6.0), 0.15 * 0.15}
+	c := rng.NewCounter(99)
+	scratch := rng.New(0)
+	const n = 40000
+	for arm, d := range dists {
+		var sum, sumSq float64
+		for tt := 1; tt <= n; tt++ {
+			v := env.SampleArm(c, arm, tt, scratch)
+			sum += v
+			sumSq += v * v
+		}
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		se := 5 * math.Sqrt(wantVar[arm]/n)
+		if math.Abs(mean-d.Mean()) > se {
+			t.Errorf("arm %d (%v): empirical mean %v vs %v (tol %v)", arm, d, mean, d.Mean(), se)
+		}
+		if math.Abs(variance-wantVar[arm]) > 0.15*wantVar[arm]+0.002 {
+			t.Errorf("arm %d (%v): empirical variance %v vs %v", arm, d, variance, wantVar[arm])
+		}
+	}
+}

@@ -2,6 +2,7 @@ package bandit
 
 import (
 	"fmt"
+	"sync"
 
 	"netbandit/internal/graphs"
 	"netbandit/internal/strategy"
@@ -117,6 +118,34 @@ type ComboMeta struct {
 	Graph      *graphs.Graph
 	Strategies *strategy.Set
 	Scenario   Scenario
+	// SharedSG, when non-nil, supplies the strategy relation graph SG(F, L)
+	// from a cache shared read-only across replications, so the O(|F|²)
+	// construction is paid once per experiment cell instead of once per
+	// Reset. Policies that need SG fall back to building their own when nil.
+	SharedSG *StrategyGraphCache
+}
+
+// StrategyGraphCache hands out one strategy relation graph, built at most
+// once no matter how many replications ask for it concurrently. The build
+// is deferred until the first Get, so policies that never consult SG (the
+// CUCB baselines, DFL-CSR) cost nothing.
+type StrategyGraphCache struct {
+	once  sync.Once
+	build func() *graphs.Graph
+	sg    *graphs.Graph
+}
+
+// NewStrategyGraphCache wraps a builder (typically core.BuildStrategyGraph
+// closed over the cell's strategy set).
+func NewStrategyGraphCache(build func() *graphs.Graph) *StrategyGraphCache {
+	return &StrategyGraphCache{build: build}
+}
+
+// Get returns the shared graph, building it on first use. It is safe for
+// concurrent use; the returned graph must be treated as read-only.
+func (c *StrategyGraphCache) Get() *graphs.Graph {
+	c.once.Do(func() { c.sg = c.build() })
+	return c.sg
 }
 
 // ComboPolicy is a combinatorial-play decision rule. Select returns an

@@ -3,7 +3,6 @@ package core
 import (
 	"netbandit/internal/bandit"
 	"netbandit/internal/graphs"
-	"netbandit/internal/stats"
 	"netbandit/internal/strategy"
 )
 
@@ -22,12 +21,16 @@ import (
 // rewards live in [0, M] rather than [0, 1], so the exploration radius is
 // scaled by the maximum strategy size, matching the normalisation the
 // MOSS-style analysis performs before applying Hoeffding bounds.
+//
+// When the runner supplies a ComboMeta.SharedSG cache, the O(|F|²) graph
+// construction is skipped entirely and the cell-wide instance is used
+// read-only; otherwise Reset builds its own.
 type DFLCSO struct {
-	set   *strategy.Set
-	sg    *graphs.Graph
-	stats bandit.ArmStats // per-com-arm statistics (O_x, R̄_x)
-	index []float64
-	scale float64
+	set  *strategy.Set
+	sg   *graphs.Graph
+	sum  []float64 // Σ of reconstructed strategy rewards per com-arm
+	mean []float64 // R̄_x, maintained on update
+	idx  mossIndex
 	// valueOf is a per-round scratch table mapping arm -> observed value.
 	valueOf []float64
 	seen    []bool
@@ -39,19 +42,26 @@ func NewDFLCSO() *DFLCSO { return &DFLCSO{} }
 // Name implements bandit.ComboPolicy.
 func (p *DFLCSO) Name() string { return "DFL-CSO" }
 
-// Reset implements bandit.ComboPolicy. It builds the strategy relation
-// graph, which costs O(|F|²·M) once per run.
+// Reset implements bandit.ComboPolicy. It takes the strategy relation
+// graph from the shared per-cell cache when one is supplied, and otherwise
+// builds it here, which costs O(|F|²·K/64) once per run.
 func (p *DFLCSO) Reset(meta bandit.ComboMeta) {
 	p.set = meta.Strategies
-	p.sg = BuildStrategyGraph(meta.Strategies)
-	p.stats.Reset(meta.Strategies.Len())
-	p.index = make([]float64, meta.Strategies.Len())
-	p.scale = 1
-	for x := 0; x < meta.Strategies.Len(); x++ {
-		if m := float64(len(meta.Strategies.Arms(x))); m > p.scale {
-			p.scale = m
+	if meta.SharedSG != nil {
+		p.sg = meta.SharedSG.Get()
+	} else {
+		p.sg = BuildStrategyGraph(meta.Strategies)
+	}
+	f := meta.Strategies.Len()
+	scale := 1.0
+	for x := 0; x < f; x++ {
+		if m := float64(len(meta.Strategies.Arms(x))); m > scale {
+			scale = m
 		}
 	}
+	p.sum = make([]float64, f)
+	p.mean = make([]float64, f)
+	p.idx.reset(f, scale, meta.Horizon)
 	p.valueOf = make([]float64, meta.K)
 	p.seen = make([]bool, meta.K)
 }
@@ -63,16 +73,7 @@ func (p *DFLCSO) StrategyGraph() *graphs.Graph { return p.sg }
 // Select implements bandit.ComboPolicy, maximising the Equation (42) index
 // over com-arms.
 func (p *DFLCSO) Select(t int) int {
-	f := p.set.Len()
-	for x := 0; x < f; x++ {
-		n := p.stats.Count[x]
-		if n == 0 {
-			p.index[x] = bandit.InfIndex
-			continue
-		}
-		p.index[x] = p.stats.Mean[x] + p.scale*stats.MOSSRadius(float64(t)/float64(f), n)
-	}
-	return bandit.ArgmaxFloat(p.index)
+	return p.idx.argmax(p.idx.logRound(t), p.mean)
 }
 
 // Update implements bandit.ComboPolicy: the played com-arm and every
@@ -96,7 +97,8 @@ func (p *DFLCSO) Update(_ int, chosen int, obs []bandit.Observation) {
 		// By the SG edge rule every neighbour is fully revealed; the guard
 		// protects against a malformed runner rather than normal operation.
 		if complete {
-			p.stats.Observe(y, reward)
+			p.sum[y] += reward
+			p.mean[y] = p.sum[y] * p.idx.observe(y)
 		}
 	}
 	for _, o := range obs {

@@ -1,10 +1,7 @@
 package core
 
 import (
-	"math"
-
 	"netbandit/internal/bandit"
-	"netbandit/internal/stats"
 	"netbandit/internal/strategy"
 )
 
@@ -18,7 +15,9 @@ import (
 //
 // via the combinatorial oracle Theorem 4 assumes (Equation 47). Every arm
 // in the played closure Y_x is then observed and folded into the per-arm
-// statistics.
+// statistics. The weight vector is assembled through the shared cached-log
+// kernel (ln(t^{2/3}) = ⅔·ln t), so the per-round cost is one O(K) pass
+// with no logarithms on the update path.
 //
 // Faithfulness note: Algorithm 4 line 4 writes Ob_k, a counter that does
 // not exist in this algorithm (only O appears in its analysis); we read it
@@ -30,7 +29,9 @@ type DFLCSR struct {
 
 	set     *strategy.Set
 	k       int
-	stats   bandit.ArmStats
+	sum     []float64
+	mean    []float64
+	idx     mossIndex
 	weights []float64
 }
 
@@ -56,7 +57,9 @@ func (p *DFLCSR) Reset(meta bandit.ComboMeta) {
 	}
 	p.set = meta.Strategies
 	p.k = meta.K
-	p.stats.Reset(meta.K)
+	p.sum = make([]float64, meta.K)
+	p.mean = make([]float64, meta.K)
+	p.idx.reset(meta.K, 1, meta.Horizon)
 	p.weights = make([]float64, meta.K)
 }
 
@@ -64,16 +67,8 @@ func (p *DFLCSR) Reset(meta bandit.ComboMeta) {
 // optimistic weights of Equation (47) and delegates the combinatorial
 // maximisation to the oracle.
 func (p *DFLCSR) Select(t int) int {
-	t23 := math.Cbrt(float64(t) * float64(t)) // t^{2/3}
-	for i := 0; i < p.k; i++ {
-		n := p.stats.Count[i]
-		if n == 0 {
-			p.weights[i] = bandit.InfIndex
-			continue
-		}
-		logTerm := stats.LogPlus(t23 / (float64(p.k) * float64(n)))
-		p.weights[i] = p.stats.Mean[i] + math.Sqrt(logTerm/float64(n))
-	}
+	logT23 := (2.0 / 3.0) * p.idx.logRound(t) // ln t^{2/3}
+	p.idx.fillWeights(logT23, p.mean, p.weights)
 	return p.Oracle.ArgmaxClosure(p.set, p.weights)
 }
 
@@ -81,7 +76,9 @@ func (p *DFLCSR) Select(t int) int {
 // observed (Algorithm 4, lines 2-5).
 func (p *DFLCSR) Update(_ int, _ int, obs []bandit.Observation) {
 	for _, o := range obs {
-		p.stats.Observe(o.Arm, o.Value)
+		i := o.Arm
+		p.sum[i] += o.Value
+		p.mean[i] = p.sum[i] * p.idx.observe(i)
 	}
 }
 

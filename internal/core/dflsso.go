@@ -3,7 +3,6 @@ package core
 import (
 	"netbandit/internal/bandit"
 	"netbandit/internal/graphs"
-	"netbandit/internal/stats"
 )
 
 // DFLSSO is Algorithm 1: the Distribution-Free Learning policy for
@@ -21,11 +20,16 @@ import (
 // Faithfulness note: the paper writes log; the analysis uses the truncated
 // log⁺ = max(log, 0) (a bare log is undefined for t < K·O_i), so log⁺ is
 // what we implement. Unobserved arms take index +Inf.
+//
+// The per-round work is one O(K) scan with cached logarithms (see
+// mossIndex) plus O(|N̄|) constant-time statistic updates — no logs or
+// divisions on the update path, no allocations anywhere.
 type DFLSSO struct {
-	stats bandit.ArmStats
 	k     int
 	graph *graphs.Graph
-	index []float64
+	sum   []float64 // Σ of observed values per arm
+	mean  []float64 // sum · (1/O_i), maintained on update
+	idx   mossIndex
 }
 
 // NewDFLSSO returns a DFL-SSO policy.
@@ -38,32 +42,43 @@ func (p *DFLSSO) Name() string { return "DFL-SSO" }
 func (p *DFLSSO) Reset(meta bandit.Meta) {
 	p.k = meta.K
 	p.graph = meta.Graph
-	p.stats.Reset(meta.K)
-	p.index = make([]float64, meta.K)
+	p.sum = make([]float64, meta.K)
+	p.mean = make([]float64, meta.K)
+	p.idx.reset(meta.K, 1, meta.Horizon)
 }
 
 // Select implements bandit.SinglePolicy, maximising the Equation (5) index.
 func (p *DFLSSO) Select(t int) int {
-	for i := 0; i < p.k; i++ {
-		p.index[i] = p.indexValue(t, i)
-	}
-	return bandit.ArgmaxFloat(p.index)
-}
-
-// indexValue computes the Equation (5) index of arm i at round t.
-func (p *DFLSSO) indexValue(t, i int) float64 {
-	n := p.stats.Count[i]
-	if n == 0 {
-		return bandit.InfIndex
-	}
-	return p.stats.Mean[i] + stats.MOSSRadius(float64(t)/float64(p.k), n)
+	return p.idx.argmax(p.idx.logRound(t), p.mean)
 }
 
 // Update implements bandit.SinglePolicy: every revealed observation (the
 // pulled arm and its neighbours) updates the corresponding arm statistics.
+// This is mossIndex.observe unrolled inline (plus the sum/mean fold): the
+// per-observation work is a handful of table reads and stores, and the
+// call overhead is a measured ~14% of the whole round at this frequency.
+// Keep the cached-term formulas in lockstep with mossIndex.observe —
+// TestSingletonConversionMatchesDFLSSO pins this copy against DFL-CSO,
+// which goes through observe(), and fails on any divergence.
 func (p *DFLSSO) Update(_ int, _ int, obs []bandit.Observation) {
+	m := &p.idx
+	logTab, invTab := m.logTab, m.invTab
 	for _, o := range obs {
-		p.stats.Observe(o.Arm, o.Value)
+		i := o.Arm
+		n := m.n[i] + 1
+		m.n[i] = n
+		var logN, invN float64
+		if n < int64(len(logTab)) {
+			logN, invN = logTab[n], invTab[n]
+		} else {
+			logN, invN = m.terms(n)
+			logTab, invTab = m.logTab, m.invTab
+		}
+		m.c[i] = m.logK + logN
+		m.inv[i] = m.scale2 * invN
+		s := p.sum[i] + o.Value
+		p.sum[i] = s
+		p.mean[i] = s * invN
 	}
 }
 
@@ -91,10 +106,10 @@ func (p *DFLSSOGreedyHop) Select(t int) int {
 	if p.graph == nil {
 		return star
 	}
-	best, bestMean := star, p.stats.Mean[star]
+	best, bestMean := star, p.mean[star]
 	for _, j := range p.graph.ClosedNeighborhood(star) {
-		if p.stats.Count[j] > 0 && p.stats.Mean[j] > bestMean {
-			best, bestMean = j, p.stats.Mean[j]
+		if p.idx.count(j) > 0 && p.mean[j] > bestMean {
+			best, bestMean = j, p.mean[j]
 		}
 	}
 	return best

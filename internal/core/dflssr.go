@@ -3,7 +3,6 @@ package core
 import (
 	"netbandit/internal/bandit"
 	"netbandit/internal/graphs"
-	"netbandit/internal/stats"
 )
 
 // DFLSSR is Algorithm 3: the Distribution-Free Learning policy for
@@ -28,10 +27,8 @@ type DFLSSR struct {
 	k     int
 	graph *graphs.Graph
 	log   *ObsLog
-	ob    []int64   // Ob_i = min_{j∈N̄_i} O_j
 	bbar  []float64 // B̄_i, cached when Ob_i advances
-	index []float64
-	scale float64
+	idx   mossIndex // counts are the Ob_i, maintained via setCount
 }
 
 // NewDFLSSR returns an exact DFL-SSR policy.
@@ -48,34 +45,25 @@ func (p *DFLSSR) Reset(meta bandit.Meta) {
 		p.graph = graphs.Empty(meta.K)
 	}
 	p.log = NewObsLog(meta.K)
-	p.ob = make([]int64, meta.K)
 	p.bbar = make([]float64, meta.K)
-	p.index = make([]float64, meta.K)
-	p.scale = 1
+	scale := 1.0
 	for i := 0; i < meta.K; i++ {
-		if s := float64(p.graph.Degree(i) + 1); s > p.scale {
-			p.scale = s
+		if s := float64(p.graph.Degree(i) + 1); s > scale {
+			scale = s
 		}
 	}
+	p.idx.reset(meta.K, scale, meta.Horizon)
 }
 
 // Select implements bandit.SinglePolicy, maximising the Equation (45)
 // index.
 func (p *DFLSSR) Select(t int) int {
-	for i := 0; i < p.k; i++ {
-		n := p.ob[i]
-		if n == 0 {
-			p.index[i] = bandit.InfIndex
-			continue
-		}
-		p.index[i] = p.bbar[i] + p.scale*stats.MOSSRadius(float64(t)/float64(p.k), n)
-	}
-	return bandit.ArgmaxFloat(p.index)
+	return p.idx.argmax(p.idx.logRound(t), p.bbar)
 }
 
 // Ob returns the side-reward observation count Ob_i (exposed for the
 // invariant tests).
-func (p *DFLSSR) Ob(i int) int64 { return p.ob[i] }
+func (p *DFLSSR) Ob(i int) int64 { return p.idx.count(i) }
 
 // SideEstimate returns the current B̄_i (0 until Ob_i > 0).
 func (p *DFLSSR) SideEstimate(i int) float64 { return p.bbar[i] }
@@ -106,10 +94,10 @@ func (p *DFLSSR) refresh(k int) {
 			minCount = c
 		}
 	}
-	if minCount <= p.ob[k] {
+	if minCount <= p.idx.count(k) {
 		return
 	}
-	p.ob[k] = minCount
+	p.idx.setCount(k, minCount)
 	var b float64
 	for _, j := range closed {
 		b += p.log.MeanFirst(j, int(minCount))
@@ -132,10 +120,8 @@ type DFLSSRStreaming struct {
 	graph *graphs.Graph
 	count []int64
 	last  []float64
-	ob    []int64
 	bbar  []float64
-	index []float64
-	scale float64
+	idx   mossIndex // counts are the Ob_i, maintained via setCount
 }
 
 // NewDFLSSRStreaming returns the streaming DFL-SSR variant.
@@ -153,29 +139,23 @@ func (p *DFLSSRStreaming) Reset(meta bandit.Meta) {
 	}
 	p.count = make([]int64, meta.K)
 	p.last = make([]float64, meta.K)
-	p.ob = make([]int64, meta.K)
 	p.bbar = make([]float64, meta.K)
-	p.index = make([]float64, meta.K)
-	p.scale = 1
+	scale := 1.0
 	for i := 0; i < meta.K; i++ {
-		if s := float64(p.graph.Degree(i) + 1); s > p.scale {
-			p.scale = s
+		if s := float64(p.graph.Degree(i) + 1); s > scale {
+			scale = s
 		}
 	}
+	p.idx.reset(meta.K, scale, meta.Horizon)
 }
 
 // Select implements bandit.SinglePolicy.
 func (p *DFLSSRStreaming) Select(t int) int {
-	for i := 0; i < p.k; i++ {
-		n := p.ob[i]
-		if n == 0 {
-			p.index[i] = bandit.InfIndex
-			continue
-		}
-		p.index[i] = p.bbar[i] + p.scale*stats.MOSSRadius(float64(t)/float64(p.k), n)
-	}
-	return bandit.ArgmaxFloat(p.index)
+	return p.idx.argmax(p.idx.logRound(t), p.bbar)
 }
+
+// Ob returns the side-reward observation count Ob_i.
+func (p *DFLSSRStreaming) Ob(i int) int64 { return p.idx.count(i) }
 
 // Update implements bandit.SinglePolicy.
 func (p *DFLSSRStreaming) Update(_ int, _ int, obs []bandit.Observation) {
@@ -198,15 +178,15 @@ func (p *DFLSSRStreaming) refresh(k int) {
 			minCount = p.count[j]
 		}
 	}
-	if minCount <= p.ob[k] {
+	if minCount <= p.idx.count(k) {
 		return
 	}
 	var composite float64
 	for _, j := range closed {
 		composite += p.last[j]
 	}
-	p.ob[k] = minCount
-	p.bbar[k] += (composite - p.bbar[k]) / float64(p.ob[k])
+	p.idx.setCount(k, minCount)
+	p.bbar[k] += (composite - p.bbar[k]) * p.idx.invCount(k)
 }
 
 var _ bandit.SinglePolicy = (*DFLSSRStreaming)(nil)

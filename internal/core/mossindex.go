@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math"
+
+	"netbandit/internal/bandit"
+)
+
+// mossIndex is the shared index engine behind the DFL family. Every DFL
+// policy ranks actions by
+//
+//	base_i + scale · sqrt( log⁺(t / (K·n_i)) / n_i )
+//
+// for some per-action estimate base_i and observation count n_i. Computed
+// naively that is one log, two divisions and a sqrt per action per round —
+// the dominant cost of the whole simulation once sampling is
+// O(observed). mossIndex caches everything that only changes when a count
+// changes:
+//
+//   - c_i = log(K·n_i), so the truncated log term is one subtraction from
+//     log t (computed once per round);
+//   - inv_i = scale²/n_i, folding the scale into the sqrt argument
+//     (scale·sqrt(x) = sqrt(scale²·x));
+//   - log(n) and 1/n come from monotone append-only tables indexed by
+//     count, so the whole run performs O(max count) logs and divisions in
+//     total instead of O(actions) per round.
+//
+// Unobserved actions (index +Inf in the paper) are kept in an ascending
+// queue consumed front-first, which preserves the lowest-index tie-break of
+// the naive argmax while keeping the steady-state scan branch-light.
+//
+// The steady-state scan performs zero allocations; with a positive horizon
+// the tables are pre-sized so no append ever reallocates mid-run.
+type mossIndex struct {
+	logK   float64
+	scale2 float64
+	n      []int64   // observation counts
+	c      []float64 // log(K·n_i); stale while n_i == 0
+	inv    []float64 // scale²/n_i; stale while n_i == 0
+	unseen []int     // ascending ids with n_i == 0, consumed from front
+	front  int
+
+	// Shared count tables: logTab[m] = log m, invTab[m] = 1/m.
+	logTab []float64
+	invTab []float64
+}
+
+// maxCountTable bounds the count tables at 2^18 entries (4 MB per policy
+// instance for both tables): the paper's horizons (10⁴–10⁵) fit entirely,
+// while extreme horizons degrade gracefully to computing log n and 1/n
+// directly past the cap — the values are bit-identical either way, only
+// the cost changes.
+const maxCountTable = 1 << 18
+
+// reset prepares the engine for k actions at the given radius scale.
+// horizon, when positive, pre-sizes the count tables (a count can advance
+// at most once per round) so the hot loop never reallocates.
+func (m *mossIndex) reset(k int, scale float64, horizon int) {
+	m.logK = math.Log(float64(k))
+	m.scale2 = scale * scale
+	m.n = make([]int64, k)
+	m.c = make([]float64, k)
+	m.inv = make([]float64, k)
+	m.unseen = make([]int, k)
+	for i := range m.unseen {
+		m.unseen[i] = i
+	}
+	m.front = 0
+	capHint := 2
+	if horizon > 0 {
+		capHint = horizon + 2
+		if capHint > maxCountTable {
+			capHint = maxCountTable
+		}
+	}
+	m.logTab = append(make([]float64, 0, capHint), math.Inf(-1))
+	m.invTab = append(make([]float64, 0, capHint), math.Inf(1))
+}
+
+// ensure extends the count tables through n, stopping at maxCountTable.
+func (m *mossIndex) ensure(n int64) {
+	for int64(len(m.logTab)) <= n && len(m.logTab) < maxCountTable {
+		v := float64(len(m.logTab))
+		m.logTab = append(m.logTab, math.Log(v))
+		m.invTab = append(m.invTab, 1/v)
+	}
+}
+
+// terms returns (log n, 1/n), from the tables below maxCountTable and
+// computed directly past it — identical values either way.
+func (m *mossIndex) terms(n int64) (logN, invN float64) {
+	if n >= int64(len(m.logTab)) {
+		if n >= maxCountTable {
+			f := float64(n)
+			return math.Log(f), 1 / f
+		}
+		m.ensure(n)
+	}
+	return m.logTab[n], m.invTab[n]
+}
+
+// observe advances action i's count by one and refreshes its cached terms.
+// It returns the new count's reciprocal so callers can maintain running
+// means without a division. DFLSSO.Update inlines this body; keep them in
+// lockstep.
+func (m *mossIndex) observe(i int) (invN float64) {
+	n := m.n[i] + 1
+	m.n[i] = n
+	var logN float64
+	logN, invN = m.terms(n)
+	m.c[i] = m.logK + logN
+	m.inv[i] = m.scale2 * invN
+	return invN
+}
+
+// setCount jumps action i's count to n (DFL-SSR's Ob counters advance by
+// whole refresh steps). Counts never decrease.
+func (m *mossIndex) setCount(i int, n int64) {
+	m.n[i] = n
+	logN, invN := m.terms(n)
+	m.c[i] = m.logK + logN
+	m.inv[i] = m.scale2 * invN
+}
+
+// count returns action i's observation count.
+func (m *mossIndex) count(i int) int64 { return m.n[i] }
+
+// logRound returns log t from the shared log table (extending it as
+// needed). Counts advance by at most one per round, so the table the
+// update path maintains is already within a few entries of t — reading
+// log t here costs an amortised O(1) instead of a logarithm per round.
+// Past maxCountTable rounds it degrades to one logarithm per round.
+func (m *mossIndex) logRound(t int) float64 {
+	if t < len(m.logTab) {
+		return m.logTab[t]
+	}
+	logT, _ := m.terms(int64(t))
+	return logT
+}
+
+// invCount returns 1/n_i from the shared table (n_i must be positive).
+func (m *mossIndex) invCount(i int) float64 { return m.invTab[m.n[i]] }
+
+// argmax returns the lowest index maximising base_i + scale·radius_i at
+// logT = log t. While unobserved actions remain, the lowest-id one wins
+// (its index is +Inf), exactly as the naive scan would decide.
+func (m *mossIndex) argmax(logT float64, base []float64) int {
+	for m.front < len(m.unseen) && m.n[m.unseen[m.front]] > 0 {
+		m.front++
+	}
+	if m.front < len(m.unseen) {
+		return m.unseen[m.front]
+	}
+	// Reslicing to len(base) lets the compiler drop the bounds checks in
+	// the scan (and panics loudly on a caller length mismatch).
+	c := m.c[:len(base)]
+	inv := m.inv[:len(base)]
+	best, bestV := 0, math.Inf(-1)
+	for i, bi := range base {
+		d := logT - c[i]
+		v := bi
+		if d > 0 {
+			v += math.Sqrt(d * inv[i])
+		}
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// fillWeights writes base_i + scale·radius_i at logT into out, with +Inf
+// for unobserved actions — the optimistic per-arm weight vector DFL-CSR
+// hands its combinatorial oracle.
+func (m *mossIndex) fillWeights(logT float64, base, out []float64) {
+	c, inv, n := m.c, m.inv, m.n
+	for i := range out {
+		if n[i] == 0 {
+			out[i] = bandit.InfIndex
+			continue
+		}
+		d := logT - c[i]
+		v := base[i]
+		if d > 0 {
+			v += math.Sqrt(d * inv[i])
+		}
+		out[i] = v
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"netbandit/internal/graphs"
+	"netbandit/internal/rng"
+	"netbandit/internal/strategy"
+)
+
+// TestBitsetStrategyGraphMatchesMerge is the satellite property test: on
+// random top-M families over random G(n, p) relation graphs — including
+// K > 64 so the multi-word kernel path is exercised — the bitset
+// BuildStrategyGraph must produce exactly the edge set of the sorted-merge
+// reference implementation.
+func TestBitsetStrategyGraphMatchesMerge(t *testing.T) {
+	cases := []struct {
+		k, m int
+		p    float64
+	}{
+		{8, 2, 0.3},
+		{12, 2, 0.5},
+		{14, 3, 0.2},
+		{20, 2, 0.3},
+		{70, 2, 0.1}, // two-word bitset rows
+		{70, 1, 0.4}, // singleton family on a multi-word graph
+	}
+	for ci, tc := range cases {
+		for seed := uint64(0); seed < 3; seed++ {
+			g := graphs.Gnp(tc.k, tc.p, rng.New(seed*31+uint64(ci)+1))
+			set, err := strategy.TopM(tc.k, tc.m, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast := BuildStrategyGraph(set)
+			ref := buildStrategyGraphMerge(set)
+			if err := sameGraph(fast, ref); err != nil {
+				t.Fatalf("k=%d m=%d p=%v seed=%d: %v", tc.k, tc.m, tc.p, seed, err)
+			}
+		}
+	}
+}
+
+// sameGraph reports the first discrepancy between two graphs.
+func sameGraph(a, b *graphs.Graph) error {
+	if a.N() != b.N() || a.M() != b.M() {
+		return fmt.Errorf("shape differs: (%d,%d) vs (%d,%d)", a.N(), a.M(), b.N(), b.M())
+	}
+	for u := 0; u < a.N(); u++ {
+		for v := u + 1; v < a.N(); v++ {
+			if a.HasEdge(u, v) != b.HasEdge(u, v) {
+				return fmt.Errorf("edge (%d,%d): bitset=%v merge=%v", u, v, a.HasEdge(u, v), b.HasEdge(u, v))
+			}
+		}
+	}
+	return nil
+}
+
+// TestBitsetStrategyGraphExplicitFamilies covers hand-built families whose
+// closures interlock asymmetrically (one containment holding without the
+// other), which the random top-M cases rarely produce.
+func TestBitsetStrategyGraphExplicitFamilies(t *testing.T) {
+	g := graphs.Path(6) // 0-1-2-3-4-5
+	set, err := strategy.NewExplicit(6, [][]int{
+		{0}, {1}, {0, 1}, {2, 3}, {4, 5}, {1, 4},
+	}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := BuildStrategyGraph(set)
+	ref := buildStrategyGraphMerge(set)
+	if err := sameGraph(fast, ref); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -11,7 +11,65 @@ import (
 // other's closure — s_y ⊆ Y_x and s_x ⊆ Y_y. Playing either endpoint of an
 // edge reveals every component reward of the other, which is what lets
 // DFL-CSO run the single-play side-observation machinery over com-arms.
+//
+// The subset tests run on the arm/closure bitset rows package strategy
+// precomputes, so each of the |F|² ordered pairs costs O(K/64) word ANDs
+// rather than an O(M + |Y|) sorted merge, with a scalar fast path when the
+// rows fit one word (K ≤ 64). Edges are accumulated in an adjacency bit
+// matrix and materialised in one bulk pass (graphs.NewFromBitRows), so no
+// per-edge sorted insertion is paid either.
 func BuildStrategyGraph(set *strategy.Set) *graphs.Graph {
+	n := set.Len()
+	wn := (n + 63) / 64
+	rows := make([]uint64, n*wn)
+	if set.Words() == 1 {
+		// Scalar kernel: each strategy's arm and closure sets are one word.
+		arm := make([]uint64, n)
+		clo := make([]uint64, n)
+		for x := 0; x < n; x++ {
+			arm[x] = set.ArmBits(x)[0]
+			clo[x] = set.ClosureBits(x)[0]
+		}
+		for x := 0; x < n; x++ {
+			ax, cx := arm[x], clo[x]
+			rowx := rows[x*wn : (x+1)*wn]
+			for y := x + 1; y < n; y++ {
+				if arm[y]&^cx == 0 && ax&^clo[y] == 0 {
+					rowx[y>>6] |= 1 << (uint(y) & 63)
+					rows[y*wn+(x>>6)] |= 1 << (uint(x) & 63)
+				}
+			}
+		}
+		return graphs.NewFromBitRows(n, rows)
+	}
+	for x := 0; x < n; x++ {
+		ax, cx := set.ArmBits(x), set.ClosureBits(x)
+		rowx := rows[x*wn : (x+1)*wn]
+		for y := x + 1; y < n; y++ {
+			if bitsSubset(set.ArmBits(y), cx) && bitsSubset(ax, set.ClosureBits(y)) {
+				rowx[y>>6] |= 1 << (uint(y) & 63)
+				rows[y*wn+(x>>6)] |= 1 << (uint(x) & 63)
+			}
+		}
+	}
+	return graphs.NewFromBitRows(n, rows)
+}
+
+// bitsSubset reports whether every bit of a is also set in b. The rows
+// have equal length by construction.
+func bitsSubset(a, b []uint64) bool {
+	for i, w := range a {
+		if w&^b[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// buildStrategyGraphMerge is the pre-bitset reference implementation,
+// kept verbatim so the property tests can check the kernel against an
+// independently derived answer on random families.
+func buildStrategyGraphMerge(set *strategy.Set) *graphs.Graph {
 	n := set.Len()
 	sg := graphs.New(n)
 	for x := 0; x < n; x++ {

@@ -18,11 +18,12 @@ import (
 // Graph is a simple undirected graph on vertices 0..n-1. The zero value is
 // an empty graph with no vertices; use New to create a graph with vertices.
 type Graph struct {
-	n     int
-	m     int
-	adj   [][]int    // sorted neighbour lists
-	bits  [][]uint64 // adjacency bitsets, one row per vertex
-	words int        // number of uint64 words per bitset row
+	n      int
+	m      int
+	adj    [][]int    // sorted neighbour lists
+	closed [][]int    // sorted closed neighbourhoods {v} ∪ N(v)
+	bits   [][]uint64 // adjacency bitsets, one row per vertex
+	words  int        // number of uint64 words per bitset row
 }
 
 // New returns an edgeless graph with n vertices. It panics if n < 0.
@@ -32,19 +33,116 @@ func New(n int) *Graph {
 	}
 	words := (n + 63) / 64
 	g := &Graph{
-		n:     n,
-		adj:   make([][]int, n),
-		bits:  make([][]uint64, n),
-		words: words,
+		n:      n,
+		adj:    make([][]int, n),
+		closed: make([][]int, n),
+		words:  words,
+	}
+	// Closed rows start as {v}, carved from one backing array with capped
+	// capacity so the first insertion copies out rather than clobbering a
+	// sibling row.
+	selfBacking := make([]int, n)
+	for v := 0; v < n; v++ {
+		selfBacking[v] = v
+		g.closed[v] = selfBacking[v : v+1 : v+1]
 	}
 	if words > 0 {
 		// One backing array for all rows keeps the graph cache-friendly.
+		g.bits = make([][]uint64, n)
 		backing := make([]uint64, n*words)
 		for v := 0; v < n; v++ {
 			g.bits[v] = backing[v*words : (v+1)*words]
 		}
 	}
 	return g
+}
+
+// Words returns the number of uint64 words in each adjacency-bitset row —
+// the row length callers of OrClosedInto must allocate.
+func (g *Graph) Words() int { return g.words }
+
+// NewFromBitRows builds a graph directly from a symmetric adjacency bit
+// matrix: n rows of (n+63)/64 words each, row v starting at v*words, bit u
+// of row v set iff {u, v} is an edge. The matrix must be symmetric with an
+// empty diagonal (it panics otherwise — the input is produced by
+// construction code, not parsed from users), and the graph takes ownership
+// of rows. Bulk builders such as the strategy-graph kernel use this to
+// materialise thousands of edges with three exact-size allocations instead
+// of per-edge sorted inserts.
+func NewFromBitRows(n int, rows []uint64) *Graph {
+	if n < 0 {
+		panic("graphs: negative vertex count")
+	}
+	words := (n + 63) / 64
+	if len(rows) != n*words {
+		panic(fmt.Sprintf("graphs: NewFromBitRows needs %d words, got %d", n*words, len(rows)))
+	}
+	g := &Graph{
+		n:      n,
+		adj:    make([][]int, n),
+		closed: make([][]int, n),
+		words:  words,
+	}
+	if n == 0 {
+		return g
+	}
+	g.bits = make([][]uint64, n)
+	total := 0
+	for v := 0; v < n; v++ {
+		row := rows[v*words : (v+1)*words]
+		g.bits[v] = row
+		for _, w := range row {
+			total += bits.OnesCount64(w)
+		}
+		if row[v/64]&(1<<(uint(v)%64)) != 0 {
+			panic(fmt.Sprintf("graphs: NewFromBitRows row %d has a self-loop", v))
+		}
+	}
+	adjBacking := make([]int, 0, total)
+	closedBacking := make([]int, 0, total+n)
+	for v := 0; v < n; v++ {
+		row := rows[v*words : (v+1)*words]
+		adjStart, closedStart := len(adjBacking), len(closedBacking)
+		placedSelf := false
+		for wi, w := range row {
+			base := wi * 64
+			for w != 0 {
+				u := base + bits.TrailingZeros64(w)
+				w &= w - 1
+				if u >= v && !placedSelf {
+					closedBacking = append(closedBacking, v)
+					placedSelf = true
+				}
+				if g.bits[u][v/64]&(1<<(uint(v)%64)) == 0 {
+					panic(fmt.Sprintf("graphs: NewFromBitRows matrix not symmetric at (%d,%d)", v, u))
+				}
+				adjBacking = append(adjBacking, u)
+				closedBacking = append(closedBacking, u)
+			}
+		}
+		if !placedSelf {
+			closedBacking = append(closedBacking, v)
+		}
+		g.adj[v] = adjBacking[adjStart:len(adjBacking):len(adjBacking)]
+		g.closed[v] = closedBacking[closedStart:len(closedBacking):len(closedBacking)]
+	}
+	g.m = total / 2
+	return g
+}
+
+// OrClosedInto ORs the closed-neighbourhood bitset of v (adjacency row plus
+// the self bit) into dst, which must have at least Words() words. Bulk
+// closure construction (package strategy) unions rows this way instead of
+// merging sorted slices.
+func (g *Graph) OrClosedInto(dst []uint64, v int) {
+	if !g.validVertex(v) {
+		return
+	}
+	row := g.bits[v]
+	for w := range row {
+		dst[w] |= row[w]
+	}
+	dst[v/64] |= 1 << (uint(v) % 64)
 }
 
 // N returns the number of vertices.
@@ -90,17 +188,32 @@ func (g *Graph) MustAddEdge(u, v int) {
 // graph is immutable and therefore safe to share across replication
 // workers without synchronisation.
 func (g *Graph) insert(u, v int) {
-	list := g.adj[u]
-	if n := len(list); n == 0 || list[n-1] < v {
-		g.adj[u] = append(list, v)
-	} else {
-		i := sort.SearchInts(list, v)
-		list = append(list, 0)
-		copy(list[i+1:], list[i:])
-		list[i] = v
-		g.adj[u] = list
-	}
+	g.adj[u] = insertSorted(g.adj[u], v)
+	g.closed[u] = insertSorted(g.closed[u], v)
 	g.bits[u][v/64] |= 1 << (uint(v) % 64)
+}
+
+// insertSorted inserts v into the sorted slice list, appending in O(1)
+// when v is the new maximum and paying the O(len) copy-insert otherwise,
+// with one more O(1) fast path for the second-to-last position: when
+// neighbours arrive in increasing order (every generator) a closed row's
+// only out-of-place element is the trailing self entry, so that is where
+// almost every non-append insert lands.
+func insertSorted(list []int, v int) []int {
+	n := len(list)
+	if n == 0 || list[n-1] < v {
+		return append(list, v)
+	}
+	list = append(list, 0)
+	if n == 1 || list[n-2] < v {
+		list[n] = list[n-1]
+		list[n-1] = v
+		return list
+	}
+	i := sort.SearchInts(list[:n], v)
+	copy(list[i+1:], list[i:n])
+	list[i] = v
+	return list
 }
 
 // HasEdge reports whether the edge {u, v} exists. Out-of-range vertices
@@ -142,17 +255,14 @@ func (g *Graph) AppendNeighbors(dst []int, v int) []int {
 
 // ClosedNeighborhood returns {v} ∪ N(v) in increasing order. This is the
 // paper's N̄_i: the set whose rewards become visible when arm v is pulled.
+// The row is maintained incrementally by AddEdge and returned as a shared
+// slice — allocation-free on hot paths (DFL policies read it every round);
+// callers must not modify it.
 func (g *Graph) ClosedNeighborhood(v int) []int {
 	if !g.validVertex(v) {
 		return nil
 	}
-	nb := g.adj[v]
-	out := make([]int, 0, len(nb)+1)
-	i := sort.SearchInts(nb, v)
-	out = append(out, nb[:i]...)
-	out = append(out, v)
-	out = append(out, nb[i:]...)
-	return out
+	return g.closed[v]
 }
 
 // Edges returns every edge {u, v} with u < v, ordered lexicographically.

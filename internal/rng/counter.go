@@ -1,0 +1,145 @@
+package rng
+
+import "math/bits"
+
+// Counter is a counter-based ("stateless") random stream: instead of
+// advancing hidden generator state, every (arm, t) pair is hashed together
+// with the stream key into an independent draw. The realisation X_{arm,t}
+// is therefore a pure function of (key, arm, t) — it does not depend on
+// which other pairs were sampled, in what order, or on how work is split
+// across goroutines or machines. This is what lets the simulation harness
+// draw only the rewards that are actually observed each round while staying
+// bit-identical to a run that draws everything.
+//
+// Counter is a value type with no mutable state; it is safe to share across
+// goroutines.
+type Counter struct {
+	key uint64
+}
+
+// NewCounter returns the counter stream rooted at seed. Distinct seeds give
+// statistically independent streams.
+func NewCounter(seed uint64) Counter {
+	st := seed
+	return Counter{key: splitmix64(&st)}
+}
+
+// Counter derives the counter stream rooted at the generator's current
+// state. The generator is not advanced, mirroring Split: calling Counter
+// twice yields the same stream.
+func (r *RNG) Counter() Counter {
+	st := r.s0 ^ bits.RotateLeft64(r.s1, 19) ^ bits.RotateLeft64(r.s2, 37) ^ r.s3
+	return Counter{key: splitmix64(&st)}
+}
+
+// Split derives an independent counter stream from a caller-chosen label,
+// mirroring RNG.Split: distinct labels give well-separated streams.
+func (c Counter) Split(label uint64) Counter {
+	st := c.key ^ (label * 0xd1342543de82ef95)
+	return Counter{key: splitmix64(&st)}
+}
+
+// counterState hashes (key, arm, t) into one well-mixed 64-bit word. One
+// SplitMix64 round on top of the multiply-rotate pre-mix gives full
+// avalanche over both coordinates; the xoshiro output function applied on
+// top of the derived state scrambles further.
+func (c Counter) counterState(arm, t uint64) uint64 {
+	return c.Round(t).state(arm)
+}
+
+// counterSeed expands the hash h into a full xoshiro256++ state. The
+// constants keep the four words distinct, so the all-zero state is
+// unreachable for any h.
+func counterSeed(h uint64) (s0, s1, s2, s3 uint64) {
+	s0 = h
+	s1 = h ^ 0xbf58476d1ce4e5b9
+	s2 = bits.RotateLeft64(h, 23) ^ 0x94d049bb133111eb
+	s3 = bits.RotateLeft64(h, 41)
+	return
+}
+
+// Reseed points r at the (arm, t) cell of the stream: r will produce the
+// exact draw sequence attached to that cell, independent of whatever r held
+// before (any cached Gaussian spare is discarded). Reusing one scratch
+// generator this way keeps per-cell draws allocation-free.
+func (c Counter) Reseed(r *RNG, arm, t uint64) {
+	r.s0, r.s1, r.s2, r.s3 = counterSeed(c.counterState(arm, t))
+	r.haveSpare = false
+}
+
+// Uint64At returns the first Uint64 of the (arm, t) cell without
+// materialising generator state — it equals Reseed(r, arm, t) followed by
+// r.Uint64(). Hot paths that need a single uniform (Bernoulli rewards) use
+// this to skip the full state setup.
+func (c Counter) Uint64At(arm, t uint64) uint64 {
+	return c.Round(t).Uint64At(arm)
+}
+
+// Round fixes the t coordinate, pre-mixing it into the key so per-arm
+// draws inside one simulation round skip the t half of the hash. All
+// CounterRound outputs are identical to the corresponding Counter calls at
+// the same t.
+func (c Counter) Round(t uint64) CounterRound {
+	return CounterRound{keyT: c.key ^ bits.RotateLeft64((t+1)*0xd1342543de82ef95, 32)}
+}
+
+// CounterRound is a Counter with the round number already folded in.
+type CounterRound struct {
+	keyT uint64
+}
+
+// PremixArm returns the arm coordinate's multiplicative hash contribution.
+// It never changes for a given arm, so samplers iterating fixed arm sets
+// precompute it once: Uint64AtPremixed(PremixArm(arm)) == Uint64At(arm).
+func PremixArm(arm uint64) uint64 { return (arm + 1) * 0x9e3779b97f4a7c15 }
+
+// state hashes the arm coordinate into the pre-mixed key.
+func (c CounterRound) state(arm uint64) uint64 {
+	return c.statePremixed(PremixArm(arm))
+}
+
+// statePremixed finishes the hash from a PremixArm value.
+func (c CounterRound) statePremixed(premix uint64) uint64 {
+	st := c.keyT ^ premix
+	return splitmix64(&st)
+}
+
+// Uint64At returns the first Uint64 of the arm's cell this round.
+func (c CounterRound) Uint64At(arm uint64) uint64 {
+	return c.Uint64AtPremixed(PremixArm(arm))
+}
+
+// Uint64AtPremixed is Uint64At with the arm's PremixArm value supplied by
+// the caller.
+func (c CounterRound) Uint64AtPremixed(premix uint64) uint64 {
+	h := c.statePremixed(premix)
+	s3 := bits.RotateLeft64(h, 41)
+	return bits.RotateLeft64(h+s3, 23) + h
+}
+
+// Reseed points r at the arm's cell this round, exactly like
+// Counter.Reseed at the same (arm, t).
+func (c CounterRound) Reseed(r *RNG, arm uint64) {
+	c.ReseedPremixed(r, PremixArm(arm))
+}
+
+// ReseedPremixed is Reseed with the arm's PremixArm value supplied by the
+// caller.
+func (c CounterRound) ReseedPremixed(r *RNG, premix uint64) {
+	r.s0, r.s1, r.s2, r.s3 = counterSeed(c.statePremixed(premix))
+	r.haveSpare = false
+}
+
+// Float64At returns the first Float64 of the (arm, t) cell, a uniform
+// variate in [0, 1) identical to Reseed followed by r.Float64().
+func (c Counter) Float64At(arm, t uint64) float64 {
+	return float64(c.Uint64At(arm, t)>>11) / (1 << 53)
+}
+
+// Reseed re-points an existing generator at seed, exactly as if it had been
+// built with New(seed); any cached Gaussian spare is discarded. It exists
+// so hot paths can re-key a scratch generator without allocating.
+func (r *RNG) Reseed(seed uint64) {
+	r.reseed(seed)
+	r.haveSpare = false
+}

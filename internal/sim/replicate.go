@@ -155,15 +155,18 @@ func ReplicateSingle(env *bandit.Env, scen bandit.Scenario, factory SingleFactor
 
 // ReplicateCombo runs Reps independent replications of a combinatorial
 // experiment in parallel and aggregates the curves, with the same
-// streaming, fail-fast semantics as ReplicateSingle.
+// streaming, fail-fast semantics as ReplicateSingle. The per-cell
+// precompute (means, optima, strategy relation graph) is built once and
+// shared read-only across all replications.
 func ReplicateCombo(env *bandit.Env, set *strategy.Set, scen bandit.Scenario, factory ComboFactory, cfg Config, opts ReplicateOptions) (*Aggregate, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
+	cache := NewComboCache(env, set)
 	run := func(rep int) (*Series, error) {
 		stream := rng.New(opts.Seed).Split(uint64(rep) + 1)
 		pol := factory(stream.Split(0))
-		return RunCombo(env, set, scen, pol, cfg, stream.Split(1))
+		return RunComboCached(env, set, scen, pol, cfg, stream.Split(1), cache)
 	}
 	return replicate(run, opts)
 }

@@ -10,6 +10,8 @@ import (
 	"fmt"
 
 	"netbandit/internal/bandit"
+	"netbandit/internal/core"
+	"netbandit/internal/graphs"
 	"netbandit/internal/rng"
 	"netbandit/internal/strategy"
 	"netbandit/internal/trace"
@@ -87,10 +89,32 @@ type Series struct {
 	AvgRealized []float64
 }
 
-// RunSingle plays one replication of a single-play scenario (SSO or SSR).
-// The policy is Reset first; r drives both the environment and any policy
-// randomness the caller wired in.
-func RunSingle(env *bandit.Env, scen bandit.Scenario, pol bandit.SinglePolicy, cfg Config, r *rng.RNG) (*Series, error) {
+// SingleRun is an in-progress single-play replication, advanced one round
+// at a time by Step. Each round costs O(|N̄_chosen|) — rewards are drawn
+// from a counter stream only for the arms actually revealed — plus the
+// policy's own work, and performs no allocations in steady state.
+type SingleRun struct {
+	env     *bandit.Env
+	scen    bandit.Scenario
+	pol     bandit.SinglePolicy
+	cfg     Config
+	ctr     rng.Counter
+	scratch *rng.RNG
+	tracker *bandit.RegretTracker
+	out     *Series
+	obs     []bandit.Observation
+	next    int
+	t       int
+}
+
+// NewSingleRun validates the configuration, resets the policy, and returns
+// a stepper positioned before round 1. The generator r seeds the
+// environment's counter stream: every X_{i,t} is a pure function of (r's
+// state at this call, i, t), so results do not depend on the policy's
+// observation pattern. r itself is neither advanced nor retained — unlike
+// the pre-counter runner, which consumed K draws from r per round, the
+// caller's generator is left untouched.
+func NewSingleRun(env *bandit.Env, scen bandit.Scenario, pol bandit.SinglePolicy, cfg Config, r *rng.RNG) (*SingleRun, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -107,58 +131,153 @@ func RunSingle(env *bandit.Env, scen bandit.Scenario, pol bandit.SinglePolicy, c
 		Graph:    env.Graph(),
 		Scenario: scen,
 	})
-
 	var optimal float64
 	if scen == bandit.SSR {
 		_, optimal = env.BestSideArm()
 	} else {
 		_, optimal = env.BestArm()
 	}
-	tracker := bandit.NewRegretTracker(optimal)
-	out := newSeries(pol.Name(), cfg.checkpoints())
-
-	var (
-		xs  []float64
-		obs []bandit.Observation
-	)
-	next := 0
-	for t := 1; t <= cfg.Horizon; t++ {
-		i := pol.Select(t)
-		if i < 0 || i >= env.K() {
-			return nil, fmt.Errorf("sim: round %d: policy %s selected invalid arm %d", t, pol.Name(), i)
-		}
-		xs = env.SampleAll(r, xs)
-		closed := env.Closed(i)
-		obs = bandit.AppendObservations(obs[:0], xs, closed)
-
-		var chosenMean, realized float64
-		if scen == bandit.SSR {
-			chosenMean = env.SideMean(i)
-			realized = bandit.SumValues(xs, closed)
-		} else {
-			chosenMean = env.Mean(i)
-			realized = xs[i]
-		}
-		tracker.Record(chosenMean, realized)
-		if cfg.Observer != nil {
-			cfg.Observer.ObserveRound(trace.Event{
-				T: t, Chosen: i, ChosenMean: chosenMean,
-				Realized: realized, Observations: obs,
-			})
-		}
-		pol.Update(t, i, obs)
-
-		if next < len(out.T) && t == out.T[next] {
-			out.record(next, tracker)
-			next++
-		}
-	}
-	return out, nil
+	return &SingleRun{
+		env:  env,
+		scen: scen,
+		pol:  pol,
+		cfg:  cfg,
+		ctr:  r.Counter(),
+		// The scratch generator is fully reseeded before every use, so a
+		// private zero-value instance suffices; sharing r here would
+		// clobber a generator the caller may have wired into the policy.
+		scratch: new(rng.RNG),
+		tracker: bandit.NewRegretTracker(optimal),
+		out:     newSeries(pol.Name(), cfg.checkpoints()),
+		obs:     make([]bandit.Observation, 0, env.K()),
+	}, nil
 }
 
-// RunCombo plays one replication of a combinatorial scenario (CSO or CSR)
-// over the given feasible strategy set.
-func RunCombo(env *bandit.Env, set *strategy.Set, scen bandit.Scenario, pol bandit.ComboPolicy, cfg Config, r *rng.RNG) (*Series, error) {
+// Done reports whether the run has played all cfg.Horizon rounds.
+func (sr *SingleRun) Done() bool { return sr.t >= sr.cfg.Horizon }
+
+// Series returns the regret curves recorded so far. Checkpoints beyond the
+// current round are zero until reached.
+func (sr *SingleRun) Series() *Series { return sr.out }
+
+// Step plays one round: select, sample the revealed closed neighbourhood,
+// account regret, feed the policy back.
+func (sr *SingleRun) Step() error {
+	sr.t++
+	t := sr.t
+	i := sr.pol.Select(t)
+	if i < 0 || i >= sr.env.K() {
+		return fmt.Errorf("sim: round %d: policy %s selected invalid arm %d", t, sr.pol.Name(), i)
+	}
+	closed := sr.env.Closed(i)
+	obs := sr.env.SampleObservations(sr.ctr, t, closed, nil, sr.obs[:0], sr.scratch)
+	sr.obs = obs
+
+	var chosenMean, realized float64
+	if sr.scen == bandit.SSR {
+		chosenMean = sr.env.SideMean(i)
+		realized = bandit.SumObservations(obs)
+	} else {
+		chosenMean = sr.env.Mean(i)
+		realized = obs[sr.env.SelfPos(i)].Value
+	}
+	sr.tracker.Record(chosenMean, realized)
+	if sr.cfg.Observer != nil {
+		sr.cfg.Observer.ObserveRound(trace.Event{
+			T: t, Chosen: i, ChosenMean: chosenMean,
+			Realized: realized, Observations: obs,
+		})
+	}
+	sr.pol.Update(t, i, obs)
+
+	if sr.next < len(sr.out.T) && t == sr.out.T[sr.next] {
+		sr.out.record(sr.next, sr.tracker)
+		sr.next++
+	}
+	return nil
+}
+
+// Run plays the remaining rounds and returns the completed series.
+func (sr *SingleRun) Run() (*Series, error) {
+	for !sr.Done() {
+		if err := sr.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return sr.out, nil
+}
+
+// RunSingle plays one replication of a single-play scenario (SSO or SSR).
+// The policy is Reset first; r drives the environment's counter stream
+// (any policy randomness is wired in by the caller).
+func RunSingle(env *bandit.Env, scen bandit.Scenario, pol bandit.SinglePolicy, cfg Config, r *rng.RNG) (*Series, error) {
+	sr, err := NewSingleRun(env, scen, pol, cfg, r)
+	if err != nil {
+		return nil, err
+	}
+	return sr.Run()
+}
+
+// ComboCache holds everything about a (environment, strategy set) pair
+// that every replication of an experiment cell recomputed before this
+// cache existed: the arm means, both scenario optima, and — behind a
+// lazily built, concurrency-safe cache — the strategy relation graph
+// SG(F, L). Build it once per cell and pass it to RunComboCached; all
+// state is read-only after construction, so it is safe to share across
+// replication workers.
+type ComboCache struct {
+	env        *bandit.Env
+	set        *strategy.Set
+	means      []float64
+	optDirect  float64
+	optClosure float64
+	sg         *bandit.StrategyGraphCache
+}
+
+// NewComboCache precomputes the per-cell quantities for env and set. The
+// strategy graph itself is deferred until a policy first asks for it.
+func NewComboCache(env *bandit.Env, set *strategy.Set) *ComboCache {
+	means := env.Means()
+	_, optDirect := set.BestDirect(means)
+	_, optClosure := set.BestClosure(means)
+	return &ComboCache{
+		env:        env,
+		set:        set,
+		means:      means,
+		optDirect:  optDirect,
+		optClosure: optClosure,
+		sg:         bandit.NewStrategyGraphCache(func() *graphs.Graph { return core.BuildStrategyGraph(set) }),
+	}
+}
+
+// StrategyGraph returns the shared SG(F, L), building it on first use.
+func (cc *ComboCache) StrategyGraph() *graphs.Graph { return cc.sg.Get() }
+
+// ComboRun is an in-progress combinatorial replication, the strategy-set
+// analogue of SingleRun: each round samples only the played closure Y_x
+// from the counter stream.
+type ComboRun struct {
+	env     *bandit.Env
+	set     *strategy.Set
+	scen    bandit.Scenario
+	pol     bandit.ComboPolicy
+	cfg     Config
+	ctr     rng.Counter
+	scratch *rng.RNG
+	tracker *bandit.RegretTracker
+	out     *Series
+	means   []float64
+	xs      []float64
+	obs     []bandit.Observation
+	next    int
+	t       int
+}
+
+// NewComboRun validates, resets the policy, and returns a stepper
+// positioned before round 1. cache may be nil (each replication then pays
+// its own precomputation, and SG-building policies construct their own
+// graph); passing the cell's ComboCache shares all of it.
+func NewComboRun(env *bandit.Env, set *strategy.Set, scen bandit.Scenario, pol bandit.ComboPolicy, cfg Config, r *rng.RNG, cache *ComboCache) (*ComboRun, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -168,65 +287,129 @@ func RunCombo(env *bandit.Env, set *strategy.Set, scen bandit.Scenario, pol band
 	if set.K() != env.K() {
 		return nil, fmt.Errorf("sim: strategy set over %d arms, environment has %d", set.K(), env.K())
 	}
+	if cache != nil && (cache.env != env || cache.set != set) {
+		return nil, fmt.Errorf("sim: ComboCache built for a different environment or strategy set")
+	}
 	horizon := 0
 	if cfg.AnnounceHorizon {
 		horizon = cfg.Horizon
 	}
-	pol.Reset(bandit.ComboMeta{
+	meta := bandit.ComboMeta{
 		K:          env.K(),
 		Horizon:    horizon,
 		Graph:      env.Graph(),
 		Strategies: set,
 		Scenario:   scen,
-	})
-
-	means := env.Means()
+	}
+	var means []float64
 	var optimal float64
-	if scen == bandit.CSR {
-		_, optimal = set.BestClosure(means)
-	} else {
-		_, optimal = set.BestDirect(means)
-	}
-	tracker := bandit.NewRegretTracker(optimal)
-	out := newSeries(pol.Name(), cfg.checkpoints())
-
-	var (
-		xs  []float64
-		obs []bandit.Observation
-	)
-	next := 0
-	for t := 1; t <= cfg.Horizon; t++ {
-		x := pol.Select(t)
-		if x < 0 || x >= set.Len() {
-			return nil, fmt.Errorf("sim: round %d: policy %s selected invalid strategy %d", t, pol.Name(), x)
-		}
-		xs = env.SampleAll(r, xs)
-		closure := set.Closure(x)
-		obs = bandit.AppendObservations(obs[:0], xs, closure)
-
-		var chosenMean, realized float64
+	if cache != nil {
+		meta.SharedSG = cache.sg
+		means = cache.means
 		if scen == bandit.CSR {
-			chosenMean = set.ClosureMean(x, means)
-			realized = bandit.SumValues(xs, closure)
+			optimal = cache.optClosure
 		} else {
-			chosenMean = set.DirectMean(x, means)
-			realized = bandit.SumValues(xs, set.Arms(x))
+			optimal = cache.optDirect
 		}
-		tracker.Record(chosenMean, realized)
-		if cfg.Observer != nil {
-			cfg.Observer.ObserveRound(trace.Event{
-				T: t, Chosen: x, ChosenMean: chosenMean,
-				Realized: realized, Observations: obs,
-			})
-		}
-		pol.Update(t, x, obs)
-
-		if next < len(out.T) && t == out.T[next] {
-			out.record(next, tracker)
-			next++
+	} else {
+		means = env.Means()
+		if scen == bandit.CSR {
+			_, optimal = set.BestClosure(means)
+		} else {
+			_, optimal = set.BestDirect(means)
 		}
 	}
-	return out, nil
+	pol.Reset(meta)
+	return &ComboRun{
+		env:  env,
+		set:  set,
+		scen: scen,
+		pol:  pol,
+		cfg:  cfg,
+		ctr:  r.Counter(),
+		// See NewSingleRun: reseeded before every use, never shared with r.
+		scratch: new(rng.RNG),
+		tracker: bandit.NewRegretTracker(optimal),
+		out:     newSeries(pol.Name(), cfg.checkpoints()),
+		means:   means,
+		xs:      make([]float64, env.K()),
+		obs:     make([]bandit.Observation, 0, env.K()),
+	}, nil
+}
+
+// Done reports whether the run has played all cfg.Horizon rounds.
+func (cr *ComboRun) Done() bool { return cr.t >= cr.cfg.Horizon }
+
+// Series returns the regret curves recorded so far.
+func (cr *ComboRun) Series() *Series { return cr.out }
+
+// Step plays one round.
+func (cr *ComboRun) Step() error {
+	cr.t++
+	t := cr.t
+	x := cr.pol.Select(t)
+	if x < 0 || x >= cr.set.Len() {
+		return fmt.Errorf("sim: round %d: policy %s selected invalid strategy %d", t, cr.pol.Name(), x)
+	}
+	closure := cr.set.Closure(x)
+	xs := cr.xs
+	if cr.scen != bandit.CSO {
+		xs = nil // only the direct-reward sum needs values by arm index
+	}
+	obs := cr.env.SampleObservations(cr.ctr, t, closure, xs, cr.obs[:0], cr.scratch)
+	cr.obs = obs
+
+	var chosenMean, realized float64
+	if cr.scen == bandit.CSR {
+		chosenMean = cr.set.ClosureMean(x, cr.means)
+		realized = bandit.SumObservations(obs)
+	} else {
+		chosenMean = cr.set.DirectMean(x, cr.means)
+		realized = bandit.SumValues(cr.xs, cr.set.Arms(x))
+	}
+	cr.tracker.Record(chosenMean, realized)
+	if cr.cfg.Observer != nil {
+		cr.cfg.Observer.ObserveRound(trace.Event{
+			T: t, Chosen: x, ChosenMean: chosenMean,
+			Realized: realized, Observations: obs,
+		})
+	}
+	cr.pol.Update(t, x, obs)
+
+	if cr.next < len(cr.out.T) && t == cr.out.T[cr.next] {
+		cr.out.record(cr.next, cr.tracker)
+		cr.next++
+	}
+	return nil
+}
+
+// Run plays the remaining rounds and returns the completed series.
+func (cr *ComboRun) Run() (*Series, error) {
+	for !cr.Done() {
+		if err := cr.Step(); err != nil {
+			return nil, err
+		}
+	}
+	return cr.out, nil
+}
+
+// RunCombo plays one replication of a combinatorial scenario (CSO or CSR)
+// over the given feasible strategy set, with no cross-replication sharing.
+func RunCombo(env *bandit.Env, set *strategy.Set, scen bandit.Scenario, pol bandit.ComboPolicy, cfg Config, r *rng.RNG) (*Series, error) {
+	return RunComboCached(env, set, scen, pol, cfg, r, nil)
+}
+
+// RunComboCached is RunCombo against a shared per-cell precompute cache:
+// means, scenario optima, and the strategy relation graph come from cache
+// instead of being rebuilt, so per-replication setup is O(1). The curves
+// are identical either way (the cache only moves work, never changes it);
+// a nil cache degrades to RunCombo.
+func RunComboCached(env *bandit.Env, set *strategy.Set, scen bandit.Scenario, pol bandit.ComboPolicy, cfg Config, r *rng.RNG, cache *ComboCache) (*Series, error) {
+	cr, err := NewComboRun(env, set, scen, pol, cfg, r, cache)
+	if err != nil {
+		return nil, err
+	}
+	return cr.Run()
 }
 
 func newSeries(name string, checkpoints []int) *Series {

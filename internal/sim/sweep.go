@@ -225,10 +225,14 @@ func (s *Sweep) Run(ctx context.Context) (*SweepResult, error) {
 		configs = []ConfigSpec{{Config: s.Config}}
 	}
 
-	// Build each environment axis once, from its private stream.
+	// Build each environment axis once, from its private stream. For
+	// combinatorial axes the per-cell precompute cache (means, optima,
+	// lazily built strategy relation graph) is created here and shared
+	// read-only by every cell and replication using the axis.
 	type builtEnv struct {
-		env *bandit.Env
-		set *strategy.Set
+		env   *bandit.Env
+		set   *strategy.Set
+		cache *ComboCache
 	}
 	envRoot := rng.New(s.Seed).Split(0)
 	built := make([]builtEnv, len(s.Envs))
@@ -248,6 +252,9 @@ func (s *Sweep) Run(ctx context.Context) (*SweepResult, error) {
 			return nil, fmt.Errorf("sim: environment axis %q is combinatorial but has no strategy set", e.Name)
 		}
 		built[i] = builtEnv{env: env, set: set}
+		if e.Scenario.Combinatorial() {
+			built[i].cache = NewComboCache(env, set)
+		}
 	}
 
 	// Expand the grid into executable cells in deterministic order.
@@ -266,6 +273,7 @@ func (s *Sweep) Run(ctx context.Context) (*SweepResult, error) {
 				}
 				var run func(rep int) (*Series, error)
 				env, set, scen, cfg := built[ei].env, built[ei].set, e.Scenario, c.Config
+				cache := built[ei].cache
 				switch {
 				case scen.Combinatorial():
 					if pol.Combo == nil {
@@ -274,7 +282,7 @@ func (s *Sweep) Run(ctx context.Context) (*SweepResult, error) {
 					factory := pol.Combo
 					run = func(rep int) (*Series, error) {
 						stream := repStream(rep)
-						return RunCombo(env, set, scen, factory(stream.Split(0)), cfg, stream.Split(1))
+						return RunComboCached(env, set, scen, factory(stream.Split(0)), cfg, stream.Split(1), cache)
 					}
 				default:
 					if pol.Single == nil {

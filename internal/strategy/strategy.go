@@ -6,6 +6,7 @@ package strategy
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 	"strconv"
 	"strings"
@@ -31,6 +32,13 @@ type Set struct {
 	index  map[string]int // canonical arm-set key -> strategy index
 	name   string
 	maxY   int
+
+	// Bitset views of arms and closed, one words-length row per strategy
+	// carved from a shared backing array. BuildStrategyGraph's subset tests
+	// run on these rows in O(K/64) words instead of merging sorted slices.
+	words       int
+	armBits     []uint64
+	closureBits []uint64
 }
 
 // NewExplicit builds a Set from caller-supplied strategies. The graph may
@@ -53,13 +61,17 @@ func NewExplicit(k int, strategies [][]int, g *graphs.Graph) (*Set, error) {
 	if len(strategies) > MaxEnumerable {
 		return nil, fmt.Errorf("strategy: %d strategies exceeds enumeration cap %d", len(strategies), MaxEnumerable)
 	}
+	words := (k + 63) / 64
 	s := &Set{
-		k:      k,
-		graph:  g,
-		arms:   make([][]int, 0, len(strategies)),
-		closed: make([][]int, 0, len(strategies)),
-		index:  make(map[string]int, len(strategies)),
-		name:   "explicit",
+		k:           k,
+		graph:       g,
+		arms:        make([][]int, 0, len(strategies)),
+		closed:      make([][]int, 0, len(strategies)),
+		index:       make(map[string]int, len(strategies)),
+		name:        "explicit",
+		words:       words,
+		armBits:     make([]uint64, len(strategies)*words),
+		closureBits: make([]uint64, len(strategies)*words),
 	}
 	for xi, raw := range strategies {
 		a := append([]int(nil), raw...)
@@ -79,15 +91,39 @@ func NewExplicit(k int, strategies [][]int, g *graphs.Graph) (*Set, error) {
 		if prev, dup := s.index[key]; dup {
 			return nil, fmt.Errorf("strategy: strategy %d duplicates strategy %d", xi, prev)
 		}
-		s.index[key] = len(s.arms)
+		x := len(s.arms)
+		s.index[key] = x
 		s.arms = append(s.arms, a)
-		cl := closureOf(g, a)
+		ab := s.armBits[x*words : (x+1)*words]
+		cb := s.closureBits[x*words : (x+1)*words]
+		for _, arm := range a {
+			ab[arm/64] |= 1 << (uint(arm) % 64)
+			g.OrClosedInto(cb, arm)
+		}
+		cl := bitsetToSorted(cb)
 		s.closed = append(s.closed, cl)
 		if len(cl) > s.maxY {
 			s.maxY = len(cl)
 		}
 	}
 	return s, nil
+}
+
+// bitsetToSorted enumerates the set bits of row as a sorted []int.
+func bitsetToSorted(row []uint64) []int {
+	total := 0
+	for _, w := range row {
+		total += bits.OnesCount64(w)
+	}
+	out := make([]int, 0, total)
+	for wi, w := range row {
+		base := wi * 64
+		for w != 0 {
+			out = append(out, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return out
 }
 
 // canonicalKey builds a map key for a sorted arm set.
@@ -100,22 +136,6 @@ func canonicalKey(sorted []int) string {
 		sb.WriteString(strconv.Itoa(a))
 	}
 	return sb.String()
-}
-
-// closureOf returns Y = ∪_{i∈arms} N̄_i, sorted.
-func closureOf(g *graphs.Graph, arms []int) []int {
-	seen := make(map[int]bool, len(arms)*4)
-	for _, i := range arms {
-		for _, j := range g.ClosedNeighborhood(i) {
-			seen[j] = true
-		}
-	}
-	out := make([]int, 0, len(seen))
-	for v := range seen {
-		out = append(out, v)
-	}
-	sort.Ints(out)
-	return out
 }
 
 // TopM enumerates all size-m subsets of the k arms — the "place at most m
@@ -304,6 +324,21 @@ func (s *Set) Closure(x int) []int { return s.closed[x] }
 
 // MaxClosureSize returns N = max_x |Y_x|, the constant in Theorem 4.
 func (s *Set) MaxClosureSize() int { return s.maxY }
+
+// Words returns the number of uint64 words per arm/closure bitset row.
+func (s *Set) Words() int { return s.words }
+
+// ArmBits returns the bitset of strategy x's component arms. The row is
+// shared; callers must not modify it.
+func (s *Set) ArmBits(x int) []uint64 {
+	return s.armBits[x*s.words : (x+1)*s.words]
+}
+
+// ClosureBits returns the bitset of Y_x. The row is shared; callers must
+// not modify it.
+func (s *Set) ClosureBits(x int) []uint64 {
+	return s.closureBits[x*s.words : (x+1)*s.words]
+}
 
 // IndexOf returns the index of the strategy with exactly the given arms
 // (order-insensitive), or ok=false if the family does not contain it.

@@ -18,6 +18,9 @@ type (
 	// RNG is the deterministic, splittable generator all randomness
 	// flows through.
 	RNG = rng.RNG
+	// Counter is a counter-based random stream: X_{arm,t} is a pure
+	// function of (stream, arm, t), independent of sampling order.
+	Counter = rng.Counter
 	// Graph is an undirected relation graph over arms.
 	Graph = graphs.Graph
 	// Env is an immutable networked bandit environment.
@@ -58,6 +61,15 @@ type (
 	SingleFactory = sim.SingleFactory
 	// ComboFactory builds a fresh combinatorial policy per replication.
 	ComboFactory = sim.ComboFactory
+	// SingleRun steps one single-play replication round by round.
+	SingleRun = sim.SingleRun
+	// ComboRun steps one combinatorial replication round by round.
+	ComboRun = sim.ComboRun
+	// ComboCache shares per-cell precomputation (means, optima, strategy
+	// relation graph) read-only across replications.
+	ComboCache = sim.ComboCache
+	// StrategyGraphCache lazily builds one shared SG(F, L) per cell.
+	StrategyGraphCache = bandit.StrategyGraphCache
 	// Params tunes a registered experiment.
 	Params = sim.Params
 	// Experiment is a registered, reproducible experiment.
@@ -117,6 +129,10 @@ const (
 
 // NewRNG returns a deterministic generator seeded from seed.
 func NewRNG(seed uint64) *RNG { return rng.New(seed) }
+
+// NewCounter returns the counter-based random stream rooted at seed; see
+// Env.SampleObserved for how the simulation uses it.
+func NewCounter(seed uint64) Counter { return rng.NewCounter(seed) }
 
 // NewGraph returns an edgeless relation graph on n arms; add edges with
 // AddEdge.
@@ -278,6 +294,31 @@ func RunSingle(env *Env, scen Scenario, pol SinglePolicy, cfg Config, r *RNG) (*
 // RunCombo plays one replication of a combinatorial scenario.
 func RunCombo(env *Env, set *StrategySet, scen Scenario, pol ComboPolicy, cfg Config, r *RNG) (*Series, error) {
 	return sim.RunCombo(env, set, scen, pol, cfg, r)
+}
+
+// RunComboCached is RunCombo against a shared per-cell precompute cache;
+// the curves are identical, the per-replication setup is O(1).
+func RunComboCached(env *Env, set *StrategySet, scen Scenario, pol ComboPolicy, cfg Config, r *RNG, cache *ComboCache) (*Series, error) {
+	return sim.RunComboCached(env, set, scen, pol, cfg, r, cache)
+}
+
+// NewComboCache precomputes everything replications of one experiment cell
+// share: arm means, scenario optima, and the lazily built strategy
+// relation graph.
+func NewComboCache(env *Env, set *StrategySet) *ComboCache {
+	return sim.NewComboCache(env, set)
+}
+
+// NewSingleRun returns a round-by-round stepper for a single-play
+// replication (RunSingle is NewSingleRun followed by Run).
+func NewSingleRun(env *Env, scen Scenario, pol SinglePolicy, cfg Config, r *RNG) (*SingleRun, error) {
+	return sim.NewSingleRun(env, scen, pol, cfg, r)
+}
+
+// NewComboRun returns a round-by-round stepper for a combinatorial
+// replication; cache may be nil.
+func NewComboRun(env *Env, set *StrategySet, scen Scenario, pol ComboPolicy, cfg Config, r *RNG, cache *ComboCache) (*ComboRun, error) {
+	return sim.NewComboRun(env, set, scen, pol, cfg, r, cache)
 }
 
 // ReplicateSingle runs many single-play replications in parallel and

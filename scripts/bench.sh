@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Regenerate the performance trajectory: run the hot-path micro-benchmarks
+# and quick figure reproductions, merging the numbers into BENCH_PR2.json
+# under the "after" label (the recorded pre-optimisation "baseline" block
+# is preserved). Usage:
+#
+#   scripts/bench.sh                 # update BENCH_PR2.json's "after"
+#   scripts/bench.sh -label mylabel  # record under a different label
+set -euo pipefail
+cd "$(dirname "$0")/.."
+go run ./cmd/nbandit bench -json BENCH_PR2.json "$@"
