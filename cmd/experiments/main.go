@@ -67,7 +67,11 @@ func main() {
 	}
 	if *progress {
 		params.Progress = func(p netbandit.SweepProgress) {
-			fmt.Fprintf(os.Stderr, "\r  %d/%d replications (%s)    ", p.Done, p.Total, p.Cell)
+			// Label names the cell by its grid axis values (figure panels
+			// name only the policy axis, so it reads "DFL-SSO rep 3/20");
+			// unnamed cells fall back to "cell N" instead of going blank.
+			fmt.Fprintf(os.Stderr, "\r  %d/%d replications (%s rep %d/%d)    ",
+				p.Done, p.Total, p.Label(), p.CellDone, p.CellReps)
 			if p.Done == p.Total {
 				fmt.Fprintln(os.Stderr)
 			}

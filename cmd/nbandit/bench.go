@@ -19,10 +19,13 @@ import (
 // final-regret metrics), merging under a label so before/after pairs live
 // side by side:
 //
-//	nbandit bench -json BENCH_PR2.json -label after
+//	nbandit bench -out BENCH_PR3.json -label after
 //
 // The file is read-modify-write: existing labels (for example a recorded
-// pre-optimisation baseline) are preserved.
+// pre-optimisation baseline) are preserved. Each PR records into its own
+// trajectory file via -out (scripts/bench.sh passes it through), so the
+// trajectory grows without editing code; -json remains as the historical
+// spelling of the same flag.
 
 type benchResult struct {
 	NsPerOp     float64            `json:"ns_per_op"`
@@ -34,11 +37,20 @@ type benchResult struct {
 
 func runBench(args []string) error {
 	flags := flag.NewFlagSet("bench", flag.ContinueOnError)
-	jsonPath := flags.String("json", "BENCH_PR2.json", "trajectory file to merge results into ('-' for stdout only)")
+	outPath := flags.String("out", "", "trajectory file to merge results into ('-' for stdout only)")
+	jsonPath := flags.String("json", "", "alias for -out (historical spelling)")
 	label := flags.String("label", "after", "key to store this run under")
 	benchtime := flags.String("benchtime", "2s", "per-benchmark measurement time (testing -benchtime)")
 	if err := flags.Parse(args); err != nil {
 		return err
+	}
+	switch {
+	case *outPath == "" && *jsonPath == "":
+		*outPath = "BENCH_PR3.json"
+	case *outPath == "":
+		*outPath = *jsonPath
+	case *jsonPath != "" && *jsonPath != *outPath:
+		return fmt.Errorf("bench: -out %q and -json %q disagree; pass one", *outPath, *jsonPath)
 	}
 	testing.Init()
 	if err := flag.Set("test.benchtime", *benchtime); err != nil {
@@ -68,19 +80,19 @@ func runBench(args []string) error {
 	}
 
 	doc := map[string]json.RawMessage{}
-	if *jsonPath != "-" {
-		raw, err := os.ReadFile(*jsonPath)
+	if *outPath != "-" {
+		raw, err := os.ReadFile(*outPath)
 		switch {
 		case err == nil:
 			if err := json.Unmarshal(raw, &doc); err != nil {
-				return fmt.Errorf("bench: %s exists but is not a JSON object: %w", *jsonPath, err)
+				return fmt.Errorf("bench: %s exists but is not a JSON object: %w", *outPath, err)
 			}
 		case errors.Is(err, fs.ErrNotExist):
 			// Fresh trajectory file.
 		default:
 			// Anything else (permissions, I/O) must not silently discard
 			// the recorded labels by overwriting with only this run.
-			return fmt.Errorf("bench: reading %s: %w", *jsonPath, err)
+			return fmt.Errorf("bench: reading %s: %w", *outPath, err)
 		}
 	}
 	enc, err := json.MarshalIndent(results, "  ", "  ")
@@ -92,14 +104,14 @@ func runBench(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *jsonPath == "-" {
+	if *outPath == "-" {
 		fmt.Println(string(out))
 		return nil
 	}
-	if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+	if err := os.WriteFile(*outPath, out, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "bench: wrote %q under label %q\n", *jsonPath, *label)
+	fmt.Fprintf(os.Stderr, "bench: wrote %q under label %q\n", *outPath, *label)
 	return nil
 }
 

@@ -21,6 +21,17 @@
 // does not reproduce the numbers of a plain nbandit run with the same seed
 // (sweep results are comparable to other sweep results, single runs to
 // single runs).
+//
+// The shard subcommands distribute a sweep over worker processes (or
+// machines sharing a filesystem) with checkpoint/resume, and merge the
+// spilled per-cell aggregates into output bit-identical to a
+// single-process sweep:
+//
+//	nbandit shard plan -dir grid -shards 4 -scenario sso -policies dfl,moss -p 0.1,0.3 -n 10000 -reps 20
+//	nbandit shard run -dir grid -shard 0   # one worker (rerun to resume)
+//	nbandit shard run -dir grid            # or: every shard as a local process
+//	nbandit shard status -dir grid
+//	nbandit shard merge -dir grid -format json
 package main
 
 import (
@@ -51,6 +62,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "bench" {
 		if err := runBench(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "nbandit bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "shard" {
+		if err := runShard(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "nbandit shard:", err)
 			os.Exit(1)
 		}
 		return

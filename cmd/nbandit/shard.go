@@ -1,0 +1,284 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strconv"
+
+	"netbandit/internal/shard"
+	"netbandit/internal/sim"
+)
+
+// The shard subcommands turn a sweep grid into a distributable, resumable
+// job over a shared directory:
+//
+//	nbandit shard plan   -dir grid -shards 4 [sweep flags]   # write the manifest
+//	nbandit shard run    -dir grid -shard 2                  # execute one shard (resumable)
+//	nbandit shard run    -dir grid                           # all shards, one process each
+//	nbandit shard status -dir grid                           # per-shard completion
+//	nbandit shard merge  -dir grid -format json              # fold records into one result
+//
+// Workers only share the directory — local disk for multi-process runs,
+// any shared or synced filesystem across machines — and the merged output
+// is bit-identical to `nbandit sweep` with the same flags.
+
+// runShard dispatches the `nbandit shard` subcommands.
+func runShard(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: nbandit shard plan|run|merge|status [flags] (see 'nbandit shard <cmd> -h')")
+	}
+	switch args[0] {
+	case "plan":
+		return runShardPlan(args[1:])
+	case "run":
+		return runShardRun(args[1:])
+	case "merge":
+		return runShardMerge(args[1:])
+	case "status":
+		return runShardStatus(args[1:])
+	default:
+		return fmt.Errorf("unknown shard subcommand %q (valid: plan, run, merge, status)", args[0])
+	}
+}
+
+// gridSpec is the sweep description a plan round-trips: the `nbandit
+// sweep` grid flags, verbatim. `shard run` and `shard merge` rebuild the
+// sweep from it and reject the plan if this binary enumerates a different
+// grid than the planner did.
+type gridSpec struct {
+	Scenario string `json:"scenario"`
+	Policies string `json:"policies"`
+	Graph    string `json:"graph"`
+	K        int    `json:"k"`
+	M        int    `json:"m"`
+	Params   string `json:"p"`
+	Horizons string `json:"n"`
+	Points   int    `json:"points"`
+}
+
+func gridFromOptions(o sweepOptions) gridSpec {
+	return gridSpec{
+		Scenario: o.scenario, Policies: o.policies, Graph: o.graph,
+		K: o.k, M: o.m, Params: o.params, Horizons: o.horizons, Points: o.points,
+	}
+}
+
+// sweepFromPlan rebuilds the sweep a plan describes and validates that
+// this binary's grid enumeration still matches the manifest.
+func sweepFromPlan(p *shard.Plan) (sim.Sweep, error) {
+	if len(p.Grid) == 0 {
+		return sim.Sweep{}, fmt.Errorf("plan has no grid description (not written by 'nbandit shard plan')")
+	}
+	var g gridSpec
+	if err := json.Unmarshal(p.Grid, &g); err != nil {
+		return sim.Sweep{}, fmt.Errorf("parsing plan grid: %w", err)
+	}
+	sw, err := buildSweep(sweepOptions{
+		scenario: g.Scenario, policies: g.Policies, graph: g.Graph,
+		k: g.K, m: g.M, params: g.Params, horizons: g.Horizons, points: g.Points,
+		reps: p.Reps, seed: p.Seed,
+	})
+	if err != nil {
+		return sim.Sweep{}, err
+	}
+	if err := p.Validate(&sw); err != nil {
+		return sim.Sweep{}, err
+	}
+	return sw, nil
+}
+
+func runShardPlan(args []string) error {
+	fs := flag.NewFlagSet("nbandit shard plan", flag.ExitOnError)
+	var o sweepOptions
+	sweepFlags(fs, &o)
+	shards := fs.Int("shards", 2, "number of shards to partition the cells into")
+	dir := fs.String("dir", "", "shard directory shared by workers and merger (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	sw, err := buildSweep(o)
+	if err != nil {
+		return err
+	}
+	grid, err := json.Marshal(gridFromOptions(o))
+	if err != nil {
+		return err
+	}
+	plan, err := shard.NewPlan(&sw, grid, *shards)
+	if err != nil {
+		return err
+	}
+	if err := shard.WritePlan(*dir, plan); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d cells × %d reps over %d shards, plan %.12s\n",
+		shard.PlanPath(*dir), len(plan.Cells), plan.Reps, plan.Shards(), plan.Hash)
+	for s := range plan.Assign {
+		fmt.Printf("  shard %d: %d cells (nbandit shard run -dir %s -shard %d)\n",
+			s, len(plan.Assign[s]), *dir, s)
+	}
+	return nil
+}
+
+func runShardRun(args []string) error {
+	fs := flag.NewFlagSet("nbandit shard run", flag.ExitOnError)
+	dir := fs.String("dir", "", "shard directory containing plan.json (required)")
+	shardIdx := fs.Int("shard", -1, "shard to execute; -1 runs every shard as its own local worker process")
+	procs := fs.Int("procs", 0, "with -shard -1: max concurrent worker processes (0 = all shards)")
+	workers := fs.Int("workers", 0, "worker-pool size within the shard (0 = GOMAXPROCS)")
+	progress := fs.Bool("progress", false, "report per-replication progress on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	plan, err := shard.ReadPlan(*dir)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *shardIdx < 0 {
+		return runShardWorkers(ctx, *dir, plan, *procs, *workers, *progress)
+	}
+
+	sw, err := sweepFromPlan(plan)
+	if err != nil {
+		return err
+	}
+	sw.Workers = *workers
+	opts := shard.RunOptions{Shard: *shardIdx}
+	if *progress {
+		opts.Progress = func(p sim.Progress) {
+			fmt.Fprintf(os.Stderr, "\rshard %d: %d/%d replications (%s rep %d/%d)    ",
+				*shardIdx, p.Done, p.Total, p.Label(), p.CellDone, p.CellReps)
+			if p.Done == p.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	stats, err := shard.Run(ctx, *dir, plan, &sw, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("shard %d: %d cells assigned, %d resumed from disk, %d run\n",
+		*shardIdx, stats.Assigned, stats.Resumed, stats.Ran)
+	return nil
+}
+
+// runShardWorkers is the local multi-process coordinator: one `nbandit
+// shard run -shard N` worker process per shard, all over the same
+// directory.
+func runShardWorkers(ctx context.Context, dir string, plan *shard.Plan, procs, workers int, progress bool) error {
+	self, err := os.Executable()
+	if err != nil {
+		return fmt.Errorf("locating own binary for worker processes: %w", err)
+	}
+	c := &shard.Coordinator{
+		Plan:  plan,
+		Procs: procs,
+		Log:   os.Stderr,
+		Command: func(ctx context.Context, s int) *exec.Cmd {
+			args := []string{"shard", "run", "-dir", dir, "-shard", strconv.Itoa(s),
+				"-workers", strconv.Itoa(workers)}
+			if progress {
+				args = append(args, "-progress")
+			}
+			cmd := exec.CommandContext(ctx, self, args...)
+			cmd.Stdout = os.Stdout
+			return cmd
+		},
+	}
+	eff := procs
+	if eff <= 0 || eff > plan.Shards() {
+		eff = plan.Shards()
+	}
+	fmt.Fprintf(os.Stderr, "coordinator: %d shards, %d worker process(es) at a time\n",
+		plan.Shards(), eff)
+	return c.Run(ctx)
+}
+
+func runShardMerge(args []string) error {
+	fs := flag.NewFlagSet("nbandit shard merge", flag.ExitOnError)
+	dir := fs.String("dir", "", "shard directory containing plan.json (required)")
+	format := fs.String("format", "summary", "output: summary|csv|json")
+	metric := fs.String("metric", "avg-pseudo", "metric shown by the summary format")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	m, err := parseMetric(*metric)
+	if err != nil {
+		return err
+	}
+	plan, err := shard.ReadPlan(*dir)
+	if err != nil {
+		return err
+	}
+	// Reject a merger binary whose grid enumeration drifted from the plan
+	// before trusting any record.
+	if _, err := sweepFromPlan(plan); err != nil {
+		return err
+	}
+	res, err := shard.Merge(*dir, plan)
+	if err != nil {
+		return err
+	}
+	return emitSweep(os.Stdout, res, *format, m)
+}
+
+func runShardStatus(args []string) error {
+	fs := flag.NewFlagSet("nbandit shard status", flag.ExitOnError)
+	dir := fs.String("dir", "", "shard directory containing plan.json (required)")
+	pending := fs.Bool("pending", false, "list each shard's pending cells")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	plan, err := shard.ReadPlan(*dir)
+	if err != nil {
+		return err
+	}
+	st, err := shard.Scan(*dir, plan)
+	if err != nil {
+		return err
+	}
+	name := st.Name
+	if name == "" {
+		name = "sweep"
+	}
+	fmt.Printf("%s — %d/%d cells complete, plan %.12s\n", name, st.Done, st.Total, plan.Hash)
+	for _, ss := range st.Shards {
+		fmt.Printf("  shard %d: %d/%d cells", ss.Shard, ss.Done, ss.Total)
+		if ss.Done == ss.Total {
+			fmt.Print("  ✓")
+		}
+		fmt.Println()
+		if *pending {
+			for _, cell := range ss.Pending {
+				fmt.Printf("    pending %s\n", cell)
+			}
+		}
+	}
+	for _, cell := range st.Invalid {
+		fmt.Printf("  invalid record for %s (will be rerun by its shard; merge refuses it)\n", cell)
+	}
+	if st.Done == st.Total {
+		fmt.Println("all shards complete — run 'nbandit shard merge' to fold the results")
+	}
+	return nil
+}

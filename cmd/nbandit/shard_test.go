@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"netbandit/internal/shard"
+	"netbandit/internal/sim"
+)
+
+// TestShardProtocolMatchesSweep drives the CLI's shard protocol end to end
+// in-process — plan from sweep flags, grid round-tripped through the
+// manifest, every shard run via a sweep rebuilt from the plan, merge — and
+// requires the merged export to be bit-identical to running `nbandit
+// sweep` with the same flags.
+func TestShardProtocolMatchesSweep(t *testing.T) {
+	o := testSweepOptions()
+	direct, err := buildSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := direct.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	sw, err := buildSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := json.Marshal(gridFromOptions(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := shard.NewPlan(&sw, grid, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shard.WritePlan(dir, plan); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := shard.ReadPlan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < loaded.Shards(); s++ {
+		// Each worker rebuilds its sweep from the manifest alone, exactly
+		// as `nbandit shard run` does.
+		wsw, err := sweepFromPlan(loaded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := shard.Run(context.Background(), dir, loaded, &wsw, shard.RunOptions{Shard: s}); err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+	}
+	merged, err := shard.Merge(dir, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wantJSON, gotJSON bytes.Buffer
+	if err := sim.WriteSweepJSON(&wantJSON, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.WriteSweepJSON(&gotJSON, merged); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantJSON.Bytes(), gotJSON.Bytes()) {
+		t.Fatal("shard merge differs from single-process sweep")
+	}
+}
+
+// TestSweepFromPlanRejectsGridDrift: a plan whose stored grid expands to a
+// different cell enumeration than the manifest records (a drifted binary,
+// or a hand-edited-and-rehashed grid) must be rejected before any cell
+// runs or merges.
+func TestSweepFromPlanRejectsGridDrift(t *testing.T) {
+	o := testSweepOptions()
+	sw, err := buildSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drift := o
+	drift.policies = "dfl"
+	grid, err := json.Marshal(gridFromOptions(drift))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := shard.NewPlan(&sw, grid, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sweepFromPlan(plan); err == nil {
+		t.Fatal("plan whose grid expands to a different cell set was accepted")
+	}
+}
+
+func TestSweepFromPlanNeedsGrid(t *testing.T) {
+	sw, err := buildSweep(testSweepOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := shard.NewPlan(&sw, nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sweepFromPlan(plan); err == nil {
+		t.Fatal("plan without a grid description was accepted by the CLI runner")
+	}
+}
+
+func TestRunShardUsage(t *testing.T) {
+	if err := runShard(nil); err == nil {
+		t.Fatal("bare 'nbandit shard' accepted")
+	}
+	if err := runShard([]string{"bogus"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+}

@@ -76,7 +76,11 @@ func runSweep(args []string) error {
 	}
 	if o.progress {
 		sw.Progress = func(p sim.Progress) {
-			fmt.Fprintf(os.Stderr, "\r%d/%d replications (%s rep %d)    ", p.Done, p.Total, p.Cell, p.Rep)
+			// Label carries the cell's grid axis values (env/policy/config
+			// names), so the stream reads as "gnp(0.3)/dfl/n=10000", not as
+			// an opaque cell index.
+			fmt.Fprintf(os.Stderr, "\r%d/%d replications (%s rep %d/%d)    ",
+				p.Done, p.Total, p.Label(), p.CellDone, p.CellReps)
 			if p.Done == p.Total {
 				fmt.Fprintln(os.Stderr)
 			}

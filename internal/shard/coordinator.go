@@ -1,0 +1,143 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os/exec"
+	"sync"
+)
+
+// Coordinator runs every shard of a plan as its own local worker process
+// over a shared directory — the same file protocol that works across
+// machines via any shared or synced filesystem, exercised multi-process on
+// one host. Worker processes are the isolation boundary: a crashed or
+// killed worker loses only its in-flight cells, and relaunching the
+// coordinator resumes from the records already on disk.
+type Coordinator struct {
+	// Plan is the job being executed.
+	Plan *Plan
+	// Command builds the worker process for one shard (typically the
+	// running binary with `shard run -dir … -shard N`). Required. The
+	// command must be constructed from ctx (exec.CommandContext) for
+	// fail-fast kill to reach it.
+	Command func(ctx context.Context, shard int) *exec.Cmd
+	// Procs caps how many worker processes run at once; 0 means all
+	// shards at once.
+	Procs int
+	// Log, when non-nil, receives every worker's stderr, each line
+	// prefixed with its shard.
+	Log io.Writer
+}
+
+// Run launches one worker per shard, at most Procs concurrently, and
+// waits for all of them. The first failure cancels the remaining workers
+// (their finished cells stay on disk for resume); every failure is
+// returned joined, with the worker's stderr tail when Log is nil.
+func (c *Coordinator) Run(ctx context.Context) error {
+	if c.Plan == nil || c.Command == nil {
+		return errors.New("shard: coordinator needs a Plan and a Command")
+	}
+	if err := c.Plan.check(); err != nil {
+		return err
+	}
+	shards := c.Plan.Shards()
+	procs := c.Procs
+	if procs <= 0 || procs > shards {
+		procs = shards
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// All workers' line writers share one mutex: c.Log is a single
+	// destination, so whole-line interleaving must serialise across
+	// workers, not just within one.
+	var logMu sync.Mutex
+	sem := make(chan struct{}, procs)
+	errCh := make(chan error, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				errCh <- fmt.Errorf("shard %d: not started: %w", s, ctx.Err())
+				return
+			}
+			if err := c.runWorker(ctx, s, &logMu); err != nil {
+				errCh <- err
+				cancel() // fail fast: kill the other workers
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(errCh)
+	var errs []error
+	for err := range errCh {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}
+
+func (c *Coordinator) runWorker(ctx context.Context, s int, logMu *sync.Mutex) error {
+	cmd := c.Command(ctx, s)
+	if cmd == nil {
+		return fmt.Errorf("shard %d: Command returned nil", s)
+	}
+	var tail bytes.Buffer
+	if cmd.Stderr == nil {
+		if c.Log != nil {
+			cmd.Stderr = &lineWriter{mu: logMu, w: c.Log, prefix: fmt.Sprintf("[shard %d] ", s)}
+		} else {
+			cmd.Stderr = &tail
+		}
+	}
+	if err := cmd.Run(); err != nil {
+		if msg := bytes.TrimSpace(tail.Bytes()); len(msg) > 0 {
+			return fmt.Errorf("shard %d: %w: %s", s, err, msg)
+		}
+		return fmt.Errorf("shard %d: %w", s, err)
+	}
+	return nil
+}
+
+// lineWriter prefixes each written line and serialises writes through a
+// mutex shared by every worker targeting the same destination, so logs
+// interleave by whole lines.
+type lineWriter struct {
+	mu     *sync.Mutex
+	w      io.Writer
+	prefix string
+	buf    bytes.Buffer
+}
+
+func (lw *lineWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	lw.buf.Write(p)
+	for {
+		// Both '\n' and '\r' terminate a segment: worker -progress streams
+		// are carriage-return animated and may never emit a newline until
+		// the very end, so flushing only on '\n' would buffer the whole
+		// run (and show nothing while it happens).
+		b := lw.buf.Bytes()
+		i := bytes.IndexAny(b, "\r\n")
+		if i < 0 {
+			break // partial segment: keep it for the next write
+		}
+		seg := string(b[:i+1])
+		lw.buf.Next(i + 1)
+		if seg == "\r" {
+			continue // bare carriage return: nothing worth prefixing
+		}
+		if _, err := io.WriteString(lw.w, lw.prefix+seg); err != nil {
+			return len(p), err
+		}
+	}
+	return len(p), nil
+}

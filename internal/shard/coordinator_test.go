@@ -1,0 +1,85 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func coordinatorPlan(t *testing.T, shards int) *Plan {
+	t.Helper()
+	plan, err := NewPlan(testSweep(), nil, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// TestCoordinatorRunsEveryShard drives the coordinator with stub worker
+// processes (the real `nbandit shard run` workers are exercised by the
+// cmd/nbandit tests and the CI e2e job) and checks one process per shard
+// runs to completion under the concurrency cap.
+func TestCoordinatorRunsEveryShard(t *testing.T) {
+	dir := t.TempDir()
+	c := &Coordinator{
+		Plan:  coordinatorPlan(t, 3),
+		Procs: 2,
+		Command: func(ctx context.Context, shard int) *exec.Cmd {
+			// The trailing \r-only chunk mimics a -progress stream: it must
+			// reach the log without waiting for a newline.
+			return exec.CommandContext(ctx, "sh", "-c",
+				fmt.Sprintf("echo started >&2; printf 'animated\\rframe' >&2; touch %s",
+					filepath.Join(dir, fmt.Sprintf("worker-%d", shard))))
+		},
+	}
+	var log bytes.Buffer
+	c.Log = &log
+	if err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 3; s++ {
+		if _, err := os.Stat(filepath.Join(dir, fmt.Sprintf("worker-%d", s))); err != nil {
+			t.Fatalf("worker %d did not run: %v", s, err)
+		}
+	}
+	if !strings.Contains(log.String(), "[shard 0] started") {
+		t.Fatalf("log not prefixed by shard: %q", log.String())
+	}
+	// Carriage-return-terminated progress frames flush without a newline.
+	if !strings.Contains(log.String(), "animated\r") {
+		t.Fatalf("\\r-terminated frame was buffered instead of flushed: %q", log.String())
+	}
+}
+
+// TestCoordinatorFailFast: one failing worker cancels the rest and its
+// stderr reaches the joined error.
+func TestCoordinatorFailFast(t *testing.T) {
+	c := &Coordinator{
+		Plan:  coordinatorPlan(t, 2),
+		Procs: 1, // serialize: shard 0 fails before shard 1 starts
+		Command: func(ctx context.Context, shard int) *exec.Cmd {
+			if shard == 0 {
+				return exec.CommandContext(ctx, "sh", "-c", "echo boom >&2; exit 3")
+			}
+			return exec.CommandContext(ctx, "sh", "-c", "exit 0")
+		},
+	}
+	err := c.Run(context.Background())
+	if err == nil {
+		t.Fatal("failing worker reported no error")
+	}
+	if !strings.Contains(err.Error(), "shard 0") || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("error lacks shard attribution or stderr: %v", err)
+	}
+}
+
+func TestCoordinatorValidates(t *testing.T) {
+	if err := (&Coordinator{}).Run(context.Background()); err == nil {
+		t.Fatal("coordinator without plan/command accepted")
+	}
+}

@@ -1,0 +1,107 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"sort"
+	"strings"
+
+	"netbandit/internal/sim"
+)
+
+// Merge folds every cell record in dir back into a sim.SweepResult. Every
+// cell of the plan must have a valid record (checksum, plan hash, and
+// coordinates all verified); because each cell's aggregate was produced by
+// the same engine, from streams keyed on the same global cell index, and
+// round-tripped through its exact Welford moments, the result is
+// bit-identical to what a single-process sim.Sweep.Run of the same sweep
+// returns — whichever shards, machines, or interruptions produced the
+// records.
+func Merge(dir string, p *Plan) (*sim.SweepResult, error) {
+	if err := p.check(); err != nil {
+		return nil, err
+	}
+	cells := make([]sim.CellResult, len(p.Cells))
+	var missing []string
+	var bad []error
+	for i := range p.Cells {
+		rec, err := readCellRecord(dir, p, i)
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				missing = append(missing, p.Cells[i].Cell)
+				continue
+			}
+			bad = append(bad, err)
+			continue
+		}
+		cells[i], err = rec.result(p)
+		if err != nil {
+			bad = append(bad, err)
+		}
+	}
+	if len(bad) > 0 {
+		return nil, fmt.Errorf("shard: %d invalid record(s): %w", len(bad), errors.Join(bad...))
+	}
+	if len(missing) > 0 {
+		sort.Strings(missing)
+		return nil, fmt.Errorf("shard: %d of %d cells incomplete: %s — run the remaining shards (shard status shows who owns them)",
+			len(missing), len(p.Cells), strings.Join(missing, ", "))
+	}
+	return &sim.SweepResult{
+		Name:  p.Name,
+		Seed:  p.Seed,
+		Reps:  p.Reps,
+		Cells: cells,
+	}, nil
+}
+
+// ShardStatus is one shard's completion state.
+type ShardStatus struct {
+	Shard int
+	// Done and Total count the shard's completed and assigned cells.
+	Done, Total int
+	// Pending names the assigned cells (grid axis values, human-readable)
+	// that have no valid record yet.
+	Pending []string
+}
+
+// Status is a point-in-time scan of a shard directory.
+type Status struct {
+	Name        string
+	Done, Total int
+	Shards      []ShardStatus
+	// Invalid lists records that exist but fail verification (torn copy,
+	// stale plan): the owning runner will redo them, the merger rejects
+	// them.
+	Invalid []string
+}
+
+// Scan reports per-shard completion by scanning dir/cells against the
+// plan. It never blocks on runners: records appear atomically.
+func Scan(dir string, p *Plan) (*Status, error) {
+	if err := p.check(); err != nil {
+		return nil, err
+	}
+	st := &Status{Name: p.Name, Total: len(p.Cells)}
+	for s := range p.Assign {
+		assigned := p.Assign[s]
+		done, bad, err := scanCompleted(dir, p, assigned)
+		if err != nil {
+			return nil, err
+		}
+		ss := ShardStatus{Shard: s, Total: len(assigned), Done: len(done)}
+		for _, idx := range assigned {
+			if !done[idx] {
+				ss.Pending = append(ss.Pending, p.Cells[idx].Cell)
+			}
+		}
+		for idx := range bad {
+			st.Invalid = append(st.Invalid, p.Cells[idx].Cell)
+		}
+		st.Done += ss.Done
+		st.Shards = append(st.Shards, ss)
+	}
+	sort.Strings(st.Invalid)
+	return st, nil
+}

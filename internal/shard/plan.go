@@ -1,0 +1,288 @@
+// Package shard turns a sim.Sweep into a distributable, resumable job.
+//
+// The protocol is three kinds of files in one shared directory (local disk
+// for multi-process runs, any shared or synced filesystem across
+// machines):
+//
+//	dir/plan.json            — the versioned, content-hashed shard plan
+//	dir/cells/cell-NNNNNN.json — one checksummed record per finished cell
+//
+// A plan partitions the sweep's cell indices into N shards. Because every
+// replication stream is keyed on (seed, global cell index, rep) and every
+// reward X_{i,t} is a pure function of the cell stream (counter-based
+// sampling), a shard only needs the plan and the sweep description to
+// produce aggregates bit-identical to a single-process run — no
+// coordination of randomness, no ordering constraints between shards.
+// Workers write each finished cell's aggregate atomically (tmp+rename), so
+// a killed run resumes by scanning completed records and skipping those
+// cells, and the merger folds all records back into a sim.SweepResult
+// that is bit-identical to sim.Sweep.Run.
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"netbandit/internal/sim"
+)
+
+// PlanVersion is the manifest format version; readers reject anything
+// else.
+const PlanVersion = 1
+
+// CellMeta identifies one grid cell in a plan: its global index and its
+// grid axis values. It mirrors sim.CellResult minus the aggregate.
+type CellMeta struct {
+	Index    int    `json:"index"`
+	Cell     string `json:"cell"`
+	Env      string `json:"env,omitempty"`
+	Policy   string `json:"policy,omitempty"`
+	Config   string `json:"config,omitempty"`
+	Scenario string `json:"scenario"`
+}
+
+// Plan is the versioned shard manifest: the sweep's identity (name, seed,
+// reps), an opaque grid description the planner round-trips so runners can
+// rebuild the sweep, the enumerated cells, and a partition of their
+// indices into shards. Hash is the SHA-256 of the canonical JSON encoding
+// with Hash itself empty; every record written by a runner embeds it, so
+// mismatched plans, directories, or binaries are rejected at run and merge
+// time instead of producing silently wrong grids.
+type Plan struct {
+	Version int    `json:"version"`
+	Name    string `json:"name,omitempty"`
+	Seed    uint64 `json:"seed"`
+	Reps    int    `json:"reps"`
+	// CommonStreams records the sweep's replication-stream mode (common
+	// random numbers reuse one stream family across cells). It changes
+	// every replication's randomness without changing the cell
+	// enumeration, so it is part of the validated identity.
+	CommonStreams bool `json:"common_streams,omitempty"`
+	// Grid is an opaque, caller-defined description of the sweep (the
+	// nbandit CLI stores its grid flags here) used to rebuild the
+	// sim.Sweep on the worker side. The shard package never interprets it.
+	Grid json.RawMessage `json:"grid,omitempty"`
+	// Cells enumerates the grid in deterministic order; Cells[i].Index == i.
+	Cells []CellMeta `json:"cells"`
+	// Assign partitions the cell indices into len(Assign) shards
+	// (round-robin by default, editable by hand for rebalancing).
+	Assign [][]int `json:"assign"`
+	Hash   string  `json:"hash,omitempty"`
+}
+
+// NewPlan enumerates sw's cells and partitions them round-robin into the
+// given number of shards. grid is stored opaquely for runners to rebuild
+// the sweep; it may be nil when plan and runner share a process.
+func NewPlan(sw *sim.Sweep, grid json.RawMessage, shards int) (*Plan, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("shard: need at least one shard, got %d", shards)
+	}
+	metas, err := sw.CellMetas()
+	if err != nil {
+		return nil, err
+	}
+	if shards > len(metas) {
+		return nil, fmt.Errorf("shard: %d shards for %d cells — shards would be empty", shards, len(metas))
+	}
+	p := &Plan{
+		Version:       PlanVersion,
+		Name:          sw.Name,
+		Seed:          sw.Seed,
+		Reps:          sw.Reps,
+		CommonStreams: sw.CommonStreams,
+		Grid:          grid,
+		Cells:         cellMetas(metas),
+		Assign:        make([][]int, shards),
+	}
+	for i := range metas {
+		s := i % shards
+		p.Assign[s] = append(p.Assign[s], i)
+	}
+	if p.Hash, err = p.computeHash(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func cellMetas(metas []sim.CellResult) []CellMeta {
+	out := make([]CellMeta, len(metas))
+	for i, m := range metas {
+		out[i] = CellMeta{
+			Index: m.Index, Cell: m.Cell,
+			Env: m.Env, Policy: m.Policy, Config: m.Config,
+			Scenario: m.Scenario.String(),
+		}
+	}
+	return out
+}
+
+// Shards returns the number of shards in the partition.
+func (p *Plan) Shards() int { return len(p.Assign) }
+
+// ShardCells returns the cell indices assigned to one shard.
+func (p *Plan) ShardCells(shard int) ([]int, error) {
+	if shard < 0 || shard >= len(p.Assign) {
+		return nil, fmt.Errorf("shard: shard %d out of range [0,%d)", shard, len(p.Assign))
+	}
+	return p.Assign[shard], nil
+}
+
+// computeHash returns the SHA-256 hex digest of the plan's canonical JSON
+// encoding with the Hash field empty.
+func (p *Plan) computeHash() (string, error) {
+	q := *p
+	q.Hash = ""
+	raw, err := json.Marshal(&q)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// check validates the plan's internal consistency: version, hash, cell
+// indexing, and that Assign is a partition of the cell indices.
+func (p *Plan) check() error {
+	if p.Version != PlanVersion {
+		return fmt.Errorf("shard: plan version %d, this binary speaks %d", p.Version, PlanVersion)
+	}
+	want, err := p.computeHash()
+	if err != nil {
+		return err
+	}
+	if p.Hash != want {
+		return fmt.Errorf("shard: plan hash %.12s does not match content hash %.12s — plan edited without rehashing, or corrupted", p.Hash, want)
+	}
+	if p.Reps <= 0 {
+		return fmt.Errorf("shard: plan has %d replications", p.Reps)
+	}
+	if len(p.Cells) == 0 {
+		return fmt.Errorf("shard: plan has no cells")
+	}
+	for i, c := range p.Cells {
+		if c.Index != i {
+			return fmt.Errorf("shard: cell %d has index %d", i, c.Index)
+		}
+	}
+	if len(p.Assign) == 0 {
+		return fmt.Errorf("shard: plan has no shards")
+	}
+	seen := make([]bool, len(p.Cells))
+	total := 0
+	for s, cells := range p.Assign {
+		for _, idx := range cells {
+			if idx < 0 || idx >= len(p.Cells) {
+				return fmt.Errorf("shard: shard %d assigns out-of-range cell %d", s, idx)
+			}
+			if seen[idx] {
+				return fmt.Errorf("shard: cell %d assigned to more than one shard", idx)
+			}
+			seen[idx] = true
+			total++
+		}
+	}
+	if total != len(p.Cells) {
+		return fmt.Errorf("shard: assignment covers %d of %d cells", total, len(p.Cells))
+	}
+	return nil
+}
+
+// Validate checks that sw is the sweep this plan was made from: same name,
+// seed, replication count, and — decisively — the same cell enumeration.
+// A binary whose grid expansion changed since the plan was written (axis
+// order, cell naming, scenario wiring) fails here instead of producing
+// records that merge into a silently different grid.
+func (p *Plan) Validate(sw *sim.Sweep) error {
+	if sw.Name != p.Name {
+		return fmt.Errorf("shard: sweep name %q, plan was made for %q", sw.Name, p.Name)
+	}
+	if sw.Seed != p.Seed {
+		return fmt.Errorf("shard: sweep seed %d, plan was made for %d", sw.Seed, p.Seed)
+	}
+	if sw.Reps != p.Reps {
+		return fmt.Errorf("shard: sweep has %d reps, plan was made for %d", sw.Reps, p.Reps)
+	}
+	if sw.CommonStreams != p.CommonStreams {
+		return fmt.Errorf("shard: sweep CommonStreams=%v, plan was made with %v — replication streams would differ", sw.CommonStreams, p.CommonStreams)
+	}
+	metas, err := sw.CellMetas()
+	if err != nil {
+		return err
+	}
+	if len(metas) != len(p.Cells) {
+		return fmt.Errorf("shard: sweep enumerates %d cells, plan has %d — plan and binary disagree about the grid", len(metas), len(p.Cells))
+	}
+	for i, got := range cellMetas(metas) {
+		if got != p.Cells[i] {
+			return fmt.Errorf("shard: cell %d is %+v, plan says %+v — plan and binary disagree about the grid", i, got, p.Cells[i])
+		}
+	}
+	return nil
+}
+
+// PlanPath returns the plan manifest's location inside a shard directory.
+func PlanPath(dir string) string { return filepath.Join(dir, "plan.json") }
+
+// cellsDir returns the directory cell records live in.
+func cellsDir(dir string) string { return filepath.Join(dir, "cells") }
+
+// WritePlan hashes the plan and writes dir/plan.json atomically
+// (tmp+rename), creating dir and dir/cells.
+func WritePlan(dir string, p *Plan) error {
+	var err error
+	if p.Hash, err = p.computeHash(); err != nil {
+		return err
+	}
+	if err := p.check(); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(cellsDir(dir), 0o755); err != nil {
+		return err
+	}
+	raw, err := json.MarshalIndent(p, "", "  ")
+	if err != nil {
+		return err
+	}
+	return atomicWrite(PlanPath(dir), append(raw, '\n'))
+}
+
+// ReadPlan loads and verifies dir/plan.json: format version, content hash,
+// and partition consistency.
+func ReadPlan(dir string) (*Plan, error) {
+	raw, err := os.ReadFile(PlanPath(dir))
+	if err != nil {
+		return nil, fmt.Errorf("shard: reading plan: %w", err)
+	}
+	var p Plan
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return nil, fmt.Errorf("shard: parsing %s: %w", PlanPath(dir), err)
+	}
+	if err := p.check(); err != nil {
+		return nil, fmt.Errorf("shard: %s: %w", PlanPath(dir), err)
+	}
+	return &p, nil
+}
+
+// atomicWrite writes data to path via a temp file in the same directory
+// and an atomic rename, so concurrent readers never observe a partial
+// file.
+func atomicWrite(path string, data []byte) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}

@@ -1,0 +1,152 @@
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"netbandit/internal/bandit"
+	"netbandit/internal/sim"
+)
+
+// A cell record is one finished cell's aggregate, spilled to disk the
+// moment the cell's last replication folds. Each record is a single
+// checksummed JSONL line in its own file (dir/cells/cell-NNNNNN.json),
+// placed by atomic tmp+rename: appends to a shared file are not atomic on
+// every filesystem, but a rename is, so readers — resuming runners, the
+// status scanner, the merger — never see a partial record, and a record's
+// presence is exactly the statement "this cell is done".
+
+// cellRecord is the on-disk schema of one spilled cell.
+type cellRecord struct {
+	// Plan is the plan hash the record was produced under; records from a
+	// different plan (stale directory, different binary) are rejected.
+	Plan     string              `json:"plan"`
+	Index    int                 `json:"index"`
+	Cell     string              `json:"cell"`
+	Scenario string              `json:"scenario"`
+	Agg      *sim.AggregateState `json:"agg"`
+	// Sum is the SHA-256 hex digest of the record's canonical JSON
+	// encoding with Sum itself empty — an end-to-end integrity check
+	// against torn copies on synced filesystems.
+	Sum string `json:"sum,omitempty"`
+}
+
+// recordPath returns the record file for one cell index.
+func recordPath(dir string, index int) string {
+	return filepath.Join(cellsDir(dir), fmt.Sprintf("cell-%06d.json", index))
+}
+
+// checksum returns the record's canonical digest (Sum field cleared).
+func (r *cellRecord) checksum() (string, error) {
+	q := *r
+	q.Sum = ""
+	raw, err := json.Marshal(&q)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// writeCellRecord spills one finished cell under the plan's hash,
+// atomically.
+func writeCellRecord(dir string, p *Plan, c sim.CellResult) error {
+	rec := &cellRecord{
+		Plan:     p.Hash,
+		Index:    c.Index,
+		Cell:     c.Cell,
+		Scenario: c.Scenario.String(),
+		Agg:      c.Agg.State(),
+	}
+	var err error
+	if rec.Sum, err = rec.checksum(); err != nil {
+		return err
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return atomicWrite(recordPath(dir, c.Index), append(line, '\n'))
+}
+
+// readCellRecord loads and fully verifies one record against the plan:
+// checksum, plan hash, index/name/scenario/reps agreement.
+func readCellRecord(dir string, p *Plan, index int) (*cellRecord, error) {
+	path := recordPath(dir, index)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec cellRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	want, err := rec.checksum()
+	if err != nil {
+		return nil, err
+	}
+	if rec.Sum != want {
+		return nil, fmt.Errorf("%s: checksum %.12s does not match content %.12s", path, rec.Sum, want)
+	}
+	if rec.Plan != p.Hash {
+		return nil, fmt.Errorf("%s: written under plan %.12s, this directory's plan is %.12s", path, rec.Plan, p.Hash)
+	}
+	if rec.Index != index {
+		return nil, fmt.Errorf("%s: holds cell %d", path, rec.Index)
+	}
+	meta := p.Cells[index]
+	if rec.Cell != meta.Cell || rec.Scenario != meta.Scenario {
+		return nil, fmt.Errorf("%s: holds cell %q (%s), plan says %q (%s)", path, rec.Cell, rec.Scenario, meta.Cell, meta.Scenario)
+	}
+	if rec.Agg == nil || rec.Agg.Reps != p.Reps {
+		return nil, fmt.Errorf("%s: aggregate has wrong replication count", path)
+	}
+	return &rec, nil
+}
+
+// result converts a verified record back into a cell result with its
+// rebuilt aggregate.
+func (r *cellRecord) result(p *Plan) (sim.CellResult, error) {
+	agg, err := sim.AggregateFromState(r.Agg)
+	if err != nil {
+		return sim.CellResult{}, fmt.Errorf("%s: %w", r.Cell, err)
+	}
+	meta := p.Cells[r.Index]
+	scen, err := bandit.ParseScenario(meta.Scenario)
+	if err != nil {
+		return sim.CellResult{}, fmt.Errorf("%s: %w", r.Cell, err)
+	}
+	return sim.CellResult{
+		Index: meta.Index, Cell: meta.Cell,
+		Env: meta.Env, Policy: meta.Policy, Config: meta.Config,
+		Scenario: scen,
+		Agg:      agg,
+	}, nil
+}
+
+// scanCompleted reports which of the given cells have a valid record on
+// disk. Records that exist but fail verification are returned in bad —
+// callers decide whether that means "rerun the cell" (runner) or "refuse
+// to merge" (merger). A missing file is simply an incomplete cell.
+func scanCompleted(dir string, p *Plan, indices []int) (done map[int]bool, bad map[int]error, err error) {
+	done = make(map[int]bool)
+	bad = make(map[int]error)
+	for _, idx := range indices {
+		if idx < 0 || idx >= len(p.Cells) {
+			return nil, nil, fmt.Errorf("shard: cell index %d out of range [0,%d)", idx, len(p.Cells))
+		}
+		if _, rerr := readCellRecord(dir, p, idx); rerr != nil {
+			if os.IsNotExist(rerr) {
+				continue
+			}
+			bad[idx] = rerr
+			continue
+		}
+		done[idx] = true
+	}
+	return done, bad, nil
+}

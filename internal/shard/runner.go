@@ -1,0 +1,92 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"netbandit/internal/sim"
+)
+
+// RunOptions configures one shard-runner invocation.
+type RunOptions struct {
+	// Shard selects which partition of the plan to execute.
+	Shard int
+	// Progress, when non-nil, receives the sweep engine's per-replication
+	// events for this shard's cells (Done/Total count the shard's work).
+	Progress sim.ProgressFunc
+}
+
+// RunStats reports what one Run invocation did.
+type RunStats struct {
+	// Assigned is the number of cells in this shard's partition.
+	Assigned int
+	// Resumed is how many assigned cells already had a valid record on
+	// disk and were skipped — the checkpoint/resume path.
+	Resumed int
+	// Ran is how many cells this invocation executed and spilled.
+	Ran int
+	// MaxLiveAggs is the peak number of cell aggregates held in memory at
+	// once: aggregates stream to disk as cells finish, so this is O(1
+	// cell), independent of the shard's size.
+	MaxLiveAggs int
+	// MaxBuffered is the executor's peak reorder-buffer occupancy.
+	MaxBuffered int
+}
+
+// Run executes one shard of the plan: it validates that sw is the sweep
+// the plan was made from, scans dir/cells for already-completed records
+// (resume), runs the remaining assigned cells through the sweep engine,
+// and spills each cell's aggregate to its own checksummed record the
+// moment the cell finishes — peak aggregate memory is O(1 cell). A killed
+// run leaves every finished cell's record behind; rerunning executes
+// exactly the cells that are missing. Invalid records (torn copies, stale
+// plans) are treated as absent and overwritten.
+//
+// Concurrency within the shard comes from sw.Workers; concurrency across
+// shards comes from running one process per shard (Coordinator, or any
+// scheduler that can launch `nbandit shard run`).
+func Run(ctx context.Context, dir string, p *Plan, sw *sim.Sweep, opts RunOptions) (RunStats, error) {
+	if err := p.check(); err != nil {
+		return RunStats{}, err
+	}
+	if err := p.Validate(sw); err != nil {
+		return RunStats{}, err
+	}
+	assigned, err := p.ShardCells(opts.Shard)
+	if err != nil {
+		return RunStats{}, err
+	}
+	if err := os.MkdirAll(cellsDir(dir), 0o755); err != nil {
+		return RunStats{}, err
+	}
+	done, _, err := scanCompleted(dir, p, assigned)
+	if err != nil {
+		return RunStats{}, err
+	}
+	stats := RunStats{Assigned: len(assigned), Resumed: len(done)}
+	var remaining []int
+	for _, idx := range assigned {
+		if !done[idx] {
+			remaining = append(remaining, idx)
+		}
+	}
+	if len(remaining) == 0 {
+		return stats, nil
+	}
+	run := *sw
+	run.Progress = opts.Progress
+	cellStats, err := run.RunCells(ctx, remaining, func(c sim.CellResult) error {
+		if err := writeCellRecord(dir, p, c); err != nil {
+			return fmt.Errorf("spilling cell %d: %w", c.Index, err)
+		}
+		return nil
+	})
+	stats.Ran = cellStats.Cells
+	stats.MaxLiveAggs = cellStats.MaxLiveAggs
+	stats.MaxBuffered = cellStats.MaxBuffered
+	if err != nil {
+		return stats, err
+	}
+	return stats, nil
+}

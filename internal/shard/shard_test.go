@@ -1,0 +1,443 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"netbandit/internal/bandit"
+	"netbandit/internal/core"
+	"netbandit/internal/policy"
+	"netbandit/internal/rng"
+	"netbandit/internal/sim"
+)
+
+// testSweep is the suite's grid: 3 G(n,p) densities × 2 policies = 6
+// cells, small enough to run everywhere, large enough to shard 4 ways.
+func testSweep() *sim.Sweep {
+	return &sim.Sweep{
+		Name: "shard-test",
+		Envs: []sim.EnvSpec{
+			sim.GnpBernoulliEnv("p=0.2", bandit.SSO, 8, 0, 0.2),
+			sim.GnpBernoulliEnv("p=0.4", bandit.SSO, 8, 0, 0.4),
+			sim.GnpBernoulliEnv("p=0.6", bandit.SSO, 8, 0, 0.6),
+		},
+		Policies: []sim.PolicySpec{
+			{Name: "DFL-SSO", Single: func(*rng.RNG) bandit.SinglePolicy { return core.NewDFLSSO() }},
+			{Name: "Thompson", Single: func(r *rng.RNG) bandit.SinglePolicy { return policy.NewThompson(r) }},
+		},
+		Config: sim.Config{Horizon: 120, AnnounceHorizon: true},
+		Reps:   4,
+		Seed:   77,
+	}
+}
+
+// exportJSON renders a result through the canonical exporter — the
+// bit-identity yardstick (it covers every cell's mean and stderr curves
+// for all four metrics, plus names, seed, and reps).
+func exportJSON(t *testing.T, res *sim.SweepResult) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sim.WriteSweepJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func singleProcessGolden(t *testing.T) []byte {
+	t.Helper()
+	res, err := testSweep().Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exportJSON(t, res)
+}
+
+func TestPlanRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	sw := testSweep()
+	plan, err := NewPlan(sw, json.RawMessage(`{"note":"opaque"}`), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Shards() != 2 || len(plan.Cells) != 6 {
+		t.Fatalf("plan = %d shards over %d cells", plan.Shards(), len(plan.Cells))
+	}
+	// Round-robin partition: shard 0 gets the even indices.
+	if got := plan.Assign[0]; len(got) != 3 || got[0] != 0 || got[1] != 2 || got[2] != 4 {
+		t.Fatalf("shard 0 cells = %v", got)
+	}
+	if plan.Cells[1].Cell != "p=0.2/Thompson" {
+		t.Fatalf("cell 1 = %+v", plan.Cells[1])
+	}
+	if err := WritePlan(dir, plan); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadPlan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Hash != plan.Hash || len(loaded.Cells) != len(plan.Cells) {
+		t.Fatalf("round trip changed the plan: %+v", loaded)
+	}
+	if err := loaded.Validate(sw); err != nil {
+		t.Fatalf("plan does not validate against its own sweep: %v", err)
+	}
+
+	// Tampering with the manifest must be detected by the content hash.
+	raw, err := os.ReadFile(PlanPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(raw, []byte(`"seed": 77`), []byte(`"seed": 78`), 1)
+	if bytes.Equal(raw, tampered) {
+		t.Fatal("tamper target not found in plan.json")
+	}
+	if err := os.WriteFile(PlanPath(dir), tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPlan(dir); err == nil || !strings.Contains(err.Error(), "hash") {
+		t.Fatalf("tampered plan accepted (err = %v)", err)
+	}
+}
+
+func TestPlanValidateRejectsMismatchedSweep(t *testing.T) {
+	plan, err := NewPlan(testSweep(), nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherSeed := testSweep()
+	otherSeed.Seed = 78
+	if err := plan.Validate(otherSeed); err == nil {
+		t.Fatal("plan accepted a sweep with a different seed")
+	}
+	otherGrid := testSweep()
+	otherGrid.Policies = otherGrid.Policies[:1]
+	if err := plan.Validate(otherGrid); err == nil {
+		t.Fatal("plan accepted a sweep with a different grid")
+	}
+	renamed := testSweep()
+	renamed.Envs[0].Name = "renamed"
+	if err := plan.Validate(renamed); err == nil {
+		t.Fatal("plan accepted a sweep whose cell names changed (binary drift)")
+	}
+	// CommonStreams changes every replication stream without changing the
+	// cell enumeration — it must be part of the validated identity.
+	crn := testSweep()
+	crn.CommonStreams = true
+	if err := plan.Validate(crn); err == nil {
+		t.Fatal("plan accepted a sweep with a different CommonStreams mode")
+	}
+}
+
+func TestPlanRejectsEmptyShards(t *testing.T) {
+	if _, err := NewPlan(testSweep(), nil, 7); err == nil {
+		t.Fatal("7 shards over 6 cells accepted")
+	}
+	if _, err := NewPlan(testSweep(), nil, 0); err == nil {
+		t.Fatal("0 shards accepted")
+	}
+}
+
+// TestMergeBitIdenticalAcrossShardCounts is the acceptance criterion: the
+// merged output equals a single-process Sweep.Run bit for bit, for 1, 2,
+// and 4 shards, with the shards of the 2-way split run concurrently over
+// the same directory (the multi-worker protocol, in-process).
+func TestMergeBitIdenticalAcrossShardCounts(t *testing.T) {
+	golden := singleProcessGolden(t)
+	for _, shards := range []int{1, 2, 4} {
+		dir := t.TempDir()
+		plan, err := NewPlan(testSweep(), nil, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WritePlan(dir, plan); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, shards)
+		stats := make([]RunStats, shards)
+		for s := 0; s < shards; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				stats[s], errs[s] = Run(context.Background(), dir, plan, testSweep(), RunOptions{Shard: s})
+			}(s)
+		}
+		wg.Wait()
+		for s, err := range errs {
+			if err != nil {
+				t.Fatalf("%d shards: shard %d: %v", shards, s, err)
+			}
+			if stats[s].Ran != stats[s].Assigned || stats[s].Resumed != 0 {
+				t.Fatalf("%d shards: shard %d stats = %+v", shards, s, stats[s])
+			}
+		}
+		merged, err := Merge(dir, plan)
+		if err != nil {
+			t.Fatalf("%d shards: merge: %v", shards, err)
+		}
+		if got := exportJSON(t, merged); !bytes.Equal(got, golden) {
+			t.Fatalf("%d shards: merged output differs from single-process run", shards)
+		}
+	}
+}
+
+// countRecords counts valid spilled cells in dir.
+func countRecords(t *testing.T, dir string, plan *Plan) int {
+	t.Helper()
+	all := make([]int, len(plan.Cells))
+	for i := range all {
+		all[i] = i
+	}
+	done, bad, err := scanCompleted(dir, plan, all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bad) > 0 {
+		t.Fatalf("unexpected invalid records: %v", bad)
+	}
+	return len(done)
+}
+
+// TestResumeAfterKill is the resume acceptance test: cancel a one-shard
+// run after two cells have spilled, rerun, and require that the second
+// invocation skips exactly the spilled cells, executes exactly the rest,
+// and that the merged curves are bit-identical to an uninterrupted run.
+func TestResumeAfterKill(t *testing.T) {
+	golden := singleProcessGolden(t)
+	dir := t.TempDir()
+	plan, err := NewPlan(testSweep(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePlan(dir, plan); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Kill" the worker via context cancellation once 2 cells are done.
+	// Sequential execution (Workers=1) makes the cut deterministic.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sw := testSweep()
+	sw.Workers = 1
+	cellsDone := 0
+	_, err = Run(ctx, dir, plan, sw, RunOptions{
+		Shard: 0,
+		Progress: func(p sim.Progress) {
+			if p.CellDone == p.CellReps {
+				cellsDone++
+				if cellsDone == 2 {
+					cancel()
+				}
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("cancelled run reported no error")
+	}
+	spilled := countRecords(t, dir, plan)
+	if spilled < 2 || spilled >= len(plan.Cells) {
+		t.Fatalf("first run spilled %d of %d cells, want a strict partial prefix of at least 2", spilled, len(plan.Cells))
+	}
+
+	// Rerun: exactly the remaining cells execute.
+	stats, err := Run(context.Background(), dir, plan, testSweep(), RunOptions{Shard: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Resumed != spilled || stats.Ran != len(plan.Cells)-spilled {
+		t.Fatalf("resume stats = %+v, want Resumed=%d Ran=%d", stats, spilled, len(plan.Cells)-spilled)
+	}
+	merged, err := Merge(dir, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exportJSON(t, merged); !bytes.Equal(got, golden) {
+		t.Fatal("interrupted+resumed merge differs from uninterrupted run")
+	}
+
+	// A third run has nothing left to do.
+	stats, err = Run(context.Background(), dir, plan, testSweep(), RunOptions{Shard: 0})
+	if err != nil || stats.Ran != 0 || stats.Resumed != len(plan.Cells) {
+		t.Fatalf("idempotent rerun: stats = %+v, err = %v", stats, err)
+	}
+}
+
+// TestRunnerMemoryBound asserts the O(1 cell) guarantee: with sequential
+// execution the runner never holds more than one cell aggregate in
+// memory, no matter how many cells the shard has — aggregates stream to
+// disk as cells finish (the shard analogue of PR 1's reorder-window
+// bound).
+func TestRunnerMemoryBound(t *testing.T) {
+	dir := t.TempDir()
+	plan, err := NewPlan(testSweep(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePlan(dir, plan); err != nil {
+		t.Fatal(err)
+	}
+	sw := testSweep()
+	sw.Workers = 1
+	sw.Window = 1
+	stats, err := Run(context.Background(), dir, plan, sw, RunOptions{Shard: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Ran != len(plan.Cells) {
+		t.Fatalf("ran %d cells, want %d", stats.Ran, len(plan.Cells))
+	}
+	if stats.MaxLiveAggs != 1 {
+		t.Fatalf("held %d cell aggregates at peak, want 1 (aggregates must stream to disk)", stats.MaxLiveAggs)
+	}
+	if stats.MaxBuffered > 1 {
+		t.Fatalf("reorder buffer held %d series, window is 1", stats.MaxBuffered)
+	}
+}
+
+// TestCorruptRecordRerunAndMergeRejection: a torn or tampered record is
+// treated as absent by the runner (the cell reruns and the record is
+// replaced) and rejected by the merger.
+func TestCorruptRecordRerunAndMergeRejection(t *testing.T) {
+	dir := t.TempDir()
+	plan, err := NewPlan(testSweep(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePlan(dir, plan); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), dir, plan, testSweep(), RunOptions{Shard: 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Tear cell 3's record in half, as an interrupted copy on a synced
+	// filesystem would.
+	path := recordPath(dir, 3)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge(dir, plan); err == nil {
+		t.Fatal("merge accepted a corrupt record")
+	}
+	st, err := Scan(dir, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Invalid) != 1 {
+		t.Fatalf("status reports %d invalid records, want 1", len(st.Invalid))
+	}
+	stats, err := Run(context.Background(), dir, plan, testSweep(), RunOptions{Shard: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Ran != 1 || stats.Resumed != len(plan.Cells)-1 {
+		t.Fatalf("corrupt-record rerun stats = %+v", stats)
+	}
+	if _, err := Merge(dir, plan); err != nil {
+		t.Fatalf("merge after repair: %v", err)
+	}
+}
+
+// TestRecordsFromStalePlanRejected: records written under one plan must
+// not merge under another (different seed → different hash).
+func TestRecordsFromStalePlanRejected(t *testing.T) {
+	dir := t.TempDir()
+	plan, err := NewPlan(testSweep(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePlan(dir, plan); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), dir, plan, testSweep(), RunOptions{Shard: 0}); err != nil {
+		t.Fatal(err)
+	}
+	other := testSweep()
+	other.Seed = 78
+	stale, err := NewPlan(other, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Merge(dir, stale); err == nil {
+		t.Fatal("records from a different plan accepted at merge time")
+	}
+	// The runner likewise refuses to resume from them: every cell reruns.
+	dir2 := t.TempDir()
+	if err := WritePlan(dir2, stale); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Run(context.Background(), dir2, stale, other, RunOptions{Shard: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Resumed != 0 {
+		t.Fatalf("runner resumed from another plan's records: %+v", stats)
+	}
+}
+
+func TestStatusScan(t *testing.T) {
+	dir := t.TempDir()
+	plan, err := NewPlan(testSweep(), nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePlan(dir, plan); err != nil {
+		t.Fatal(err)
+	}
+	// Run only shard 1.
+	if _, err := Run(context.Background(), dir, plan, testSweep(), RunOptions{Shard: 1}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Scan(dir, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != 3 || st.Total != 6 {
+		t.Fatalf("status = %d/%d, want 3/6", st.Done, st.Total)
+	}
+	if st.Shards[0].Done != 0 || st.Shards[1].Done != 3 {
+		t.Fatalf("per-shard status = %+v", st.Shards)
+	}
+	// Pending names carry grid axis values, not bare indices.
+	if len(st.Shards[0].Pending) != 3 || st.Shards[0].Pending[0] != "p=0.2/DFL-SSO" {
+		t.Fatalf("pending cells = %v", st.Shards[0].Pending)
+	}
+}
+
+func TestAggregateStateRoundTripThroughJSON(t *testing.T) {
+	res, err := testSweep().Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := res.Cells[0].Agg
+	raw, err := json.Marshal(agg.State())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st sim.AggregateState
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatal(err)
+	}
+	back, err := sim.AggregateFromState(&st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []sim.Metric{sim.CumPseudo, sim.CumRealized, sim.AvgPseudo, sim.AvgRealized} {
+		am, bm := agg.Mean(m), back.Mean(m)
+		ae, be := agg.StdErr(m), back.StdErr(m)
+		for i := range am {
+			if am[i] != bm[i] || ae[i] != be[i] {
+				t.Fatalf("metric %v point %d: %v±%v became %v±%v", m, i, am[i], ae[i], bm[i], be[i])
+			}
+		}
+	}
+}

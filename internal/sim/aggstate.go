@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"fmt"
+
+	"netbandit/internal/stats"
+)
+
+// This file defines the serialisable snapshot of an Aggregate. The sharded
+// sweep protocol (internal/shard) spills each finished cell's aggregate to
+// disk as JSON and rebuilds it at merge time; because the snapshot carries
+// the raw Welford moments — not the derived mean/stderr curves — and
+// encoding/json emits the shortest float form that parses back to the
+// identical float64, the rebuilt aggregate is bit-identical to the
+// original.
+
+// MetricMoments is the raw per-checkpoint Welford state of one metric's
+// curve band: the running mean and the sum of squared deviations at every
+// checkpoint. The shared observation count lives in AggregateState.Reps.
+type MetricMoments struct {
+	Mean []float64 `json:"mean"`
+	M2   []float64 `json:"m2"`
+}
+
+// AggregateState is the exact, serialisable state of an Aggregate.
+type AggregateState struct {
+	Policy string `json:"policy"`
+	T      []int  `json:"t"`
+	Reps   int    `json:"reps"`
+	// Metrics is keyed by Metric.String() ("cum-pseudo", ...).
+	Metrics map[string]MetricMoments `json:"metrics"`
+}
+
+// State snapshots the aggregate's raw accumulator state. The snapshot
+// shares no mutable storage with the aggregate.
+func (a *Aggregate) State() *AggregateState {
+	st := &AggregateState{
+		Policy:  a.Policy,
+		T:       append([]int(nil), a.T...),
+		Reps:    a.Reps,
+		Metrics: make(map[string]MetricMoments, len(sweepMetrics)),
+	}
+	for _, m := range sweepMetrics {
+		points := a.bands[m].Points()
+		mm := MetricMoments{
+			Mean: make([]float64, len(points)),
+			M2:   make([]float64, len(points)),
+		}
+		for i, w := range points {
+			_, mm.Mean[i], mm.M2[i] = w.Moments()
+		}
+		st.Metrics[m.String()] = mm
+	}
+	return st
+}
+
+// AggregateFromState rebuilds an Aggregate from a snapshot previously
+// produced by State. The result is bit-identical to the snapshotted
+// aggregate: every subsequent Mean/StdErr/CI95 call returns exactly the
+// same floats.
+func AggregateFromState(st *AggregateState) (*Aggregate, error) {
+	if st == nil {
+		return nil, fmt.Errorf("sim: nil aggregate state")
+	}
+	if len(st.T) == 0 {
+		return nil, fmt.Errorf("sim: aggregate state has no checkpoints")
+	}
+	if st.Reps <= 0 {
+		return nil, fmt.Errorf("sim: aggregate state has %d replications", st.Reps)
+	}
+	a := &Aggregate{
+		Policy: st.Policy,
+		T:      append([]int(nil), st.T...),
+		Reps:   st.Reps,
+		bands:  make(map[Metric]*stats.CurveBand, len(sweepMetrics)),
+	}
+	for _, m := range sweepMetrics {
+		mm, ok := st.Metrics[m.String()]
+		if !ok {
+			return nil, fmt.Errorf("sim: aggregate state is missing metric %q", m)
+		}
+		if len(mm.Mean) != len(st.T) || len(mm.M2) != len(st.T) {
+			return nil, fmt.Errorf("sim: metric %q has %d/%d points, want %d",
+				m, len(mm.Mean), len(mm.M2), len(st.T))
+		}
+		points := make([]stats.Welford, len(st.T))
+		for i := range points {
+			points[i] = stats.WelfordFromMoments(int64(st.Reps), mm.Mean[i], mm.M2[i])
+		}
+		band, err := stats.CurveBandFromPoints(points)
+		if err != nil {
+			return nil, fmt.Errorf("sim: metric %q: %w", m, err)
+		}
+		a.bands[m] = band
+	}
+	return a, nil
+}

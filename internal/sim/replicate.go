@@ -176,7 +176,7 @@ func ReplicateCombo(env *bandit.Env, set *strategy.Set, scen bandit.Scenario, fa
 // on the replication index rather than on scheduling order.
 func replicate(run func(rep int) (*Series, error), opts ReplicateOptions) (*Aggregate, error) {
 	cells := []execCell{{reps: opts.Reps, run: run}}
-	aggs, _, err := executeCells(context.Background(), cells, opts.workers(), 0, opts.Progress)
+	aggs, _, err := executeCells(context.Background(), cells, opts.workers(), 0, opts.Progress, nil)
 	if err != nil {
 		return nil, err
 	}

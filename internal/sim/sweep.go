@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 
 	"netbandit/internal/armdist"
@@ -100,14 +101,30 @@ type ConfigSpec struct {
 // goroutine, strictly ordered per cell.
 type Progress struct {
 	// CellIndex and Cell identify the cell the replication belongs to.
+	// CellIndex is the cell's global grid index — stable even when only a
+	// subset of the grid runs (RunCells) — and Cell its slash-joined name.
 	CellIndex int
 	Cell      string
+	// Env, Policy, and Config are the cell's grid axis-point names (the
+	// axis values, not indices), so progress output is human-readable.
+	// Axes the sweep does not name are empty.
+	Env, Policy, Config string
 	// Rep is the replication index just folded into the cell aggregate.
 	Rep int
 	// CellDone/CellReps count folded replications within the cell,
-	// Done/Total across the whole sweep.
+	// Done/Total across the whole run (for RunCells: the selected subset).
 	CellDone, CellReps int
 	Done, Total        int
+}
+
+// Label returns a human-readable identity for the cell the event belongs
+// to: the slash-joined axis values when the sweep names them, otherwise
+// the positional "cell N" fallback.
+func (p Progress) Label() string {
+	if p.Cell != "" {
+		return p.Cell
+	}
+	return fmt.Sprintf("cell %d", p.CellIndex)
 }
 
 // ProgressFunc receives per-replication progress events.
@@ -211,12 +228,22 @@ func cellName(parts ...string) string {
 	return name
 }
 
-// Run executes the full grid. It returns after every replication of every
-// cell has been folded, or as soon as the pool has drained following the
-// first replication error (fail-fast) or a context cancellation. On
-// failure the returned error joins every replication error that occurred
-// before the pool drained.
-func (s *Sweep) Run(ctx context.Context) (*SweepResult, error) {
+// gridCell couples one cell's grid coordinates with everything needed to
+// compile it into an executable cell: the environment axis it draws from
+// and its policy and configuration axis points.
+type gridCell struct {
+	meta   CellResult // Agg is nil until the cell runs
+	envIdx int
+	pol    PolicySpec
+	cfg    Config
+}
+
+// grid validates the sweep and expands the axes into cells in
+// deterministic grid order (env-major, then policy, then config) without
+// building any environment or running anything. Policy/scenario
+// compatibility is checked here so that plan-time enumeration rejects the
+// same grids Run would.
+func (s *Sweep) grid() ([]gridCell, error) {
 	if err := s.validate(); err != nil {
 		return nil, err
 	}
@@ -224,19 +251,71 @@ func (s *Sweep) Run(ctx context.Context) (*SweepResult, error) {
 	if len(configs) == 0 {
 		configs = []ConfigSpec{{Config: s.Config}}
 	}
-
-	// Build each environment axis once, from its private stream. For
-	// combinatorial axes the per-cell precompute cache (means, optima,
-	// lazily built strategy relation graph) is created here and shared
-	// read-only by every cell and replication using the axis.
-	type builtEnv struct {
-		env   *bandit.Env
-		set   *strategy.Set
-		cache *ComboCache
+	var cells []gridCell
+	for ei, e := range s.Envs {
+		for _, pol := range s.Policies {
+			for _, c := range configs {
+				idx := len(cells)
+				name := cellName(e.Name, pol.Name, c.Name)
+				if e.Scenario.Combinatorial() && pol.Combo == nil {
+					return nil, fmt.Errorf("sim: cell %q: policy %q has no combinatorial factory for scenario %v", name, pol.Name, e.Scenario)
+				}
+				if !e.Scenario.Combinatorial() && pol.Single == nil {
+					return nil, fmt.Errorf("sim: cell %q: policy %q has no single-play factory for scenario %v", name, pol.Name, e.Scenario)
+				}
+				cells = append(cells, gridCell{
+					meta: CellResult{
+						Index: idx, Cell: name,
+						Env: e.Name, Policy: pol.Name, Config: c.Name,
+						Scenario: e.Scenario,
+					},
+					envIdx: ei,
+					pol:    pol,
+					cfg:    c.Config,
+				})
+			}
+		}
 	}
+	return cells, nil
+}
+
+// CellMetas returns the coordinates of every cell of the grid in
+// deterministic order, without building environments or running any
+// replication. This is the enumeration a shard plan is built from: the
+// indices are the ones Run and RunCells key every replication stream on.
+func (s *Sweep) CellMetas() ([]CellResult, error) {
+	cells, err := s.grid()
+	if err != nil {
+		return nil, err
+	}
+	metas := make([]CellResult, len(cells))
+	for i := range cells {
+		metas[i] = cells[i].meta
+	}
+	return metas, nil
+}
+
+// builtEnv is one environment axis after construction, plus — for
+// combinatorial axes — the per-cell precompute cache (means, optima,
+// lazily built strategy relation graph) shared read-only by every cell and
+// replication using the axis.
+type builtEnv struct {
+	env   *bandit.Env
+	set   *strategy.Set
+	cache *ComboCache
+}
+
+// buildEnvs constructs the environment axes selected by need (nil = all),
+// each from its private stream keyed by the axis index — so a shard that
+// builds only the axes its cells touch sees exactly the environments a
+// full run would.
+func (s *Sweep) buildEnvs(need func(envIdx int) bool) ([]builtEnv, error) {
 	envRoot := rng.New(s.Seed).Split(0)
 	built := make([]builtEnv, len(s.Envs))
 	for i, e := range s.Envs {
+		if need != nil && !need(i) {
+			continue
+		}
 		env, set := e.Env, e.Set
 		if e.Build != nil {
 			var err error
@@ -256,55 +335,60 @@ func (s *Sweep) Run(ctx context.Context) (*SweepResult, error) {
 			built[i].cache = NewComboCache(env, set)
 		}
 	}
+	return built, nil
+}
 
-	// Expand the grid into executable cells in deterministic order.
-	var cells []execCell
-	var metas []CellResult
-	for ei, e := range s.Envs {
-		for _, pol := range s.Policies {
-			for _, c := range configs {
-				idx := len(cells)
-				name := cellName(e.Name, pol.Name, c.Name)
-				repStream := func(rep int) *rng.RNG {
-					if s.CommonStreams {
-						return rng.New(s.Seed).Split(uint64(rep) + 1)
-					}
-					return rng.New(s.Seed).Split(uint64(idx) + 1).Split(uint64(rep) + 1)
-				}
-				var run func(rep int) (*Series, error)
-				env, set, scen, cfg := built[ei].env, built[ei].set, e.Scenario, c.Config
-				cache := built[ei].cache
-				switch {
-				case scen.Combinatorial():
-					if pol.Combo == nil {
-						return nil, fmt.Errorf("sim: cell %q: policy %q has no combinatorial factory for scenario %v", name, pol.Name, scen)
-					}
-					factory := pol.Combo
-					run = func(rep int) (*Series, error) {
-						stream := repStream(rep)
-						return RunComboCached(env, set, scen, factory(stream.Split(0)), cfg, stream.Split(1), cache)
-					}
-				default:
-					if pol.Single == nil {
-						return nil, fmt.Errorf("sim: cell %q: policy %q has no single-play factory for scenario %v", name, pol.Name, scen)
-					}
-					factory := pol.Single
-					run = func(rep int) (*Series, error) {
-						stream := repStream(rep)
-						return RunSingle(env, scen, factory(stream.Split(0)), cfg, stream.Split(1))
-					}
-				}
-				cells = append(cells, execCell{name: name, reps: s.Reps, run: run})
-				metas = append(metas, CellResult{
-					Index: idx, Cell: name,
-					Env: e.Name, Policy: pol.Name, Config: c.Name,
-					Scenario: scen,
-				})
-			}
+// compileCell turns a grid cell into the executor's view of it. The
+// replication stream derivation is keyed on the cell's global grid index,
+// so a cell produces bit-identical curves whether it runs as part of the
+// full grid, alone, or inside any shard subset.
+func (s *Sweep) compileCell(gc gridCell, be builtEnv) execCell {
+	idx := gc.meta.Index
+	repStream := func(rep int) *rng.RNG {
+		if s.CommonStreams {
+			return rng.New(s.Seed).Split(uint64(rep) + 1)
+		}
+		return rng.New(s.Seed).Split(uint64(idx) + 1).Split(uint64(rep) + 1)
+	}
+	var run func(rep int) (*Series, error)
+	env, set, scen, cfg, cache := be.env, be.set, gc.meta.Scenario, gc.cfg, be.cache
+	if scen.Combinatorial() {
+		factory := gc.pol.Combo
+		run = func(rep int) (*Series, error) {
+			stream := repStream(rep)
+			return RunComboCached(env, set, scen, factory(stream.Split(0)), cfg, stream.Split(1), cache)
+		}
+	} else {
+		factory := gc.pol.Single
+		run = func(rep int) (*Series, error) {
+			stream := repStream(rep)
+			return RunSingle(env, scen, factory(stream.Split(0)), cfg, stream.Split(1))
 		}
 	}
+	return execCell{meta: gc.meta, reps: s.Reps, run: run}
+}
 
-	aggs, maxBuffered, err := executeCells(ctx, cells, s.workers(), s.Window, s.Progress)
+// Run executes the full grid. It returns after every replication of every
+// cell has been folded, or as soon as the pool has drained following the
+// first replication error (fail-fast) or a context cancellation. On
+// failure the returned error joins every replication error that occurred
+// before the pool drained.
+func (s *Sweep) Run(ctx context.Context) (*SweepResult, error) {
+	grid, err := s.grid()
+	if err != nil {
+		return nil, err
+	}
+	built, err := s.buildEnvs(nil)
+	if err != nil {
+		return nil, err
+	}
+	cells := make([]execCell, len(grid))
+	metas := make([]CellResult, len(grid))
+	for i, gc := range grid {
+		cells[i] = s.compileCell(gc, built[gc.envIdx])
+		metas[i] = gc.meta
+	}
+	aggs, stats, err := executeCells(ctx, cells, s.workers(), s.Window, s.Progress, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -313,7 +397,82 @@ func (s *Sweep) Run(ctx context.Context) (*SweepResult, error) {
 	}
 	return &SweepResult{
 		Name: s.Name, Seed: s.Seed, Reps: s.Reps,
-		Cells: metas, MaxBuffered: maxBuffered,
+		Cells: metas, MaxBuffered: stats.maxBuffered,
+	}, nil
+}
+
+// CellRunStats reports what a RunCells invocation did and the memory
+// bounds it observed.
+type CellRunStats struct {
+	// Cells is the number of cells executed.
+	Cells int
+	// MaxBuffered is the peak number of completed Series held in the
+	// reorder window (never exceeds the window).
+	MaxBuffered int
+	// MaxLiveAggs is the peak number of cell aggregates alive at once.
+	// Because every finished cell is handed to onCell and released, this
+	// stays O(1 + window/reps) — independent of how many cells run — which
+	// is the shard runner's O(1 cell) memory guarantee.
+	MaxLiveAggs int
+}
+
+// RunCells executes only the cells whose global grid indices appear in
+// indices (any order, duplicates rejected), streaming each finished cell's
+// aggregate to onCell as soon as its last replication folds and releasing
+// it immediately afterwards — peak aggregate memory is O(1 cell), not
+// O(len(indices)). Only the environment axes the selected cells touch are
+// built. Replication streams stay keyed on the global cell index, so every
+// cell's aggregate is bit-identical to the one the full Run would produce;
+// this is the execution primitive of the sharded sweep protocol
+// (internal/shard).
+//
+// onCell runs on the folding goroutine in cell completion order; an error
+// cancels the run fail-fast. Progress events report Done/Total over the
+// selected subset.
+func (s *Sweep) RunCells(ctx context.Context, indices []int, onCell func(CellResult) error) (CellRunStats, error) {
+	if onCell == nil {
+		return CellRunStats{}, errors.New("sim: RunCells needs an onCell callback")
+	}
+	grid, err := s.grid()
+	if err != nil {
+		return CellRunStats{}, err
+	}
+	selected := make([]int, len(indices))
+	copy(selected, indices)
+	sort.Ints(selected)
+	for i, idx := range selected {
+		if idx < 0 || idx >= len(grid) {
+			return CellRunStats{}, fmt.Errorf("sim: cell index %d out of range [0,%d)", idx, len(grid))
+		}
+		if i > 0 && idx == selected[i-1] {
+			return CellRunStats{}, fmt.Errorf("sim: duplicate cell index %d", idx)
+		}
+	}
+	needEnv := make(map[int]bool, len(selected))
+	for _, idx := range selected {
+		needEnv[grid[idx].envIdx] = true
+	}
+	built, err := s.buildEnvs(func(envIdx int) bool { return needEnv[envIdx] })
+	if err != nil {
+		return CellRunStats{}, err
+	}
+	cells := make([]execCell, len(selected))
+	for i, idx := range selected {
+		cells[i] = s.compileCell(grid[idx], built[grid[idx].envIdx])
+	}
+	handoff := func(pos int, agg *Aggregate) error {
+		meta := cells[pos].meta
+		meta.Agg = agg
+		return onCell(meta)
+	}
+	_, stats, err := executeCells(ctx, cells, s.workers(), s.Window, s.Progress, handoff)
+	if err != nil {
+		return CellRunStats{}, err
+	}
+	return CellRunStats{
+		Cells:       len(selected),
+		MaxBuffered: stats.maxBuffered,
+		MaxLiveAggs: stats.maxLive,
 	}, nil
 }
 
@@ -338,12 +497,20 @@ func wrapRepErr(cell string, rep int, err error) error {
 	return fmt.Errorf("sim: cell %q replication %d: %w", cell, rep, err)
 }
 
-// execCell is the executor's view of one cell: a name for error reporting,
-// a replication count, and the per-replication closure.
+// execCell is the executor's view of one cell: its grid coordinates (for
+// error reporting and progress), a replication count, and the
+// per-replication closure.
 type execCell struct {
-	name string
+	meta CellResult
 	reps int
 	run  func(rep int) (*Series, error)
+}
+
+// execStats are the executor's observability counters: the peak reorder
+// buffer occupancy and the peak number of live cell aggregates.
+type execStats struct {
+	maxBuffered int
+	maxLive     int
 }
 
 // executeCells fans every cell's replications out over one shared bounded
@@ -355,10 +522,17 @@ type execCell struct {
 // completed replication holds its window token until it is folded, and the
 // dispatcher blocks once all tokens are out.
 //
+// When onCell is non-nil it receives each cell's aggregate (on the folding
+// goroutine) as soon as the cell's last replication folds, and the
+// executor releases the aggregate immediately afterwards — the returned
+// slice then holds nils and peak aggregate memory is bounded by the number
+// of cells the reorder window can straddle, not by len(cells). An onCell
+// error cancels the run like a replication error.
+//
 // On the first replication error the shared pool is cancelled: dispatch
 // stops, queued replications are discarded, and after in-flight work drains
 // every error that occurred is returned joined.
-func executeCells(ctx context.Context, cells []execCell, workers, window int, progress ProgressFunc) ([]*Aggregate, int, error) {
+func executeCells(ctx context.Context, cells []execCell, workers, window int, progress ProgressFunc, onCell func(pos int, agg *Aggregate) error) ([]*Aggregate, execStats, error) {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -437,11 +611,12 @@ func executeCells(ctx context.Context, cells []execCell, workers, window int, pr
 	for i := range pending {
 		pending[i] = make(map[int]*Series, workers)
 	}
-	buffered, maxBuffered, done := 0, 0, 0
+	var st execStats
+	buffered, live, done := 0, 0, 0
 	var errs []error
 	for res := range results {
 		if res.err != nil {
-			errs = append(errs, wrapRepErr(cells[res.cell].name, res.rep, res.err))
+			errs = append(errs, wrapRepErr(cells[res.cell].meta.Cell, res.rep, res.err))
 			cancel()
 			continue
 		}
@@ -450,8 +625,8 @@ func executeCells(ctx context.Context, cells []execCell, workers, window int, pr
 		}
 		pending[res.cell][res.rep] = res.series
 		buffered++
-		if buffered > maxBuffered {
-			maxBuffered = buffered
+		if buffered > st.maxBuffered {
+			st.maxBuffered = buffered
 		}
 		for {
 			cell := res.cell
@@ -463,9 +638,13 @@ func executeCells(ctx context.Context, cells []execCell, workers, window int, pr
 			buffered--
 			if aggs[cell] == nil {
 				aggs[cell] = newAggregate(s.Policy, s.T)
+				live++
+				if live > st.maxLive {
+					st.maxLive = live
+				}
 			}
 			if err := aggs[cell].add(s); err != nil {
-				errs = append(errs, wrapRepErr(cells[cell].name, frontier[cell], err))
+				errs = append(errs, wrapRepErr(cells[cell].meta.Cell, frontier[cell], err))
 				cancel()
 				break
 			}
@@ -473,23 +652,35 @@ func executeCells(ctx context.Context, cells []execCell, workers, window int, pr
 			done++
 			<-tokens
 			if progress != nil {
+				meta := cells[cell].meta
 				progress(Progress{
-					CellIndex: cell, Cell: cells[cell].name,
+					CellIndex: meta.Index, Cell: meta.Cell,
+					Env: meta.Env, Policy: meta.Policy, Config: meta.Config,
 					Rep:      frontier[cell] - 1,
 					CellDone: frontier[cell], CellReps: cells[cell].reps,
 					Done: done, Total: total,
 				})
 			}
+			if onCell != nil && frontier[cell] == cells[cell].reps {
+				err := onCell(cell, aggs[cell])
+				aggs[cell] = nil // release: the callback owns it now
+				live--
+				if err != nil {
+					errs = append(errs, fmt.Errorf("sim: cell %q: %w", cells[cell].meta.Cell, err))
+					cancel()
+					break
+				}
+			}
 		}
 	}
 	if len(errs) > 0 {
-		return nil, maxBuffered, errors.Join(errs...)
+		return nil, st, errors.Join(errs...)
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, maxBuffered, fmt.Errorf("sim: sweep cancelled: %w", err)
+		return nil, st, fmt.Errorf("sim: sweep cancelled: %w", err)
 	}
 	if done != total {
-		return nil, maxBuffered, fmt.Errorf("sim: internal error: folded %d of %d replications", done, total)
+		return nil, st, fmt.Errorf("sim: internal error: folded %d of %d replications", done, total)
 	}
-	return aggs, maxBuffered, nil
+	return aggs, st, nil
 }

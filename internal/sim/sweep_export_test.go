@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strconv"
+	"testing"
+)
+
+// The shard merge path trusts the sweep exporters as its bit-identity
+// yardstick, so both formats get value-exact round-trip tests: every
+// float written must parse back to the identical float64.
+
+// exportGrid is a small grid shared by the round-trip tests.
+func exportGrid(t *testing.T) *SweepResult {
+	t.Helper()
+	return runGrid(t, 2)
+}
+
+func TestWriteSweepJSONRoundTripsValues(t *testing.T) {
+	res := exportGrid(t)
+	var buf bytes.Buffer
+	if err := WriteSweepJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	var doc sweepJSON
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Name != res.Name || doc.Seed != res.Seed || doc.Reps != res.Reps {
+		t.Fatalf("header = %q/%d/%d, want %q/%d/%d",
+			doc.Name, doc.Seed, doc.Reps, res.Name, res.Seed, res.Reps)
+	}
+	if len(doc.Cells) != len(res.Cells) {
+		t.Fatalf("%d cells, want %d", len(doc.Cells), len(res.Cells))
+	}
+	for ci, cell := range doc.Cells {
+		want := res.Cells[ci]
+		if cell.Cell != want.Cell || cell.Env != want.Env || cell.Policy != want.Policy ||
+			cell.Config != want.Config || cell.Scenario != want.Scenario.String() ||
+			cell.Reps != want.Agg.Reps {
+			t.Fatalf("cell %d coordinates = %+v, want %+v", ci, cell, want)
+		}
+		for ti, tt := range cell.T {
+			if tt != want.Agg.T[ti] {
+				t.Fatalf("cell %q checkpoint %d = %d, want %d", cell.Cell, ti, tt, want.Agg.T[ti])
+			}
+		}
+		for _, m := range sweepMetrics {
+			curve, ok := cell.Metrics[m.String()]
+			if !ok {
+				t.Fatalf("cell %q: metric %v missing", cell.Cell, m)
+			}
+			wm, we := want.Agg.Mean(m), want.Agg.StdErr(m)
+			if len(curve.Mean) != len(wm) || len(curve.StdErr) != len(we) {
+				t.Fatalf("cell %q metric %v: %d/%d points, want %d", cell.Cell, m, len(curve.Mean), len(curve.StdErr), len(wm))
+			}
+			for i := range wm {
+				if curve.Mean[i] != wm[i] || curve.StdErr[i] != we[i] {
+					t.Fatalf("cell %q metric %v point %d: %v±%v, want %v±%v — JSON export does not round-trip",
+						cell.Cell, m, i, curve.Mean[i], curve.StdErr[i], wm[i], we[i])
+				}
+			}
+		}
+	}
+}
+
+func TestWriteSweepCSVRoundTripsValues(t *testing.T) {
+	res := exportGrid(t)
+	var buf bytes.Buffer
+	if err := WriteSweepCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nT := len(res.Cells[0].Agg.T)
+	if len(rows) != 1+len(res.Cells)*nT {
+		t.Fatalf("%d rows, want header + %d×%d", len(rows), len(res.Cells), nT)
+	}
+	header := rows[0]
+	if len(header) != 7+2*len(sweepMetrics) {
+		t.Fatalf("header has %d columns: %v", len(header), header)
+	}
+	row := 1
+	for _, cell := range res.Cells {
+		means := make([][]float64, len(sweepMetrics))
+		errs := make([][]float64, len(sweepMetrics))
+		for mi, m := range sweepMetrics {
+			means[mi], errs[mi] = cell.Agg.Mean(m), cell.Agg.StdErr(m)
+		}
+		for ti, tt := range cell.Agg.T {
+			r := rows[row]
+			row++
+			if r[0] != cell.Cell || r[1] != cell.Env || r[2] != cell.Policy ||
+				r[3] != cell.Config || r[4] != cell.Scenario.String() {
+				t.Fatalf("row %d coordinates = %v, want cell %q", row-1, r[:5], cell.Cell)
+			}
+			if reps, err := strconv.Atoi(r[5]); err != nil || reps != cell.Agg.Reps {
+				t.Fatalf("row %d reps = %q, want %d", row-1, r[5], cell.Agg.Reps)
+			}
+			if got, err := strconv.Atoi(r[6]); err != nil || got != tt {
+				t.Fatalf("row %d t = %q, want %d", row-1, r[6], tt)
+			}
+			for mi := range sweepMetrics {
+				mean, err := strconv.ParseFloat(r[7+2*mi], 64)
+				if err != nil {
+					t.Fatal(err)
+				}
+				se, err := strconv.ParseFloat(r[8+2*mi], 64)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if mean != means[mi][ti] || se != errs[mi][ti] {
+					t.Fatalf("row %d metric %v: %v±%v, want %v±%v — CSV export does not round-trip",
+						row-1, sweepMetrics[mi], mean, se, means[mi][ti], errs[mi][ti])
+				}
+			}
+		}
+	}
+}

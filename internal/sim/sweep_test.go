@@ -303,6 +303,38 @@ func TestSweepProgressEvents(t *testing.T) {
 	}
 }
 
+// TestProgressCellIdentity asserts that progress events carry the cell's
+// grid axis values (not just indices), so shard status and -progress
+// output stay human-readable, and that Label falls back to a positional
+// name for unnamed cells.
+func TestProgressCellIdentity(t *testing.T) {
+	var events []Progress
+	sw := gridSweep(2)
+	sw.Configs = []ConfigSpec{{Name: "n=400", Config: sw.Config}}
+	sw.Reps = 2
+	sw.Progress = func(p Progress) { events = append(events, p) }
+	if _, err := sw.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, e := range events {
+		if e.Env == "" || e.Policy == "" || e.Config != "n=400" {
+			t.Fatalf("event lacks axis identity: %+v", e)
+		}
+		wantCell := e.Env + "/" + e.Policy + "/" + e.Config
+		if e.Cell != wantCell || e.Label() != wantCell {
+			t.Fatalf("event cell %q label %q, want %q", e.Cell, e.Label(), wantCell)
+		}
+		seen[e.Cell] = true
+	}
+	if len(seen) != 9 {
+		t.Fatalf("progress covered %d cells, want 9", len(seen))
+	}
+	if got := (Progress{CellIndex: 3}).Label(); got != "cell 3" {
+		t.Fatalf("unnamed cell label = %q", got)
+	}
+}
+
 func TestSweepValidation(t *testing.T) {
 	env := testEnv(t, 5, 0.3, 61)
 	base := Sweep{

@@ -77,6 +77,18 @@ func (w *Welford) Merge(o Welford) {
 // Reset returns the accumulator to its empty state.
 func (w *Welford) Reset() { *w = Welford{} }
 
+// Moments returns the accumulator's raw state: the count, running mean,
+// and sum of squared deviations. Together with WelfordFromMoments it lets
+// an accumulator be serialised and rebuilt bit-identically — the basis of
+// the sharded sweep protocol's disk-spilled aggregates.
+func (w *Welford) Moments() (n int64, mean, m2 float64) { return w.n, w.mean, w.m2 }
+
+// WelfordFromMoments reconstructs an accumulator from a raw state triple
+// previously obtained from Moments.
+func WelfordFromMoments(n int64, mean, m2 float64) Welford {
+	return Welford{n: n, mean: mean, m2: m2}
+}
+
 // EMA is an exponential moving average with smoothing factor alpha in
 // (0, 1]; larger alpha weights recent samples more heavily.
 type EMA struct {

@@ -69,6 +69,25 @@ func (c *CurveBand) CI95() []float64 {
 	return out
 }
 
+// Points returns a copy of the per-checkpoint accumulators, exposing the
+// band's raw state for serialisation.
+func (c *CurveBand) Points() []Welford {
+	out := make([]Welford, len(c.points))
+	copy(out, c.points)
+	return out
+}
+
+// CurveBandFromPoints rebuilds a band from accumulators previously
+// obtained from Points. The slice is copied.
+func CurveBandFromPoints(points []Welford) (*CurveBand, error) {
+	if len(points) == 0 {
+		return nil, fmt.Errorf("stats: CurveBand needs at least one checkpoint")
+	}
+	c := &CurveBand{points: make([]Welford, len(points))}
+	copy(c.points, points)
+	return c, nil
+}
+
 // Merge combines another band (same checkpoint count) into c.
 func (c *CurveBand) Merge(o *CurveBand) error {
 	if len(o.points) != len(c.points) {

@@ -1,6 +1,8 @@
 package netbandit
 
 import (
+	"context"
+	"encoding/json"
 	"io"
 
 	"netbandit/internal/armdist"
@@ -9,6 +11,7 @@ import (
 	"netbandit/internal/graphs"
 	"netbandit/internal/policy"
 	"netbandit/internal/rng"
+	"netbandit/internal/shard"
 	"netbandit/internal/sim"
 	"netbandit/internal/strategy"
 )
@@ -101,7 +104,64 @@ type (
 	SweepProgress = sim.Progress
 	// ProgressFunc receives per-replication progress events.
 	ProgressFunc = sim.ProgressFunc
+	// CellRunStats reports what a RunCells invocation did and the memory
+	// bounds it observed.
+	CellRunStats = sim.CellRunStats
+	// AggregateState is the exact serialisable state of an Aggregate; it
+	// round-trips through JSON bit-identically.
+	AggregateState = sim.AggregateState
 )
+
+// Sharded sweep execution (package shard): a Sweep becomes a
+// distributable, resumable job over a shared directory — a hashed plan
+// manifest partitioning cells into shards, per-cell aggregates spilled as
+// checksummed records the moment each cell finishes, resume by scanning
+// completed records, and a merge that is bit-identical to a
+// single-process Sweep.Run.
+type (
+	// ShardPlan is the versioned, content-hashed shard manifest.
+	ShardPlan = shard.Plan
+	// ShardCellMeta identifies one grid cell of a plan.
+	ShardCellMeta = shard.CellMeta
+	// ShardRunOptions configures one shard-runner invocation.
+	ShardRunOptions = shard.RunOptions
+	// ShardRunStats reports what one shard run did (resumed vs run cells,
+	// peak live aggregates).
+	ShardRunStats = shard.RunStats
+	// ShardStatusReport is a point-in-time scan of a shard directory.
+	ShardStatusReport = shard.Status
+	// ShardCoordinator runs every shard of a plan as its own local worker
+	// process over a shared directory.
+	ShardCoordinator = shard.Coordinator
+)
+
+// NewShardPlan enumerates the sweep's cells and partitions them
+// round-robin into shards; grid is an opaque description callers may use
+// to rebuild the sweep on the worker side.
+func NewShardPlan(sw *Sweep, grid json.RawMessage, shards int) (*ShardPlan, error) {
+	return shard.NewPlan(sw, grid, shards)
+}
+
+// WriteShardPlan hashes and writes dir/plan.json atomically.
+func WriteShardPlan(dir string, p *ShardPlan) error { return shard.WritePlan(dir, p) }
+
+// ReadShardPlan loads and verifies dir/plan.json.
+func ReadShardPlan(dir string) (*ShardPlan, error) { return shard.ReadPlan(dir) }
+
+// RunShard executes one shard of the plan with checkpoint/resume,
+// spilling each finished cell's aggregate to disk (peak memory O(1 cell)).
+func RunShard(ctx context.Context, dir string, p *ShardPlan, sw *Sweep, opts ShardRunOptions) (ShardRunStats, error) {
+	return shard.Run(ctx, dir, p, sw, opts)
+}
+
+// MergeShards folds every spilled cell record back into a SweepResult
+// bit-identical to a single-process Sweep.Run.
+func MergeShards(dir string, p *ShardPlan) (*SweepResult, error) { return shard.Merge(dir, p) }
+
+// ShardStatus scans a shard directory and reports per-shard completion.
+func ShardStatus(dir string, p *ShardPlan) (*ShardStatusReport, error) {
+	return shard.Scan(dir, p)
+}
 
 // The four scenarios.
 const (

@@ -1,11 +1,21 @@
 #!/usr/bin/env bash
 # Regenerate the performance trajectory: run the hot-path micro-benchmarks
-# and quick figure reproductions, merging the numbers into BENCH_PR2.json
-# under the "after" label (the recorded pre-optimisation "baseline" block
-# is preserved). Usage:
+# and quick figure reproductions, merging the numbers into a trajectory
+# file under the "after" label (existing labels, e.g. a recorded baseline,
+# are preserved). The output path is $1 so each PR appends to its own
+# trajectory without editing code. Usage:
 #
-#   scripts/bench.sh                 # update BENCH_PR2.json's "after"
-#   scripts/bench.sh -label mylabel  # record under a different label
+#   scripts/bench.sh                          # update BENCH_PR3.json's "after"
+#   scripts/bench.sh BENCH_PR4.json           # record into another trajectory
+#   scripts/bench.sh BENCH_PR3.json -label b  # record under a different label
+#   scripts/bench.sh -label baseline          # flags only: default output
 set -euo pipefail
 cd "$(dirname "$0")/.."
-go run ./cmd/nbandit bench -json BENCH_PR2.json "$@"
+out="BENCH_PR3.json"
+# $1 is the output path only when it is not a flag, so flag-first
+# invocations keep working against the default trajectory.
+if [ "$#" -gt 0 ] && [ "${1#-}" = "$1" ]; then
+  out="$1"
+  shift
+fi
+go run ./cmd/nbandit bench -out "$out" "$@"
