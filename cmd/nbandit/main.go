@@ -22,16 +22,19 @@
 // (sweep results are comparable to other sweep results, single runs to
 // single runs).
 //
-// The shard subcommands distribute a sweep over worker processes (or
-// machines sharing a filesystem) with checkpoint/resume, and merge the
-// spilled per-cell aggregates into output bit-identical to a
-// single-process sweep:
+// The shard subcommands distribute a sweep over worker processes or
+// machines with checkpoint/resume, work-stealing lease assignment, and
+// straggler re-assignment, and merge the spilled per-cell aggregates into
+// output bit-identical to a single-process sweep:
 //
 //	nbandit shard plan -dir grid -shards 4 -scenario sso -policies dfl,moss -p 0.1,0.3 -n 10000 -reps 20
-//	nbandit shard run -dir grid -shard 0   # one worker (rerun to resume)
-//	nbandit shard run -dir grid            # or: every shard as a local process
-//	nbandit shard status -dir grid
+//	nbandit shard run -dir grid -procs 4                       # work-stealing coordinator, local workers
+//	nbandit shard run -dir grid -transport ssh -hosts a,b,c    # workers over ssh (synced job dir)
+//	nbandit shard run -dir grid -shard 0                       # hand-driven static worker (rerun to resume)
+//	nbandit shard status -dir grid                             # completion, live leases, steals
 //	nbandit shard merge -dir grid -format json
+//
+// See docs/RUNBOOK.md for the full operating guide.
 package main
 
 import (

@@ -5,27 +5,34 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"os/exec"
 	"os/signal"
-	"strconv"
+	"strings"
+	"time"
 
 	"netbandit/internal/shard"
+	"netbandit/internal/shard/transport"
 	"netbandit/internal/sim"
 )
 
 // The shard subcommands turn a sweep grid into a distributable, resumable
 // job over a shared directory:
 //
-//	nbandit shard plan   -dir grid -shards 4 [sweep flags]   # write the manifest
-//	nbandit shard run    -dir grid -shard 2                  # execute one shard (resumable)
-//	nbandit shard run    -dir grid                           # all shards, one process each
-//	nbandit shard status -dir grid                           # per-shard completion
-//	nbandit shard merge  -dir grid -format json              # fold records into one result
+//	nbandit shard plan   -dir grid -shards 4 [sweep flags]        # write the manifest
+//	nbandit shard run    -dir grid                                # work-stealing coordinator, local workers
+//	nbandit shard run    -dir grid -transport ssh -hosts a,b,c    # ... workers over ssh
+//	nbandit shard run    -dir grid -shard 2                       # hand-driven: one static shard (resumable)
+//	nbandit shard run    -dir grid -cells 3,7 -heartbeat          # one lease (what the coordinator spawns)
+//	nbandit shard status -dir grid                                # completion + live leases/steals
+//	nbandit shard merge  -dir grid -format json                   # fold records into one result
 //
 // Workers only share the directory — local disk for multi-process runs,
 // any shared or synced filesystem across machines — and the merged output
-// is bit-identical to `nbandit sweep` with the same flags.
+// is bit-identical to `nbandit sweep` with the same flags, whichever
+// workers (or how many duplicated, stolen, or resumed executions)
+// produced the records. See docs/RUNBOOK.md for operating distributed
+// sweeps.
 
 // runShard dispatches the `nbandit shard` subcommands.
 func runShard(args []string) error {
@@ -131,15 +138,26 @@ func runShardPlan(args []string) error {
 func runShardRun(args []string) error {
 	fs := flag.NewFlagSet("nbandit shard run", flag.ExitOnError)
 	dir := fs.String("dir", "", "shard directory containing plan.json (required)")
-	shardIdx := fs.Int("shard", -1, "shard to execute; -1 runs every shard as its own local worker process")
-	procs := fs.Int("procs", 0, "with -shard -1: max concurrent worker processes (0 = all shards)")
-	workers := fs.Int("workers", 0, "worker-pool size within the shard (0 = GOMAXPROCS)")
+	shardIdx := fs.Int("shard", -1, "static mode: execute one shard of the plan's partition")
+	cells := fs.String("cells", "", "lease mode: comma-separated global cell indices to execute")
+	heartbeat := fs.Bool("heartbeat", false, "emit heartbeat lines on stdout and stop on stdin EOF (worker under a coordinator)")
+	transportName := fs.String("transport", "local", "coordinator worker transport: local|ssh")
+	hosts := fs.String("hosts", "", "ssh transport: comma-separated hosts (user@host works; repeat a host for more workers on it)")
+	remoteDir := fs.String("remote-dir", "", "ssh transport: job directory path on the hosts (default: same as -dir)")
+	remoteBin := fs.String("remote-bin", "", "ssh transport: nbandit binary on the hosts (default: nbandit on the remote PATH)")
+	procs := fs.Int("procs", 0, "local transport: concurrent worker processes (0 = number of shards in the plan)")
+	leaseTimeout := fs.Duration("lease-timeout", 30*time.Second, "coordinator: heartbeat silence after which a lease's cells are stolen")
+	maxBatch := fs.Int("max-batch", 0, "coordinator: max cells per lease (0 = adaptive only)")
+	workers := fs.Int("workers", 0, "worker-pool size within each worker (0 = GOMAXPROCS)")
 	progress := fs.Bool("progress", false, "report per-replication progress on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dir == "" {
 		return fmt.Errorf("-dir is required")
+	}
+	if *shardIdx >= 0 && *cells != "" {
+		return fmt.Errorf("-shard and -cells are mutually exclusive")
 	}
 	plan, err := shard.ReadPlan(*dir)
 	if err != nil {
@@ -148,64 +166,152 @@ func runShardRun(args []string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	if *shardIdx < 0 {
-		return runShardWorkers(ctx, *dir, plan, *procs, *workers, *progress)
+	if *shardIdx < 0 && *cells == "" {
+		return runShardCoordinator(ctx, *dir, plan, coordinatorOptions{
+			transport: *transportName, hosts: *hosts,
+			remoteDir: *remoteDir, remoteBin: *remoteBin,
+			procs: *procs, leaseTimeout: *leaseTimeout, maxBatch: *maxBatch,
+			workers: *workers, progress: *progress,
+		})
 	}
+	return runShardWorker(ctx, *dir, plan, *shardIdx, *cells, *workers, *heartbeat, *progress)
+}
 
+// runShardWorker executes one batch of cells in this process: a static
+// shard of the plan's partition (-shard) or an explicit lease (-cells).
+// With -heartbeat it speaks the transport protocol on stdout — one line
+// per liveness beat and per durable cell record — and treats stdin EOF as
+// a cancellation signal, which is how a coordinator (and an interrupted
+// ssh connection) stops it.
+func runShardWorker(ctx context.Context, dir string, plan *shard.Plan, shardIdx int, cells string, workers int, heartbeat, progress bool) error {
 	sw, err := sweepFromPlan(plan)
 	if err != nil {
 		return err
 	}
-	sw.Workers = *workers
-	opts := shard.RunOptions{Shard: *shardIdx}
-	if *progress {
+	sw.Workers = workers
+	opts := shard.RunOptions{Shard: shardIdx}
+	label := fmt.Sprintf("shard %d", shardIdx)
+	if cells != "" {
+		if opts.Cells, err = parseIntList(cells); err != nil {
+			return fmt.Errorf("parsing -cells: %w", err)
+		}
+		label = fmt.Sprintf("cells %s", cells)
+	}
+	if progress {
 		opts.Progress = func(p sim.Progress) {
-			fmt.Fprintf(os.Stderr, "\rshard %d: %d/%d replications (%s rep %d/%d)    ",
-				*shardIdx, p.Done, p.Total, p.Label(), p.CellDone, p.CellReps)
+			fmt.Fprintf(os.Stderr, "\r%s: %d/%d replications (%s rep %d/%d)    ",
+				label, p.Done, p.Total, p.Label(), p.CellDone, p.CellReps)
 			if p.Done == p.Total {
 				fmt.Fprintln(os.Stderr)
 			}
 		}
 	}
-	stats, err := shard.Run(ctx, *dir, plan, &sw, opts)
+	if heartbeat {
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		emitter := transport.NewEmitter(os.Stdout)
+		emitter.Start(plan.Hash)
+		opts.OnCell = emitter.Cell
+		// Liveness ticker: cells can take minutes, the coordinator's lease
+		// timeout must not depend on cell granularity.
+		go func() {
+			t := time.NewTicker(time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					emitter.Alive()
+				}
+			}
+		}()
+		// Stdin EOF is the coordinator's cancel signal — the only one that
+		// reliably crosses an ssh connection.
+		go func() {
+			io.Copy(io.Discard, os.Stdin)
+			cancel()
+		}()
+		stats, err := shard.Run(ctx, dir, plan, &sw, opts)
+		if err != nil {
+			return err
+		}
+		emitter.Done()
+		fmt.Fprintf(os.Stderr, "%s: %d assigned, %d resumed from disk, %d run\n",
+			label, stats.Assigned, stats.Resumed, stats.Ran)
+		return nil
+	}
+	stats, err := shard.Run(ctx, dir, plan, &sw, opts)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("shard %d: %d cells assigned, %d resumed from disk, %d run\n",
-		*shardIdx, stats.Assigned, stats.Resumed, stats.Ran)
+	fmt.Printf("%s: %d cells assigned, %d resumed from disk, %d run\n",
+		label, stats.Assigned, stats.Resumed, stats.Ran)
 	return nil
 }
 
-// runShardWorkers is the local multi-process coordinator: one `nbandit
-// shard run -shard N` worker process per shard, all over the same
-// directory.
-func runShardWorkers(ctx context.Context, dir string, plan *shard.Plan, procs, workers int, progress bool) error {
-	self, err := os.Executable()
-	if err != nil {
-		return fmt.Errorf("locating own binary for worker processes: %w", err)
+// coordinatorOptions are the `shard run` flags that configure the
+// work-stealing coordinator.
+type coordinatorOptions struct {
+	transport, hosts     string
+	remoteDir, remoteBin string
+	procs                int
+	leaseTimeout         time.Duration
+	maxBatch             int
+	workers              int
+	progress             bool
+}
+
+// runShardCoordinator drives the work-stealing coordinator: cell batches
+// are leased to workers spawned over the chosen transport, straggler
+// leases are stolen, and batch sizes shrink as the queue drains.
+func runShardCoordinator(ctx context.Context, dir string, plan *shard.Plan, o coordinatorOptions) error {
+	// Reject a coordinator binary whose grid enumeration drifted from the
+	// plan before spawning anything.
+	if _, err := sweepFromPlan(plan); err != nil {
+		return err
 	}
-	c := &shard.Coordinator{
-		Plan:  plan,
-		Procs: procs,
-		Log:   os.Stderr,
-		Command: func(ctx context.Context, s int) *exec.Cmd {
-			args := []string{"shard", "run", "-dir", dir, "-shard", strconv.Itoa(s),
-				"-workers", strconv.Itoa(workers)}
-			if progress {
-				args = append(args, "-progress")
+	var tr transport.Transport
+	switch o.transport {
+	case "local":
+		self, err := os.Executable()
+		if err != nil {
+			return fmt.Errorf("locating own binary for worker processes: %w", err)
+		}
+		procs := o.procs
+		if procs <= 0 {
+			procs = plan.Shards()
+		}
+		tr = &transport.Local{Binary: self, Procs: procs, Log: os.Stderr}
+	case "ssh":
+		if o.hosts == "" {
+			return fmt.Errorf("-transport ssh needs -hosts")
+		}
+		var hostList []string
+		for _, h := range strings.Split(o.hosts, ",") {
+			if h = strings.TrimSpace(h); h != "" {
+				hostList = append(hostList, h)
 			}
-			cmd := exec.CommandContext(ctx, self, args...)
-			cmd.Stdout = os.Stdout
-			return cmd
-		},
+		}
+		if len(hostList) == 0 {
+			return fmt.Errorf("no hosts in %q", o.hosts)
+		}
+		tr = &transport.SSH{Hosts: hostList, Binary: o.remoteBin, Dir: o.remoteDir, Log: os.Stderr}
+	default:
+		return fmt.Errorf("unknown transport %q (valid: local, ssh)", o.transport)
 	}
-	eff := procs
-	if eff <= 0 || eff > plan.Shards() {
-		eff = plan.Shards()
+	c := &shard.StealCoordinator{
+		Plan: plan, Dir: dir, Transport: tr,
+		LeaseTimeout: o.leaseTimeout, MaxBatch: o.maxBatch,
+		Workers: o.workers, Progress: o.progress, Log: os.Stderr,
 	}
-	fmt.Fprintf(os.Stderr, "coordinator: %d shards, %d worker process(es) at a time\n",
-		plan.Shards(), eff)
-	return c.Run(ctx)
+	stats, err := c.Run(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d cells: %d resumed from disk, %d run over %d lease(s), %d steal(s)\n",
+		stats.Cells, stats.Resumed, stats.Completed, stats.Leases, stats.Steals)
+	return nil
 }
 
 func runShardMerge(args []string) error {
@@ -275,10 +381,37 @@ func runShardStatus(args []string) error {
 		}
 	}
 	for _, cell := range st.Invalid {
-		fmt.Printf("  invalid record for %s (will be rerun by its shard; merge refuses it)\n", cell)
+		fmt.Printf("  invalid record for %s (will be rerun by its owner; merge refuses it)\n", cell)
 	}
+	printLeaseState(*dir, plan)
 	if st.Done == st.Total {
-		fmt.Println("all shards complete — run 'nbandit shard merge' to fold the results")
+		fmt.Println("all cells complete — run 'nbandit shard merge' to fold the results")
 	}
 	return nil
+}
+
+// printLeaseState shows the work-stealing coordinator's persisted
+// snapshot, when one exists: live leases with their heartbeat ages, plus
+// lifetime lease/steal counters. The snapshot is advisory — the per-shard
+// record scan above is the ground truth.
+func printLeaseState(dir string, plan *shard.Plan) {
+	ls, err := shard.ReadLeaseState(dir)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			fmt.Printf("  lease state unreadable: %v\n", err)
+		}
+		return
+	}
+	if ls.Plan != plan.Hash {
+		fmt.Printf("  lease state is from another plan (%.12s) — ignoring\n", ls.Plan)
+		return
+	}
+	age := time.Since(ls.Time).Round(time.Second)
+	fmt.Printf("  coordinator (as of %s ago): %d/%d cells, %d queued, %d lease(s) granted, %d steal(s)\n",
+		age, ls.Done, ls.Total, ls.Queued, ls.Leases, ls.Steals)
+	for _, l := range ls.Active {
+		beat := ls.Time.Sub(l.LastBeat).Round(time.Second)
+		fmt.Printf("    lease %d on %s: %d cell(s) remaining %v, last heartbeat %s before snapshot\n",
+			l.ID, l.Slot, len(l.Cells), l.Cells, beat)
+	}
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"testing"
 
 	"netbandit/internal/shard"
@@ -119,5 +120,61 @@ func TestRunShardUsage(t *testing.T) {
 	}
 	if err := runShard([]string{"bogus"}); err == nil {
 		t.Fatal("unknown subcommand accepted")
+	}
+}
+
+// planTestDir writes a plan for the test sweep options into a temp dir via
+// the real CLI path.
+func planTestDir(t *testing.T) (string, *shard.Plan) {
+	t.Helper()
+	dir := t.TempDir()
+	o := testSweepOptions()
+	err := runShard([]string{"plan", "-dir", dir, "-shards", "3",
+		"-scenario", o.scenario, "-policies", o.policies, "-graph", o.graph,
+		"-k", fmt.Sprint(o.k), "-m", fmt.Sprint(o.m), "-p", o.params,
+		"-n", o.horizons, "-points", fmt.Sprint(o.points),
+		"-reps", fmt.Sprint(o.reps), "-seed", fmt.Sprint(o.seed)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := shard.ReadPlan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir, plan
+}
+
+// TestShardRunCellsLeaseMode drives the worker entry point the
+// work-stealing coordinator spawns: an explicit -cells lease executes
+// exactly the named cells, and a rerun of an overlapping lease resumes
+// them from disk.
+func TestShardRunCellsLeaseMode(t *testing.T) {
+	dir, plan := planTestDir(t)
+	if err := runShard([]string{"run", "-dir", dir, "-cells", "1,4,7"}); err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, len(plan.Cells))
+	for i := range all {
+		all[i] = i
+	}
+	st, err := shard.Scan(dir, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Done != 3 {
+		t.Fatalf("lease of 3 cells left %d records", st.Done)
+	}
+	// Overlapping second lease: cell 4 resumes, 0 and 2 run.
+	if err := runShard([]string{"run", "-dir", dir, "-cells", "0,2,4"}); err != nil {
+		t.Fatal(err)
+	}
+	if st, err = shard.Scan(dir, plan); err != nil || st.Done != 5 {
+		t.Fatalf("after second lease: done = %d, err = %v", st.Done, err)
+	}
+	if err := runShard([]string{"run", "-dir", dir, "-cells", "0", "-shard", "1"}); err == nil {
+		t.Fatal("-cells combined with -shard accepted")
+	}
+	if err := runShard([]string{"run", "-dir", dir, "-cells", "not-a-cell"}); err == nil {
+		t.Fatal("malformed -cells accepted")
 	}
 }

@@ -28,4 +28,25 @@
 // The named experiments behind every figure of the paper's evaluation
 // section are available through Experiments / FindExperiment and the
 // cmd/experiments binary.
+//
+// # Layer map
+//
+// The internal packages stack from primitives to orchestration (each
+// layer's invariants are documented in its own package doc; the full tour
+// lives in docs/ARCHITECTURE.md):
+//
+//	rng                       deterministic splittable RNG + counter streams
+//	graphs, armdist           relation graphs, reward distributions
+//	bandit, strategy          environments, scenarios, feasible families
+//	core, policy              the paper's DFL algorithms, baselines
+//	sim                       runners → replication → grid sweeps
+//	shard, shard/transport    distributable sweeps: plans, records,
+//	                          work-stealing coordinator, local/ssh workers
+//	cmd/nbandit               the CLI over all of it
+//
+// One contract spans every layer: all randomness derives from a single
+// seed, and each reward X_{i,t} is a pure function of its stream, so
+// results are bit-identical no matter how work is parallelised, subset,
+// interrupted, or spread across machines. Operating distributed sweeps is
+// covered by docs/RUNBOOK.md.
 package netbandit

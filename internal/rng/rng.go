@@ -1,13 +1,3 @@
-// Package rng provides a small, deterministic, splittable pseudo-random
-// number generator used by every stochastic component in this repository.
-//
-// Determinism matters here: experiments must be exactly reproducible from a
-// single seed, including when replications run in parallel. The package
-// therefore avoids math/rand's global state entirely. The generator is
-// xoshiro256++ seeded through SplitMix64, following the reference
-// construction by Blackman and Vigna. Independent streams for parallel
-// replications are derived with Split, which hashes a label into a fresh,
-// statistically independent seed.
 package rng
 
 import "math"

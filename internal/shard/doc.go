@@ -1,0 +1,47 @@
+// Package shard turns a sim.Sweep into a distributable, resumable job.
+//
+// # File protocol
+//
+// The protocol is a few kinds of files in one shared directory (local
+// disk for multi-process runs, any shared or synced filesystem across
+// machines):
+//
+//	dir/plan.json              — the versioned, content-hashed shard plan
+//	dir/cells/cell-NNNNNN.json — one checksummed record per finished cell
+//	dir/leases.json            — the coordinator's advisory lease snapshot
+//
+// A plan enumerates the sweep's cells and partitions their indices into N
+// shards. Because every replication stream is keyed on (seed, global cell
+// index, rep) and every reward X_{i,t} is a pure function of the cell
+// stream (counter-based sampling, package rng), a worker needs only the
+// plan and the sweep description to produce aggregates bit-identical to a
+// single-process run — no coordination of randomness, no ordering
+// constraints between workers, and no harm in running a cell twice: any
+// two workers produce byte-identical records for the same cell.
+//
+// Workers write each finished cell's aggregate atomically (tmp+rename),
+// so a killed run resumes by scanning completed records; torn or stale
+// records fail their checksum or plan-hash check and are treated as
+// absent by runners (rerun) and rejected by the merger. Merge folds all
+// records back into a sim.SweepResult that is bit-identical to
+// sim.Sweep.Run — whichever shards, machines, steals, or interruptions
+// produced the records. Completion is defined by the records alone:
+// everything else in this package is scheduling.
+//
+// # Static shards and dynamic leases
+//
+// There are two ways to execute a plan. The static path (Run with
+// RunOptions.Shard) executes one partition of the plan's Assign table —
+// hand-driven workers on machines sharing the directory. The dynamic path
+// (StealCoordinator) ignores the partition and leases adaptive batches of
+// incomplete cells to workers spawned through a transport.Transport
+// (local processes or ssh): workers heartbeat over stdout, a lease whose
+// heartbeat lapses has its remaining cells stolen back into the queue and
+// its worker killed, and batch sizes shrink as the queue drains so the
+// tail of a run is never serialised behind one straggler. Lease state is
+// persisted to dir/leases.json for `nbandit shard status`; it is advisory
+// observability, never load-bearing.
+//
+// See docs/ARCHITECTURE.md for the protocol lifecycle diagram and
+// docs/RUNBOOK.md for operating distributed sweeps.
+package shard

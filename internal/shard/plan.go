@@ -1,22 +1,3 @@
-// Package shard turns a sim.Sweep into a distributable, resumable job.
-//
-// The protocol is three kinds of files in one shared directory (local disk
-// for multi-process runs, any shared or synced filesystem across
-// machines):
-//
-//	dir/plan.json            — the versioned, content-hashed shard plan
-//	dir/cells/cell-NNNNNN.json — one checksummed record per finished cell
-//
-// A plan partitions the sweep's cell indices into N shards. Because every
-// replication stream is keyed on (seed, global cell index, rep) and every
-// reward X_{i,t} is a pure function of the cell stream (counter-based
-// sampling), a shard only needs the plan and the sweep description to
-// produce aggregates bit-identical to a single-process run — no
-// coordination of randomness, no ordering constraints between shards.
-// Workers write each finished cell's aggregate atomically (tmp+rename), so
-// a killed run resumes by scanning completed records and skipping those
-// cells, and the merger folds all records back into a sim.SweepResult
-// that is bit-identical to sim.Sweep.Run.
 package shard
 
 import (

@@ -10,16 +10,30 @@ import (
 
 // RunOptions configures one shard-runner invocation.
 type RunOptions struct {
-	// Shard selects which partition of the plan to execute.
+	// Shard selects which partition of the plan to execute. Ignored when
+	// Cells is non-nil.
 	Shard int
+	// Cells, when non-nil, names the exact global cell indices to execute
+	// instead of a plan partition — the work-stealing coordinator leases
+	// arbitrary batches this way (`shard run -cells ...`). Indices must be
+	// in range and free of duplicates.
+	Cells []int
 	// Progress, when non-nil, receives the sweep engine's per-replication
-	// events for this shard's cells (Done/Total count the shard's work).
+	// events for this invocation's cells (Done/Total count this
+	// invocation's work).
 	Progress sim.ProgressFunc
+	// OnCell, when non-nil, is called with each cell index whose record is
+	// durably on disk: once per resumed cell before any new cell runs, and
+	// once per executed cell immediately after its record's atomic rename.
+	// Heartbeat emission hangs off this hook — by the time it fires, a
+	// coordinator may safely count the cell complete.
+	OnCell func(index int)
 }
 
 // RunStats reports what one Run invocation did.
 type RunStats struct {
-	// Assigned is the number of cells in this shard's partition.
+	// Assigned is the number of cells this invocation was asked to run
+	// (the shard's partition, or len(Cells)).
 	Assigned int
 	// Resumed is how many assigned cells already had a valid record on
 	// disk and were skipped — the checkpoint/resume path.
@@ -34,18 +48,22 @@ type RunStats struct {
 	MaxBuffered int
 }
 
-// Run executes one shard of the plan: it validates that sw is the sweep
+// Run executes one batch of the plan's cells — a shard partition, or an
+// explicit lease via RunOptions.Cells. It validates that sw is the sweep
 // the plan was made from, scans dir/cells for already-completed records
-// (resume), runs the remaining assigned cells through the sweep engine,
-// and spills each cell's aggregate to its own checksummed record the
-// moment the cell finishes — peak aggregate memory is O(1 cell). A killed
-// run leaves every finished cell's record behind; rerunning executes
-// exactly the cells that are missing. Invalid records (torn copies, stale
-// plans) are treated as absent and overwritten.
+// (resume), runs the remaining cells through the sweep engine, and spills
+// each cell's aggregate to its own checksummed record the moment the cell
+// finishes — peak aggregate memory is O(1 cell). A killed run leaves every
+// finished cell's record behind; rerunning executes exactly the cells that
+// are missing. Invalid records (torn copies, stale plans) are treated as
+// absent and overwritten. Records are deterministic — any two workers
+// produce byte-identical records for the same cell — so concurrent or
+// repeated executions of the same cell (stolen leases, resumed stragglers)
+// are harmless.
 //
-// Concurrency within the shard comes from sw.Workers; concurrency across
-// shards comes from running one process per shard (Coordinator, or any
-// scheduler that can launch `nbandit shard run`).
+// Concurrency within the batch comes from sw.Workers; concurrency across
+// batches comes from running one process per batch (the work-stealing
+// StealCoordinator, or any scheduler that can launch `nbandit shard run`).
 func Run(ctx context.Context, dir string, p *Plan, sw *sim.Sweep, opts RunOptions) (RunStats, error) {
 	if err := p.check(); err != nil {
 		return RunStats{}, err
@@ -53,9 +71,13 @@ func Run(ctx context.Context, dir string, p *Plan, sw *sim.Sweep, opts RunOption
 	if err := p.Validate(sw); err != nil {
 		return RunStats{}, err
 	}
-	assigned, err := p.ShardCells(opts.Shard)
-	if err != nil {
-		return RunStats{}, err
+	assigned := opts.Cells
+	if assigned == nil {
+		var err error
+		assigned, err = p.ShardCells(opts.Shard)
+		if err != nil {
+			return RunStats{}, err
+		}
 	}
 	if err := os.MkdirAll(cellsDir(dir), 0o755); err != nil {
 		return RunStats{}, err
@@ -67,7 +89,11 @@ func Run(ctx context.Context, dir string, p *Plan, sw *sim.Sweep, opts RunOption
 	stats := RunStats{Assigned: len(assigned), Resumed: len(done)}
 	var remaining []int
 	for _, idx := range assigned {
-		if !done[idx] {
+		if done[idx] {
+			if opts.OnCell != nil {
+				opts.OnCell(idx)
+			}
+		} else {
 			remaining = append(remaining, idx)
 		}
 	}
@@ -79,6 +105,9 @@ func Run(ctx context.Context, dir string, p *Plan, sw *sim.Sweep, opts RunOption
 	cellStats, err := run.RunCells(ctx, remaining, func(c sim.CellResult) error {
 		if err := writeCellRecord(dir, p, c); err != nil {
 			return fmt.Errorf("spilling cell %d: %w", c.Index, err)
+		}
+		if opts.OnCell != nil {
+			opts.OnCell(c.Index)
 		}
 		return nil
 	})

@@ -1,0 +1,621 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"netbandit/internal/shard/transport"
+)
+
+// This file implements the dynamic coordinator: instead of freezing the
+// cell→worker assignment in the plan (the static Assign partition, still
+// used by hand-driven `shard run -shard N` workers), the StealCoordinator
+// keeps one queue of incomplete cells and leases batches of it to workers
+// spawned through a Transport. Work-stealing falls out of the lease rules:
+//
+//   - a worker that finishes its batch comes back for another lease, so
+//     fast workers drain the queue instead of idling next to slow ones
+//     (combinatorial cells vary wildly in cost with |F| and K);
+//   - a lease whose heartbeat lapses is expired — its remaining cells go
+//     back to the queue for any other worker to take (straggler
+//     re-assignment), and the straggler is killed;
+//   - batch sizes shrink as the queue drains, so the tail of the run is
+//     never serialised behind one large final batch.
+//
+// None of this can change the science: records are deterministic (a cell's
+// record is byte-identical no matter which worker produces it, because
+// replication streams are keyed on the global cell index and rewards on
+// (stream, arm, t)), so duplicated execution — a stolen cell finished by
+// both the straggler and the thief — merges to the same bytes as a
+// single-process run.
+
+// StealCoordinator executes a plan by leasing cell batches to workers
+// spawned through a Transport, re-leasing cells whose worker stops
+// heartbeating, and shrinking batches as the queue drains.
+type StealCoordinator struct {
+	// Plan is the job being executed. Required.
+	Plan *Plan
+	// Dir is the job directory holding plan.json and cells/ on the
+	// coordinator's side. Required.
+	Dir string
+	// Transport spawns and monitors the workers. Required.
+	Transport transport.Transport
+	// LeaseTimeout is how long a lease may go without a heartbeat before
+	// its remaining cells are stolen and the worker is killed; 0 means
+	// 30s. Workers beat every second plus once per finished cell, so the
+	// timeout should stay well above both the beat interval and the job
+	// directory's sync latency — never below ~3s in production.
+	LeaseTimeout time.Duration
+	// MaxBatch caps the number of cells per lease; 0 means no cap beyond
+	// the adaptive half-fair-share rule (see nextBatch).
+	MaxBatch int
+	// MaxRetries is how many times one cell may be returned to the queue
+	// by a failing worker (exit without a record, spawn churn) before the
+	// run aborts; 0 means 3. Steals do not count — a straggler is the
+	// machine's fault, not the cell's.
+	MaxRetries int
+	// Workers is the worker-pool size inside each spawned process
+	// (0 = the worker's GOMAXPROCS).
+	Workers int
+	// Progress forwards -progress to every worker; the per-replication
+	// streams arrive on Log, prefixed per slot.
+	Progress bool
+	// Log, when non-nil, receives coordinator events (grants, steals,
+	// failures) and the workers' prefixed stderr.
+	Log io.Writer
+
+	// now is a test seam for lease-expiry clocks; nil means time.Now.
+	now func() time.Time
+}
+
+// StealStats reports what one StealCoordinator.Run did.
+type StealStats struct {
+	// Cells is the plan's total cell count.
+	Cells int
+	// Resumed is how many cells already had a valid record when the
+	// coordinator started.
+	Resumed int
+	// Completed is how many cells gained a record during this run.
+	Completed int
+	// Leases is the total number of leases granted.
+	Leases int
+	// Steals is how many leases expired and had their remaining cells
+	// re-queued.
+	Steals int
+	// Requeued is how many cells were returned to the queue by workers
+	// that exited without finishing them (excluding steals).
+	Requeued int
+}
+
+// nextBatch sizes the next lease when queued cells remain: roughly half a
+// fair share of the queue per slot, so early leases are large (amortising
+// worker spawn cost) and the tail of the run degrades to single-cell
+// leases that no slot waits long behind. The size is monotone
+// non-decreasing in queued for fixed slots and cap — as the queue drains,
+// batches only shrink.
+func nextBatch(queued, slots, maxBatch int) int {
+	if queued <= 0 {
+		return 0
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	b := (queued + 2*slots - 1) / (2 * slots)
+	if maxBatch > 0 && b > maxBatch {
+		b = maxBatch
+	}
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// lease is one granted batch: the cells the worker still owes, and the
+// heartbeat clock that keeps the ownership alive.
+type lease struct {
+	id      int
+	slot    int
+	batch   []int        // granted cells, ascending (spawn spec)
+	cells   map[int]bool // remaining: granted minus completed
+	granted time.Time
+	last    time.Time // most recent heartbeat
+	worker  transport.Worker
+	stolen  bool
+}
+
+// stealRun is the mutable state of one Run, guarded by mu.
+type stealRun struct {
+	c      *StealCoordinator
+	ctx    context.Context
+	cancel context.CancelFunc
+	slots  int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queue    []int // incomplete, unleased cells, ascending
+	done     map[int]bool
+	left     int // incomplete cell count (queued + leased)
+	attempts map[int]int
+	active   map[int]*lease
+	nextID   int
+	stats    StealStats
+	failure  error
+}
+
+func (c *StealCoordinator) clock() time.Time {
+	if c.now != nil {
+		return c.now()
+	}
+	return time.Now()
+}
+
+func (c *StealCoordinator) leaseTimeout() time.Duration {
+	if c.LeaseTimeout > 0 {
+		return c.LeaseTimeout
+	}
+	return 30 * time.Second
+}
+
+func (c *StealCoordinator) maxRetries() int {
+	if c.MaxRetries > 0 {
+		return c.MaxRetries
+	}
+	return 3
+}
+
+func (c *StealCoordinator) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, "coordinator: "+format+"\n", args...)
+	}
+}
+
+// Run drives the queue dry: it scans dir/cells for already-completed
+// records, leases the rest to workers, steals from stragglers, and returns
+// once every cell of the plan has a valid record (merge-ready) or the run
+// has failed. A failure kills every outstanding worker; completed cells
+// stay on disk, so a relaunched coordinator resumes where this one ended.
+func (c *StealCoordinator) Run(ctx context.Context) (StealStats, error) {
+	if c.Plan == nil || c.Transport == nil || c.Dir == "" {
+		return StealStats{}, errors.New("shard: steal coordinator needs a Plan, a Dir, and a Transport")
+	}
+	if err := c.Plan.check(); err != nil {
+		return StealStats{}, err
+	}
+	slots := c.Transport.Slots()
+	if slots < 1 {
+		return StealStats{}, errors.New("shard: transport has no worker slots")
+	}
+	if err := os.MkdirAll(cellsDir(c.Dir), 0o755); err != nil {
+		return StealStats{}, err
+	}
+	all := make([]int, len(c.Plan.Cells))
+	for i := range all {
+		all[i] = i
+	}
+	completed, _, err := scanCompleted(c.Dir, c.Plan, all)
+	if err != nil {
+		return StealStats{}, err
+	}
+
+	st := &stealRun{
+		c:        c,
+		slots:    slots,
+		done:     completed,
+		attempts: make(map[int]int),
+		active:   make(map[int]*lease),
+	}
+	st.cond = sync.NewCond(&st.mu)
+	st.stats = StealStats{Cells: len(all), Resumed: len(completed)}
+	for _, idx := range all {
+		if !completed[idx] {
+			st.queue = append(st.queue, idx)
+		}
+	}
+	st.left = len(st.queue)
+	c.logf("%d cells, %d already on disk, %d to run over %d slot(s), lease timeout %s",
+		len(all), len(completed), st.left, slots, c.leaseTimeout())
+	if st.left == 0 {
+		st.persistLocked() // legal without mu: no goroutines yet
+		return st.stats, nil
+	}
+
+	st.ctx, st.cancel = context.WithCancel(ctx)
+	defer st.cancel()
+
+	// Wake blocked slots when the caller cancels, so they can observe it.
+	go func() {
+		<-st.ctx.Done()
+		st.mu.Lock()
+		st.killActiveLocked()
+		st.cond.Broadcast()
+		st.mu.Unlock()
+	}()
+
+	monitorDone := make(chan struct{})
+	go func() {
+		defer close(monitorDone)
+		st.monitor()
+	}()
+
+	var wg sync.WaitGroup
+	for s := 0; s < slots; s++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for {
+				l := st.take(slot)
+				if l == nil {
+					return
+				}
+				st.runLease(l)
+			}
+		}(s)
+	}
+	wg.Wait()
+	st.cancel()
+	<-monitorDone
+
+	st.mu.Lock()
+	st.persistLocked()
+	stats, failure, left := st.stats, st.failure, st.left
+	st.mu.Unlock()
+	if failure != nil {
+		return stats, failure
+	}
+	if err := ctx.Err(); err != nil {
+		return stats, fmt.Errorf("shard: coordinator cancelled: %w", err)
+	}
+	if left != 0 {
+		return stats, fmt.Errorf("shard: internal error: %d cell(s) unaccounted for", left)
+	}
+	c.logf("complete: %d cell(s) run, %d lease(s), %d steal(s)", stats.Completed, stats.Leases, stats.Steals)
+	return stats, nil
+}
+
+// take blocks until a batch can be leased to slot, all work is done, or
+// the run is aborted; it returns nil in the latter two cases.
+func (st *stealRun) take(slot int) *lease {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for {
+		if st.failure != nil || st.ctx.Err() != nil || st.left == 0 {
+			return nil
+		}
+		if len(st.queue) > 0 {
+			n := nextBatch(len(st.queue), st.slots, st.c.MaxBatch)
+			batch := append([]int(nil), st.queue[:n]...)
+			st.queue = append(st.queue[:0], st.queue[n:]...)
+			now := st.c.clock()
+			l := &lease{
+				id: st.nextID, slot: slot, batch: batch,
+				cells: make(map[int]bool, len(batch)), granted: now, last: now,
+			}
+			for _, idx := range batch {
+				l.cells[idx] = true
+			}
+			st.nextID++
+			st.active[l.id] = l
+			st.stats.Leases++
+			st.c.logf("lease %d → %s: %d cell(s) %v (%d queued)",
+				l.id, st.c.Transport.SlotName(slot), len(batch), batch, len(st.queue))
+			st.persistLocked()
+			return l
+		}
+		st.cond.Wait()
+	}
+}
+
+// runLease spawns the worker for one lease, consumes its heartbeats, and
+// settles the lease when the worker exits.
+func (st *stealRun) runLease(l *lease) {
+	spec := transport.Spec{Dir: st.c.Dir, Cells: l.batch, Workers: st.c.Workers, Progress: st.c.Progress}
+	w, err := st.c.Transport.Spawn(st.ctx, l.slot, spec)
+	if err != nil {
+		// A transport that cannot spawn is broken in a way retries will
+		// not fix (missing binary, unreachable host config): abort.
+		st.fail(fmt.Errorf("shard: spawning worker on %s: %w", st.c.Transport.SlotName(l.slot), err))
+		st.mu.Lock()
+		delete(st.active, l.id)
+		st.mu.Unlock()
+		return
+	}
+	st.mu.Lock()
+	l.worker = w
+	if st.failure != nil || st.ctx.Err() != nil || l.stolen {
+		// The run aborted (or a zero-timeout monitor expired the lease)
+		// while the spawn was in flight.
+		w.Kill()
+	}
+	st.mu.Unlock()
+
+	for ev := range w.Events() {
+		st.observe(l, ev)
+	}
+	st.settle(l, w.Wait())
+}
+
+// observe applies one heartbeat to the lease.
+func (st *stealRun) observe(l *lease, ev transport.Event) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	l.last = st.c.clock()
+	switch ev.Kind {
+	case transport.EventStart:
+		if ev.Plan != "" && ev.Plan != st.c.Plan.Hash {
+			st.failLocked(fmt.Errorf("shard: worker on %s runs plan %.12s, coordinator holds %.12s — mismatched directories or binaries",
+				st.c.Transport.SlotName(l.slot), ev.Plan, st.c.Plan.Hash))
+		}
+	case transport.EventCell:
+		if ev.Cell >= 0 && ev.Cell < len(st.c.Plan.Cells) {
+			st.markDoneLocked(ev.Cell, l)
+		}
+	}
+}
+
+// markDoneLocked records one durable cell. The cell leaves every lease and
+// the queue: a stolen cell can be finished by the original straggler (a
+// zombie whose records are byte-identical) while its re-lease is queued or
+// running, and both outcomes must count it exactly once.
+func (st *stealRun) markDoneLocked(idx int, l *lease) {
+	delete(l.cells, idx)
+	if st.done[idx] {
+		return
+	}
+	st.done[idx] = true
+	st.left--
+	st.stats.Completed++
+	for _, other := range st.active {
+		delete(other.cells, idx)
+	}
+	// The queue is kept ascending (take pops a prefix, requeueLocked
+	// re-sorts), so membership is a binary search, not a scan.
+	if i := sort.SearchInts(st.queue, idx); i < len(st.queue) && st.queue[i] == idx {
+		st.queue = append(st.queue[:i], st.queue[i+1:]...)
+	}
+	if st.left == 0 {
+		// Finished: reclaim every outstanding worker (stolen-from
+		// stragglers still wedged in Wait included) and release the slots.
+		st.killActiveLocked()
+		st.cond.Broadcast()
+	}
+}
+
+// settle closes out a lease after its worker exited: cells whose records
+// are on disk but whose heartbeat line was lost (worker killed between
+// rename and write) are claimed, the rest return to the queue.
+func (st *stealRun) settle(l *lease, exitErr error) {
+	st.mu.Lock()
+	remaining := sortedCells(l.cells)
+	st.mu.Unlock()
+
+	var onDisk map[int]bool
+	if len(remaining) > 0 {
+		onDisk, _, _ = scanCompleted(st.c.Dir, st.c.Plan, remaining)
+	}
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, idx := range remaining {
+		if onDisk[idx] {
+			st.markDoneLocked(idx, l)
+		}
+	}
+	unfinished := sortedCells(l.cells)
+	delete(st.active, l.id)
+	if len(unfinished) > 0 && !l.stolen && st.failure == nil && st.ctx.Err() == nil {
+		st.stats.Requeued += len(unfinished)
+		for _, idx := range unfinished {
+			st.attempts[idx]++
+			if st.attempts[idx] > st.c.maxRetries() {
+				st.failLocked(fmt.Errorf("shard: cell %d (%s) failed %d times (last worker error: %v)",
+					idx, st.c.Plan.Cells[idx].Cell, st.attempts[idx], exitErr))
+				return
+			}
+		}
+		st.requeueLocked(unfinished)
+		st.c.logf("lease %d on %s exited (%v) with %d cell(s) unfinished: re-queued",
+			l.id, st.c.Transport.SlotName(l.slot), exitErr, len(unfinished))
+	} else if exitErr != nil && !l.stolen && st.failure == nil && st.ctx.Err() == nil {
+		// Worker failed after all its cells were already durable (e.g.
+		// killed during teardown): the work is safe, just note it.
+		st.c.logf("lease %d on %s: worker exited with %v after finishing its cells",
+			l.id, st.c.Transport.SlotName(l.slot), exitErr)
+	}
+	st.persistLocked()
+	st.cond.Broadcast()
+}
+
+// monitor expires leases whose heartbeat lapsed and refreshes the
+// lease-state file.
+func (st *stealRun) monitor() {
+	interval := st.c.leaseTimeout() / 4
+	if interval < 5*time.Millisecond {
+		interval = 5 * time.Millisecond
+	}
+	if interval > time.Second {
+		interval = time.Second
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-st.ctx.Done():
+			return
+		case <-ticker.C:
+			st.mu.Lock()
+			now := st.c.clock()
+			for _, l := range st.active {
+				if l.worker == nil || l.stolen || now.Sub(l.last) <= st.c.leaseTimeout() {
+					continue
+				}
+				if len(l.cells) == 0 {
+					// Every cell of the lease is durable but the worker
+					// wedged before exiting (SIGSTOP after its last
+					// record, stuck teardown): nothing to steal, but the
+					// slot must be reclaimed or it blocks in Wait forever.
+					l.stolen = true
+					st.c.logf("lease %d on %s: finished its cells but went silent for %s — reclaiming the worker",
+						l.id, st.c.Transport.SlotName(l.slot), now.Sub(l.last).Round(time.Millisecond))
+					l.worker.Kill()
+					continue
+				}
+				st.stealLocked(l, now.Sub(l.last))
+			}
+			st.persistLocked()
+			st.mu.Unlock()
+		}
+	}
+}
+
+// stealLocked expires one lease: its remaining cells return to the queue
+// for any slot to take, and the straggling worker is killed (SIGKILL
+// reclaims even a SIGSTOPped process).
+func (st *stealRun) stealLocked(l *lease, silence time.Duration) {
+	stolen := sortedCells(l.cells)
+	l.cells = make(map[int]bool)
+	l.stolen = true
+	st.stats.Steals++
+	st.requeueLocked(stolen)
+	st.c.logf("lease %d on %s: no heartbeat for %s — stole %d cell(s) %v",
+		l.id, st.c.Transport.SlotName(l.slot), silence.Round(time.Millisecond), len(stolen), stolen)
+	l.worker.Kill()
+	st.cond.Broadcast()
+}
+
+// requeueLocked returns cells to the queue, keeping it ascending so lease
+// contents stay reproducible given one scheduling history.
+func (st *stealRun) requeueLocked(cells []int) {
+	st.queue = append(st.queue, cells...)
+	sort.Ints(st.queue)
+}
+
+func (st *stealRun) fail(err error) {
+	st.mu.Lock()
+	st.failLocked(err)
+	st.mu.Unlock()
+}
+
+// failLocked records the first terminal error, kills outstanding workers,
+// and wakes every slot so the run unwinds.
+func (st *stealRun) failLocked(err error) {
+	if st.failure == nil {
+		st.failure = err
+		st.killActiveLocked()
+		st.cancel()
+	}
+	st.cond.Broadcast()
+}
+
+func (st *stealRun) killActiveLocked() {
+	for _, l := range st.active {
+		if l.worker != nil {
+			l.worker.Kill()
+		}
+	}
+}
+
+func sortedCells(set map[int]bool) []int {
+	out := make([]int, 0, len(set))
+	for idx := range set {
+		out = append(out, idx)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// LeaseInfo is one active lease in a coordinator's state snapshot.
+type LeaseInfo struct {
+	// ID is the lease's grant sequence number.
+	ID int `json:"id"`
+	// Slot names the transport slot holding the lease (e.g. "local#0",
+	// "ssh:host2").
+	Slot string `json:"slot"`
+	// Cells are the lease's remaining (not yet durable) cell indices.
+	Cells []int `json:"cells"`
+	// Granted and LastBeat bound the lease's lifetime: LastBeat older than
+	// the coordinator's lease timeout means the lease is about to be
+	// stolen.
+	Granted  time.Time `json:"granted"`
+	LastBeat time.Time `json:"last_beat"`
+}
+
+// LeaseState is the coordinator's periodically persisted snapshot
+// (dir/leases.json): what `shard status` shows about a live run. It is
+// advisory observability only — correctness never depends on it, because
+// completion is defined by the cell records alone.
+type LeaseState struct {
+	// Plan is the hash of the plan being executed.
+	Plan string `json:"plan"`
+	// Time is when the snapshot was written (a stale Time means the
+	// coordinator is gone or wedged).
+	Time time.Time `json:"time"`
+	// Done and Total count the plan's durable and total cells as the
+	// coordinator sees them.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Queued is the number of incomplete cells not currently leased.
+	Queued int `json:"queued"`
+	// Leases and Steals are lifetime counters for this coordinator run.
+	Leases int `json:"leases"`
+	Steals int `json:"steals"`
+	// Active lists the outstanding leases.
+	Active []LeaseInfo `json:"active,omitempty"`
+}
+
+// LeaseStatePath returns the coordinator snapshot's location inside a
+// shard directory.
+func LeaseStatePath(dir string) string { return filepath.Join(dir, "leases.json") }
+
+// persistLocked writes the lease-state snapshot atomically; failures are
+// ignored (the snapshot is advisory, the records are the truth).
+func (st *stealRun) persistLocked() {
+	ls := &LeaseState{
+		Plan:   st.c.Plan.Hash,
+		Time:   st.c.clock(),
+		Done:   len(st.done),
+		Total:  len(st.c.Plan.Cells),
+		Queued: len(st.queue),
+		Leases: st.stats.Leases,
+		Steals: st.stats.Steals,
+	}
+	ids := make([]int, 0, len(st.active))
+	for id := range st.active {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		l := st.active[id]
+		ls.Active = append(ls.Active, LeaseInfo{
+			ID: l.id, Slot: st.c.Transport.SlotName(l.slot),
+			Cells: sortedCells(l.cells), Granted: l.granted, LastBeat: l.last,
+		})
+	}
+	raw, err := json.MarshalIndent(ls, "", "  ")
+	if err != nil {
+		return
+	}
+	_ = atomicWrite(LeaseStatePath(st.c.Dir), append(raw, '\n'))
+}
+
+// ReadLeaseState loads dir/leases.json. A missing file returns
+// fs.ErrNotExist: no coordinator has run here (or an old one predates
+// lease snapshots).
+func ReadLeaseState(dir string) (*LeaseState, error) {
+	raw, err := os.ReadFile(LeaseStatePath(dir))
+	if err != nil {
+		return nil, err
+	}
+	var ls LeaseState
+	if err := json.Unmarshal(raw, &ls); err != nil {
+		return nil, fmt.Errorf("shard: parsing %s: %w", LeaseStatePath(dir), err)
+	}
+	return &ls, nil
+}

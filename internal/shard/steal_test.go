@@ -1,0 +1,496 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"netbandit/internal/shard/transport"
+	"netbandit/internal/sim"
+)
+
+// The steal-coordinator tests drive the real lease/steal/settle machinery
+// against an in-process stub transport whose "workers" execute leases via
+// the real shard.Run, with scripted failure modes:
+//
+//   - freezeAtRep: stop heartbeating and block mid-replication, before any
+//     record of the current cell lands — the SIGSTOP straggler. Only a
+//     steal (Kill) unwedges it.
+//   - crashAtRep: die mid-replication — a worker crash that leaves its
+//     lease's cells without records.
+//   - crashAfterCells: die right after the Nth cell record became durable
+//     but before its heartbeat line went out — the lost-event window the
+//     settle-time disk re-scan exists for.
+//   - wrongPlan: advertise a different plan hash at start.
+//
+// The process-level plumbing (exec, pipes, SIGKILL on stopped processes)
+// is covered by the transport package's own tests and the CI e2e job that
+// SIGSTOPs a real worker.
+
+// stubBehavior scripts one spawned worker; the zero value misbehaves, use
+// normalWorker for a well-behaved one.
+type stubBehavior struct {
+	freezeAtRep     int
+	crashAtRep      int
+	crashAfterCells int
+	wrongPlan       bool
+	wedgeAtExit     bool // finish every cell, then hang instead of exiting
+}
+
+func normalWorker() stubBehavior {
+	return stubBehavior{freezeAtRep: -1, crashAtRep: -1, crashAfterCells: -1}
+}
+
+func freezeWorker(atRep int) stubBehavior {
+	b := normalWorker()
+	b.freezeAtRep = atRep
+	return b
+}
+
+func crashWorker(atRep int) stubBehavior {
+	b := normalWorker()
+	b.crashAtRep = atRep
+	return b
+}
+
+type stubTransport struct {
+	dir   string
+	plan  *Plan
+	slots int
+
+	mu        sync.Mutex
+	spawns    int
+	behaviors []stubBehavior // by spawn order; exhausted ⇒ normalWorker
+}
+
+func (tr *stubTransport) Slots() int               { return tr.slots }
+func (tr *stubTransport) SlotName(slot int) string { return fmt.Sprintf("stub#%d", slot) }
+
+type stubWorker struct {
+	events   chan transport.Event
+	kill     chan struct{}
+	killOnce sync.Once
+	done     chan struct{}
+	err      error
+}
+
+func (w *stubWorker) Events() <-chan transport.Event { return w.events }
+func (w *stubWorker) Kill()                          { w.killOnce.Do(func() { close(w.kill) }) }
+func (w *stubWorker) Wait() error {
+	<-w.done
+	return w.err
+}
+
+func (tr *stubTransport) Spawn(ctx context.Context, slot int, spec transport.Spec) (transport.Worker, error) {
+	tr.mu.Lock()
+	b := normalWorker()
+	if tr.spawns < len(tr.behaviors) {
+		b = tr.behaviors[tr.spawns]
+	}
+	tr.spawns++
+	tr.mu.Unlock()
+
+	w := &stubWorker{
+		events: make(chan transport.Event, 64),
+		kill:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	runCtx, cancel := context.WithCancel(context.Background())
+	go func() {
+		<-w.kill
+		cancel() // Kill stops even a busy worker, like SIGKILL would
+	}()
+
+	var quiet atomic.Bool // true once frozen/crashed: no more beats
+	stopAlive := make(chan struct{})
+	var aliveWG sync.WaitGroup
+	aliveWG.Add(1)
+	go func() {
+		defer aliveWG.Done()
+		t := time.NewTicker(5 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopAlive:
+				return
+			case <-t.C:
+				if quiet.Load() {
+					continue
+				}
+				select {
+				case w.events <- transport.Event{Kind: transport.EventAlive}:
+				case <-stopAlive:
+					return
+				}
+			}
+		}
+	}()
+
+	go func() {
+		planHash := tr.plan.Hash
+		if b.wrongPlan {
+			planHash = strings.Repeat("0", len(planHash))
+		}
+		w.events <- transport.Event{Kind: transport.EventStart, Plan: planHash}
+
+		sw := testSweep()
+		sw.Workers = 2
+		reps, cells := 0, 0
+		opts := RunOptions{
+			Cells: spec.Cells,
+			Progress: func(sim.Progress) {
+				if reps == b.freezeAtRep {
+					quiet.Store(true)
+					<-w.kill // wedged until the coordinator reclaims us
+				}
+				if reps == b.crashAtRep {
+					quiet.Store(true)
+					cancel()
+				}
+				reps++
+			},
+			OnCell: func(idx int) {
+				if cells == b.crashAfterCells {
+					// The record is durable but the heartbeat for it is
+					// lost: die silently.
+					quiet.Store(true)
+					cancel()
+					cells++
+					return
+				}
+				cells++
+				select {
+				case w.events <- transport.Event{Kind: transport.EventCell, Cell: idx}:
+				case <-w.kill:
+				}
+			},
+		}
+		_, err := Run(runCtx, tr.dir, tr.plan, sw, opts)
+		if err == nil && b.wedgeAtExit {
+			// Every record is durable, but the process never exits and
+			// stops beating — SIGSTOP during teardown.
+			quiet.Store(true)
+			<-w.kill
+			err = fmt.Errorf("stub worker killed while wedged at exit")
+		}
+		close(stopAlive)
+		aliveWG.Wait()
+		if err == nil {
+			w.events <- transport.Event{Kind: transport.EventDone}
+		}
+		close(w.events)
+		w.err = err
+		close(w.done)
+	}()
+	return w, nil
+}
+
+// stealFixture plans the test sweep into a fresh dir and wires a stub
+// transport plus a fast-clock coordinator around it.
+func stealFixture(t *testing.T, slots int, behaviors ...stubBehavior) (*StealCoordinator, *stubTransport, *bytes.Buffer) {
+	t.Helper()
+	dir := t.TempDir()
+	plan, err := NewPlan(testSweep(), nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePlan(dir, plan); err != nil {
+		t.Fatal(err)
+	}
+	tr := &stubTransport{dir: dir, plan: plan, slots: slots, behaviors: behaviors}
+	var log bytes.Buffer
+	c := &StealCoordinator{
+		Plan: plan, Dir: dir, Transport: tr,
+		// Stub workers beat every 5ms; 150ms of silence means frozen, not
+		// slow, even on a loaded CI machine. (A spurious steal would be
+		// harmless anyway — that invariant is what the property test
+		// below exercises.)
+		LeaseTimeout: 150 * time.Millisecond,
+		Log:          &log,
+	}
+	return c, tr, &log
+}
+
+func mergedEqualsGolden(t *testing.T, dir string, plan *Plan, golden []byte) {
+	t.Helper()
+	merged, err := Merge(dir, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(exportJSON(t, merged), golden) {
+		t.Fatal("merged output differs from single-process Sweep.Run")
+	}
+}
+
+// TestStealCoordinatorCompletesCleanRun: no failures, two slots — the
+// queue drains through leases alone and the merge matches the golden.
+func TestStealCoordinatorCompletesCleanRun(t *testing.T) {
+	golden := singleProcessGolden(t)
+	c, _, _ := stealFixture(t, 2)
+	stats, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != len(c.Plan.Cells) || stats.Resumed != 0 || stats.Steals != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.Leases < 2 {
+		t.Fatalf("expected multiple leases (adaptive batches), got %+v", stats)
+	}
+	mergedEqualsGolden(t, c.Dir, c.Plan, golden)
+
+	// The persisted lease snapshot outlives the run for `shard status`.
+	ls, err := ReadLeaseState(c.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Plan != c.Plan.Hash || ls.Done != len(c.Plan.Cells) || len(ls.Active) != 0 {
+		t.Fatalf("final lease state = %+v", ls)
+	}
+}
+
+// TestStealCoordinatorStealsFromStraggler is the straggler acceptance
+// test: the first worker freezes mid-replication (the in-process analogue
+// of SIGSTOP — no heartbeats, no exit), its lease expires, its cells are
+// stolen and finished by the other slot, and the merge is bit-identical
+// to the single-process run.
+func TestStealCoordinatorStealsFromStraggler(t *testing.T) {
+	golden := singleProcessGolden(t)
+	c, _, log := stealFixture(t, 2, freezeWorker(0))
+	stats, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Steals < 1 {
+		t.Fatalf("straggler was never stolen from: %+v", stats)
+	}
+	if stats.Completed != len(c.Plan.Cells) {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if !strings.Contains(log.String(), "stole") {
+		t.Fatalf("log does not mention the steal: %q", log.String())
+	}
+	mergedEqualsGolden(t, c.Dir, c.Plan, golden)
+	ls, err := ReadLeaseState(c.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Steals != stats.Steals {
+		t.Fatalf("lease state steals = %d, stats = %d", ls.Steals, stats.Steals)
+	}
+}
+
+// TestStealCoordinatorReclaimsWedgedIdleWorker: a worker that finished
+// every cell of its lease but wedges before exiting (SIGSTOP during
+// teardown) holds no stealable cells — yet its slot must still be
+// reclaimed after the lease timeout, or a single-slot run would hang with
+// cells left in the queue.
+func TestStealCoordinatorReclaimsWedgedIdleWorker(t *testing.T) {
+	golden := singleProcessGolden(t)
+	b := normalWorker()
+	b.wedgeAtExit = true
+	c, _, log := stealFixture(t, 1, b) // one slot: a leaked slot = deadlock
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	stats, err := c.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != len(c.Plan.Cells) {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if !strings.Contains(log.String(), "reclaiming") {
+		t.Fatalf("log does not mention reclaiming the wedged worker: %q", log.String())
+	}
+	mergedEqualsGolden(t, c.Dir, c.Plan, golden)
+}
+
+// TestStealCoordinatorSurvivesLostCellEvents: a worker dies right after a
+// record became durable but before its heartbeat line went out. The
+// settle-time disk re-scan must claim the cell instead of re-queueing it.
+func TestStealCoordinatorSurvivesLostCellEvents(t *testing.T) {
+	golden := singleProcessGolden(t)
+	b := normalWorker()
+	b.crashAfterCells = 0 // first record durable, heartbeat lost, dead
+	c, _, _ := stealFixture(t, 2, b)
+	stats, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != len(c.Plan.Cells) {
+		t.Fatalf("stats = %+v", stats)
+	}
+	mergedEqualsGolden(t, c.Dir, c.Plan, golden)
+}
+
+// TestStealCoordinatorResumesFromDisk: cells completed by an earlier
+// (killed) run are not re-leased.
+func TestStealCoordinatorResumesFromDisk(t *testing.T) {
+	golden := singleProcessGolden(t)
+	c, _, _ := stealFixture(t, 2)
+	// Pre-complete half the grid, as a killed earlier run would have.
+	sw := testSweep()
+	if _, err := Run(context.Background(), c.Dir, c.Plan, sw, RunOptions{Cells: []int{0, 2, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Resumed != 3 || stats.Completed != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	mergedEqualsGolden(t, c.Dir, c.Plan, golden)
+
+	// A second coordinator over the complete directory leases nothing.
+	again, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Resumed != len(c.Plan.Cells) || again.Leases != 0 {
+		t.Fatalf("idempotent rerun stats = %+v", again)
+	}
+}
+
+// TestStealCoordinatorRejectsForeignPlanWorker: a worker advertising a
+// different plan hash (wrong directory, drifted binary) aborts the run
+// instead of contributing silently wrong records.
+func TestStealCoordinatorRejectsForeignPlanWorker(t *testing.T) {
+	b := normalWorker()
+	b.wrongPlan = true
+	c, _, _ := stealFixture(t, 1, b)
+	if _, err := c.Run(context.Background()); err == nil || !strings.Contains(err.Error(), "plan") {
+		t.Fatalf("foreign-plan worker accepted (err = %v)", err)
+	}
+}
+
+// TestStealCoordinatorAbortsAfterRepeatedCellFailures: a cell whose
+// workers keep dying without producing a record exhausts MaxRetries and
+// fails the run (instead of spinning forever).
+func TestStealCoordinatorAbortsAfterRepeatedCellFailures(t *testing.T) {
+	crashes := make([]stubBehavior, 32)
+	for i := range crashes {
+		crashes[i] = crashWorker(0) // die before any record, every time
+	}
+	c, _, _ := stealFixture(t, 1, crashes...)
+	c.MaxRetries = 2
+	_, err := c.Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "failed") {
+		t.Fatalf("repeated failures did not abort (err = %v)", err)
+	}
+}
+
+// TestStealCoordinatorValidates covers the constructor-shaped errors.
+func TestStealCoordinatorValidates(t *testing.T) {
+	if _, err := (&StealCoordinator{}).Run(context.Background()); err == nil {
+		t.Fatal("coordinator without plan/dir/transport accepted")
+	}
+	c, tr, _ := stealFixture(t, 0)
+	_ = tr
+	if _, err := c.Run(context.Background()); err == nil {
+		t.Fatal("transport with zero slots accepted")
+	}
+}
+
+// TestStealMergeBitIdenticalUnderLeaseInterleavings is the lease-semantics
+// property test: random interleavings of lease grants, heartbeat expiry,
+// steals, worker crashes (before and after records land), duplicated
+// execution (a stolen cell finished by both straggler and thief), and
+// pre-completed cells must all merge bit-identically to a single-process
+// Sweep.Run. Completion is defined by deterministic records, so no
+// scheduling history may change a byte of the result.
+func TestStealMergeBitIdenticalUnderLeaseInterleavings(t *testing.T) {
+	golden := singleProcessGolden(t)
+	rnd := rand.New(rand.NewSource(20260726))
+	for trial := 0; trial < 6; trial++ {
+		var behaviors []stubBehavior
+		for i, n := 0, rnd.Intn(4); i < n; i++ {
+			switch rnd.Intn(3) {
+			case 0:
+				behaviors = append(behaviors, freezeWorker(rnd.Intn(4)))
+			case 1:
+				behaviors = append(behaviors, crashWorker(rnd.Intn(4)))
+			default:
+				b := normalWorker()
+				b.crashAfterCells = rnd.Intn(2)
+				behaviors = append(behaviors, b)
+			}
+		}
+		c, _, _ := stealFixture(t, 2+rnd.Intn(2), behaviors...)
+		c.MaxRetries = 20 // failure modes are scripted, not under test here
+		c.MaxBatch = 1 + rnd.Intn(3)
+		if rnd.Intn(2) == 0 {
+			// Pre-complete a random cell: the duplicate-record resume path.
+			pre := rnd.Intn(len(c.Plan.Cells))
+			sw := testSweep()
+			if _, err := Run(context.Background(), c.Dir, c.Plan, sw, RunOptions{Cells: []int{pre}}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		stats, err := c.Run(context.Background())
+		if err != nil {
+			t.Fatalf("trial %d (behaviors %+v): %v", trial, behaviors, err)
+		}
+		if stats.Resumed+stats.Completed != len(c.Plan.Cells) {
+			t.Fatalf("trial %d: cells unaccounted for: %+v", trial, stats)
+		}
+		mergedEqualsGolden(t, c.Dir, c.Plan, golden)
+	}
+}
+
+// TestNextBatchShrinksMonotonically: the adaptive batch size never grows
+// as the queue drains, never drops below one cell, and respects the cap.
+func TestNextBatchShrinksMonotonically(t *testing.T) {
+	for _, slots := range []int{1, 2, 4, 8} {
+		for _, maxBatch := range []int{0, 3} {
+			prev := 0
+			for queued := 1; queued <= 500; queued++ {
+				b := nextBatch(queued, slots, maxBatch)
+				if b < 1 {
+					t.Fatalf("slots=%d cap=%d queued=%d: batch %d < 1", slots, maxBatch, queued, b)
+				}
+				if maxBatch > 0 && b > maxBatch {
+					t.Fatalf("slots=%d cap=%d queued=%d: batch %d exceeds cap", slots, maxBatch, queued, b)
+				}
+				if b < prev { // growing queued must never shrink the batch…
+					t.Fatalf("slots=%d cap=%d: batch grew from %d to %d as queue shrank from %d to %d",
+						slots, maxBatch, b, prev, queued, queued-1)
+				}
+				prev = b
+			}
+		}
+	}
+	if nextBatch(0, 4, 0) != 0 {
+		t.Fatal("empty queue must yield no batch")
+	}
+}
+
+// TestLeaseStateRoundTrip: the snapshot survives its JSON encoding and a
+// missing file reports os.IsNotExist.
+func TestLeaseStateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadLeaseState(dir); !os.IsNotExist(err) {
+		t.Fatalf("missing lease state: err = %v, want IsNotExist", err)
+	}
+	plan, err := NewPlan(testSweep(), nil, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &StealCoordinator{Plan: plan, Dir: dir, Transport: &stubTransport{dir: dir, plan: plan, slots: 1}}
+	st := &stealRun{c: c, done: map[int]bool{0: true}, active: map[int]*lease{}}
+	st.persistLocked()
+	ls, err := ReadLeaseState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Plan != plan.Hash || ls.Done != 1 || ls.Total != len(plan.Cells) {
+		t.Fatalf("round trip = %+v", ls)
+	}
+}

@@ -1,0 +1,184 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os/exec"
+	"sync"
+)
+
+// execWorker is the process-backed Worker both built-in transports share:
+// an argv launched with its stdout scanned for heartbeats, its stderr
+// line-prefixed into a shared log, and its stdin held open as the
+// cancellation channel (closing it tells the worker to stop, which is the
+// only signal that crosses an SSH connection).
+type execWorker struct {
+	cmd    *exec.Cmd
+	stdin  io.WriteCloser
+	stdout io.ReadCloser
+	events chan Event
+
+	drained  chan struct{} // closed when the stdout scanner finishes
+	waitOnce sync.Once
+	waitErr  error
+	killOnce sync.Once
+}
+
+// startWorker launches argv and wires the heartbeat plumbing. prefix tags
+// the worker's log lines; log may be nil to discard non-protocol output.
+func startWorker(ctx context.Context, argv []string, log *lineWriter) (*execWorker, error) {
+	if len(argv) == 0 {
+		return nil, fmt.Errorf("transport: empty worker command")
+	}
+	cmd := exec.CommandContext(ctx, argv[0], argv[1:]...)
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if log != nil {
+		cmd.Stderr = log
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("transport: starting %q: %w", argv[0], err)
+	}
+	w := &execWorker{
+		cmd:     cmd,
+		stdin:   stdin,
+		stdout:  stdout,
+		events:  make(chan Event, 16),
+		drained: make(chan struct{}),
+	}
+	go func() {
+		defer close(w.events)
+		defer close(w.drained)
+		drainLines(stdout, w.events, log)
+	}()
+	return w, nil
+}
+
+// Events returns the parsed heartbeat stream.
+func (w *execWorker) Events() <-chan Event { return w.events }
+
+// Wait blocks until the process exits and stdout is drained. Safe to call
+// more than once; the first result is cached.
+func (w *execWorker) Wait() error {
+	w.waitOnce.Do(func() {
+		<-w.drained
+		w.waitErr = w.cmd.Wait()
+	})
+	return w.waitErr
+}
+
+// Kill closes the worker's stdin (the polite cross-connection cancel) and
+// force-kills the local process. SIGKILL is delivered even to a stopped
+// process, so a SIGSTOPped straggler is reliably reclaimed. The stdout
+// read end is closed too: a killed worker may leave orphaned children
+// holding the pipe's write end open (sh spawning sleep, ssh leaving a
+// remote process behind), and without the close the heartbeat scanner —
+// and therefore Wait and the coordinator's drain loop — would block until
+// those orphans exit.
+func (w *execWorker) Kill() {
+	w.killOnce.Do(func() {
+		w.stdin.Close()
+		if w.cmd.Process != nil {
+			w.cmd.Process.Kill()
+		}
+		w.stdout.Close()
+	})
+}
+
+// Local is the Transport that runs workers as child processes of the
+// coordinator on this machine: `Binary shard run -dir <dir> -cells ...
+// -heartbeat`. It is the refactor of the old one-process-per-shard exec
+// coordinator onto the lease protocol — the process tree is the same, but
+// which cells a process runs is now decided per lease, not frozen in the
+// plan.
+type Local struct {
+	// Binary is the worker executable, typically the running binary
+	// (os.Executable()). Required.
+	Binary string
+	// Procs is the number of worker slots (concurrent processes);
+	// 0 means 2.
+	Procs int
+	// Log receives every worker's stderr and non-protocol stdout, each
+	// line prefixed with the worker's slot. May be nil.
+	Log io.Writer
+
+	logMu sync.Mutex // interleave log lines whole across workers
+}
+
+// Slots returns the concurrent-process cap.
+func (l *Local) Slots() int {
+	if l.Procs > 0 {
+		return l.Procs
+	}
+	return 2
+}
+
+// SlotName names a local slot.
+func (l *Local) SlotName(slot int) string { return fmt.Sprintf("local#%d", slot) }
+
+// Spawn launches one worker process for the lease.
+func (l *Local) Spawn(ctx context.Context, slot int, spec Spec) (Worker, error) {
+	if l.Binary == "" {
+		return nil, fmt.Errorf("transport: Local needs a worker Binary")
+	}
+	argv := append([]string{l.Binary}, WorkerArgs(spec.Dir, spec)...)
+	return startWorker(ctx, argv, l.logWriter(slot))
+}
+
+func (l *Local) logWriter(slot int) *lineWriter {
+	if l.Log == nil {
+		return nil
+	}
+	return &lineWriter{mu: &l.logMu, w: l.Log, prefix: "[" + l.SlotName(slot) + "] "}
+}
+
+// lineWriter prefixes each written line and serialises writes through a
+// mutex shared by every worker targeting the same destination, so logs
+// interleave by whole lines.
+type lineWriter struct {
+	mu     *sync.Mutex
+	w      io.Writer
+	prefix string
+	buf    bytes.Buffer
+}
+
+// writeLine emits one complete, already-split line (scanner output).
+func (lw *lineWriter) writeLine(line string) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	io.WriteString(lw.w, lw.prefix+line+"\n")
+}
+
+func (lw *lineWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	lw.buf.Write(p)
+	for {
+		// Both '\n' and '\r' terminate a segment: worker -progress streams
+		// are carriage-return animated and may never emit a newline until
+		// the very end, so flushing only on '\n' would buffer the whole
+		// run (and show nothing while it happens).
+		b := lw.buf.Bytes()
+		i := bytes.IndexAny(b, "\r\n")
+		if i < 0 {
+			break // partial segment: keep it for the next write
+		}
+		seg := string(b[:i+1])
+		lw.buf.Next(i + 1)
+		if seg == "\r" {
+			continue // bare carriage return: nothing worth prefixing
+		}
+		if _, err := io.WriteString(lw.w, lw.prefix+seg); err != nil {
+			return len(p), err
+		}
+	}
+	return len(p), nil
+}

@@ -1,0 +1,107 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// SSH is the Transport that runs workers on remote hosts over plain ssh:
+// `ssh <host> <binary> shard run -dir <dir> -cells ... -heartbeat`. One
+// slot per Hosts entry; list a host twice to run two workers on it.
+//
+// The job directory must be synced between the coordinator and every host
+// (shared filesystem, rsync loop, syncthing, ...): workers write their
+// cell records on their own machine, and the merge reads them wherever the
+// directory is assembled. Liveness and completion do not depend on the
+// sync — they travel in-band as heartbeats on the ssh connection's stdout,
+// and a worker whose connection dies observes stdin EOF and stops. A
+// stolen cell may end up with records written by two hosts; that is
+// harmless because records are deterministic — every worker produces
+// byte-identical records for the same cell, so whichever copy syncs last
+// changes nothing.
+//
+// Authentication is the operator's problem by design: the transport runs
+// whatever Command says (default "ssh"), so agent forwarding, jump hosts,
+// and per-host users all live in ssh config, not here.
+type SSH struct {
+	// Hosts are the ssh destinations (user@host works); one worker slot
+	// per entry. Required.
+	Hosts []string
+	// Binary is the worker executable on the remote hosts; "" means
+	// "nbandit" on the remote PATH.
+	Binary string
+	// Dir, when non-empty, overrides the job directory path on the remote
+	// side (the coordinator's Spec.Dir is used otherwise).
+	Dir string
+	// Command is the ssh client invocation; nil means
+	// {"ssh", "-o", "BatchMode=yes"} so a missing key fails fast instead
+	// of prompting inside a worker slot.
+	Command []string
+	// Log receives every worker's stderr and non-protocol stdout, each
+	// line prefixed with its host. May be nil.
+	Log io.Writer
+
+	logMu sync.Mutex
+}
+
+// Slots returns one slot per configured host entry.
+func (s *SSH) Slots() int { return len(s.Hosts) }
+
+// SlotName names a slot by its host.
+func (s *SSH) SlotName(slot int) string {
+	if slot < 0 || slot >= len(s.Hosts) {
+		return fmt.Sprintf("ssh#%d", slot)
+	}
+	return "ssh:" + s.Hosts[slot]
+}
+
+// Spawn launches one worker on the slot's host.
+func (s *SSH) Spawn(ctx context.Context, slot int, spec Spec) (Worker, error) {
+	if slot < 0 || slot >= len(s.Hosts) {
+		return nil, fmt.Errorf("transport: ssh slot %d out of range [0,%d)", slot, len(s.Hosts))
+	}
+	return startWorker(ctx, s.argv(slot, spec), s.logWriter(slot))
+}
+
+// argv builds the full local command line for one lease. The remote part
+// is shell-quoted because ssh concatenates its arguments into one string
+// for the remote shell.
+func (s *SSH) argv(slot int, spec Spec) []string {
+	client := s.Command
+	if client == nil {
+		client = []string{"ssh", "-o", "BatchMode=yes"}
+	}
+	bin := s.Binary
+	if bin == "" {
+		bin = "nbandit"
+	}
+	dir := spec.Dir
+	if s.Dir != "" {
+		dir = s.Dir
+	}
+	remote := append([]string{bin}, WorkerArgs(dir, spec)...)
+	quoted := make([]string, len(remote))
+	for i, a := range remote {
+		quoted[i] = shellQuote(a)
+	}
+	argv := append(append([]string{}, client...), s.Hosts[slot])
+	return append(argv, strings.Join(quoted, " "))
+}
+
+func (s *SSH) logWriter(slot int) *lineWriter {
+	if s.Log == nil {
+		return nil
+	}
+	return &lineWriter{mu: &s.logMu, w: s.Log, prefix: "[" + s.SlotName(slot) + "] "}
+}
+
+// shellQuote renders one argument safely for a POSIX remote shell.
+func shellQuote(s string) string {
+	if s != "" && !strings.ContainsAny(s, " \t\n\"'`$\\*?[]{}()<>|&;~#") {
+		return s
+	}
+	return "'" + strings.ReplaceAll(s, "'", `'\''`) + "'"
+}

@@ -1,0 +1,255 @@
+// Package transport abstracts how the work-stealing shard coordinator
+// launches, monitors, and cancels workers for a leased batch of cells.
+//
+// A Transport owns a fixed number of slots (concurrent worker processes it
+// can host); Spawn turns one lease — a Spec naming the job directory and
+// the leased cell indices — into a running Worker. The coordinator never
+// sees processes, only the Worker contract:
+//
+//   - Events streams heartbeat Events parsed from the worker's stdout.
+//     Any heartbeat proves liveness; an EventCell additionally proves the
+//     named cell's record is durably on disk on the worker's side.
+//   - Wait blocks until the worker exits.
+//   - Kill force-terminates the worker. It must work on a process that is
+//     stopped (SIGSTOP) or wedged, because it is how stolen leases are
+//     reclaimed.
+//
+// Two implementations ship: Local runs `<binary> shard run -cells ...
+// -heartbeat` on this machine, SSH runs the same command on a remote host
+// against a synced job directory. Both speak the line protocol below over
+// the worker's stdin/stdout: stdout carries heartbeats, and the transport
+// holds the worker's stdin open — the worker treats stdin EOF as a cancel
+// signal, which is what reaches an SSH-launched process when the client
+// dies (no signal delivery is needed across the connection).
+//
+// The wire protocol is deliberately trivial — one space-separated line per
+// event, prefixed so it can share stdout with human output:
+//
+//	nbhb1 start <plan-hash>   worker accepted the lease under this plan
+//	nbhb1 alive               periodic liveness (worker default: 1s)
+//	nbhb1 cell <index>        cell <index>'s record is durable on disk
+//	nbhb1 done                every leased cell is complete
+//
+// Unparseable stdout lines are forwarded to the transport's log writer,
+// never treated as protocol errors.
+package transport
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// protoPrefix tags every heartbeat line; the version is part of the tag so
+// a future protocol change cannot be half-understood.
+const protoPrefix = "nbhb1"
+
+// EventKind enumerates the heartbeat protocol's line types.
+type EventKind int
+
+// The four heartbeat event kinds, in lifecycle order.
+const (
+	// EventStart is the worker's first line: it accepted the lease and is
+	// executing under the plan hash carried in Event.Plan.
+	EventStart EventKind = iota
+	// EventAlive is a bare periodic liveness beat.
+	EventAlive
+	// EventCell reports that the record for cell Event.Cell is durably on
+	// disk (written via atomic rename before the line is emitted).
+	EventCell
+	// EventDone reports that every leased cell has a record.
+	EventDone
+)
+
+// String returns the kind's protocol verb.
+func (k EventKind) String() string {
+	switch k {
+	case EventStart:
+		return "start"
+	case EventAlive:
+		return "alive"
+	case EventCell:
+		return "cell"
+	case EventDone:
+		return "done"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one parsed heartbeat.
+type Event struct {
+	// Kind says which protocol line this is.
+	Kind EventKind
+	// Cell is the completed cell's global grid index (EventCell only).
+	Cell int
+	// Plan is the plan hash the worker runs under (EventStart only).
+	Plan string
+}
+
+// Encode returns the event's wire line, without a trailing newline.
+func (e Event) Encode() string {
+	switch e.Kind {
+	case EventStart:
+		return protoPrefix + " start " + e.Plan
+	case EventCell:
+		return protoPrefix + " cell " + strconv.Itoa(e.Cell)
+	case EventDone:
+		return protoPrefix + " done"
+	default:
+		return protoPrefix + " alive"
+	}
+}
+
+// ParseEvent decodes one stdout line. ok is false for anything that is not
+// a well-formed heartbeat — callers forward such lines to their log.
+func ParseEvent(line string) (ev Event, ok bool) {
+	fields := strings.Fields(strings.TrimSpace(line))
+	if len(fields) < 2 || fields[0] != protoPrefix {
+		return Event{}, false
+	}
+	switch fields[1] {
+	case "start":
+		if len(fields) != 3 {
+			return Event{}, false
+		}
+		return Event{Kind: EventStart, Plan: fields[2]}, true
+	case "alive":
+		return Event{Kind: EventAlive}, true
+	case "cell":
+		if len(fields) != 3 {
+			return Event{}, false
+		}
+		idx, err := strconv.Atoi(fields[2])
+		if err != nil || idx < 0 {
+			return Event{}, false
+		}
+		return Event{Kind: EventCell, Cell: idx}, true
+	case "done":
+		return Event{Kind: EventDone}, true
+	default:
+		return Event{}, false
+	}
+}
+
+// Emitter writes heartbeat lines from the worker side. It serialises
+// concurrent emitters (the periodic alive ticker and the per-cell callback
+// run on different goroutines) so lines never interleave mid-record.
+type Emitter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewEmitter returns an Emitter writing protocol lines to w (typically the
+// worker's stdout, which the coordinator's transport is scanning).
+func NewEmitter(w io.Writer) *Emitter { return &Emitter{w: w} }
+
+// Start emits the lease-accepted line carrying the plan hash.
+func (e *Emitter) Start(planHash string) { e.emit(Event{Kind: EventStart, Plan: planHash}) }
+
+// Alive emits a bare liveness beat.
+func (e *Emitter) Alive() { e.emit(Event{Kind: EventAlive}) }
+
+// Cell emits the durable-record line for one finished cell.
+func (e *Emitter) Cell(index int) { e.emit(Event{Kind: EventCell, Cell: index}) }
+
+// Done emits the all-cells-complete line.
+func (e *Emitter) Done() { e.emit(Event{Kind: EventDone}) }
+
+func (e *Emitter) emit(ev Event) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	fmt.Fprintln(e.w, ev.Encode())
+}
+
+// Spec describes one lease to a transport: which cells of the job in Dir
+// the spawned worker must execute.
+type Spec struct {
+	// Dir is the job directory as the coordinator sees it. Transports that
+	// cross machines may map it (see SSH.Dir).
+	Dir string
+	// Cells are the leased global cell indices, ascending.
+	Cells []int
+	// Workers is the worker-pool size inside the spawned process
+	// (0 = the worker's default, GOMAXPROCS).
+	Workers int
+	// Progress forwards -progress to the worker, whose per-replication
+	// stream arrives on the transport's log writer (stderr).
+	Progress bool
+}
+
+// Worker is a handle to one spawned worker.
+type Worker interface {
+	// Events returns the worker's heartbeat stream. The channel is closed
+	// when the worker's stdout ends; the coordinator must drain it.
+	Events() <-chan Event
+	// Wait blocks until the worker has exited and returns its exit error.
+	Wait() error
+	// Kill force-terminates the worker (and closes its stdin). It is
+	// idempotent and must reclaim even a stopped (SIGSTOP) process, which
+	// is the straggler case work-stealing exists for.
+	Kill()
+}
+
+// Transport launches workers for leases. Implementations must be safe for
+// concurrent Spawn calls on distinct slots.
+type Transport interface {
+	// Slots returns how many workers the transport can run concurrently;
+	// the coordinator runs one lease loop per slot.
+	Slots() int
+	// SlotName names a slot for logs and lease-state files (e.g.
+	// "local#1", "ssh:host2").
+	SlotName(slot int) string
+	// Spawn launches a worker executing spec on the given slot. The
+	// context bounds the worker's lifetime: cancelling it kills the
+	// process, exactly like Worker.Kill.
+	Spawn(ctx context.Context, slot int, spec Spec) (Worker, error)
+}
+
+// joinCells renders a lease's cell list as the -cells flag value.
+func joinCells(cells []int) string {
+	var b strings.Builder
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(c))
+	}
+	return b.String()
+}
+
+// WorkerArgs builds the `shard run` argv (after the binary) that executes
+// one lease with heartbeats enabled — the command line both built-in
+// transports launch, exported so alternative transports (a cluster
+// scheduler, a test harness) can launch byte-identical workers.
+func WorkerArgs(dir string, spec Spec) []string {
+	args := []string{"shard", "run", "-dir", dir, "-cells", joinCells(spec.Cells), "-heartbeat"}
+	if spec.Workers > 0 {
+		args = append(args, "-workers", strconv.Itoa(spec.Workers))
+	}
+	if spec.Progress {
+		args = append(args, "-progress")
+	}
+	return args
+}
+
+// drainLines forwards non-protocol output to log, prefixed per worker, and
+// parsed heartbeats to events. It returns when r is exhausted.
+func drainLines(r io.Reader, events chan<- Event, log *lineWriter) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if ev, ok := ParseEvent(line); ok {
+			events <- ev
+			continue
+		}
+		if log != nil && strings.TrimSpace(line) != "" {
+			log.writeLine(line)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEventEncodeParseRoundTrip(t *testing.T) {
+	events := []Event{
+		{Kind: EventStart, Plan: "deadbeef"},
+		{Kind: EventAlive},
+		{Kind: EventCell, Cell: 0},
+		{Kind: EventCell, Cell: 123456},
+		{Kind: EventDone},
+	}
+	for _, want := range events {
+		got, ok := ParseEvent(want.Encode())
+		if !ok || got != want {
+			t.Fatalf("round trip %q: got %+v ok=%v, want %+v", want.Encode(), got, ok, want)
+		}
+	}
+}
+
+func TestParseEventRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"shard 0: 3 cells assigned",
+		"nbhb1",
+		"nbhb1 bogus",
+		"nbhb1 cell",
+		"nbhb1 cell -4",
+		"nbhb1 cell x",
+		"nbhb1 start",
+		"nbhb2 alive", // future protocol version: not half-understood
+	} {
+		if ev, ok := ParseEvent(line); ok {
+			t.Fatalf("noise %q parsed as %+v", line, ev)
+		}
+	}
+}
+
+func TestEmitterLinesParse(t *testing.T) {
+	var buf bytes.Buffer
+	e := NewEmitter(&buf)
+	e.Start("cafe")
+	e.Alive()
+	e.Cell(7)
+	e.Done()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("emitted %d lines, want 4: %q", len(lines), buf.String())
+	}
+	kinds := []EventKind{EventStart, EventAlive, EventCell, EventDone}
+	for i, line := range lines {
+		ev, ok := ParseEvent(line)
+		if !ok || ev.Kind != kinds[i] {
+			t.Fatalf("line %d %q parsed as %+v ok=%v", i, line, ev, ok)
+		}
+	}
+}
+
+func TestWorkerArgs(t *testing.T) {
+	got := WorkerArgs("jobs/grid", Spec{Cells: []int{0, 4, 9}, Workers: 3})
+	want := []string{"shard", "run", "-dir", "jobs/grid", "-cells", "0,4,9", "-heartbeat", "-workers", "3"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Fatalf("WorkerArgs = %v, want %v", got, want)
+	}
+	if got := WorkerArgs("d", Spec{Cells: []int{2}}); strings.Join(got, " ") != "shard run -dir d -cells 2 -heartbeat" {
+		t.Fatalf("WorkerArgs without pool size = %v", got)
+	}
+	if got := WorkerArgs("d", Spec{Cells: []int{2}, Progress: true}); !strings.Contains(strings.Join(got, " "), "-progress") {
+		t.Fatalf("WorkerArgs dropped -progress: %v", got)
+	}
+}
+
+func TestSSHArgvQuotesRemoteCommand(t *testing.T) {
+	s := &SSH{Hosts: []string{"a", "user@b"}, Binary: "/opt/nbandit", Dir: "/data/my grid"}
+	argv := s.argv(1, Spec{Dir: "ignored-local-dir", Cells: []int{1, 5}})
+	if argv[0] != "ssh" || argv[1] != "-o" || argv[2] != "BatchMode=yes" {
+		t.Fatalf("default client = %v", argv[:3])
+	}
+	if argv[3] != "user@b" {
+		t.Fatalf("host = %q", argv[3])
+	}
+	remote := argv[4]
+	if !strings.Contains(remote, "'/data/my grid'") {
+		t.Fatalf("remote dir not quoted: %q", remote)
+	}
+	if !strings.Contains(remote, "-cells 1,5 -heartbeat") {
+		t.Fatalf("remote command = %q", remote)
+	}
+	if s.SlotName(1) != "ssh:user@b" || s.SlotName(9) != "ssh#9" {
+		t.Fatalf("slot names = %q, %q", s.SlotName(1), s.SlotName(9))
+	}
+}
+
+func TestShellQuote(t *testing.T) {
+	for in, want := range map[string]string{
+		"plain":        "plain",
+		"-cells":       "-cells",
+		"0,4,9":        "0,4,9",
+		"a b":          "'a b'",
+		"it's":         `'it'\''s'`,
+		"$HOME":        "'$HOME'",
+		"semi;rm -rf=": "'semi;rm -rf='",
+		"":             "''",
+	} {
+		if got := shellQuote(in); got != want {
+			t.Fatalf("shellQuote(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// startTestWorker launches a shell snippet through the shared exec worker
+// machinery, exactly as Local and SSH do (their Spawn differs only in argv
+// construction, which is covered above).
+func startTestWorker(t *testing.T, script string, log *lineWriter) *execWorker {
+	t.Helper()
+	w, err := startWorker(context.Background(), []string{"sh", "-c", script}, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func collect(w Worker) []Event {
+	var out []Event
+	for ev := range w.Events() {
+		out = append(out, ev)
+	}
+	return out
+}
+
+// TestExecWorkerStreamsEvents: protocol lines on stdout become Events, the
+// rest lands in the prefixed log, and Wait reports a clean exit.
+func TestExecWorkerStreamsEvents(t *testing.T) {
+	var logBuf bytes.Buffer
+	var mu sync.Mutex
+	log := &lineWriter{mu: &mu, w: &logBuf, prefix: "[w0] "}
+	w := startTestWorker(t,
+		"echo 'nbhb1 start abc'; echo 'human chatter'; echo 'nbhb1 cell 2'; echo 'nbhb1 done'; echo oops >&2", log)
+	events := collect(w)
+	if err := w.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Event{{Kind: EventStart, Plan: "abc"}, {Kind: EventCell, Cell: 2}, {Kind: EventDone}}
+	if len(events) != len(want) {
+		t.Fatalf("events = %+v, want %+v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event %d = %+v, want %+v", i, events[i], want[i])
+		}
+	}
+	if !strings.Contains(logBuf.String(), "[w0] human chatter") {
+		t.Fatalf("non-protocol stdout not forwarded to log: %q", logBuf.String())
+	}
+	if !strings.Contains(logBuf.String(), "[w0] oops") {
+		t.Fatalf("stderr not forwarded to log: %q", logBuf.String())
+	}
+}
+
+// TestExecWorkerKill reclaims a wedged worker: Kill must terminate a
+// process that ignores its stdin and sleeps, and Wait must return its
+// non-zero exit.
+func TestExecWorkerKill(t *testing.T) {
+	w := startTestWorker(t, "echo 'nbhb1 alive'; sleep 600", nil)
+	// Wait for the first beat so the process is definitely up.
+	select {
+	case ev := <-w.Events():
+		if ev.Kind != EventAlive {
+			t.Fatalf("first event = %+v", ev)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never emitted its first beat")
+	}
+	w.Kill()
+	w.Kill() // idempotent
+	done := make(chan error, 1)
+	go func() { done <- w.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("killed worker reported a clean exit")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Wait did not return after Kill")
+	}
+}
+
+// TestExecWorkerStdinEOFCancels: a worker that watches its stdin (as
+// `shard run -heartbeat` does) observes EOF when the handle is closed —
+// the cancellation path that works across an ssh connection.
+func TestExecWorkerStdinEOFCancels(t *testing.T) {
+	// The script blocks reading stdin and exits 7 on EOF.
+	w := startTestWorker(t, "echo 'nbhb1 alive'; cat >/dev/null; exit 7", nil)
+	select {
+	case <-w.Events():
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker never started")
+	}
+	w.stdin.Close()
+	done := make(chan error, 1)
+	go func() { collect(w); done <- w.Wait() }()
+	select {
+	case err := <-done:
+		if err == nil || !strings.Contains(err.Error(), "7") {
+			t.Fatalf("exit after stdin EOF = %v, want exit status 7", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker did not exit on stdin EOF")
+	}
+}
+
+func TestLocalSpawnValidates(t *testing.T) {
+	if _, err := (&Local{}).Spawn(context.Background(), 0, Spec{}); err == nil {
+		t.Fatal("Local without a Binary accepted")
+	}
+	l := &Local{Binary: "x"}
+	if l.Slots() != 2 || l.SlotName(1) != "local#1" {
+		t.Fatalf("defaults: slots=%d name=%q", l.Slots(), l.SlotName(1))
+	}
+}
+
+// TestLineWriterFlushesCarriageReturns: \r-animated progress frames reach
+// the destination without waiting for a newline (regression from the old
+// exec coordinator).
+func TestLineWriterFlushesCarriageReturns(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	lw := &lineWriter{mu: &mu, w: &buf, prefix: "[p] "}
+	lw.Write([]byte("animated\rframe"))
+	if !strings.Contains(buf.String(), "[p] animated\r") {
+		t.Fatalf("\\r frame buffered instead of flushed: %q", buf.String())
+	}
+	lw.Write([]byte(" done\n"))
+	if !strings.Contains(buf.String(), "[p] frame done\n") {
+		t.Fatalf("trailing segment lost: %q", buf.String())
+	}
+}

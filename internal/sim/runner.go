@@ -1,9 +1,3 @@
-// Package sim is the experiment harness: it drives policies against
-// environments round by round with the correct per-scenario feedback and
-// regret accounting, fans replications out across goroutines with
-// deterministic per-replication random streams, and exposes the named
-// experiment registry that regenerates every figure of the paper's
-// evaluation section.
 package sim
 
 import (

@@ -12,6 +12,7 @@ import (
 	"netbandit/internal/policy"
 	"netbandit/internal/rng"
 	"netbandit/internal/shard"
+	"netbandit/internal/shard/transport"
 	"netbandit/internal/sim"
 	"netbandit/internal/strategy"
 )
@@ -117,7 +118,9 @@ type (
 // manifest partitioning cells into shards, per-cell aggregates spilled as
 // checksummed records the moment each cell finishes, resume by scanning
 // completed records, and a merge that is bit-identical to a
-// single-process Sweep.Run.
+// single-process Sweep.Run. A work-stealing coordinator leases cell
+// batches to workers spawned over a pluggable transport (local processes
+// or ssh), re-leasing cells whose heartbeat lapses.
 type (
 	// ShardPlan is the versioned, content-hashed shard manifest.
 	ShardPlan = shard.Plan
@@ -130,9 +133,31 @@ type (
 	ShardRunStats = shard.RunStats
 	// ShardStatusReport is a point-in-time scan of a shard directory.
 	ShardStatusReport = shard.Status
-	// ShardCoordinator runs every shard of a plan as its own local worker
-	// process over a shared directory.
-	ShardCoordinator = shard.Coordinator
+	// ShardCoordinator is the work-stealing coordinator: it leases cell
+	// batches to workers spawned through a ShardTransport, steals back the
+	// cells of stragglers whose heartbeat lapses, and shrinks batch sizes
+	// as the queue drains.
+	ShardCoordinator = shard.StealCoordinator
+	// ShardCoordinatorStats reports what one coordinator run did (cells
+	// completed, leases granted, steals).
+	ShardCoordinatorStats = shard.StealStats
+	// ShardLeaseState is the coordinator's persisted lease snapshot
+	// (dir/leases.json), shown by `nbandit shard status`.
+	ShardLeaseState = shard.LeaseState
+	// ShardLeaseInfo is one active lease inside a ShardLeaseState.
+	ShardLeaseInfo = shard.LeaseInfo
+	// ShardTransport spawns, monitors, and cancels shard workers for the
+	// coordinator.
+	ShardTransport = transport.Transport
+	// ShardWorker is a transport's handle to one spawned worker.
+	ShardWorker = transport.Worker
+	// ShardWorkerSpec describes one lease to a transport.
+	ShardWorkerSpec = transport.Spec
+	// ShardLocalTransport runs workers as child processes on this machine.
+	ShardLocalTransport = transport.Local
+	// ShardSSHTransport runs workers on remote hosts over ssh against a
+	// synced job directory.
+	ShardSSHTransport = transport.SSH
 )
 
 // NewShardPlan enumerates the sweep's cells and partitions them
@@ -161,6 +186,12 @@ func MergeShards(dir string, p *ShardPlan) (*SweepResult, error) { return shard.
 // ShardStatus scans a shard directory and reports per-shard completion.
 func ShardStatus(dir string, p *ShardPlan) (*ShardStatusReport, error) {
 	return shard.Scan(dir, p)
+}
+
+// ReadShardLeaseState loads a coordinator's persisted lease snapshot from
+// dir/leases.json.
+func ReadShardLeaseState(dir string) (*ShardLeaseState, error) {
+	return shard.ReadLeaseState(dir)
 }
 
 // The four scenarios.

@@ -1,0 +1,31 @@
+#!/bin/sh
+# linkcheck.sh FILE.md... — verify that every relative markdown link and
+# relative image reference in the given files points at a path that exists
+# (anchors are stripped; absolute http(s)/mailto links are skipped, CI
+# must not depend on the network). Exits non-zero listing every dangling
+# link.
+set -eu
+
+fail=0
+for f in "$@"; do
+    [ -f "$f" ] || { echo "linkcheck: no such file: $f" >&2; fail=1; continue; }
+    dir=$(dirname "$f")
+    # Pull out every ](target) markdown link target.
+    grep -o ']([^)]*)' "$f" | sed 's/^](//; s/)$//' | while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path=${target%%#*}
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            echo "linkcheck: $f: dangling link: $target" >&2
+            # Mark failure through a file: the while runs in a subshell.
+            touch "${TMPDIR:-/tmp}/linkcheck.failed.$$"
+        fi
+    done
+done
+if [ -e "${TMPDIR:-/tmp}/linkcheck.failed.$$" ]; then
+    rm -f "${TMPDIR:-/tmp}/linkcheck.failed.$$"
+    exit 1
+fi
+exit "$fail"
