@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -8,7 +9,9 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"netbandit/internal/shard"
@@ -17,22 +20,28 @@ import (
 )
 
 // The shard subcommands turn a sweep grid into a distributable, resumable
-// job over a shared directory:
+// job over a shared — or, with -push-records, entirely unshared —
+// directory:
 //
 //	nbandit shard plan   -dir grid -shards 4 [sweep flags]        # write the manifest
 //	nbandit shard run    -dir grid                                # work-stealing coordinator, local workers
-//	nbandit shard run    -dir grid -transport ssh -hosts a,b,c    # ... workers over ssh
+//	nbandit shard run    -dir grid -transport ssh -hosts a,b,c    # ... workers over ssh (synced dir)
+//	nbandit shard run    -dir grid -transport ssh -hosts a,b \
+//	                     -remote-dir /tmp/scratch -push-records   # ... mountless: records stream back in-band
 //	nbandit shard run    -dir grid -shard 2                       # hand-driven: one static shard (resumable)
 //	nbandit shard run    -dir grid -cells 3,7 -heartbeat          # one lease (what the coordinator spawns)
-//	nbandit shard status -dir grid                                # completion + live leases/steals
+//	nbandit shard status -dir grid                                # completion + live leases/steals/costs
 //	nbandit shard merge  -dir grid -format json                   # fold records into one result
 //
-// Workers only share the directory — local disk for multi-process runs,
-// any shared or synced filesystem across machines — and the merged output
-// is bit-identical to `nbandit sweep` with the same flags, whichever
-// workers (or how many duplicated, stolen, or resumed executions)
-// produced the records. See docs/RUNBOOK.md for operating distributed
-// sweeps.
+// Without -push-records, workers share the directory — local disk for
+// multi-process runs, any shared or synced filesystem across machines.
+// With it, ssh hosts need only the binary and a scratch dir: the
+// coordinator seeds each host with the plan and ingests every record as a
+// checksummed frame on the worker's heartbeat stream. Either way the
+// merged output is bit-identical to `nbandit sweep` with the same flags,
+// whichever workers (or how many duplicated, stolen, or resumed
+// executions) produced the records. See docs/RUNBOOK.md for operating
+// distributed sweeps.
 
 // runShard dispatches the `nbandit shard` subcommands.
 func runShard(args []string) error {
@@ -141,10 +150,12 @@ func runShardRun(args []string) error {
 	shardIdx := fs.Int("shard", -1, "static mode: execute one shard of the plan's partition")
 	cells := fs.String("cells", "", "lease mode: comma-separated global cell indices to execute")
 	heartbeat := fs.Bool("heartbeat", false, "emit heartbeat lines on stdout and stop on stdin EOF (worker under a coordinator)")
+	pushRecords := fs.Bool("push-records", false, "stream each finished cell's record over the heartbeat channel instead of relying on a shared job directory (coordinator: enable mountless mode; worker: emit record frames)")
 	transportName := fs.String("transport", "local", "coordinator worker transport: local|ssh")
 	hosts := fs.String("hosts", "", "ssh transport: comma-separated hosts (user@host works; repeat a host for more workers on it)")
-	remoteDir := fs.String("remote-dir", "", "ssh transport: job directory path on the hosts (default: same as -dir)")
+	remoteDir := fs.String("remote-dir", "", "ssh transport: job directory path on the hosts (default: same as -dir); with -push-records this is just a scratch dir the coordinator seeds")
 	remoteBin := fs.String("remote-bin", "", "ssh transport: nbandit binary on the hosts (default: nbandit on the remote PATH)")
+	workerDir := fs.String("worker-dir", "", "local transport with -push-records: give each worker process its own private job dir under this path (mountless rehearsal)")
 	procs := fs.Int("procs", 0, "local transport: concurrent worker processes (0 = number of shards in the plan)")
 	leaseTimeout := fs.Duration("lease-timeout", 30*time.Second, "coordinator: heartbeat silence after which a lease's cells are stolen")
 	maxBatch := fs.Int("max-batch", 0, "coordinator: max cells per lease (0 = adaptive only)")
@@ -169,21 +180,25 @@ func runShardRun(args []string) error {
 	if *shardIdx < 0 && *cells == "" {
 		return runShardCoordinator(ctx, *dir, plan, coordinatorOptions{
 			transport: *transportName, hosts: *hosts,
-			remoteDir: *remoteDir, remoteBin: *remoteBin,
+			remoteDir: *remoteDir, remoteBin: *remoteBin, workerDir: *workerDir,
 			procs: *procs, leaseTimeout: *leaseTimeout, maxBatch: *maxBatch,
-			workers: *workers, progress: *progress,
+			workers: *workers, progress: *progress, pushRecords: *pushRecords,
 		})
 	}
-	return runShardWorker(ctx, *dir, plan, *shardIdx, *cells, *workers, *heartbeat, *progress)
+	if *pushRecords && !*heartbeat {
+		return fmt.Errorf("-push-records in worker mode needs -heartbeat (there is no stream to push records on)")
+	}
+	return runShardWorker(ctx, *dir, plan, *shardIdx, *cells, *workers, *heartbeat, *pushRecords, *progress)
 }
 
 // runShardWorker executes one batch of cells in this process: a static
 // shard of the plan's partition (-shard) or an explicit lease (-cells).
 // With -heartbeat it speaks the transport protocol on stdout — one line
-// per liveness beat and per durable cell record — and treats stdin EOF as
-// a cancellation signal, which is how a coordinator (and an interrupted
-// ssh connection) stops it.
-func runShardWorker(ctx context.Context, dir string, plan *shard.Plan, shardIdx int, cells string, workers int, heartbeat, progress bool) error {
+// per liveness beat and per durable cell record, carrying the cell's
+// wall-clock cost and, under -push-records, the record itself as a
+// checksummed frame — and treats stdin EOF as a cancellation signal, which
+// is how a coordinator (and an interrupted ssh connection) stops it.
+func runShardWorker(ctx context.Context, dir string, plan *shard.Plan, shardIdx int, cells string, workers int, heartbeat, pushRecords, progress bool) error {
 	sw, err := sweepFromPlan(plan)
 	if err != nil {
 		return err
@@ -211,7 +226,38 @@ func runShardWorker(ctx context.Context, dir string, plan *shard.Plan, shardIdx 
 		defer cancel()
 		emitter := transport.NewEmitter(os.Stdout)
 		emitter.Start(plan.Hash)
-		opts.OnCell = emitter.Cell
+		// Per-cell cost is the wall clock between consecutive durable
+		// records in this process — with the internal worker pool saturated
+		// that is exactly the lease-sizing quantity the coordinator wants
+		// (how long one more cell extends the lease). Resumed cells fire
+		// instantly and dilute the mean toward optimism; the cost-seeded
+		// batch rule only caps sizes, so optimism degrades to fair-share
+		// sizing, never to over-withholding.
+		var costMu sync.Mutex
+		lastCell := time.Now()
+		opts.OnCell = func(idx int) {
+			costMu.Lock()
+			now := time.Now()
+			cost := now.Sub(lastCell)
+			lastCell = now
+			costMu.Unlock()
+			if cost < time.Millisecond {
+				cost = time.Millisecond
+			}
+			var payload []byte
+			if pushRecords {
+				raw, err := os.ReadFile(shard.RecordPath(dir, idx))
+				if err != nil {
+					// The record is durable locally but cannot be framed:
+					// say so and emit no cell line at all — the coordinator
+					// will re-run the cell, which beats silently losing it.
+					fmt.Fprintf(os.Stderr, "cell %d: record unreadable for push (%v)\n", idx, err)
+					return
+				}
+				payload = bytes.TrimRight(raw, "\n")
+			}
+			emitter.CellRecord(idx, cost, payload)
+		}
 		// Liveness ticker: cells can take minutes, the coordinator's lease
 		// timeout must not depend on cell granularity.
 		go func() {
@@ -255,11 +301,13 @@ func runShardWorker(ctx context.Context, dir string, plan *shard.Plan, shardIdx 
 type coordinatorOptions struct {
 	transport, hosts     string
 	remoteDir, remoteBin string
+	workerDir            string
 	procs                int
 	leaseTimeout         time.Duration
 	maxBatch             int
 	workers              int
 	progress             bool
+	pushRecords          bool
 }
 
 // runShardCoordinator drives the work-stealing coordinator: cell batches
@@ -282,10 +330,16 @@ func runShardCoordinator(ctx context.Context, dir string, plan *shard.Plan, o co
 		if procs <= 0 {
 			procs = plan.Shards()
 		}
-		tr = &transport.Local{Binary: self, Procs: procs, Log: os.Stderr}
+		if o.workerDir != "" && !o.pushRecords {
+			return fmt.Errorf("-worker-dir gives workers private record dirs, which only reach the merge via -push-records")
+		}
+		tr = &transport.Local{Binary: self, Procs: procs, WorkerDir: o.workerDir, Log: os.Stderr}
 	case "ssh":
 		if o.hosts == "" {
 			return fmt.Errorf("-transport ssh needs -hosts")
+		}
+		if o.workerDir != "" {
+			return fmt.Errorf("-worker-dir is local-transport only; use -remote-dir for ssh scratch dirs")
 		}
 		var hostList []string
 		for _, h := range strings.Split(o.hosts, ",") {
@@ -303,7 +357,8 @@ func runShardCoordinator(ctx context.Context, dir string, plan *shard.Plan, o co
 	c := &shard.StealCoordinator{
 		Plan: plan, Dir: dir, Transport: tr,
 		LeaseTimeout: o.leaseTimeout, MaxBatch: o.maxBatch,
-		Workers: o.workers, Progress: o.progress, Log: os.Stderr,
+		Workers: o.workers, PushRecords: o.pushRecords,
+		Progress: o.progress, Log: os.Stderr,
 	}
 	stats, err := c.Run(ctx)
 	if err != nil {
@@ -311,6 +366,10 @@ func runShardCoordinator(ctx context.Context, dir string, plan *shard.Plan, o co
 	}
 	fmt.Printf("%d cells: %d resumed from disk, %d run over %d lease(s), %d steal(s)\n",
 		stats.Cells, stats.Resumed, stats.Completed, stats.Leases, stats.Steals)
+	if o.pushRecords {
+		fmt.Printf("push-sync: %d record(s) ingested over worker streams, %d frame(s) rejected\n",
+			stats.Pushed, stats.RejectedFrames)
+	}
 	return nil
 }
 
@@ -391,27 +450,56 @@ func runShardStatus(args []string) error {
 }
 
 // printLeaseState shows the work-stealing coordinator's persisted
-// snapshot, when one exists: live leases with their heartbeat ages, plus
+// snapshot, when one exists: live leases with their heartbeat ages and
+// progress, per-slot cost/throughput estimates, push-sync counters, plus
 // lifetime lease/steal counters. The snapshot is advisory — the per-shard
-// record scan above is the ground truth.
+// record scan above is the ground truth. It delegates to writeLeaseState
+// with the real clock.
 func printLeaseState(dir string, plan *shard.Plan) {
+	writeLeaseState(os.Stdout, dir, plan, time.Now())
+}
+
+// writeLeaseState is printLeaseState with the output and clock injectable
+// for tests. Leases whose last heartbeat is older than the coordinator's
+// lease timeout are marked STALE — their cells are about to be (or already
+// were) stolen, and showing them as live misreads a wedged run as healthy.
+func writeLeaseState(w io.Writer, dir string, plan *shard.Plan, now time.Time) {
 	ls, err := shard.ReadLeaseState(dir)
 	if err != nil {
 		if !os.IsNotExist(err) {
-			fmt.Printf("  lease state unreadable: %v\n", err)
+			fmt.Fprintf(w, "  lease state unreadable: %v\n", err)
 		}
 		return
 	}
 	if ls.Plan != plan.Hash {
-		fmt.Printf("  lease state is from another plan (%.12s) — ignoring\n", ls.Plan)
+		fmt.Fprintf(w, "  lease state is from another plan (%.12s) — ignoring\n", ls.Plan)
 		return
 	}
-	age := time.Since(ls.Time).Round(time.Second)
-	fmt.Printf("  coordinator (as of %s ago): %d/%d cells, %d queued, %d lease(s) granted, %d steal(s)\n",
+	age := now.Sub(ls.Time).Round(time.Second)
+	timeout := time.Duration(ls.LeaseTimeoutMS) * time.Millisecond
+	fmt.Fprintf(w, "  coordinator (as of %s ago): %d/%d cells, %d queued, %d lease(s) granted, %d steal(s)\n",
 		age, ls.Done, ls.Total, ls.Queued, ls.Leases, ls.Steals)
+	if ls.Pushed > 0 || ls.RejectedFrames > 0 {
+		fmt.Fprintf(w, "    push-sync: %d record(s) ingested over worker streams, %d frame(s) rejected\n",
+			ls.Pushed, ls.RejectedFrames)
+	}
+	slots := make([]string, 0, len(ls.SlotCosts))
+	for slot := range ls.SlotCosts {
+		slots = append(slots, slot)
+	}
+	sort.Strings(slots)
+	for _, slot := range slots {
+		ms := ls.SlotCosts[slot]
+		fmt.Fprintf(w, "    %s: ~%.0fms/cell (≈%.1f cells/min)\n", slot, ms, 60_000/ms)
+	}
 	for _, l := range ls.Active {
-		beat := ls.Time.Sub(l.LastBeat).Round(time.Second)
-		fmt.Printf("    lease %d on %s: %d cell(s) remaining %v, last heartbeat %s before snapshot\n",
-			l.ID, l.Slot, len(l.Cells), l.Cells, beat)
+		beat := now.Sub(l.LastBeat)
+		mark := ""
+		if timeout > 0 && beat > timeout {
+			mark = fmt.Sprintf(" — STALE (no heartbeat within the %s lease timeout; cells will be re-leased)",
+				timeout.Round(time.Millisecond))
+		}
+		fmt.Fprintf(w, "    lease %d on %s: %d/%d cell(s) done, %d remaining %v, last heartbeat %s ago%s\n",
+			l.ID, l.Slot, l.Done, l.Done+len(l.Cells), len(l.Cells), l.Cells, beat.Round(time.Second), mark)
 	}
 }

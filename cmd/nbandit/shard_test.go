@@ -5,7 +5,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"os"
+	"strings"
 	"testing"
+	"time"
 
 	"netbandit/internal/shard"
 	"netbandit/internal/sim"
@@ -120,6 +123,88 @@ func TestRunShardUsage(t *testing.T) {
 	}
 	if err := runShard([]string{"bogus"}); err == nil {
 		t.Fatal("unknown subcommand accepted")
+	}
+}
+
+// TestShardRunFlagValidation: the push/mountless flags reject the
+// combinations that would silently lose records.
+func TestShardRunFlagValidation(t *testing.T) {
+	dir, _ := planTestDir(t)
+	if err := runShard([]string{"run", "-dir", dir, "-cells", "0", "-push-records"}); err == nil ||
+		!strings.Contains(err.Error(), "-heartbeat") {
+		t.Fatalf("worker -push-records without -heartbeat accepted (err = %v)", err)
+	}
+	if err := runShard([]string{"run", "-dir", dir, "-worker-dir", t.TempDir()}); err == nil ||
+		!strings.Contains(err.Error(), "-push-records") {
+		t.Fatalf("-worker-dir without -push-records accepted (err = %v)", err)
+	}
+	if err := runShard([]string{"run", "-dir", dir, "-transport", "ssh", "-hosts", "a",
+		"-worker-dir", t.TempDir(), "-push-records"}); err == nil ||
+		!strings.Contains(err.Error(), "-remote-dir") {
+		t.Fatalf("-worker-dir with ssh transport accepted (err = %v)", err)
+	}
+}
+
+// TestShardStatusMarksStaleLeases: a lease whose last heartbeat is older
+// than the coordinator's recorded lease timeout is shown as STALE, fresh
+// leases are not, and slot cost estimates appear as throughput lines.
+func TestShardStatusMarksStaleLeases(t *testing.T) {
+	dir, plan := planTestDir(t)
+	now := time.Now()
+	ls := &shard.LeaseState{
+		Plan: plan.Hash, Time: now.Add(-2 * time.Second),
+		Done: 3, Total: len(plan.Cells), Queued: 1, Leases: 4, Steals: 1,
+		LeaseTimeoutMS: 3000,
+		Pushed:         3,
+		SlotCosts:      map[string]float64{"ssh:host-a": 40},
+		Active: []shard.LeaseInfo{
+			{ID: 7, Slot: "ssh:host-a", Cells: []int{4, 5}, Done: 1,
+				Granted: now.Add(-time.Minute), LastBeat: now.Add(-10 * time.Second)},
+			{ID: 8, Slot: "ssh:host-b", Cells: []int{6}, Done: 0,
+				Granted: now.Add(-time.Second), LastBeat: now.Add(-time.Second)},
+		},
+	}
+	raw, err := json.Marshal(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(shard.LeaseStatePath(dir), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	writeLeaseState(&out, dir, plan, now)
+	text := out.String()
+	for _, want := range []string{
+		"lease 7 on ssh:host-a", "STALE",
+		"lease 8 on ssh:host-b",
+		"~40ms/cell",
+		"3 record(s) ingested",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("status output missing %q:\n%s", want, text)
+		}
+	}
+	// Only the lapsed lease is stale.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "lease 8") && strings.Contains(line, "STALE") {
+			t.Fatalf("fresh lease marked STALE: %q", line)
+		}
+		if strings.Contains(line, "lease 7") && !strings.Contains(line, "STALE") {
+			t.Fatalf("lapsed lease not marked STALE: %q", line)
+		}
+	}
+	// A snapshot from an old binary (no recorded timeout) marks nothing.
+	ls.LeaseTimeoutMS = 0
+	if raw, err = json.Marshal(ls); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(shard.LeaseStatePath(dir), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	writeLeaseState(&out, dir, plan, now)
+	if strings.Contains(out.String(), "STALE") {
+		t.Fatalf("snapshot without a lease timeout still marked STALE:\n%s", out.String())
 	}
 }
 

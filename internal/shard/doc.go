@@ -38,10 +38,28 @@
 // (local processes or ssh): workers heartbeat over stdout, a lease whose
 // heartbeat lapses has its remaining cells stolen back into the queue and
 // its worker killed, and batch sizes shrink as the queue drains so the
-// tail of a run is never serialised behind one straggler. Lease state is
-// persisted to dir/leases.json for `nbandit shard status`; it is advisory
-// observability, never load-bearing.
+// tail of a run is never serialised behind one straggler. Each slot's
+// batches are further capped by its worker's reported per-cell cost to
+// about half a lease timeout of work, bounding what a steal can lose on a
+// slow host. Lease state is persisted to dir/leases.json for `nbandit
+// shard status`; it is advisory observability, never load-bearing.
 //
-// See docs/ARCHITECTURE.md for the protocol lifecycle diagram and
-// docs/RUNBOOK.md for operating distributed sweeps.
+// # Record sync
+//
+// How a worker-produced record reaches the coordinator's directory is a
+// per-run choice. By default the directory is shared or synced, and the
+// worker's atomic rename is itself the delivery. With push-sync
+// (StealCoordinator.PushRecords), workers share nothing with the
+// coordinator but their stdio: the transport seeds each worker-side
+// scratch dir with the plan, every finished record rides the heartbeat
+// stream as a checksummed base64 frame, and the coordinator persists it
+// locally after verifying the frame checksum, record checksum, plan hash,
+// and cell coordinates (VerifyRecordLine). A damaged frame is dropped and
+// its cell re-run — it can never reach the disk — so the determinism
+// contract is unchanged: the merge of a mountless run is byte-identical
+// to sim.Sweep.Run.
+//
+// See docs/ARCHITECTURE.md for the protocol lifecycle diagrams and
+// docs/RUNBOOK.md for operating distributed sweeps (including the
+// mountless ssh workflow).
 package shard

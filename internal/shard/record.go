@@ -35,10 +35,15 @@ type cellRecord struct {
 	Sum string `json:"sum,omitempty"`
 }
 
-// recordPath returns the record file for one cell index.
-func recordPath(dir string, index int) string {
+// RecordPath returns the record file for one cell index inside a shard
+// directory — where the runner spills the cell and where a push-mode
+// worker reads the line it frames onto stdout.
+func RecordPath(dir string, index int) string {
 	return filepath.Join(cellsDir(dir), fmt.Sprintf("cell-%06d.json", index))
 }
+
+// recordPath is the historical internal spelling of RecordPath.
+func recordPath(dir string, index int) string { return RecordPath(dir, index) }
 
 // checksum returns the record's canonical digest (Sum field cleared).
 func (r *cellRecord) checksum() (string, error) {
@@ -73,39 +78,80 @@ func writeCellRecord(dir string, p *Plan, c sim.CellResult) error {
 	return atomicWrite(recordPath(dir, c.Index), append(line, '\n'))
 }
 
-// readCellRecord loads and fully verifies one record against the plan:
-// checksum, plan hash, index/name/scenario/reps agreement.
-func readCellRecord(dir string, p *Plan, index int) (*cellRecord, error) {
-	path := recordPath(dir, index)
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
+// decodeRecordLine parses and fully verifies one record line against the
+// plan: checksum, plan hash, index/name/scenario/reps agreement. It is the
+// shared gate for records read from disk and records pushed in-band over a
+// worker's heartbeat stream — a byte string passes it only if it is a
+// complete, untampered record for exactly this plan's cell index.
+func decodeRecordLine(raw []byte, p *Plan, index int) (*cellRecord, error) {
 	var rec cellRecord
 	if err := json.Unmarshal(raw, &rec); err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, err
 	}
 	want, err := rec.checksum()
 	if err != nil {
 		return nil, err
 	}
 	if rec.Sum != want {
-		return nil, fmt.Errorf("%s: checksum %.12s does not match content %.12s", path, rec.Sum, want)
+		return nil, fmt.Errorf("checksum %.12s does not match content %.12s", rec.Sum, want)
 	}
 	if rec.Plan != p.Hash {
-		return nil, fmt.Errorf("%s: written under plan %.12s, this directory's plan is %.12s", path, rec.Plan, p.Hash)
+		return nil, fmt.Errorf("written under plan %.12s, this directory's plan is %.12s", rec.Plan, p.Hash)
 	}
 	if rec.Index != index {
-		return nil, fmt.Errorf("%s: holds cell %d", path, rec.Index)
+		return nil, fmt.Errorf("holds cell %d, not %d", rec.Index, index)
 	}
 	meta := p.Cells[index]
 	if rec.Cell != meta.Cell || rec.Scenario != meta.Scenario {
-		return nil, fmt.Errorf("%s: holds cell %q (%s), plan says %q (%s)", path, rec.Cell, rec.Scenario, meta.Cell, meta.Scenario)
+		return nil, fmt.Errorf("holds cell %q (%s), plan says %q (%s)", rec.Cell, rec.Scenario, meta.Cell, meta.Scenario)
 	}
 	if rec.Agg == nil || rec.Agg.Reps != p.Reps {
-		return nil, fmt.Errorf("%s: aggregate has wrong replication count", path)
+		return nil, fmt.Errorf("aggregate has wrong replication count")
 	}
 	return &rec, nil
+}
+
+// VerifyRecordLine checks that raw is a complete, valid record for the
+// plan's cell index — the verification a coordinator runs on a pushed
+// record frame before persisting it. It never writes anything: a payload
+// that fails here is dropped and the cell re-queued, so a corrupt frame
+// can cost a re-run but never a corrupt record on disk.
+func VerifyRecordLine(raw []byte, p *Plan, index int) error {
+	if index < 0 || index >= len(p.Cells) {
+		return fmt.Errorf("shard: cell index %d out of range [0,%d)", index, len(p.Cells))
+	}
+	_, err := decodeRecordLine(raw, p, index)
+	return err
+}
+
+// persistRecordLine durably writes an already-verified record line into
+// the directory's cells/ via the same atomic tmp+rename path the runner
+// uses, so stream-pushed and locally-spilled records are indistinguishable
+// on disk (trailing newline included).
+func persistRecordLine(dir string, index int, raw []byte) error {
+	line := make([]byte, 0, len(raw)+1)
+	line = append(line, raw...)
+	if len(line) == 0 || line[len(line)-1] != '\n' {
+		line = append(line, '\n')
+	}
+	if err := os.MkdirAll(cellsDir(dir), 0o755); err != nil {
+		return err
+	}
+	return atomicWrite(recordPath(dir, index), line)
+}
+
+// readCellRecord loads and fully verifies one record against the plan.
+func readCellRecord(dir string, p *Plan, index int) (*cellRecord, error) {
+	path := recordPath(dir, index)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := decodeRecordLine(raw, p, index)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rec, nil
 }
 
 // result converts a verified record back into a cell result with its

@@ -1,0 +1,143 @@
+package shard
+
+import (
+	"context"
+	"os"
+	"sync"
+	"testing"
+)
+
+// The record-ingestion property the mountless coordinator rests on: a byte
+// string either passes full verification against the plan — in which case
+// persisting it yields a record that reads back and merges — or it is
+// rejected and its cell re-queued. There is no third outcome where a
+// damaged line lands on disk.
+
+var fuzzFixture struct {
+	once sync.Once
+	plan *Plan
+	raw  []byte // cell 0's genuine record line (no trailing newline)
+	err  error
+}
+
+// recordFixture runs one real cell of the test sweep and returns its plan
+// and record line, shared across fuzz executions.
+func recordFixture() (*Plan, []byte, error) {
+	f := &fuzzFixture
+	f.once.Do(func() {
+		dir, err := os.MkdirTemp("", "nbandit-fuzz-*")
+		if err != nil {
+			f.err = err
+			return
+		}
+		defer os.RemoveAll(dir)
+		sw := testSweep()
+		if f.plan, f.err = NewPlan(sw, nil, 2); f.err != nil {
+			return
+		}
+		if _, f.err = Run(context.Background(), dir, f.plan, sw, RunOptions{Cells: []int{0}}); f.err != nil {
+			return
+		}
+		raw, err := os.ReadFile(RecordPath(dir, 0))
+		if err != nil {
+			f.err = err
+			return
+		}
+		for len(raw) > 0 && raw[len(raw)-1] == '\n' {
+			raw = raw[:len(raw)-1]
+		}
+		f.raw = raw
+	})
+	return f.plan, f.raw, f.err
+}
+
+// ingest mimics the coordinator's push path against a scratch dir: verify,
+// persist only on success, and report whether anything landed.
+func ingest(t *testing.T, dir string, p *Plan, index int, raw []byte) bool {
+	t.Helper()
+	if err := VerifyRecordLine(raw, p, index); err != nil {
+		return false
+	}
+	if err := persistRecordLine(dir, index, raw); err != nil {
+		t.Fatalf("persisting a verified line: %v", err)
+	}
+	return true
+}
+
+// FuzzRecordLineIngestion: arbitrary bytes through the coordinator's
+// verify-then-persist gate. Anything that lands on disk must read back as
+// a fully valid, mergeable record whose canonical content matches its own
+// embedded checksum — i.e. the gate can waste a frame but cannot corrupt
+// the job directory.
+func FuzzRecordLineIngestion(f *testing.F) {
+	plan, raw, err := recordFixture()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add([]byte("{}"))
+	f.Add([]byte(`{"plan":"not-this-plan","index":0}`))
+	f.Add(append(append([]byte(nil), raw...), raw...)) // two records on one line
+	f.Add(raw[:len(raw)/2])                            // torn mid-line
+	f.Fuzz(func(t *testing.T, line []byte) {
+		dir := t.TempDir()
+		if !ingest(t, dir, plan, 0, line) {
+			if _, err := os.Stat(RecordPath(dir, 0)); !os.IsNotExist(err) {
+				t.Fatalf("rejected line still left a record on disk (stat err=%v)", err)
+			}
+			return
+		}
+		rec, err := readCellRecord(dir, plan, 0)
+		if err != nil {
+			t.Fatalf("persisted record does not read back: %v", err)
+		}
+		if _, err := rec.result(plan); err != nil {
+			t.Fatalf("persisted record does not merge: %v", err)
+		}
+	})
+}
+
+// TestRecordLineSingleByteCorruption: every single-byte flip of a genuine
+// record line is rejected, or — if the flip happens to leave the canonical
+// content identical — accepted as the same record. A flip that changed the
+// science cannot pass.
+func TestRecordLineSingleByteCorruption(t *testing.T) {
+	plan, raw, err := recordFixture()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyRecordLine(raw, plan, 0); err != nil {
+		t.Fatalf("the genuine line fails verification: %v", err)
+	}
+	if err := VerifyRecordLine(raw, plan, 1); err == nil {
+		t.Fatal("cell 0's record verified as cell 1 (index misdirection accepted)")
+	}
+	accepted := 0
+	for i := range raw {
+		for _, flip := range []byte{0x01, 0x20, 0x80} {
+			mut := append([]byte(nil), raw...)
+			mut[i] ^= flip
+			if err := VerifyRecordLine(mut, plan, 0); err == nil {
+				// Only acceptable if the mutation canonicalises back to the
+				// very same record content (e.g. an equivalent JSON number
+				// spelling) — its re-derived checksum must equal the
+				// original's embedded one.
+				rec, derr := decodeRecordLine(mut, plan, 0)
+				if derr != nil {
+					t.Fatalf("byte %d flip %x: verified but does not decode: %v", i, flip, derr)
+				}
+				orig, derr := decodeRecordLine(raw, plan, 0)
+				if derr != nil {
+					t.Fatal(derr)
+				}
+				if rec.Sum != orig.Sum {
+					t.Fatalf("byte %d flip %x: a different record passed verification", i, flip)
+				}
+				accepted++
+			}
+		}
+	}
+	if accepted > 0 {
+		t.Logf("%d content-preserving flips accepted (harmless)", accepted)
+	}
+}

@@ -28,7 +28,13 @@ import (
 //     back to the queue for any other worker to take (straggler
 //     re-assignment), and the straggler is killed;
 //   - batch sizes shrink as the queue drains, so the tail of the run is
-//     never serialised behind one large final batch.
+//     never serialised behind one large final batch — and each slot's
+//     batches are additionally capped by its observed per-cell cost, so a
+//     slow host never holds more than about half a lease timeout of work;
+//   - with PushRecords, workers frame each finished record onto their
+//     heartbeat stream and the coordinator persists it locally after full
+//     verification, which removes the shared-directory requirement
+//     entirely (the transport seeds worker scratch dirs with the plan).
 //
 // None of this can change the science: records are deterministic (a cell's
 // record is byte-identical no matter which worker produces it, because
@@ -65,6 +71,15 @@ type StealCoordinator struct {
 	// Workers is the worker-pool size inside each spawned process
 	// (0 = the worker's GOMAXPROCS).
 	Workers int
+	// PushRecords runs the job mountless: workers frame each finished
+	// cell's record onto their heartbeat stream, the coordinator verifies
+	// every frame against the plan (frame checksum, record checksum, plan
+	// hash, cell coordinates) and persists it into Dir via the atomic
+	// tmp+rename path — no shared or synced job directory is needed, and
+	// the transport seeds worker-side scratch dirs with the plan. A frame
+	// that fails verification is dropped and its cell re-run; completion is
+	// then defined solely by records on the coordinator's own disk.
+	PushRecords bool
 	// Progress forwards -progress to every worker; the per-replication
 	// streams arrive on Log, prefixed per slot.
 	Progress bool
@@ -93,15 +108,25 @@ type StealStats struct {
 	// Requeued is how many cells were returned to the queue by workers
 	// that exited without finishing them (excluding steals).
 	Requeued int
+	// Pushed is how many record frames arrived over worker streams,
+	// verified, and were persisted on the coordinator's side (PushRecords
+	// runs only).
+	Pushed int
+	// RejectedFrames is how many pushed record frames failed verification
+	// and were dropped; their cells were re-run instead of trusted.
+	RejectedFrames int
 }
 
 // nextBatch sizes the next lease when queued cells remain: roughly half a
 // fair share of the queue per slot, so early leases are large (amortising
 // worker spawn cost) and the tail of the run degrades to single-cell
-// leases that no slot waits long behind. The size is monotone
-// non-decreasing in queued for fixed slots and cap — as the queue drains,
+// leases that no slot waits long behind. costCap, when positive, is the
+// slot's cost-seeded ceiling — how many cells fit in about half a lease
+// timeout at the worker's observed per-cell cost — so a slow host is never
+// handed more work than a steal could lose cheaply. The size is monotone
+// non-decreasing in queued for fixed slots and caps — as the queue drains,
 // batches only shrink.
-func nextBatch(queued, slots, maxBatch int) int {
+func nextBatch(queued, slots, maxBatch, costCap int) int {
 	if queued <= 0 {
 		return 0
 	}
@@ -109,6 +134,9 @@ func nextBatch(queued, slots, maxBatch int) int {
 		slots = 1
 	}
 	b := (queued + 2*slots - 1) / (2 * slots)
+	if costCap > 0 && b > costCap {
+		b = costCap
+	}
 	if maxBatch > 0 && b > maxBatch {
 		b = maxBatch
 	}
@@ -131,12 +159,26 @@ type lease struct {
 	stolen  bool
 }
 
+// slotCost is one slot's online estimate of its worker's per-cell
+// wall-clock cost, folded from the costs reported on cell heartbeats.
+type slotCost struct {
+	n      int     // cost reports folded in
+	meanMS float64 // online mean per-cell wall clock, milliseconds
+}
+
+// fold adds one reported cost to the online mean.
+func (sc *slotCost) fold(ms float64) {
+	sc.n++
+	sc.meanMS += (ms - sc.meanMS) / float64(sc.n)
+}
+
 // stealRun is the mutable state of one Run, guarded by mu.
 type stealRun struct {
-	c      *StealCoordinator
-	ctx    context.Context
-	cancel context.CancelFunc
-	slots  int
+	c        *StealCoordinator
+	ctx      context.Context
+	cancel   context.CancelFunc
+	slots    int
+	planFile []byte // plan.json bytes pushed to mountless workers
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -145,9 +187,26 @@ type stealRun struct {
 	left     int // incomplete cell count (queued + leased)
 	attempts map[int]int
 	active   map[int]*lease
+	costs    map[int]*slotCost // per-slot cell-cost estimates
 	nextID   int
 	stats    StealStats
 	failure  error
+}
+
+// costCapLocked translates a slot's cost estimate into a lease-size
+// ceiling: the number of cells that fit in half a lease timeout. Zero
+// means "no estimate yet" — the first lease to a slot is sized by fair
+// share alone.
+func (st *stealRun) costCapLocked(slot int) int {
+	sc := st.costs[slot]
+	if sc == nil || sc.meanMS <= 0 {
+		return 0
+	}
+	limit := int(float64(st.c.leaseTimeout().Milliseconds()) / 2 / sc.meanMS)
+	if limit < 1 {
+		limit = 1
+	}
+	return limit
 }
 
 func (c *StealCoordinator) clock() time.Time {
@@ -211,6 +270,17 @@ func (c *StealCoordinator) Run(ctx context.Context) (StealStats, error) {
 		done:     completed,
 		attempts: make(map[int]int),
 		active:   make(map[int]*lease),
+		costs:    make(map[int]*slotCost),
+	}
+	if c.PushRecords {
+		// The plan travels to mountless workers inside the lease spec; it is
+		// marshalled once here, in the exact shape WritePlan produces, so a
+		// seeded scratch dir is indistinguishable from a planned one.
+		raw, err := json.MarshalIndent(c.Plan, "", "  ")
+		if err != nil {
+			return StealStats{}, err
+		}
+		st.planFile = append(raw, '\n')
 	}
 	st.cond = sync.NewCond(&st.mu)
 	st.stats = StealStats{Cells: len(all), Resumed: len(completed)}
@@ -290,7 +360,7 @@ func (st *stealRun) take(slot int) *lease {
 			return nil
 		}
 		if len(st.queue) > 0 {
-			n := nextBatch(len(st.queue), st.slots, st.c.MaxBatch)
+			n := nextBatch(len(st.queue), st.slots, st.c.MaxBatch, st.costCapLocked(slot))
 			batch := append([]int(nil), st.queue[:n]...)
 			st.queue = append(st.queue[:0], st.queue[n:]...)
 			now := st.c.clock()
@@ -316,7 +386,10 @@ func (st *stealRun) take(slot int) *lease {
 // runLease spawns the worker for one lease, consumes its heartbeats, and
 // settles the lease when the worker exits.
 func (st *stealRun) runLease(l *lease) {
-	spec := transport.Spec{Dir: st.c.Dir, Cells: l.batch, Workers: st.c.Workers, Progress: st.c.Progress}
+	spec := transport.Spec{
+		Dir: st.c.Dir, Cells: l.batch, Workers: st.c.Workers, Progress: st.c.Progress,
+		PushRecords: st.c.PushRecords, PlanFile: st.planFile,
+	}
 	w, err := st.c.Transport.Spawn(st.ctx, l.slot, spec)
 	if err != nil {
 		// A transport that cannot spawn is broken in a way retries will
@@ -342,11 +415,44 @@ func (st *stealRun) runLease(l *lease) {
 	st.settle(l, w.Wait())
 }
 
-// observe applies one heartbeat to the lease.
+// observe applies one heartbeat to the lease. In push mode a cell event
+// only counts once its record frame has been verified against the plan and
+// durably written on the coordinator's side — the verification and the
+// disk write happen without the lock held, so a slow disk never stalls
+// the monitor, and the heartbeat clock is refreshed before the write, so
+// a burst of pushed frames grinding through a slow coordinator disk never
+// lets the (alive, frame-emitting) worker's lease lapse behind its own
+// queued events. Every event, including one carrying a corrupt frame,
+// refreshes the clock: a worker emitting garbage frames is alive, just
+// not trusted.
 func (st *stealRun) observe(l *lease, ev transport.Event) {
 	st.mu.Lock()
-	defer st.mu.Unlock()
 	l.last = st.c.clock()
+	st.mu.Unlock()
+
+	persisted := false
+	var frameErr error
+	if ev.Kind == transport.EventCell && st.c.PushRecords &&
+		ev.Cell >= 0 && ev.Cell < len(st.c.Plan.Cells) {
+		switch {
+		case len(ev.Payload) == 0:
+			frameErr = errors.New("no record payload on cell event in push mode (worker missing -push-records?)")
+		default:
+			if err := VerifyRecordLine(ev.Payload, st.c.Plan, ev.Cell); err != nil {
+				frameErr = err
+			} else if err := persistRecordLine(st.c.Dir, ev.Cell, ev.Payload); err != nil {
+				// The frame was fine but the coordinator's own disk failed:
+				// that is terminal, not the worker's fault.
+				st.fail(fmt.Errorf("shard: persisting pushed record for cell %d: %w", ev.Cell, err))
+				return
+			} else {
+				persisted = true
+			}
+		}
+	}
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	switch ev.Kind {
 	case transport.EventStart:
 		if ev.Plan != "" && ev.Plan != st.c.Plan.Hash {
@@ -354,9 +460,31 @@ func (st *stealRun) observe(l *lease, ev transport.Event) {
 				st.c.Transport.SlotName(l.slot), ev.Plan, st.c.Plan.Hash))
 		}
 	case transport.EventCell:
-		if ev.Cell >= 0 && ev.Cell < len(st.c.Plan.Cells) {
-			st.markDoneLocked(ev.Cell, l)
+		if ev.Cell < 0 || ev.Cell >= len(st.c.Plan.Cells) {
+			return
 		}
+		if ev.Cost > 0 {
+			sc := st.costs[l.slot]
+			if sc == nil {
+				sc = &slotCost{}
+				st.costs[l.slot] = sc
+			}
+			sc.fold(float64(ev.Cost.Milliseconds()))
+		}
+		if st.c.PushRecords {
+			if frameErr != nil {
+				st.stats.RejectedFrames++
+				st.c.logf("lease %d on %s: dropped record frame for cell %d (%v) — the cell will be re-run",
+					l.id, st.c.Transport.SlotName(l.slot), ev.Cell, frameErr)
+				return
+			}
+			if persisted {
+				st.stats.Pushed++
+				st.markDoneLocked(ev.Cell, l)
+			}
+			return
+		}
+		st.markDoneLocked(ev.Cell, l)
 	}
 }
 
@@ -540,9 +668,11 @@ type LeaseInfo struct {
 	Slot string `json:"slot"`
 	// Cells are the lease's remaining (not yet durable) cell indices.
 	Cells []int `json:"cells"`
+	// Done counts the lease's cells that already have durable records.
+	Done int `json:"done"`
 	// Granted and LastBeat bound the lease's lifetime: LastBeat older than
 	// the coordinator's lease timeout means the lease is about to be
-	// stolen.
+	// stolen — `shard status` shows such leases as STALE.
 	Granted  time.Time `json:"granted"`
 	LastBeat time.Time `json:"last_beat"`
 }
@@ -566,6 +696,18 @@ type LeaseState struct {
 	// Leases and Steals are lifetime counters for this coordinator run.
 	Leases int `json:"leases"`
 	Steals int `json:"steals"`
+	// LeaseTimeoutMS is the coordinator's heartbeat-silence threshold in
+	// milliseconds; `shard status` uses it to mark leases whose last beat
+	// is older than this as STALE. Zero in snapshots from older binaries.
+	LeaseTimeoutMS int64 `json:"lease_timeout_ms,omitempty"`
+	// Pushed and RejectedFrames count record frames ingested over worker
+	// streams and frames dropped at verification (push-sync runs only).
+	Pushed         int `json:"pushed,omitempty"`
+	RejectedFrames int `json:"rejected_frames,omitempty"`
+	// SlotCosts maps slot names to their online mean per-cell wall-clock
+	// cost in milliseconds, as reported by workers on cell heartbeats —
+	// the estimate that seeds lease sizes.
+	SlotCosts map[string]float64 `json:"slot_cost_ms,omitempty"`
 	// Active lists the outstanding leases.
 	Active []LeaseInfo `json:"active,omitempty"`
 }
@@ -578,13 +720,25 @@ func LeaseStatePath(dir string) string { return filepath.Join(dir, "leases.json"
 // ignored (the snapshot is advisory, the records are the truth).
 func (st *stealRun) persistLocked() {
 	ls := &LeaseState{
-		Plan:   st.c.Plan.Hash,
-		Time:   st.c.clock(),
-		Done:   len(st.done),
-		Total:  len(st.c.Plan.Cells),
-		Queued: len(st.queue),
-		Leases: st.stats.Leases,
-		Steals: st.stats.Steals,
+		Plan:           st.c.Plan.Hash,
+		Time:           st.c.clock(),
+		Done:           len(st.done),
+		Total:          len(st.c.Plan.Cells),
+		Queued:         len(st.queue),
+		Leases:         st.stats.Leases,
+		Steals:         st.stats.Steals,
+		LeaseTimeoutMS: st.c.leaseTimeout().Milliseconds(),
+		Pushed:         st.stats.Pushed,
+		RejectedFrames: st.stats.RejectedFrames,
+	}
+	for slot, sc := range st.costs {
+		if sc.meanMS <= 0 {
+			continue
+		}
+		if ls.SlotCosts == nil {
+			ls.SlotCosts = make(map[string]float64, len(st.costs))
+		}
+		ls.SlotCosts[st.c.Transport.SlotName(slot)] = sc.meanMS
 	}
 	ids := make([]int, 0, len(st.active))
 	for id := range st.active {
@@ -593,9 +747,19 @@ func (st *stealRun) persistLocked() {
 	sort.Ints(ids)
 	for _, id := range ids {
 		l := st.active[id]
+		// Done is computed against the global done set, not the lease's
+		// remaining set: a stolen lease has its remaining cells cleared
+		// without them being complete, and must not read as finished.
+		leaseDone := 0
+		for _, idx := range l.batch {
+			if st.done[idx] {
+				leaseDone++
+			}
+		}
 		ls.Active = append(ls.Active, LeaseInfo{
 			ID: l.id, Slot: st.c.Transport.SlotName(l.slot),
-			Cells: sortedCells(l.cells), Granted: l.granted, LastBeat: l.last,
+			Cells: sortedCells(l.cells), Done: leaseDone,
+			Granted: l.granted, LastBeat: l.last,
 		})
 	}
 	raw, err := json.MarshalIndent(ls, "", "  ")

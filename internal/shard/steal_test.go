@@ -41,7 +41,9 @@ type stubBehavior struct {
 	crashAtRep      int
 	crashAfterCells int
 	wrongPlan       bool
-	wedgeAtExit     bool // finish every cell, then hang instead of exiting
+	wedgeAtExit     bool  // finish every cell, then hang instead of exiting
+	corruptFrames   bool  // push mode: flip a byte in every record frame
+	costMS          int64 // report this per-cell cost on cell events
 }
 
 func normalWorker() stubBehavior {
@@ -61,9 +63,11 @@ func crashWorker(atRep int) stubBehavior {
 }
 
 type stubTransport struct {
-	dir   string
-	plan  *Plan
-	slots int
+	dir     string
+	plan    *Plan
+	slots   int
+	push    bool   // mountless mode: workers run in private scratch dirs
+	scratch string // parent of the per-spawn worker dirs (push mode)
 
 	mu        sync.Mutex
 	spawns    int
@@ -86,6 +90,22 @@ func (w *stubWorker) Kill()                          { w.killOnce.Do(func() { cl
 func (w *stubWorker) Wait() error {
 	<-w.done
 	return w.err
+}
+
+// seedWorkerDir creates one push-mode worker's private directory and lands
+// the pushed plan in it, as a mountless transport does on a remote host.
+func (tr *stubTransport) seedWorkerDir(spec transport.Spec) (string, error) {
+	if !spec.PushRecords || len(spec.PlanFile) == 0 {
+		return "", fmt.Errorf("push-mode lease without PushRecords/PlanFile: %+v", spec)
+	}
+	dir, err := os.MkdirTemp(tr.scratch, "worker-*")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(PlanPath(dir), spec.PlanFile, 0o644); err != nil {
+		return "", err
+	}
+	return dir, nil
 }
 
 func (tr *stubTransport) Spawn(ctx context.Context, slot int, spec transport.Spec) (transport.Worker, error) {
@@ -134,7 +154,30 @@ func (tr *stubTransport) Spawn(ctx context.Context, slot int, spec transport.Spe
 	}()
 
 	go func() {
-		planHash := tr.plan.Hash
+		// In push mode every spawn gets its own private directory, seeded
+		// from the pushed plan bytes exactly as a mountless transport would
+		// seed a remote scratch dir; the worker's plan is then the one it
+		// read back from that seed, hash verification included.
+		dir, plan := tr.dir, tr.plan
+		if tr.push {
+			seeded, err := tr.seedWorkerDir(spec)
+			if err != nil {
+				w.err = err
+				close(stopAlive)
+				close(w.events)
+				close(w.done)
+				return
+			}
+			dir = seeded
+			if plan, err = ReadPlan(dir); err != nil {
+				w.err = err
+				close(stopAlive)
+				close(w.events)
+				close(w.done)
+				return
+			}
+		}
+		planHash := plan.Hash
 		if b.wrongPlan {
 			planHash = strings.Repeat("0", len(planHash))
 		}
@@ -166,13 +209,27 @@ func (tr *stubTransport) Spawn(ctx context.Context, slot int, spec transport.Spe
 					return
 				}
 				cells++
+				ev := transport.Event{Kind: transport.EventCell, Cell: idx}
+				if b.costMS > 0 {
+					ev.Cost = time.Duration(b.costMS) * time.Millisecond
+				}
+				if tr.push {
+					raw, err := os.ReadFile(RecordPath(dir, idx))
+					if err == nil {
+						ev.Payload = bytes.TrimRight(raw, "\n")
+						if b.corruptFrames && len(ev.Payload) > 0 {
+							ev.Payload = append([]byte(nil), ev.Payload...)
+							ev.Payload[len(ev.Payload)/2] ^= 0x20
+						}
+					}
+				}
 				select {
-				case w.events <- transport.Event{Kind: transport.EventCell, Cell: idx}:
+				case w.events <- ev:
 				case <-w.kill:
 				}
 			},
 		}
-		_, err := Run(runCtx, tr.dir, tr.plan, sw, opts)
+		_, err := Run(runCtx, dir, plan, sw, opts)
 		if err == nil && b.wedgeAtExit {
 			// Every record is durable, but the process never exits and
 			// stops beating — SIGSTOP during teardown.
@@ -196,6 +253,19 @@ func (tr *stubTransport) Spawn(ctx context.Context, slot int, spec transport.Spe
 // transport plus a fast-clock coordinator around it.
 func stealFixture(t *testing.T, slots int, behaviors ...stubBehavior) (*StealCoordinator, *stubTransport, *bytes.Buffer) {
 	t.Helper()
+	return stealFixtureMode(t, slots, false, behaviors...)
+}
+
+// pushFixture is stealFixture in mountless mode: workers execute in
+// private scratch directories seeded from the pushed plan, and only the
+// coordinator's directory collects records.
+func pushFixture(t *testing.T, slots int, behaviors ...stubBehavior) (*StealCoordinator, *stubTransport, *bytes.Buffer) {
+	t.Helper()
+	return stealFixtureMode(t, slots, true, behaviors...)
+}
+
+func stealFixtureMode(t *testing.T, slots int, push bool, behaviors ...stubBehavior) (*StealCoordinator, *stubTransport, *bytes.Buffer) {
+	t.Helper()
 	dir := t.TempDir()
 	plan, err := NewPlan(testSweep(), nil, 2)
 	if err != nil {
@@ -205,6 +275,10 @@ func stealFixture(t *testing.T, slots int, behaviors ...stubBehavior) (*StealCoo
 		t.Fatal(err)
 	}
 	tr := &stubTransport{dir: dir, plan: plan, slots: slots, behaviors: behaviors}
+	if push {
+		tr.push = true
+		tr.scratch = t.TempDir()
+	}
 	var log bytes.Buffer
 	c := &StealCoordinator{
 		Plan: plan, Dir: dir, Transport: tr,
@@ -213,6 +287,7 @@ func stealFixture(t *testing.T, slots int, behaviors ...stubBehavior) (*StealCoo
 		// harmless anyway — that invariant is what the property test
 		// below exercises.)
 		LeaseTimeout: 150 * time.Millisecond,
+		PushRecords:  push,
 		Log:          &log,
 	}
 	return c, tr, &log
@@ -359,6 +434,107 @@ func TestStealCoordinatorResumesFromDisk(t *testing.T) {
 	}
 }
 
+// TestStealCoordinatorMountlessPushSync is the mountless acceptance test
+// at the unit level: workers run in private scratch directories that share
+// nothing with the coordinator, every record travels back as a checksummed
+// frame on the heartbeat stream, and the merge of the coordinator's
+// directory alone is bit-identical to a single-process Sweep.Run.
+func TestStealCoordinatorMountlessPushSync(t *testing.T) {
+	golden := singleProcessGolden(t)
+	c, tr, _ := pushFixture(t, 2)
+	stats, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed != len(c.Plan.Cells) || stats.Pushed < len(c.Plan.Cells) {
+		t.Fatalf("stats = %+v (every cell must have arrived over the stream)", stats)
+	}
+	if stats.RejectedFrames != 0 {
+		t.Fatalf("clean run rejected %d frames", stats.RejectedFrames)
+	}
+	mergedEqualsGolden(t, c.Dir, c.Plan, golden)
+	// The snapshot records the push counters for `shard status`.
+	ls, err := ReadLeaseState(c.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ls.Pushed != stats.Pushed || ls.LeaseTimeoutMS != c.LeaseTimeout.Milliseconds() {
+		t.Fatalf("lease state = %+v, stats = %+v", ls, stats)
+	}
+	_ = tr
+}
+
+// TestStealCoordinatorMountlessStragglerSteal: the SIGSTOP scenario with
+// no shared directory — the frozen worker's cells are stolen, re-executed
+// in another private scratch dir, pushed, and the merge still matches the
+// single-process golden.
+func TestStealCoordinatorMountlessStragglerSteal(t *testing.T) {
+	golden := singleProcessGolden(t)
+	c, _, log := pushFixture(t, 2, freezeWorker(0))
+	stats, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Steals < 1 {
+		t.Fatalf("straggler was never stolen from: %+v", stats)
+	}
+	if stats.Completed != len(c.Plan.Cells) {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if !strings.Contains(log.String(), "stole") {
+		t.Fatalf("log does not mention the steal: %q", log.String())
+	}
+	mergedEqualsGolden(t, c.Dir, c.Plan, golden)
+}
+
+// TestStealCoordinatorDropsCorruptFrames: a worker whose record frames are
+// corrupted in flight must never get a record persisted — the frames are
+// rejected, the cells re-queued, and a later clean execution produces the
+// byte-identical merge.
+func TestStealCoordinatorDropsCorruptFrames(t *testing.T) {
+	golden := singleProcessGolden(t)
+	corrupt := normalWorker()
+	corrupt.corruptFrames = true
+	c, _, log := pushFixture(t, 1, corrupt)
+	stats, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.RejectedFrames < 1 {
+		t.Fatalf("no frames rejected: %+v", stats)
+	}
+	if stats.Requeued < 1 {
+		t.Fatalf("corrupt-frame cells were not re-queued: %+v", stats)
+	}
+	if stats.Completed != len(c.Plan.Cells) {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if !strings.Contains(log.String(), "dropped record frame") {
+		t.Fatalf("log does not mention the dropped frame: %q", log.String())
+	}
+	mergedEqualsGolden(t, c.Dir, c.Plan, golden)
+}
+
+// TestStealCoordinatorFoldsSlotCosts: per-cell costs reported on cell
+// heartbeats land in the persisted snapshot as the slot's online mean —
+// the number `shard status` shows and lease sizing feeds on.
+func TestStealCoordinatorFoldsSlotCosts(t *testing.T) {
+	b := normalWorker()
+	b.costMS = 40
+	c, _, _ := pushFixture(t, 1, b, b, b, b, b, b)
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ls, err := ReadLeaseState(c.Dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, ok := ls.SlotCosts["stub#0"]
+	if !ok || mean != 40 {
+		t.Fatalf("slot costs = %+v, want stub#0 at 40ms", ls.SlotCosts)
+	}
+}
+
 // TestStealCoordinatorRejectsForeignPlanWorker: a worker advertising a
 // different plan hash (wrong directory, drifted binary) aborts the run
 // instead of contributing silently wrong records.
@@ -409,21 +585,26 @@ func TestStealCoordinatorValidates(t *testing.T) {
 func TestStealMergeBitIdenticalUnderLeaseInterleavings(t *testing.T) {
 	golden := singleProcessGolden(t)
 	rnd := rand.New(rand.NewSource(20260726))
-	for trial := 0; trial < 6; trial++ {
+	for trial := 0; trial < 8; trial++ {
+		push := trial%2 == 1 // odd trials run mountless: scripted failures × push-sync
 		var behaviors []stubBehavior
 		for i, n := 0, rnd.Intn(4); i < n; i++ {
-			switch rnd.Intn(3) {
+			switch rnd.Intn(4) {
 			case 0:
 				behaviors = append(behaviors, freezeWorker(rnd.Intn(4)))
 			case 1:
 				behaviors = append(behaviors, crashWorker(rnd.Intn(4)))
+			case 2:
+				b := normalWorker()
+				b.corruptFrames = true // harmless noise when not pushing
+				behaviors = append(behaviors, b)
 			default:
 				b := normalWorker()
 				b.crashAfterCells = rnd.Intn(2)
 				behaviors = append(behaviors, b)
 			}
 		}
-		c, _, _ := stealFixture(t, 2+rnd.Intn(2), behaviors...)
+		c, _, _ := stealFixtureMode(t, 2+rnd.Intn(2), push, behaviors...)
 		c.MaxRetries = 20 // failure modes are scripted, not under test here
 		c.MaxBatch = 1 + rnd.Intn(3)
 		if rnd.Intn(2) == 0 {
@@ -436,7 +617,7 @@ func TestStealMergeBitIdenticalUnderLeaseInterleavings(t *testing.T) {
 		}
 		stats, err := c.Run(context.Background())
 		if err != nil {
-			t.Fatalf("trial %d (behaviors %+v): %v", trial, behaviors, err)
+			t.Fatalf("trial %d (push=%v, behaviors %+v): %v", trial, push, behaviors, err)
 		}
 		if stats.Resumed+stats.Completed != len(c.Plan.Cells) {
 			t.Fatalf("trial %d: cells unaccounted for: %+v", trial, stats)
@@ -446,29 +627,76 @@ func TestStealMergeBitIdenticalUnderLeaseInterleavings(t *testing.T) {
 }
 
 // TestNextBatchShrinksMonotonically: the adaptive batch size never grows
-// as the queue drains, never drops below one cell, and respects the cap.
+// as the queue drains, never drops below one cell, and respects both the
+// operator cap and the cost-seeded ceiling.
 func TestNextBatchShrinksMonotonically(t *testing.T) {
 	for _, slots := range []int{1, 2, 4, 8} {
 		for _, maxBatch := range []int{0, 3} {
-			prev := 0
-			for queued := 1; queued <= 500; queued++ {
-				b := nextBatch(queued, slots, maxBatch)
-				if b < 1 {
-					t.Fatalf("slots=%d cap=%d queued=%d: batch %d < 1", slots, maxBatch, queued, b)
+			for _, costCap := range []int{0, 1, 5} {
+				prev := 0
+				for queued := 1; queued <= 500; queued++ {
+					b := nextBatch(queued, slots, maxBatch, costCap)
+					if b < 1 {
+						t.Fatalf("slots=%d cap=%d cost=%d queued=%d: batch %d < 1", slots, maxBatch, costCap, queued, b)
+					}
+					if maxBatch > 0 && b > maxBatch {
+						t.Fatalf("slots=%d cap=%d cost=%d queued=%d: batch %d exceeds cap", slots, maxBatch, costCap, queued, b)
+					}
+					if costCap > 0 && b > costCap {
+						t.Fatalf("slots=%d cap=%d cost=%d queued=%d: batch %d exceeds cost ceiling", slots, maxBatch, costCap, queued, b)
+					}
+					if b < prev { // growing queued must never shrink the batch…
+						t.Fatalf("slots=%d cap=%d cost=%d: batch grew from %d to %d as queue shrank from %d to %d",
+							slots, maxBatch, costCap, b, prev, queued, queued-1)
+					}
+					prev = b
 				}
-				if maxBatch > 0 && b > maxBatch {
-					t.Fatalf("slots=%d cap=%d queued=%d: batch %d exceeds cap", slots, maxBatch, queued, b)
-				}
-				if b < prev { // growing queued must never shrink the batch…
-					t.Fatalf("slots=%d cap=%d: batch grew from %d to %d as queue shrank from %d to %d",
-						slots, maxBatch, b, prev, queued, queued-1)
-				}
-				prev = b
 			}
 		}
 	}
-	if nextBatch(0, 4, 0) != 0 {
+	if nextBatch(0, 4, 0, 0) != 0 {
 		t.Fatal("empty queue must yield no batch")
+	}
+}
+
+// TestCostCapSeedsLeaseSize: a slot whose worker reports per-cell costs
+// gets its lease ceiling from the half-lease-timeout rule; a slot with no
+// estimate yet is sized by fair share alone.
+func TestCostCapSeedsLeaseSize(t *testing.T) {
+	c := &StealCoordinator{LeaseTimeout: 10 * time.Second}
+	st := &stealRun{c: c, costs: map[int]*slotCost{}}
+	if got := st.costCapLocked(0); got != 0 {
+		t.Fatalf("cost cap without an estimate = %d, want 0 (fair share only)", got)
+	}
+	// 500ms/cell against a 10s timeout: 5s of work ⇒ 10 cells.
+	sc := &slotCost{}
+	sc.fold(500)
+	st.costs[0] = sc
+	if got := st.costCapLocked(0); got != 10 {
+		t.Fatalf("cost cap at 500ms/cell, 10s timeout = %d, want 10", got)
+	}
+	// A very slow worker still gets at least one cell.
+	slow := &slotCost{}
+	slow.fold(60_000)
+	st.costs[1] = slow
+	if got := st.costCapLocked(1); got != 1 {
+		t.Fatalf("cost cap for a slow worker = %d, want 1", got)
+	}
+	// The online mean folds repeated reports (1000, 500, 300 → 600).
+	m := &slotCost{}
+	for _, ms := range []float64{1000, 500, 300} {
+		m.fold(ms)
+	}
+	if m.meanMS != 600 {
+		t.Fatalf("online mean = %v, want 600", m.meanMS)
+	}
+	// And the cap composes with fair share: cost caps a large queue's
+	// batch, fair share rules a small one.
+	if b := nextBatch(1000, 2, 0, 10); b != 10 {
+		t.Fatalf("cost-capped batch = %d, want 10", b)
+	}
+	if b := nextBatch(4, 2, 0, 10); b != 1 {
+		t.Fatalf("small-queue batch = %d, want fair share 1", b)
 	}
 }
 

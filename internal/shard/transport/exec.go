@@ -5,7 +5,9 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
 	"os/exec"
+	"path/filepath"
 	"sync"
 )
 
@@ -106,6 +108,14 @@ type Local struct {
 	// Procs is the number of worker slots (concurrent processes);
 	// 0 means 2.
 	Procs int
+	// WorkerDir, when non-empty, gives every slot its own private job
+	// directory — <WorkerDir>/slot<N> — instead of the coordinator's
+	// Spec.Dir. Each slot dir is seeded with the plan from Spec.PlanFile
+	// before its worker starts, so workers never touch the coordinator's
+	// directory: the local rehearsal of a mountless remote deployment.
+	// Meaningful only together with Spec.PushRecords, since records
+	// written into a slot dir are otherwise never collected.
+	WorkerDir string
 	// Log receives every worker's stderr and non-protocol stdout, each
 	// line prefixed with the worker's slot. May be nil.
 	Log io.Writer
@@ -124,13 +134,47 @@ func (l *Local) Slots() int {
 // SlotName names a local slot.
 func (l *Local) SlotName(slot int) string { return fmt.Sprintf("local#%d", slot) }
 
-// Spawn launches one worker process for the lease.
+// Spawn launches one worker process for the lease. With WorkerDir set, the
+// slot's private directory is created and seeded with the plan first.
 func (l *Local) Spawn(ctx context.Context, slot int, spec Spec) (Worker, error) {
 	if l.Binary == "" {
 		return nil, fmt.Errorf("transport: Local needs a worker Binary")
 	}
-	argv := append([]string{l.Binary}, WorkerArgs(spec.Dir, spec)...)
+	dir := spec.Dir
+	if l.WorkerDir != "" {
+		dir = filepath.Join(l.WorkerDir, fmt.Sprintf("slot%d", slot))
+		if err := seedPlanFile(dir, spec.PlanFile); err != nil {
+			return nil, fmt.Errorf("transport: seeding %s: %w", dir, err)
+		}
+	}
+	argv := append([]string{l.Binary}, WorkerArgs(dir, spec)...)
 	return startWorker(ctx, argv, l.logWriter(slot))
+}
+
+// seedPlanFile materialises a worker-side job directory: dir/cells exists
+// and dir/plan.json holds the pushed plan, written via tmp+rename so a
+// worker resuming mid-write never reads a torn manifest. A nil plan is an
+// error — a private worker dir without a plan cannot run anything.
+func seedPlanFile(dir string, plan []byte) error {
+	if len(plan) == 0 {
+		return fmt.Errorf("worker dir needs a pushed plan (Spec.PlanFile is empty)")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "cells"), 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "plan.json.push-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.Write(plan); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(dir, "plan.json"))
 }
 
 func (l *Local) logWriter(slot int) *lineWriter {

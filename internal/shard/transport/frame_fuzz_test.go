@@ -1,0 +1,134 @@
+package transport
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// These tests pin the safety property the mountless push path rests on: a
+// record payload only ever comes out of ParseEvent intact. Torn lines,
+// frames with other protocol lines spliced into the middle, flipped
+// payload bytes, and arbitrary fuzz input must all either parse as a
+// payload-free event (harmless — nothing can be persisted from it) or not
+// parse at all. The coordinator re-runs any cell whose record never
+// arrives, so the failure mode of a damaged frame is wasted work, never a
+// wrong record.
+
+// frameFor builds a record frame line for tests.
+func frameFor(cell int, cost time.Duration, payload []byte) string {
+	return Event{Kind: EventCell, Cell: cell, Cost: cost, Payload: payload}.Encode()
+}
+
+// intactOrAbsent fails the test if ev carries a payload different from
+// every allowed original.
+func intactOrAbsent(t *testing.T, context string, ev Event, ok bool, originals ...[]byte) {
+	t.Helper()
+	if !ok || ev.Payload == nil {
+		return
+	}
+	for _, want := range originals {
+		if string(ev.Payload) == string(want) {
+			return
+		}
+	}
+	t.Fatalf("%s: parsed a payload that matches no original: %q", context, ev.Payload)
+}
+
+// TestRecordFrameTornLines: every prefix of a frame (the line a dying or
+// buffering worker can leave behind) yields either no event or an event
+// with no payload — never a truncated payload.
+func TestRecordFrameTornLines(t *testing.T) {
+	payload := []byte(`{"plan":"abc","index":7,"cell":"gnp-0.3/dfl","agg":{"reps":4}}`)
+	line := frameFor(7, 123*time.Millisecond, payload)
+	for i := 0; i <= len(line); i++ {
+		ev, ok := ParseEvent(line[:i])
+		intactOrAbsent(t, "torn prefix", ev, ok, payload)
+		if ok && ev.Payload != nil && i < len(line) {
+			t.Fatalf("proper prefix %q parsed with a full payload", line[:i])
+		}
+	}
+	// Suffixes model a scanner that lost the head of a line.
+	for i := 0; i <= len(line); i++ {
+		ev, ok := ParseEvent(line[i:])
+		intactOrAbsent(t, "torn suffix", ev, ok, payload)
+	}
+}
+
+// TestRecordFrameInterleaving: one frame spliced into another at every
+// position (two writers racing a shared pipe without the emitter's mutex)
+// must never surface a blended payload.
+func TestRecordFrameInterleaving(t *testing.T) {
+	a := []byte(`{"plan":"abc","index":1,"agg":{"reps":2},"sum":"aaaa"}`)
+	b := []byte(`{"plan":"abc","index":2,"agg":{"reps":2},"sum":"bbbb"}`)
+	lineA := frameFor(1, time.Millisecond, a)
+	lineB := frameFor(2, time.Millisecond, b)
+	for i := 0; i <= len(lineA); i++ {
+		// Splice B in as one line (no newline): the single-line mix.
+		ev, ok := ParseEvent(lineA[:i] + lineB + lineA[i:])
+		intactOrAbsent(t, "spliced single line", ev, ok, a, b)
+		// And as the torn-then-continued pair of lines a scanner would see
+		// if B's writer won a mid-frame race with a newline of its own.
+		ev, ok = ParseEvent(lineA[:i] + lineB)
+		intactOrAbsent(t, "first torn line", ev, ok, a, b)
+		ev, ok = ParseEvent(lineA[i:])
+		intactOrAbsent(t, "continuation line", ev, ok, a, b)
+	}
+}
+
+// TestRecordFrameHeartbeatInterleaving: a liveness beat or a done line
+// landing mid-frame must not fabricate a payload or misattribute one.
+func TestRecordFrameHeartbeatInterleaving(t *testing.T) {
+	payload := []byte(`{"plan":"abc","index":3,"agg":{"reps":2}}`)
+	line := frameFor(3, 0, payload)
+	for _, hb := range []string{"nbhb1 alive", "nbhb1 done", "nbhb1 start deadbeef", "nbhb1 cell 9"} {
+		for i := 0; i <= len(line); i++ {
+			ev, ok := ParseEvent(line[:i] + hb + line[i:])
+			intactOrAbsent(t, "heartbeat spliced at "+hb, ev, ok, payload)
+		}
+	}
+}
+
+// TestRecordFrameBitFlips: flipping any single payload byte of an encoded
+// frame must be caught by the frame checksum.
+func TestRecordFrameBitFlips(t *testing.T) {
+	payload := []byte(`{"plan":"abc","index":5,"agg":{"reps":2},"sum":"cccc"}`)
+	line := frameFor(5, 9*time.Millisecond, payload)
+	b64Start := strings.LastIndexByte(line, ' ') + 1
+	for i := b64Start; i < len(line); i++ {
+		for _, flip := range []byte{0x01, 0x20} {
+			mut := []byte(line)
+			mut[i] ^= flip
+			ev, ok := ParseEvent(string(mut))
+			intactOrAbsent(t, "bit flip", ev, ok, payload)
+		}
+	}
+}
+
+// FuzzParseEvent hammers the parser with arbitrary lines. Three
+// invariants: no panic, anything that parses re-encodes to a line that
+// parses back to the identical event (so a relayed frame survives another
+// hop bit-for-bit), and any payload that comes out verifies against its
+// frame checksum by construction of the round trip.
+func FuzzParseEvent(f *testing.F) {
+	payload := []byte(`{"plan":"abc","index":7,"agg":{"reps":4},"sum":"deadbeef"}`)
+	f.Add("nbhb1 alive")
+	f.Add("nbhb1 start deadbeef")
+	f.Add("nbhb1 cell 3")
+	f.Add("nbhb1 cell 3 250")
+	f.Add(frameFor(3, 250*time.Millisecond, payload))
+	f.Add(frameFor(0, 0, []byte("x")))
+	f.Add("nbhb1 cell 3 250 000000000000 aGVsbG8=")
+	f.Add("nbhb1 cell 3 5 " + frameFor(3, 0, payload)) // frame inside a frame
+	f.Add("not protocol at all")
+	f.Fuzz(func(t *testing.T, line string) {
+		ev, ok := ParseEvent(line)
+		if !ok {
+			return
+		}
+		again, ok2 := ParseEvent(ev.Encode())
+		if !ok2 || !again.Equal(ev) {
+			t.Fatalf("re-encode of %q drifted: %+v -> %q -> %+v (ok=%v)", line, ev, ev.Encode(), again, ok2)
+		}
+	})
+}

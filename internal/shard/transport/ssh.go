@@ -1,9 +1,11 @@
 package transport
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"io"
+	"os/exec"
 	"strings"
 	"sync"
 )
@@ -12,16 +14,21 @@ import (
 // `ssh <host> <binary> shard run -dir <dir> -cells ... -heartbeat`. One
 // slot per Hosts entry; list a host twice to run two workers on it.
 //
-// The job directory must be synced between the coordinator and every host
-// (shared filesystem, rsync loop, syncthing, ...): workers write their
-// cell records on their own machine, and the merge reads them wherever the
-// directory is assembled. Liveness and completion do not depend on the
-// sync — they travel in-band as heartbeats on the ssh connection's stdout,
-// and a worker whose connection dies observes stdin EOF and stops. A
-// stolen cell may end up with records written by two hosts; that is
-// harmless because records are deterministic — every worker produces
-// byte-identical records for the same cell, so whichever copy syncs last
-// changes nothing.
+// With record push-sync (StealCoordinator.PushRecords → Spec.PushRecords)
+// the hosts need only the binary and a scratch directory: the transport
+// seeds each host's job dir with the pushed plan before its first worker
+// starts, and every finished cell's record travels back in-band as a
+// checksummed frame on the worker's stdout for the coordinator to persist
+// on its own side. Without push-sync, the job directory must instead be
+// synced between the coordinator and every host (shared filesystem, rsync
+// loop, syncthing, ...): workers write their cell records on their own
+// machine, and the merge reads them wherever the directory is assembled.
+// Liveness and completion never depend on a sync — they travel in-band as
+// heartbeats on the ssh connection's stdout, and a worker whose connection
+// dies observes stdin EOF and stops. A stolen cell may end up executed by
+// two hosts; that is harmless because records are deterministic — every
+// worker produces byte-identical records for the same cell, so whichever
+// copy lands (or syncs) last changes nothing.
 //
 // Authentication is the operator's problem by design: the transport runs
 // whatever Command says (default "ssh"), so agent forwarding, jump hosts,
@@ -45,6 +52,9 @@ type SSH struct {
 	Log io.Writer
 
 	logMu sync.Mutex
+
+	seedMu sync.Mutex
+	seeded map[int]bool // slots whose remote dir already holds the plan
 }
 
 // Slots returns one slot per configured host entry.
@@ -58,31 +68,85 @@ func (s *SSH) SlotName(slot int) string {
 	return "ssh:" + s.Hosts[slot]
 }
 
-// Spawn launches one worker on the slot's host.
+// Spawn launches one worker on the slot's host, pushing the plan into the
+// host's job directory first when the lease carries one (once per slot —
+// re-leases reuse the seeded directory).
 func (s *SSH) Spawn(ctx context.Context, slot int, spec Spec) (Worker, error) {
 	if slot < 0 || slot >= len(s.Hosts) {
 		return nil, fmt.Errorf("transport: ssh slot %d out of range [0,%d)", slot, len(s.Hosts))
 	}
+	if spec.PlanFile != nil {
+		if err := s.seedPlan(ctx, slot, spec); err != nil {
+			return nil, err
+		}
+	}
 	return startWorker(ctx, s.argv(slot, spec), s.logWriter(slot))
+}
+
+// seedPlan materialises the job directory on the slot's host: one ssh
+// round trip that mkdirs the cells directory and lands plan.json via
+// cat-to-temp plus mv, the remote spelling of the atomic tmp+rename every
+// record write uses. The plan travels on the ssh client's stdin, so no
+// scp/sftp subsystem is required on the host. The temp name carries the
+// slot index because a host listed twice shares one remote dir: two slots
+// seeding concurrently must not write through the same temp file (one
+// slot's mv would yank the inode out from under the other's cat, tearing
+// plan.json or failing the second mv).
+func (s *SSH) seedPlan(ctx context.Context, slot int, spec Spec) error {
+	s.seedMu.Lock()
+	already := s.seeded[slot]
+	s.seedMu.Unlock()
+	if already {
+		return nil
+	}
+	dir := shellQuote(s.dir(spec))
+	tmp := fmt.Sprintf("%s/plan.json.push.%d", dir, slot)
+	script := fmt.Sprintf("mkdir -p %s/cells && cat > %s && mv %s %s/plan.json",
+		dir, tmp, tmp, dir)
+	argv := append(append([]string{}, s.client()...), s.Hosts[slot], script)
+	cmd := exec.CommandContext(ctx, argv[0], argv[1:]...)
+	cmd.Stdin = bytes.NewReader(spec.PlanFile)
+	if lw := s.logWriter(slot); lw != nil {
+		cmd.Stderr = lw
+	}
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("transport: pushing plan to %s: %w", s.SlotName(slot), err)
+	}
+	s.seedMu.Lock()
+	if s.seeded == nil {
+		s.seeded = make(map[int]bool)
+	}
+	s.seeded[slot] = true
+	s.seedMu.Unlock()
+	return nil
+}
+
+// client returns the ssh client invocation (Command or the default).
+func (s *SSH) client() []string {
+	if s.Command != nil {
+		return s.Command
+	}
+	return []string{"ssh", "-o", "BatchMode=yes"}
+}
+
+// dir returns the job directory path on the worker side.
+func (s *SSH) dir(spec Spec) string {
+	if s.Dir != "" {
+		return s.Dir
+	}
+	return spec.Dir
 }
 
 // argv builds the full local command line for one lease. The remote part
 // is shell-quoted because ssh concatenates its arguments into one string
 // for the remote shell.
 func (s *SSH) argv(slot int, spec Spec) []string {
-	client := s.Command
-	if client == nil {
-		client = []string{"ssh", "-o", "BatchMode=yes"}
-	}
+	client := s.client()
 	bin := s.Binary
 	if bin == "" {
 		bin = "nbandit"
 	}
-	dir := spec.Dir
-	if s.Dir != "" {
-		dir = s.Dir
-	}
-	remote := append([]string{bin}, WorkerArgs(dir, spec)...)
+	remote := append([]string{bin}, WorkerArgs(s.dir(spec), spec)...)
 	quoted := make([]string, len(remote))
 	for i, a := range remote {
 		quoted[i] = shellQuote(a)

@@ -28,7 +28,23 @@
 //	nbhb1 start <plan-hash>   worker accepted the lease under this plan
 //	nbhb1 alive               periodic liveness (worker default: 1s)
 //	nbhb1 cell <index>        cell <index>'s record is durable on disk
+//	nbhb1 cell <index> <ms>   ... and took ~<ms> of wall clock to produce
+//	nbhb1 cell <index> <ms> <sum> <b64>
+//	                          ... and here is the record itself: <b64> is
+//	                          the record line base64-encoded, <sum> the
+//	                          first 12 hex chars of its SHA-256 (framed
+//	                          record push — the mountless path)
 //	nbhb1 done                every leased cell is complete
+//
+// The cell forms are a strict extension: the bare three-field line is what
+// pre-push workers emit, the four-field form adds the per-cell wall-clock
+// cost the coordinator's lease sizing feeds on, and the six-field form
+// additionally carries the finished cell's one-line record so the
+// coordinator can persist it on its own side without any shared or synced
+// job directory. A torn or interleaved record frame cannot be
+// half-understood: the field count, the base64 coding, and the embedded
+// checksum must all agree or the line parses as no event at all (and the
+// coordinator re-runs the cell rather than trusting it).
 //
 // Unparseable stdout lines are forwarded to the transport's log writer,
 // never treated as protocol errors.
@@ -37,16 +53,30 @@ package transport
 import (
 	"bufio"
 	"context"
+	"crypto/sha256"
+	"encoding/base64"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
 
 // protoPrefix tags every heartbeat line; the version is part of the tag so
 // a future protocol change cannot be half-understood.
 const protoPrefix = "nbhb1"
+
+// MaxFramePayload bounds the decoded size of one framed record payload.
+// Larger frames are rejected at parse time (and would indicate a corrupt
+// length field or an interleaving bug, not a legitimate record — a cell
+// record is a single JSON line of curve moments, typically a few KB).
+const MaxFramePayload = 8 << 20
+
+// maxFrameLine bounds the scanner's line buffer: a full frame is the
+// payload base64-encoded (4/3 inflation) plus the fixed fields.
+const maxFrameLine = MaxFramePayload/3*4 + 4096
 
 // EventKind enumerates the heartbeat protocol's line types.
 type EventKind int
@@ -89,6 +119,25 @@ type Event struct {
 	Cell int
 	// Plan is the plan hash the worker runs under (EventStart only).
 	Plan string
+	// Cost is the worker-reported wall-clock cost of producing the cell's
+	// record, rounded to whole milliseconds; 0 means the worker did not
+	// report one (EventCell only). Coordinators feed it into lease sizing.
+	Cost time.Duration
+	// Payload is the cell's one-line record, pushed in-band so the
+	// coordinator can persist it without a shared job directory; nil when
+	// the worker relies on a synced filesystem instead (EventCell only).
+	// The frame's checksum has already been verified — a payload is intact
+	// as a byte string, though callers must still verify it as a record.
+	Payload []byte
+}
+
+// Equal reports whether two events are identical, payload bytes included.
+// (Event is not ==-comparable because of the payload slice.)
+func (e Event) Equal(o Event) bool {
+	if e.Kind != o.Kind || e.Cell != o.Cell || e.Plan != o.Plan || e.Cost != o.Cost {
+		return false
+	}
+	return string(e.Payload) == string(o.Payload)
 }
 
 // Encode returns the event's wire line, without a trailing newline.
@@ -97,7 +146,14 @@ func (e Event) Encode() string {
 	case EventStart:
 		return protoPrefix + " start " + e.Plan
 	case EventCell:
-		return protoPrefix + " cell " + strconv.Itoa(e.Cell)
+		s := protoPrefix + " cell " + strconv.Itoa(e.Cell)
+		if e.Cost > 0 || len(e.Payload) > 0 {
+			s += " " + strconv.FormatInt(costMillis(e.Cost), 10)
+		}
+		if len(e.Payload) > 0 {
+			s += " " + payloadSum(e.Payload) + " " + base64.StdEncoding.EncodeToString(e.Payload)
+		}
+		return s
 	case EventDone:
 		return protoPrefix + " done"
 	default:
@@ -105,8 +161,34 @@ func (e Event) Encode() string {
 	}
 }
 
+// costMillis renders a cost for the wire: whole milliseconds, with any
+// non-zero cost rounded up to at least 1ms so "measured but fast" stays
+// distinguishable from "not measured".
+func costMillis(d time.Duration) int64 {
+	if d <= 0 {
+		return 0
+	}
+	if ms := d.Milliseconds(); ms > 0 {
+		return ms
+	}
+	return 1
+}
+
+// payloadSum returns the frame-level checksum of a record payload: the
+// first 12 hex characters of its SHA-256. It guards the frame against torn
+// and interleaved lines; end-to-end record integrity is separately covered
+// by the checksum embedded in the record itself.
+func payloadSum(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])[:12]
+}
+
 // ParseEvent decodes one stdout line. ok is false for anything that is not
-// a well-formed heartbeat — callers forward such lines to their log.
+// a well-formed heartbeat — callers forward such lines to their log. For
+// record-carrying cell frames, ok additionally requires the base64 coding
+// and the frame checksum to verify, so a torn, truncated, or interleaved
+// frame never surfaces as a payload (at worst it degrades to a shorter
+// valid form, which carries no payload and so can never persist anything).
 func ParseEvent(line string) (ev Event, ok bool) {
 	fields := strings.Fields(strings.TrimSpace(line))
 	if len(fields) < 2 || fields[0] != protoPrefix {
@@ -121,14 +203,35 @@ func ParseEvent(line string) (ev Event, ok bool) {
 	case "alive":
 		return Event{Kind: EventAlive}, true
 	case "cell":
-		if len(fields) != 3 {
+		if len(fields) != 3 && len(fields) != 4 && len(fields) != 6 {
 			return Event{}, false
 		}
 		idx, err := strconv.Atoi(fields[2])
 		if err != nil || idx < 0 {
 			return Event{}, false
 		}
-		return Event{Kind: EventCell, Cell: idx}, true
+		ev := Event{Kind: EventCell, Cell: idx}
+		if len(fields) >= 4 {
+			ms, err := strconv.ParseInt(fields[3], 10, 64)
+			if err != nil || ms < 0 {
+				return Event{}, false
+			}
+			ev.Cost = time.Duration(ms) * time.Millisecond
+		}
+		if len(fields) == 6 {
+			if len(fields[4]) != 12 || base64.StdEncoding.DecodedLen(len(fields[5])) > MaxFramePayload+3 {
+				return Event{}, false
+			}
+			payload, err := base64.StdEncoding.DecodeString(fields[5])
+			if err != nil || len(payload) == 0 || len(payload) > MaxFramePayload {
+				return Event{}, false
+			}
+			if payloadSum(payload) != fields[4] {
+				return Event{}, false
+			}
+			ev.Payload = payload
+		}
+		return ev, true
 	case "done":
 		return Event{Kind: EventDone}, true
 	default:
@@ -154,8 +257,17 @@ func (e *Emitter) Start(planHash string) { e.emit(Event{Kind: EventStart, Plan: 
 // Alive emits a bare liveness beat.
 func (e *Emitter) Alive() { e.emit(Event{Kind: EventAlive}) }
 
-// Cell emits the durable-record line for one finished cell.
+// Cell emits the durable-record line for one finished cell, with no cost
+// or payload — the pre-push form, kept for synced-directory deployments.
 func (e *Emitter) Cell(index int) { e.emit(Event{Kind: EventCell, Cell: index}) }
+
+// CellRecord emits the durable-record line for one finished cell carrying
+// its wall-clock cost and, when payload is non-nil, the record itself as a
+// checksummed frame (the mountless push path). The emitter's mutex
+// guarantees the frame reaches stdout as one uninterleaved line.
+func (e *Emitter) CellRecord(index int, cost time.Duration, payload []byte) {
+	e.emit(Event{Kind: EventCell, Cell: index, Cost: cost, Payload: payload})
+}
 
 // Done emits the all-cells-complete line.
 func (e *Emitter) Done() { e.emit(Event{Kind: EventDone}) }
@@ -180,6 +292,17 @@ type Spec struct {
 	// Progress forwards -progress to the worker, whose per-replication
 	// stream arrives on the transport's log writer (stderr).
 	Progress bool
+	// PushRecords forwards -push-records to the worker: each finished
+	// cell's record travels back in-band as a checksummed frame on the
+	// worker's stdout instead of relying on a shared or synced job
+	// directory.
+	PushRecords bool
+	// PlanFile, when non-nil, is the content of the job's plan.json; a
+	// transport whose workers do not share the coordinator's filesystem
+	// materialises it in the worker-side job directory before launch, so a
+	// mountless worker needs only the binary and a scratch dir. Transports
+	// that share the directory with the coordinator may ignore it.
+	PlanFile []byte
 }
 
 // Worker is a handle to one spawned worker.
@@ -228,6 +351,9 @@ func joinCells(cells []int) string {
 // scheduler, a test harness) can launch byte-identical workers.
 func WorkerArgs(dir string, spec Spec) []string {
 	args := []string{"shard", "run", "-dir", dir, "-cells", joinCells(spec.Cells), "-heartbeat"}
+	if spec.PushRecords {
+		args = append(args, "-push-records")
+	}
 	if spec.Workers > 0 {
 		args = append(args, "-workers", strconv.Itoa(spec.Workers))
 	}
@@ -241,7 +367,7 @@ func WorkerArgs(dir string, spec Spec) []string {
 // parsed heartbeats to events. It returns when r is exhausted.
 func drainLines(r io.Reader, events chan<- Event, log *lineWriter) {
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	sc.Buffer(make([]byte, 0, 64*1024), maxFrameLine)
 	for sc.Scan() {
 		line := sc.Text()
 		if ev, ok := ParseEvent(line); ok {

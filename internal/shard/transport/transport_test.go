@@ -15,11 +15,14 @@ func TestEventEncodeParseRoundTrip(t *testing.T) {
 		{Kind: EventAlive},
 		{Kind: EventCell, Cell: 0},
 		{Kind: EventCell, Cell: 123456},
+		{Kind: EventCell, Cell: 7, Cost: 250 * time.Millisecond},
+		{Kind: EventCell, Cell: 9, Cost: 42 * time.Millisecond, Payload: []byte(`{"plan":"x","index":9}`)},
+		{Kind: EventCell, Cell: 3, Payload: []byte("binary\x00safe payload")},
 		{Kind: EventDone},
 	}
 	for _, want := range events {
 		got, ok := ParseEvent(want.Encode())
-		if !ok || got != want {
+		if !ok || !got.Equal(want) {
 			t.Fatalf("round trip %q: got %+v ok=%v, want %+v", want.Encode(), got, ok, want)
 		}
 	}
@@ -34,6 +37,14 @@ func TestParseEventRejectsNoise(t *testing.T) {
 		"nbhb1 cell",
 		"nbhb1 cell -4",
 		"nbhb1 cell x",
+		"nbhb1 cell 3 -1",                  // negative cost
+		"nbhb1 cell 3 12ms",                // cost must be bare millis
+		"nbhb1 cell 3 5 short b64",         // checksum not 12 hex chars
+		"nbhb1 cell 3 5 0123456789ab !",    // payload not base64
+		"nbhb1 cell 3 5 0123456789ab",      // five fields: no such form
+		"nbhb1 cell 3 5 000000000000 aGk=", // checksum does not match payload
+		"nbhb1 cell 3 5 " + payloadSum(nil) + " ", // empty payload
+		"nbhb1 cell 3 5 0123456789ab aGk= extra",  // seven fields
 		"nbhb1 start",
 		"nbhb2 alive", // future protocol version: not half-understood
 	} {
@@ -74,6 +85,9 @@ func TestWorkerArgs(t *testing.T) {
 	}
 	if got := WorkerArgs("d", Spec{Cells: []int{2}, Progress: true}); !strings.Contains(strings.Join(got, " "), "-progress") {
 		t.Fatalf("WorkerArgs dropped -progress: %v", got)
+	}
+	if got := WorkerArgs("d", Spec{Cells: []int{2}, PushRecords: true}); !strings.Contains(strings.Join(got, " "), "-push-records") {
+		t.Fatalf("WorkerArgs dropped -push-records: %v", got)
 	}
 }
 
@@ -152,7 +166,7 @@ func TestExecWorkerStreamsEvents(t *testing.T) {
 		t.Fatalf("events = %+v, want %+v", events, want)
 	}
 	for i := range want {
-		if events[i] != want[i] {
+		if !events[i].Equal(want[i]) {
 			t.Fatalf("event %d = %+v, want %+v", i, events[i], want[i])
 		}
 	}

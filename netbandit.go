@@ -114,13 +114,17 @@ type (
 )
 
 // Sharded sweep execution (package shard): a Sweep becomes a
-// distributable, resumable job over a shared directory — a hashed plan
-// manifest partitioning cells into shards, per-cell aggregates spilled as
+// distributable, resumable job over a shared — or, with record
+// push-sync, entirely unshared — directory: a hashed plan manifest
+// partitioning cells into shards, per-cell aggregates spilled as
 // checksummed records the moment each cell finishes, resume by scanning
 // completed records, and a merge that is bit-identical to a
 // single-process Sweep.Run. A work-stealing coordinator leases cell
 // batches to workers spawned over a pluggable transport (local processes
-// or ssh), re-leasing cells whose heartbeat lapses.
+// or ssh), re-leasing cells whose heartbeat lapses, sizing each slot's
+// leases from its worker's reported per-cell cost, and — in mountless
+// mode — ingesting every record as a verified frame on the worker's
+// heartbeat stream instead of requiring a synced filesystem.
 type (
 	// ShardPlan is the versioned, content-hashed shard manifest.
 	ShardPlan = shard.Plan
@@ -135,11 +139,12 @@ type (
 	ShardStatusReport = shard.Status
 	// ShardCoordinator is the work-stealing coordinator: it leases cell
 	// batches to workers spawned through a ShardTransport, steals back the
-	// cells of stragglers whose heartbeat lapses, and shrinks batch sizes
-	// as the queue drains.
+	// cells of stragglers whose heartbeat lapses, shrinks batch sizes as
+	// the queue drains (cost-seeded per slot), and with PushRecords
+	// ingests records over the worker streams so no directory is shared.
 	ShardCoordinator = shard.StealCoordinator
 	// ShardCoordinatorStats reports what one coordinator run did (cells
-	// completed, leases granted, steals).
+	// completed, leases granted, steals, records pushed/rejected).
 	ShardCoordinatorStats = shard.StealStats
 	// ShardLeaseState is the coordinator's persisted lease snapshot
 	// (dir/leases.json), shown by `nbandit shard status`.
@@ -153,10 +158,11 @@ type (
 	ShardWorker = transport.Worker
 	// ShardWorkerSpec describes one lease to a transport.
 	ShardWorkerSpec = transport.Spec
-	// ShardLocalTransport runs workers as child processes on this machine.
+	// ShardLocalTransport runs workers as child processes on this machine,
+	// optionally in private plan-seeded job dirs (WorkerDir).
 	ShardLocalTransport = transport.Local
-	// ShardSSHTransport runs workers on remote hosts over ssh against a
-	// synced job directory.
+	// ShardSSHTransport runs workers on remote hosts over ssh, against a
+	// synced job directory or (with push-sync) a plan-seeded scratch dir.
 	ShardSSHTransport = transport.SSH
 )
 

@@ -1,0 +1,108 @@
+// Command benchcmp is the CI bench-gate comparator: it reads two bench
+// trajectory files (the label→benchmark→metrics JSON written by `nbandit
+// bench`), compares ns/op for an explicit list of tracked benchmarks, and
+// exits non-zero if any of them regressed by more than the allowed
+// percentage — or if a tracked benchmark is missing from either file,
+// which would otherwise let the gate rot silently.
+//
+//	go run ./scripts/benchcmp -baseline BENCH_PR2.json -fresh BENCH_PR5.json \
+//	    -bench dflsso_replication_k100,dflsso_steady_state_round -max-regress 30
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// metrics is the per-benchmark slice of the trajectory schema benchcmp
+// cares about.
+type metrics struct {
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// load reads one label's benchmark map out of a trajectory file.
+func load(path, label string) (map[string]metrics, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	entry, ok := doc[label]
+	if !ok {
+		keys := make([]string, 0, len(doc))
+		for k := range doc {
+			keys = append(keys, k)
+		}
+		return nil, fmt.Errorf("%s: no label %q (have %s)", path, label, strings.Join(keys, ", "))
+	}
+	var out map[string]metrics
+	if err := json.Unmarshal(entry, &out); err != nil {
+		return nil, fmt.Errorf("%s[%s]: %w", path, label, err)
+	}
+	return out, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_PR2.json", "committed baseline trajectory file")
+	baselineLabel := flag.String("baseline-label", "after", "label to read from the baseline file")
+	freshPath := flag.String("fresh", "BENCH_PR5.json", "freshly measured trajectory file")
+	freshLabel := flag.String("fresh-label", "after", "label to read from the fresh file")
+	benches := flag.String("bench", "", "comma-separated tracked benchmark names (required)")
+	maxRegress := flag.Float64("max-regress", 30, "maximum allowed ns/op regression, percent")
+	flag.Parse()
+
+	if *benches == "" {
+		fmt.Fprintln(os.Stderr, "benchcmp: -bench is required (an empty gate guards nothing)")
+		os.Exit(2)
+	}
+	base, err := load(*baselinePath, *baselineLabel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*freshPath, *freshLabel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(2)
+	}
+
+	failed := false
+	fmt.Printf("%-40s %14s %14s %9s\n", "benchmark", "baseline ns/op", "fresh ns/op", "delta")
+	for _, name := range strings.Split(*benches, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		b, okB := base[name]
+		f, okF := fresh[name]
+		switch {
+		case !okB || b.NsPerOp <= 0:
+			fmt.Printf("%-40s MISSING from %s[%s]\n", name, *baselinePath, *baselineLabel)
+			failed = true
+		case !okF || f.NsPerOp <= 0:
+			fmt.Printf("%-40s MISSING from %s[%s]\n", name, *freshPath, *freshLabel)
+			failed = true
+		default:
+			delta := (f.NsPerOp/b.NsPerOp - 1) * 100
+			verdict := ""
+			if delta > *maxRegress {
+				verdict = fmt.Sprintf("  REGRESSED (> %+.0f%%)", *maxRegress)
+				failed = true
+			}
+			fmt.Printf("%-40s %14.1f %14.1f %+8.1f%%%s\n", name, b.NsPerOp, f.NsPerOp, delta, verdict)
+		}
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchcmp: gate failed (threshold %+.0f%% vs %s[%s])\n",
+			*maxRegress, *baselinePath, *baselineLabel)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcmp: all tracked benchmarks within %+.0f%% of %s[%s]\n",
+		*maxRegress, *baselinePath, *baselineLabel)
+}
