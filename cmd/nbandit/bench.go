@@ -150,7 +150,7 @@ type namedBench struct {
 // figure run, as callable functions (testing.Benchmark does not see the
 // _test.go files from a built binary).
 func benchSuite() []namedBench {
-	return []namedBench{
+	suite := []namedBench{
 		{"dflsso_replication_k100", func(b *testing.B) {
 			r := netbandit.NewRNG(1)
 			g := netbandit.GnpGraph(100, 0.3, r)
@@ -263,7 +263,81 @@ func benchSuite() []namedBench {
 			}
 			b.ReportMetric(500, "rounds/op")
 		}},
-		{"fig3a_quick", func(b *testing.B) {
+	}
+	// Large-K family: sparse avg-degree-8 Bernoulli env, sliding-window
+	// strategies (|F| = K), mirroring bench_test.go's BenchmarkLargeK*.
+	largeK := func(k int) (*netbandit.Env, *netbandit.StrategySet, error) {
+		env, err := netbandit.NewSparseBernoulliEnv(k, 8, uint64(k))
+		if err != nil {
+			return nil, nil, err
+		}
+		set, err := netbandit.WindowStrategies(k, 2, env.Graph())
+		if err != nil {
+			return nil, nil, err
+		}
+		return env, set, nil
+	}
+	for _, k := range []int{256, 4096, 10000} {
+		k := k
+		suite = append(suite,
+			namedBench{fmt.Sprintf("largek_sg_build_k%d", k), func(b *testing.B) {
+				_, set, err := largeK(k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					sg := netbandit.BuildStrategyGraph(set)
+					if sg.N() != set.Len() {
+						b.Fatal("bad SG")
+					}
+				}
+			}},
+			namedBench{fmt.Sprintf("largek_steady_state_round_k%d", k), func(b *testing.B) {
+				env, _, err := largeK(k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				warmup := k + 1000 // unseen queue drains one arm per round
+				cfg := netbandit.Config{Horizon: warmup + b.N, AnnounceHorizon: true}
+				run, err := netbandit.NewSingleRun(env, netbandit.SSO, netbandit.NewDFLSSO(), cfg, netbandit.NewRNG(7))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for i := 0; i < warmup; i++ {
+					if err := run.Step(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := run.Step(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(1, "rounds/op")
+			}},
+			namedBench{fmt.Sprintf("largek_closure_sample_k%d", k), func(b *testing.B) {
+				env, set, err := largeK(k)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctr := netbandit.NewCounter(uint64(k))
+				scratch := netbandit.NewRNG(9)
+				buf := make([]float64, env.K())
+				closure := set.Closure(set.Len() / 2)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					env.SampleObserved(ctr, i+1, closure, buf, scratch)
+				}
+				b.ReportMetric(float64(len(closure)), "arms/op")
+			}},
+		)
+	}
+	return append(suite,
+		namedBench{"fig3a_quick", func(b *testing.B) {
 			e, ok := netbandit.FindExperiment("fig3a")
 			if !ok {
 				b.Fatal("fig3a not registered")
@@ -285,5 +359,5 @@ func benchSuite() []namedBench {
 				}
 			}
 		}},
-	}
+	)
 }

@@ -38,6 +38,9 @@ type Env struct {
 	// hash; selfPos[i] is the position of i within closed[i].
 	armPremix []uint64
 	selfPos   []int
+	// allBern records that every arm is Bernoulli, which lets the sampling
+	// loop batch four hash chains per iteration with no per-arm law check.
+	allBern bool
 
 	bestArm      int
 	bestArmMean  float64
@@ -74,6 +77,7 @@ func NewEnv(g *graphs.Graph, dists []armdist.Distribution) (*Env, error) {
 		armPremix:  make([]uint64, k),
 		selfPos:    make([]int, k),
 	}
+	e.allBern = true
 	for i, d := range dists {
 		if d == nil {
 			return nil, fmt.Errorf("bandit: arm %d has nil distribution", i)
@@ -97,6 +101,7 @@ func NewEnv(g *graphs.Graph, dists []armdist.Distribution) (*Env, error) {
 			e.bernThresh[i] = uint64(math.Ceil(b.P * (1 << 53)))
 		} else {
 			e.bernThresh[i] = notBernoulli
+			e.allBern = false
 		}
 	}
 
@@ -221,9 +226,11 @@ func (e *Env) SampleObserved(c rng.Counter, t int, arms []int, buf []float64, sc
 // Observation per arm to dst, returning the extended slice. When xs is
 // non-nil each value is also written at its arm index. Identical draws to
 // SampleArm, with the per-round and per-arm hash halves hoisted out of the
-// loop. Runners recover the chosen arm's value via SelfPos and sum
-// side-reward realisations afterwards with SumObservations, keeping this
-// loop free of serial dependencies.
+// loop; on all-Bernoulli environments (the paper's experiments) the loop
+// hashes four arms per iteration so the chains' latencies overlap. Runners
+// recover the chosen arm's value via SelfPos and sum side-reward
+// realisations afterwards with SumObservations, keeping this loop free of
+// serial dependencies.
 func (e *Env) SampleObservations(c rng.Counter, t int, arms []int, xs []float64, dst []Observation, scratch *rng.RNG) []Observation {
 	cr := c.Round(uint64(t))
 	thresh := e.bernThresh
@@ -234,6 +241,37 @@ func (e *Env) SampleObservations(c rng.Counter, t int, arms []int, xs []float64,
 	}
 	dst = dst[:base+len(arms)]
 	out := dst[base:]
+	if e.allBern {
+		// Four independent hash chains per iteration; each lane is the same
+		// branch-free compare as SampleArm (the outcome bit is random, so a
+		// branch here would mispredict constantly).
+		idx := 0
+		for ; idx+4 <= len(arms); idx += 4 {
+			i0, i1, i2, i3 := arms[idx], arms[idx+1], arms[idx+2], arms[idx+3]
+			u0, u1, u2, u3 := cr.Uint64At4Premixed(premix[i0], premix[i1], premix[i2], premix[i3])
+			v0 := float64((u0>>11 - thresh[i0]) >> 63)
+			v1 := float64((u1>>11 - thresh[i1]) >> 63)
+			v2 := float64((u2>>11 - thresh[i2]) >> 63)
+			v3 := float64((u3>>11 - thresh[i3]) >> 63)
+			out[idx] = Observation{Arm: i0, Value: v0}
+			out[idx+1] = Observation{Arm: i1, Value: v1}
+			out[idx+2] = Observation{Arm: i2, Value: v2}
+			out[idx+3] = Observation{Arm: i3, Value: v3}
+			if xs != nil {
+				xs[i0], xs[i1], xs[i2], xs[i3] = v0, v1, v2, v3
+			}
+		}
+		for ; idx < len(arms); idx++ {
+			i := arms[idx]
+			u := cr.Uint64AtPremixed(premix[i]) >> 11
+			v := float64((u - thresh[i]) >> 63)
+			out[idx] = Observation{Arm: i, Value: v}
+			if xs != nil {
+				xs[i] = v
+			}
+		}
+		return dst
+	}
 	if xs == nil {
 		for idx, i := range arms {
 			var v float64

@@ -187,3 +187,51 @@ func TestCounterSamplingStatisticalEquivalence(t *testing.T) {
 		}
 	}
 }
+
+// TestSampleObservationsBatchedBernoulli pins the four-wide all-Bernoulli
+// fast path: on an env where every arm is Bernoulli (so the batched kernel
+// is selected), arm lists of every length mod 4 — exercising both the
+// unrolled body and the scalar tail — must reproduce SampleArm's draws
+// bit-identically, with and without the xs scatter.
+func TestSampleObservationsBatchedBernoulli(t *testing.T) {
+	const k = 23
+	dists := make([]armdist.Distribution, k)
+	for i := range dists {
+		d, err := armdist.NewBernoulli(float64(i) / float64(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dists[i] = d
+	}
+	env, err := NewEnv(graphs.Cycle(k), dists)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := rng.NewCounter(77)
+	scratch := rng.New(0)
+	for n := 0; n <= 9; n++ { // lengths covering 0..1 past two full batches
+		arms := make([]int, 0, n)
+		for j := 0; j < n; j++ {
+			arms = append(arms, (j*5+n)%k)
+		}
+		for _, withXs := range []bool{false, true} {
+			var xs []float64
+			if withXs {
+				xs = make([]float64, k)
+			}
+			obs := env.SampleObservations(c, 40+n, arms, xs, nil, scratch)
+			if len(obs) != n {
+				t.Fatalf("n=%d: got %d observations", n, len(obs))
+			}
+			for pos, i := range arms {
+				want := env.SampleArm(c, i, 40+n, scratch)
+				if obs[pos].Arm != i || obs[pos].Value != want {
+					t.Fatalf("n=%d withXs=%v pos=%d: got %+v, want arm %d value %v", n, withXs, pos, obs[pos], i, want)
+				}
+				if withXs && xs[i] != want {
+					t.Fatalf("n=%d pos=%d: xs[%d] = %v, want %v", n, pos, i, xs[i], want)
+				}
+			}
+		}
+	}
+}

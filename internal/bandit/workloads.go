@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 
+	"netbandit/internal/armdist"
 	"netbandit/internal/graphs"
 	"netbandit/internal/rng"
+	"netbandit/internal/strategy"
 )
 
 // SmoothedMeans generates homophilous arm means over a relation graph:
@@ -69,6 +71,50 @@ func rescaleUnit(xs []float64) {
 	for i := range xs {
 		xs[i] = (xs[i] - lo) / (hi - lo)
 	}
+}
+
+// SparseBernoulliEnv builds a large-K benchmark instance in O(K + edges):
+// a G(k, avgDeg/(k-1)) relation graph drawn by the skip-sampling generator
+// (sparse representation past the dense limit, so no O(K²)-bit matrix is
+// allocated) over k Bernoulli arms with uniform means. avgDeg is the
+// expected vertex degree; it is clamped to the feasible (0, k-1] range.
+// Everything is deterministic in seed.
+func SparseBernoulliEnv(k int, avgDeg float64, seed uint64) (*Env, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("bandit: SparseBernoulliEnv needs k >= 2, got %d", k)
+	}
+	if avgDeg <= 0 {
+		avgDeg = 1
+	}
+	p := avgDeg / float64(k-1)
+	if p > 1 {
+		p = 1
+	}
+	r := rng.New(seed)
+	g := graphs.GnpSparse(k, p, r)
+	return NewEnv(g, armdist.RandomBernoulliArms(k, r))
+}
+
+// WindowStrategies builds the sliding-window strategy family over k arms:
+// strategy x = {x, x+1, ..., x+m-1 mod k}, one per arm, so |F| = K at any
+// size m — the large-K combinatorial family (TopM's C(K, m) enumeration is
+// capped far below K = 10⁴). Windows of neighbouring arm ids model "place
+// the ad on m consecutive slots" layouts; with m = 1 the family reduces to
+// Singletons.
+func WindowStrategies(k, m int, g *graphs.Graph) (*strategy.Set, error) {
+	if m < 1 || m >= k {
+		// m = k would make every window the same full arm set.
+		return nil, fmt.Errorf("bandit: WindowStrategies needs 1 <= m < k, got m=%d k=%d", m, k)
+	}
+	all := make([][]int, k)
+	for x := 0; x < k; x++ {
+		w := make([]int, m)
+		for j := 0; j < m; j++ {
+			w[j] = (x + j) % k
+		}
+		all[x] = w
+	}
+	return strategy.NewExplicit(k, all, g)
 }
 
 // NeighborhoodCorrelation measures how homophilous a mean vector is over

@@ -108,3 +108,60 @@ func TestNeighborhoodCorrelationEdgeCases(t *testing.T) {
 		t.Fatalf("constant cycle correlation = %v", got)
 	}
 }
+
+// TestSparseBernoulliEnv checks the large-K workload generator: determinism
+// in seed, average degree near the request, sparse representation at scale,
+// and valid Bernoulli means.
+func TestSparseBernoulliEnv(t *testing.T) {
+	env, err := SparseBernoulliEnv(5000, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.K() != 5000 {
+		t.Fatalf("K = %d", env.K())
+	}
+	if env.Graph().Dense() {
+		t.Fatal("large sparse env chose the dense graph representation")
+	}
+	avg := 2 * float64(env.Graph().M()) / float64(env.K())
+	if avg < 6 || avg > 10 {
+		t.Fatalf("average degree %.2f far from requested 8", avg)
+	}
+	again, err := SparseBernoulliEnv(5000, 8, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < env.K(); i += 97 {
+		if env.Mean(i) != again.Mean(i) {
+			t.Fatalf("arm %d mean differs across identical seeds", i)
+		}
+	}
+	if _, err := SparseBernoulliEnv(1, 8, 0); err == nil {
+		t.Fatal("k=1 should be rejected")
+	}
+}
+
+// TestWindowStrategies checks the sliding-window family: |F| = K, windows
+// wrap mod K, closures honour the relation graph, and degenerate sizes are
+// rejected.
+func TestWindowStrategies(t *testing.T) {
+	g := graphs.Cycle(7)
+	set, err := WindowStrategies(7, 3, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 7 || set.K() != 7 {
+		t.Fatalf("|F| = %d, K = %d", set.Len(), set.K())
+	}
+	if got := set.Arms(5); len(got) != 3 || got[0] != 0 || got[1] != 5 || got[2] != 6 {
+		t.Fatalf("window 5 = %v, want [0 5 6]", got)
+	}
+	if set.MaxArms() != 3 {
+		t.Fatalf("MaxArms = %d", set.MaxArms())
+	}
+	for _, bad := range [][2]int{{7, 0}, {7, 7}, {1, 1}} {
+		if _, err := WindowStrategies(bad[0], bad[1], graphs.Empty(bad[0])); err == nil {
+			t.Fatalf("WindowStrategies(%d, %d) should be rejected", bad[0], bad[1])
+		}
+	}
+}

@@ -160,6 +160,17 @@ func (m *mossIndex) argmax(logT float64, base []float64) int {
 		d := logT - c[i]
 		v := bi
 		if d > 0 {
+			// Sqrt prune: i can only win when bi + sqrt(d·inv) > bestV,
+			// i.e. d·inv > (bestV-bi)². Checking the squared form skips the
+			// sqrt for the (vast majority of) arms that cannot contend. The
+			// (1-1e-9) slack keeps the skip conservative against the ~1e-16
+			// relative rounding of the product: an arm is only skipped when
+			// it loses by a margin far wider than any fp wobble, so the
+			// selected index is identical to the unpruned scan's. Near-tie
+			// arms fall through to the exact sqrt comparison below.
+			if u := bestV - bi; u > 0 && d*inv[i] < u*u*(1-1e-9) {
+				continue
+			}
 			v += math.Sqrt(d * inv[i])
 		}
 		if v > bestV {

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"netbandit/internal/rng"
+)
+
+// naiveArgmax is the unpruned scan the sqrt-prune in mossIndex.argmax must
+// match index-for-index.
+func naiveArgmax(m *mossIndex, logT float64, base []float64) int {
+	for m.front < len(m.unseen) && m.n[m.unseen[m.front]] > 0 {
+		m.front++
+	}
+	if m.front < len(m.unseen) {
+		return m.unseen[m.front]
+	}
+	best, bestV := 0, math.Inf(-1)
+	for i, bi := range base {
+		d := logT - m.c[i]
+		v := bi
+		if d > 0 {
+			v += math.Sqrt(d * m.inv[i])
+		}
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// TestArgmaxPruneMatchesNaive drives argmax over many random count/mean
+// states, including exact-tie and near-tie bases, and requires the pruned
+// scan to select exactly the index the naive scan selects.
+func TestArgmaxPruneMatchesNaive(t *testing.T) {
+	r := rng.New(7)
+	for trial := 0; trial < 200; trial++ {
+		k := 2 + r.Intn(60)
+		var m mossIndex
+		m.reset(k, 0.5+r.Float64(), 0)
+		base := make([]float64, k)
+		for i := 0; i < k; i++ {
+			m.setCount(i, 1+int64(r.Intn(500)))
+			base[i] = r.Float64()
+		}
+		m.front = len(m.unseen) // all seen
+		if trial%4 == 0 {
+			// Exact ties: duplicate a state so tie-breaking is observable.
+			j := r.Intn(k - 1)
+			m.setCount(j+1, m.n[j])
+			base[j+1] = base[j]
+		}
+		t1 := 1 + r.Intn(100000)
+		logT := math.Log(float64(t1))
+		got := m.argmax(logT, base)
+		want := naiveArgmax(&m, logT, base)
+		if got != want {
+			t.Fatalf("trial %d (k=%d t=%d): pruned argmax picked %d, naive picked %d", trial, k, t1, got, want)
+		}
+	}
+}

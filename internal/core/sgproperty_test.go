@@ -57,6 +57,93 @@ func sameGraph(a, b *graphs.Graph) error {
 	return nil
 }
 
+// randomFamily draws count distinct random strategies of sizes in
+// [minSize, maxSize] over k arms.
+func randomFamily(k, count, minSize, maxSize int, r *rng.RNG) [][]int {
+	seen := make(map[string]bool, count)
+	var all [][]int
+	for len(all) < count {
+		size := minSize + r.Intn(maxSize-minSize+1)
+		picked := make(map[int]bool, size)
+		for len(picked) < size {
+			picked[r.Intn(k)] = true
+		}
+		s := make([]int, 0, size)
+		for a := range picked {
+			s = append(s, a)
+		}
+		sortInts(s)
+		key := fmt.Sprint(s)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		all = append(all, s)
+	}
+	return all
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// TestStrategyGraphWordBoundaries is the SG half of the word-boundary
+// satellite: at K values straddling one-, two-, and multi-word rows, random
+// families in both size regimes — strategies smaller than the row width
+// (arm-probe kernel) and at least as wide (unrolled word-subset kernel) —
+// must reproduce the merge reference exactly.
+func TestStrategyGraphWordBoundaries(t *testing.T) {
+	for _, k := range []int{63, 64, 65, 127, 128, 129, 1000} {
+		words := (k + 63) / 64
+		p := 0.1
+		if k >= 1000 {
+			p = 0.01
+		}
+		for seed := uint64(0); seed < 2; seed++ {
+			g := graphs.Gnp(k, p, rng.New(uint64(k)*7+seed))
+			// Small-strategy regime: MaxArms < Words whenever words > 1,
+			// driving the arm-probe kernel (at K=63/64 it is the scalar
+			// kernel, which the same reference check pins).
+			smallMax := words - 1
+			if smallMax < 1 {
+				smallMax = 1
+			} else if smallMax > 3 {
+				smallMax = 3
+			}
+			smallCount := 120
+			if smallMax == 1 && smallCount > k {
+				smallCount = k // only k distinct singletons exist
+			}
+			small, err := strategy.NewExplicit(k, randomFamily(k, smallCount, 1, smallMax, rng.New(seed+1)), g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if words > 1 && small.MaxArms() >= small.Words() {
+				t.Fatalf("k=%d: small family does not select the probe kernel", k)
+			}
+			if err := sameGraph(BuildStrategyGraph(small), buildStrategyGraphMerge(small)); err != nil {
+				t.Fatalf("k=%d seed=%d small: %v", k, seed, err)
+			}
+			// Wide-strategy regime: MaxArms >= Words forces the unrolled
+			// SubsetWords kernel on multi-word rows.
+			wide, err := strategy.NewExplicit(k, randomFamily(k, 60, words, words+4, rng.New(seed+3)), g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wide.MaxArms() < wide.Words() {
+				t.Fatalf("k=%d: wide family does not select the word kernel", k)
+			}
+			if err := sameGraph(BuildStrategyGraph(wide), buildStrategyGraphMerge(wide)); err != nil {
+				t.Fatalf("k=%d seed=%d wide: %v", k, seed, err)
+			}
+		}
+	}
+}
+
 // TestBitsetStrategyGraphExplicitFamilies covers hand-built families whose
 // closures interlock asymmetrically (one containment holding without the
 // other), which the random top-M cases rarely produce.

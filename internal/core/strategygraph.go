@@ -42,11 +42,39 @@ func BuildStrategyGraph(set *strategy.Set) *graphs.Graph {
 		}
 		return graphs.NewFromBitRows(n, rows)
 	}
+	// Multi-word kernel. Hoist the per-strategy rows/lists out of the pair
+	// loop once — set.ArmBits etc. are slice-header computations, but |F|²
+	// of them is real money at n = 10⁴.
+	armRows := make([][]uint64, n)
+	cloRows := make([][]uint64, n)
+	armsList := make([][]int, n)
 	for x := 0; x < n; x++ {
-		ax, cx := set.ArmBits(x), set.ClosureBits(x)
+		armRows[x] = set.ArmBits(x)
+		cloRows[x] = set.ClosureBits(x)
+		armsList[x] = set.Arms(x)
+	}
+	if set.MaxArms() < set.Words() {
+		// Strategies are small relative to the row width (e.g. singletons
+		// or windows at K = 10⁴: M words per row, but only a handful of
+		// arms). Probing each component arm's bit in the other closure is
+		// O(M) per ordered pair instead of O(K/64).
+		for x := 0; x < n; x++ {
+			ax, cx := armsList[x], cloRows[x]
+			rowx := rows[x*wn : (x+1)*wn]
+			for y := x + 1; y < n; y++ {
+				if armsInBits(armsList[y], cx) && armsInBits(ax, cloRows[y]) {
+					rowx[y>>6] |= 1 << (uint(y) & 63)
+					rows[y*wn+(x>>6)] |= 1 << (uint(x) & 63)
+				}
+			}
+		}
+		return graphs.NewFromBitRows(n, rows)
+	}
+	for x := 0; x < n; x++ {
+		ax, cx := armRows[x], cloRows[x]
 		rowx := rows[x*wn : (x+1)*wn]
 		for y := x + 1; y < n; y++ {
-			if bitsSubset(set.ArmBits(y), cx) && bitsSubset(ax, set.ClosureBits(y)) {
+			if graphs.SubsetWords(armRows[y], cx) && graphs.SubsetWords(ax, cloRows[y]) {
 				rowx[y>>6] |= 1 << (uint(y) & 63)
 				rows[y*wn+(x>>6)] |= 1 << (uint(x) & 63)
 			}
@@ -55,11 +83,10 @@ func BuildStrategyGraph(set *strategy.Set) *graphs.Graph {
 	return graphs.NewFromBitRows(n, rows)
 }
 
-// bitsSubset reports whether every bit of a is also set in b. The rows
-// have equal length by construction.
-func bitsSubset(a, b []uint64) bool {
-	for i, w := range a {
-		if w&^b[i] != 0 {
+// armsInBits reports whether every arm in the list has its bit set in row.
+func armsInBits(arms []int, row []uint64) bool {
+	for _, a := range arms {
+		if row[a>>6]&(1<<(uint(a)&63)) == 0 {
 			return false
 		}
 	}

@@ -90,15 +90,22 @@ func bronKerbosch(g *Graph, r, p, x []uint64, stopped *bool, emit func([]int) bo
 		}
 		return
 	}
+	// Sparse graphs have no shared matrix rows; one per-level scratch row
+	// is rebuilt for each vertex whose neighbourhood the level inspects
+	// (adjBitsInto returns the shared row directly on dense graphs).
+	var rowBuf []uint64
+	if g.bits == nil {
+		rowBuf = make([]uint64, len(p))
+	}
 	// Pivot: vertex in P ∪ X with most neighbours in P.
 	pivot, best := -1, -1
 	forEachBit(p, func(v int) {
-		if c := countAnd(g.bits[v], p); c > best {
+		if c := countAnd(g.adjBitsInto(rowBuf, v), p); c > best {
 			best, pivot = c, v
 		}
 	})
 	forEachBit(x, func(v int) {
-		if c := countAnd(g.bits[v], p); c > best {
+		if c := countAnd(g.adjBitsInto(rowBuf, v), p); c > best {
 			best, pivot = c, v
 		}
 	})
@@ -106,10 +113,11 @@ func bronKerbosch(g *Graph, r, p, x []uint64, stopped *bool, emit func([]int) bo
 	// Candidates: P \ N(pivot).
 	words := len(p)
 	cand := make([]uint64, words)
-	for w := 0; w < words; w++ {
-		cand[w] = p[w]
-		if pivot >= 0 {
-			cand[w] &^= g.bits[pivot][w]
+	copy(cand, p)
+	if pivot >= 0 {
+		prow := g.adjBitsInto(rowBuf, pivot)
+		for w := 0; w < words; w++ {
+			cand[w] &^= prow[w]
 		}
 	}
 	pc := append([]uint64(nil), p...)
@@ -120,11 +128,12 @@ func bronKerbosch(g *Graph, r, p, x []uint64, stopped *bool, emit func([]int) bo
 		}
 		r2 := append([]uint64(nil), r...)
 		r2[v/64] |= 1 << (uint(v) % 64)
+		vrow := g.adjBitsInto(rowBuf, v)
 		p2 := make([]uint64, words)
 		x2 := make([]uint64, words)
 		for w := 0; w < words; w++ {
-			p2[w] = pc[w] & g.bits[v][w]
-			x2[w] = xc[w] & g.bits[v][w]
+			p2[w] = pc[w] & vrow[w]
+			x2[w] = xc[w] & vrow[w]
 		}
 		bronKerbosch(g, r2, p2, x2, stopped, emit)
 		pc[v/64] &^= 1 << (uint(v) % 64)
@@ -141,13 +150,7 @@ func isZero(b []uint64) bool {
 	return true
 }
 
-func countAnd(a, b []uint64) int {
-	c := 0
-	for w := range a {
-		c += bits.OnesCount64(a[w] & b[w])
-	}
-	return c
-}
+func countAnd(a, b []uint64) int { return AndCountWords(a, b) }
 
 func bitsetToSlice(b []uint64, n int) []int {
 	var out []int

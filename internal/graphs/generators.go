@@ -27,6 +27,55 @@ func Gnp(n int, p float64, r *rng.RNG) *Graph {
 	return g
 }
 
+// GnpSparse returns a G(n, p) random graph in expected O(n + m) time and
+// memory: instead of flipping C(n,2) coins it jumps between successive
+// edges with geometric skips (each skip length is distributed as the gap
+// between successes in a Bernoulli(p) sequence), and it stores the result
+// in the sparse representation chosen by NewAuto. This is the generator
+// for the large-K workloads — Gnp's O(n²) loop and O(n²)-bit matrix are
+// both unaffordable at K = 10⁴–10⁵. The two generators consume r
+// differently, so the same seed yields different (equally distributed)
+// graphs.
+func GnpSparse(n int, p float64, r *rng.RNG) *Graph {
+	if p >= 1 {
+		// Every edge present: the dense generator is already optimal and
+		// the skip recurrence below would divide by log(1-p) = -Inf.
+		return Complete(n)
+	}
+	g := NewAuto(n, p)
+	if p <= 0 || n < 2 {
+		return g
+	}
+	// Walk the upper triangle in row-major order (u ascending, then v),
+	// advancing by 1 + Geometric(p) positions per edge. Row-major order
+	// means every AddEdge hits insertSorted's O(1) append fast paths.
+	invLog := 1 / math.Log1p(-p)
+	u, v := 0, 0 // v is the last *consumed* column in row u; row starts at v = u
+	skip := func() int {
+		// floor(log(U)/log(1-p)) failures before the next success; U is in
+		// [0, 1), so guard the log(0) = -Inf corner to a huge skip.
+		uni := r.Float64()
+		if uni == 0 {
+			return int(math.MaxInt32)
+		}
+		return int(math.Log(uni) * invLog)
+	}
+	for u < n-1 {
+		gap := skip() + 1
+		for u < n-1 && v+gap >= n {
+			gap -= n - 1 - v // unused remainder of row u
+			u++
+			v = u
+		}
+		if u >= n-1 {
+			break
+		}
+		v += gap
+		g.MustAddEdge(u, v)
+	}
+	return g
+}
+
 // BarabasiAlbert returns a preferential-attachment graph: it starts from a
 // clique on m0 = attach vertices and attaches each subsequent vertex to
 // `attach` existing vertices chosen proportionally to degree. Such graphs

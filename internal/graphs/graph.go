@@ -17,17 +17,81 @@ import (
 
 // Graph is a simple undirected graph on vertices 0..n-1. The zero value is
 // an empty graph with no vertices; use New to create a graph with vertices.
+//
+// Two representations live behind the one type. The dense form keeps an
+// O(n²)-bit adjacency matrix next to the sorted lists, buying O(1) edge
+// tests and word-parallel set operations; it is the right shape for the
+// simulation-scale graphs the paper's figures use. The sparse (CSR-style)
+// form keeps only the sorted adjacency and closed-neighbourhood lists —
+// edge tests binary-search the shorter endpoint list and row unions walk
+// the list — so a K=10⁵ relation graph with bounded degree costs O(n+m)
+// ints instead of 1.2 GB of matrix. Every exported method behaves
+// identically in both modes (property-tested); only the constants differ.
 type Graph struct {
 	n      int
 	m      int
 	adj    [][]int    // sorted neighbour lists
 	closed [][]int    // sorted closed neighbourhoods {v} ∪ N(v)
-	bits   [][]uint64 // adjacency bitsets, one row per vertex
+	bits   [][]uint64 // adjacency bitsets, one row per vertex; nil in sparse mode
 	words  int        // number of uint64 words per bitset row
 }
 
-// New returns an edgeless graph with n vertices. It panics if n < 0.
+// Dense/sparse auto-selection thresholds. Below DenseVertexLimit the bit
+// matrix costs at most 2 MB and always wins; above it New switches to the
+// sparse representation unless the caller's density hint says the matrix
+// would both fit the memory cap and carry at least DenseDensityMin of its
+// bits — one expected edge bit per 64-bit word, the break-even point at
+// which scanning the matrix row stops beating walking the CSR list.
+const (
+	// DenseVertexLimit is the vertex count up to which New always keeps
+	// the adjacency bit matrix.
+	DenseVertexLimit = 4096
+	// DenseDensityMin is the minimum expected density at which NewAuto
+	// keeps the matrix above DenseVertexLimit.
+	DenseDensityMin = 1.0 / 64
+	// denseMatrixByteCap bounds the matrix NewAuto will allocate even for
+	// dense hints (128 MB ≈ n = 32768).
+	denseMatrixByteCap = 128 << 20
+)
+
+// New returns an edgeless graph with n vertices, choosing the dense
+// representation up to DenseVertexLimit vertices and the sparse one above.
+// Use NewDense, NewSparse, or NewAuto to choose explicitly. It panics if
+// n < 0.
 func New(n int) *Graph {
+	return newGraph(n, n <= DenseVertexLimit)
+}
+
+// NewDense returns an edgeless graph that keeps the O(n²)-bit adjacency
+// matrix regardless of size. It panics if n < 0.
+func NewDense(n int) *Graph { return newGraph(n, true) }
+
+// NewSparse returns an edgeless graph in the CSR-style representation:
+// sorted adjacency lists only, no bit matrix. Edge tests cost O(log deg)
+// and row unions O(deg), but memory is O(n + m) — the only feasible shape
+// for relation graphs with 10⁴–10⁵ arms. It panics if n < 0.
+func NewSparse(n int) *Graph { return newGraph(n, false) }
+
+// NewAuto returns an edgeless graph choosing the representation from the
+// expected edge density (m / C(n,2)): dense when small enough to be free
+// (≤ DenseVertexLimit vertices) or when the matrix fits the memory cap
+// and would carry at least DenseDensityMin of its bits; sparse otherwise.
+// Generators that know their target density use this so large sparse
+// graphs never materialise an O(n²) matrix.
+func NewAuto(n int, expectedDensity float64) *Graph {
+	dense := n <= DenseVertexLimit ||
+		(expectedDensity >= DenseDensityMin && matrixBytes(n) <= denseMatrixByteCap)
+	return newGraph(n, dense)
+}
+
+// matrixBytes returns the byte size of the adjacency bit matrix for n
+// vertices, saturating instead of overflowing.
+func matrixBytes(n int) int64 {
+	words := int64(n+63) / 64
+	return int64(n) * words * 8
+}
+
+func newGraph(n int, dense bool) *Graph {
 	if n < 0 {
 		panic("graphs: negative vertex count")
 	}
@@ -46,7 +110,7 @@ func New(n int) *Graph {
 		selfBacking[v] = v
 		g.closed[v] = selfBacking[v : v+1 : v+1]
 	}
-	if words > 0 {
+	if dense && words > 0 {
 		// One backing array for all rows keeps the graph cache-friendly.
 		g.bits = make([][]uint64, n)
 		backing := make([]uint64, n*words)
@@ -56,6 +120,10 @@ func New(n int) *Graph {
 	}
 	return g
 }
+
+// Dense reports whether g keeps the adjacency bit matrix (false for the
+// sparse/CSR representation).
+func (g *Graph) Dense() bool { return g.bits != nil || g.n == 0 }
 
 // Words returns the number of uint64 words in each adjacency-bitset row —
 // the row length callers of OrClosedInto must allocate.
@@ -91,9 +159,7 @@ func NewFromBitRows(n int, rows []uint64) *Graph {
 	for v := 0; v < n; v++ {
 		row := rows[v*words : (v+1)*words]
 		g.bits[v] = row
-		for _, w := range row {
-			total += bits.OnesCount64(w)
-		}
+		total += CountWords(row)
 		if row[v/64]&(1<<(uint(v)%64)) != 0 {
 			panic(fmt.Sprintf("graphs: NewFromBitRows row %d has a self-loop", v))
 		}
@@ -133,16 +199,42 @@ func NewFromBitRows(n int, rows []uint64) *Graph {
 // OrClosedInto ORs the closed-neighbourhood bitset of v (adjacency row plus
 // the self bit) into dst, which must have at least Words() words. Bulk
 // closure construction (package strategy) unions rows this way instead of
-// merging sorted slices.
+// merging sorted slices. Dense graphs OR the matrix row word-at-a-time;
+// sparse graphs scatter the adjacency list, O(deg) instead of O(n/64).
 func (g *Graph) OrClosedInto(dst []uint64, v int) {
 	if !g.validVertex(v) {
 		return
 	}
-	row := g.bits[v]
-	for w := range row {
-		dst[w] |= row[w]
+	if g.bits != nil {
+		OrWords(dst, g.bits[v])
+	} else {
+		for _, u := range g.adj[v] {
+			dst[u>>6] |= 1 << (uint(u) & 63)
+		}
 	}
 	dst[v/64] |= 1 << (uint(v) % 64)
+}
+
+// adjBitsInto materialises v's adjacency bitset row. Dense graphs return
+// the shared matrix row; sparse graphs clear buf (allocating it at Words()
+// length if nil) and scatter the adjacency list into it. Callers must not
+// modify a returned shared row.
+func (g *Graph) adjBitsInto(buf []uint64, v int) []uint64 {
+	if g.bits != nil {
+		return g.bits[v]
+	}
+	if buf == nil {
+		buf = make([]uint64, g.words)
+	} else {
+		buf = buf[:g.words]
+		for i := range buf {
+			buf[i] = 0
+		}
+	}
+	for _, u := range g.adj[v] {
+		buf[u>>6] |= 1 << (uint(u) & 63)
+	}
+	return buf
 }
 
 // N returns the number of vertices.
@@ -190,7 +282,9 @@ func (g *Graph) MustAddEdge(u, v int) {
 func (g *Graph) insert(u, v int) {
 	g.adj[u] = insertSorted(g.adj[u], v)
 	g.closed[u] = insertSorted(g.closed[u], v)
-	g.bits[u][v/64] |= 1 << (uint(v) % 64)
+	if g.bits != nil {
+		g.bits[u][v/64] |= 1 << (uint(v) % 64)
+	}
 }
 
 // insertSorted inserts v into the sorted slice list, appending in O(1)
@@ -217,12 +311,21 @@ func insertSorted(list []int, v int) []int {
 }
 
 // HasEdge reports whether the edge {u, v} exists. Out-of-range vertices
-// never have edges.
+// never have edges. O(1) on dense graphs; O(log min-degree) on sparse
+// graphs, which binary-search the shorter endpoint's neighbour list.
 func (g *Graph) HasEdge(u, v int) bool {
 	if !g.validVertex(u) || !g.validVertex(v) {
 		return false
 	}
-	return g.bits[u][v/64]&(1<<(uint(v)%64)) != 0
+	if g.bits != nil {
+		return g.bits[u][v/64]&(1<<(uint(v)%64)) != 0
+	}
+	list := g.adj[u]
+	if len(g.adj[v]) < len(list) {
+		list, v = g.adj[v], u
+	}
+	i := sort.SearchInts(list, v)
+	return i < len(list) && list[i] == v
 }
 
 // Degree returns the number of neighbours of v.
@@ -278,9 +381,9 @@ func (g *Graph) Edges() [][2]int {
 	return out
 }
 
-// Clone returns a deep copy of g.
+// Clone returns a deep copy of g in the same representation.
 func (g *Graph) Clone() *Graph {
-	c := New(g.n)
+	c := newGraph(g.n, g.bits != nil)
 	for u := 0; u < g.n; u++ {
 		for _, v := range g.adj[u] {
 			if u < v {
@@ -393,12 +496,25 @@ func (g *Graph) String() string {
 	return fmt.Sprintf("graph(n=%d, m=%d, density=%.3f)", g.n, g.m, g.Density())
 }
 
-// commonNeighborCount returns |N(u) ∩ N(v)| using the bitset rows.
+// commonNeighborCount returns |N(u) ∩ N(v)| — word-parallel AND-popcount
+// on dense graphs, a sorted-merge intersection count on sparse ones.
 func (g *Graph) commonNeighborCount(u, v int) int {
-	total := 0
-	bu, bv := g.bits[u], g.bits[v]
-	for w := 0; w < g.words; w++ {
-		total += bits.OnesCount64(bu[w] & bv[w])
+	if g.bits != nil {
+		return AndCountWords(g.bits[u], g.bits[v])
+	}
+	a, b := g.adj[u], g.adj[v]
+	total, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			total++
+			i++
+			j++
+		}
 	}
 	return total
 }

@@ -142,3 +142,21 @@ func TestCounterUniformMoments(t *testing.T) {
 		t.Fatalf("variance %v far from 1/12", variance)
 	}
 }
+
+// TestUint64At4PremixedMatchesScalar checks that each lane of the batched
+// hash equals the corresponding single-arm call, across rounds and
+// non-contiguous arm ids.
+func TestUint64At4PremixedMatchesScalar(t *testing.T) {
+	c := NewCounter(2026)
+	for _, tt := range []uint64{0, 1, 7, 1 << 20} {
+		cr := c.Round(tt)
+		for base := uint64(0); base < 40; base += 4 {
+			p0, p1, p2, p3 := PremixArm(base), PremixArm(base+3), PremixArm(base+11), PremixArm(base+200)
+			r0, r1, r2, r3 := cr.Uint64At4Premixed(p0, p1, p2, p3)
+			if r0 != cr.Uint64AtPremixed(p0) || r1 != cr.Uint64AtPremixed(p1) ||
+				r2 != cr.Uint64AtPremixed(p2) || r3 != cr.Uint64AtPremixed(p3) {
+				t.Fatalf("t=%d base=%d: batched lanes diverge from scalar", tt, base)
+			}
+		}
+	}
+}

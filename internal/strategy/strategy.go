@@ -32,6 +32,7 @@ type Set struct {
 	index  map[string]int // canonical arm-set key -> strategy index
 	name   string
 	maxY   int
+	maxM   int // max strategy size, for kernel selection in BuildStrategyGraph
 
 	// Bitset views of arms and closed, one words-length row per strategy
 	// carved from a shared backing array. BuildStrategyGraph's subset tests
@@ -104,6 +105,9 @@ func NewExplicit(k int, strategies [][]int, g *graphs.Graph) (*Set, error) {
 		s.closed = append(s.closed, cl)
 		if len(cl) > s.maxY {
 			s.maxY = len(cl)
+		}
+		if len(a) > s.maxM {
+			s.maxM = len(a)
 		}
 	}
 	return s, nil
@@ -324,6 +328,9 @@ func (s *Set) Closure(x int) []int { return s.closed[x] }
 
 // MaxClosureSize returns N = max_x |Y_x|, the constant in Theorem 4.
 func (s *Set) MaxClosureSize() int { return s.maxY }
+
+// MaxArms returns M = max_x |s_x|, the largest strategy size in the family.
+func (s *Set) MaxArms() int { return s.maxM }
 
 // Words returns the number of uint64 words per arm/closure bitset row.
 func (s *Set) Words() int { return s.words }

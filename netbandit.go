@@ -239,6 +239,18 @@ func NewGraph(n int) *Graph { return graphs.New(n) }
 // simulation topology.
 func GnpGraph(n int, p float64, r *RNG) *Graph { return graphs.Gnp(n, p, r) }
 
+// GnpSparseGraph returns a G(n, p) relation graph drawn by skip sampling in
+// expected O(n + edges) time, stored sparse when the density-based policy
+// says the O(n²)-bit matrix is not worth it — the generator for K = 10⁴–10⁵
+// instances. Gnp and GnpSparseGraph consume r differently, so the same seed
+// yields different (equally distributed) graphs.
+func GnpSparseGraph(n int, p float64, r *RNG) *Graph { return graphs.GnpSparse(n, p, r) }
+
+// NewSparseGraph returns an edgeless relation graph that stays in the
+// adjacency-list representation regardless of size — for callers that know
+// the graph will be too large or too sparse for the bit matrix.
+func NewSparseGraph(n int) *Graph { return graphs.NewSparse(n) }
+
 // StarGraph returns a hub-and-leaves relation graph.
 func StarGraph(n int) *Graph { return graphs.Star(n) }
 
@@ -265,6 +277,13 @@ func NewRandomBernoulliEnv(g *Graph, k int, r *RNG) (*Env, error) {
 // NewEnv builds an environment from explicit reward distributions.
 func NewEnv(g *Graph, dists []Distribution) (*Env, error) {
 	return bandit.NewEnv(g, dists)
+}
+
+// NewSparseBernoulliEnv builds a large-K instance in O(k + edges): a sparse
+// random relation graph with the given expected degree over k Bernoulli
+// arms with uniform means, deterministic in seed.
+func NewSparseBernoulliEnv(k int, avgDeg float64, seed uint64) (*Env, error) {
+	return bandit.SparseBernoulliEnv(k, avgDeg, seed)
 }
 
 // Bernoulli returns a Bernoulli(p) reward distribution.
@@ -300,6 +319,13 @@ func ExplicitStrategies(k int, strategies [][]int, g *Graph) (*StrategySet, erro
 // within budget — heterogeneous-cost constraints such as priced ad slots.
 func BudgetedStrategies(costs []float64, budget float64, g *Graph) (*StrategySet, error) {
 	return strategy.Budgeted(costs, budget, g)
+}
+
+// WindowStrategies builds the sliding-window family {x, ..., x+m-1 mod k},
+// one strategy per arm — a combinatorial family whose size stays K at any
+// K, unlike the enumeration-capped TopM.
+func WindowStrategies(k, m int, g *Graph) (*StrategySet, error) {
+	return bandit.WindowStrategies(k, m, g)
 }
 
 // ExactOracle returns the enumeration oracle assumed by Theorem 4.

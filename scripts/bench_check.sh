@@ -2,29 +2,38 @@
 # Benchmark regression gate: re-measure the repository's tracked hot paths
 # with `nbandit bench` and fail if any of them regressed by more than
 # BENCH_MAX_REGRESS percent (default 30) against the committed baseline
-# trajectory. The fresh numbers land in BENCH_PR5.json (merged under the
-# "after" label, preserving other labels), which CI uploads as an artifact
-# so a failure always ships the evidence needed to diagnose — or, for a
-# legitimate hardware shift, to re-baseline.
+# trajectory. The fresh numbers land in BENCH_FRESH.json (a separate file
+# from the baseline, so the gate never compares the baseline to itself),
+# which CI uploads as an artifact so a failure always ships the evidence
+# needed to diagnose — or, for a legitimate hardware shift, to re-baseline.
 #
-#   scripts/bench_check.sh                     # gate against BENCH_PR2.json
+#   scripts/bench_check.sh                     # gate against BENCH_PR6.json
 #   BENCH_TIME=2s scripts/bench_check.sh       # longer, steadier measurement
 #   BENCH_MAX_REGRESS=50 scripts/bench_check.sh
 #
-# Tracked hot paths are the PR 2 kernel benchmarks (see BENCH_PR2.json and
+# Tracked hot paths are the kernel benchmarks (see BENCH_PR6.json and
 # bench_test.go): replication round loop, steady-state round, strategy
-# graph construction, closure sampling. Figure-reproduction benches are
-# excluded — they measure science shape, not kernels, and their regret
-# metrics are covered by golden tests instead.
+# graph construction, closure sampling, and the large-K family at K = 10⁴
+# (strategy-graph build, steady round, closure sampling on the sparse
+# representation). Figure-reproduction benches are excluded — they measure
+# science shape, not kernels, and their regret metrics are covered by
+# golden tests instead. Benchmarks present in the fresh run but absent
+# from the baseline report as NEW and pass, so tracking a new benchmark
+# and refreshing the baseline can land in the same PR.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-out="${BENCH_OUT:-BENCH_PR5.json}"
-baseline="${BENCH_BASELINE:-BENCH_PR2.json}"
+out="${BENCH_OUT:-BENCH_FRESH.json}"
+baseline="${BENCH_BASELINE:-BENCH_PR6.json}"
 threshold="${BENCH_MAX_REGRESS:-30}"
 benchtime="${BENCH_TIME:-1s}"
 
-tracked="dflsso_replication_k100,dflsso_steady_state_round,strategy_graph_construction_top2_k20,sample_observed_closure,dflcsr_replication_k20"
+if [[ "$out" == "$baseline" ]]; then
+  echo "bench_check: BENCH_OUT must differ from BENCH_BASELINE ($baseline)" >&2
+  exit 2
+fi
+
+tracked="dflsso_replication_k100,dflsso_steady_state_round,strategy_graph_construction_top2_k20,sample_observed_closure,dflcsr_replication_k20,largek_sg_build_k10000,largek_steady_state_round_k10000,largek_closure_sample_k10000"
 
 go run ./cmd/nbandit bench -out "$out" -label after -benchtime "$benchtime"
 go run ./scripts/benchcmp \

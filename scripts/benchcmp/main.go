@@ -2,8 +2,11 @@
 // trajectory files (the label→benchmark→metrics JSON written by `nbandit
 // bench`), compares ns/op for an explicit list of tracked benchmarks, and
 // exits non-zero if any of them regressed by more than the allowed
-// percentage — or if a tracked benchmark is missing from either file,
-// which would otherwise let the gate rot silently.
+// percentage — or if a tracked benchmark is missing from the fresh file,
+// which would otherwise let the gate rot silently. A tracked benchmark
+// missing only from the baseline is reported as NEW and passes: that is
+// the normal state of a PR that adds benchmarks and tracks them in the
+// same change, before the baseline is next refreshed.
 //
 //	go run ./scripts/benchcmp -baseline BENCH_PR2.json -fresh BENCH_PR5.json \
 //	    -bench dflsso_replication_k100,dflsso_steady_state_round -max-regress 30
@@ -82,12 +85,11 @@ func main() {
 		b, okB := base[name]
 		f, okF := fresh[name]
 		switch {
-		case !okB || b.NsPerOp <= 0:
-			fmt.Printf("%-40s MISSING from %s[%s]\n", name, *baselinePath, *baselineLabel)
-			failed = true
 		case !okF || f.NsPerOp <= 0:
 			fmt.Printf("%-40s MISSING from %s[%s]\n", name, *freshPath, *freshLabel)
 			failed = true
+		case !okB || b.NsPerOp <= 0:
+			fmt.Printf("%-40s %14s %14.1f      NEW\n", name, "-", f.NsPerOp)
 		default:
 			delta := (f.NsPerOp/b.NsPerOp - 1) * 100
 			verdict := ""
