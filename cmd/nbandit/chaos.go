@@ -1,0 +1,334 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"time"
+
+	"netbandit/internal/shard"
+	"netbandit/internal/shard/transport"
+	"netbandit/internal/sim"
+)
+
+// The chaos subcommand is the distributed sweep's fire drill: it runs the
+// work-stealing coordinator against a small fixed grid while a seeded
+// fault injector refuses spawns, kills workers mid-lease, partitions and
+// stalls heartbeat streams, and corrupts or truncates record frames —
+// then checks the one invariant the whole shard layer promises: every run
+// either merges bit-identical to the single-process sweep or aborts with
+// an explicit error. Never a hang, never a silently wrong merge.
+//
+//	nbandit chaos                                # 20 seeds, local + push-records flows
+//	nbandit chaos -seeds 50 -mode push           # more seeds, mountless flow only
+//	nbandit chaos -seeds 1 -seed-start 17 -v     # replay one failing seed, with logs
+//	nbandit chaos -transport inproc              # no subprocesses (constrained sandboxes)
+//
+// Every fault schedule is a pure function of the chaos seed, so a failure
+// reported here reproduces from its seed alone. See docs/RUNBOOK.md
+// ("Chaos drills") for the operating guide.
+
+// chaosGrid is the drill's fixed sweep: small enough that a seed×mode run
+// finishes in seconds, wide enough (2 policies × 2 densities) that leases,
+// steals, and retries all have cells to fight over.
+func chaosGrid() sweepOptions {
+	return sweepOptions{
+		scenario: "sso", policies: "dfl,moss", graph: "gnp",
+		k: 12, m: 2, params: "0.2,0.5", horizons: "400",
+		points: 10, reps: 4, seed: 11,
+	}
+}
+
+// chaosMix derives one seed's fault-rate mix via splitmix64 — the same
+// construction the injector's own schedule uses, so a drill's whole fault
+// profile replays from the seed number.
+func chaosMix(seed uint64) []float64 {
+	s := seed*0x9e3779b97f4a7c15 + 0x243f6a8885a308d3
+	out := make([]float64, 7)
+	for i := range out {
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		out[i] = float64(z>>11) / float64(1<<53)
+	}
+	return out
+}
+
+func runChaos(args []string) error {
+	fs := flag.NewFlagSet("nbandit chaos", flag.ExitOnError)
+	seeds := fs.Int("seeds", 20, "number of distinct chaos seeds to drill")
+	seedStart := fs.Int("seed-start", 0, "first seed (replay one failure with -seeds 1 -seed-start N)")
+	mode := fs.String("mode", "both", "record flow to drill: local|push|both")
+	transportName := fs.String("transport", "local", "worker transport under fault injection: local|inproc")
+	intensity := fs.Float64("intensity", 1.0, "scales every fault rate (0 = no faults, pure smoke test)")
+	leaseTimeout := fs.Duration("lease-timeout", 2*time.Second, "coordinator lease timeout during the drill")
+	runTimeout := fs.Duration("run-timeout", 4*time.Minute, "per-run deadline; exceeding it counts as a hang and fails the drill")
+	procs := fs.Int("procs", 2, "worker slots")
+	strict := fs.Bool("strict", false, "fail on explicit aborts too (the default invariant is merge-or-abort)")
+	keep := fs.String("keep", "", "keep every run's job directory under this path (default: temp dirs, failures kept)")
+	verbose := fs.Bool("v", false, "stream coordinator and fault-injection logs to stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var pushModes []bool
+	switch *mode {
+	case "local":
+		pushModes = []bool{false}
+	case "push":
+		pushModes = []bool{true}
+	case "both":
+		pushModes = []bool{false, true}
+	default:
+		return fmt.Errorf("unknown -mode %q (valid: local, push, both)", *mode)
+	}
+	if *transportName != "local" && *transportName != "inproc" {
+		return fmt.Errorf("unknown -transport %q (valid: local, inproc)", *transportName)
+	}
+	if *procs < 1 {
+		return fmt.Errorf("-procs must be at least 1")
+	}
+
+	o := chaosGrid()
+	golden, err := chaosGolden(o)
+	if err != nil {
+		return fmt.Errorf("computing the single-process golden: %w", err)
+	}
+	grid, err := json.Marshal(gridFromOptions(o))
+	if err != nil {
+		return err
+	}
+	var logW io.Writer = io.Discard
+	if *verbose {
+		logW = os.Stderr
+	}
+	parent, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var merged, aborted, failures int
+	for seed := *seedStart; seed < *seedStart+*seeds; seed++ {
+		for _, push := range pushModes {
+			if parent.Err() != nil {
+				return parent.Err()
+			}
+			modeName := "local"
+			if push {
+				modeName = "push"
+			}
+			outcome, dir, err := runChaosOnce(parent, chaosRunConfig{
+				grid: grid, golden: golden, opts: o,
+				seed: seed, push: push, transport: *transportName,
+				intensity: *intensity, leaseTimeout: *leaseTimeout,
+				runTimeout: *runTimeout, procs: *procs,
+				keep: *keep, log: logW,
+			})
+			switch outcome {
+			case chaosMerged:
+				merged++
+				fmt.Printf("seed %d (%s): merge bit-identical to the single-process sweep\n", seed, modeName)
+			case chaosAborted:
+				aborted++
+				fmt.Printf("seed %d (%s): aborted explicitly (%v)\n", seed, modeName, err)
+				if *strict {
+					failures++
+					fmt.Printf("  FAIL (-strict): job dir kept at %s\n  replay: nbandit chaos -seeds 1 -seed-start %d -mode %s -transport %s -intensity %g -lease-timeout %s -v\n",
+						dir, seed, modeName, *transportName, *intensity, *leaseTimeout)
+					continue
+				}
+			default:
+				failures++
+				fmt.Printf("seed %d (%s): FAIL — %v\n  job dir kept at %s\n  replay: nbandit chaos -seeds 1 -seed-start %d -mode %s -transport %s -intensity %g -lease-timeout %s -v\n",
+					seed, modeName, err, dir, seed, modeName, *transportName, *intensity, *leaseTimeout)
+				continue
+			}
+			if *keep == "" {
+				os.RemoveAll(dir)
+			}
+		}
+	}
+	runs := *seeds * len(pushModes)
+	fmt.Printf("chaos: %d run(s) — %d merged bit-identical, %d aborted explicitly, %d failure(s)\n",
+		runs, merged, aborted, failures)
+	if failures > 0 {
+		return fmt.Errorf("%d of %d chaos run(s) violated the merge-or-abort invariant", failures, runs)
+	}
+	return nil
+}
+
+// chaosOutcome classifies one drill run.
+type chaosOutcome int
+
+const (
+	chaosMerged chaosOutcome = iota
+	chaosAborted
+	chaosFailed
+)
+
+// chaosRunConfig carries one seed×mode drill's parameters.
+type chaosRunConfig struct {
+	grid         []byte
+	golden       []byte
+	opts         sweepOptions
+	seed         int
+	push         bool
+	transport    string
+	intensity    float64
+	leaseTimeout time.Duration
+	runTimeout   time.Duration
+	procs        int
+	keep         string
+	log          io.Writer
+}
+
+// chaosGolden runs the drill grid once in-process and renders it through
+// the canonical exporter — the byte string every chaos merge must equal.
+func chaosGolden(o sweepOptions) ([]byte, error) {
+	sw, err := buildSweep(o)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sw.Run(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := sim.WriteSweepJSON(&buf, res); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// runChaosOnce executes one plan→coordinator-under-chaos→merge→compare
+// cycle and classifies the outcome. The returned dir is the job
+// directory; callers keep it on failure for postmortems.
+func runChaosOnce(parent context.Context, cfg chaosRunConfig) (chaosOutcome, string, error) {
+	modeName := "local"
+	if cfg.push {
+		modeName = "push"
+	}
+	var dir string
+	var err error
+	if cfg.keep != "" {
+		dir = filepath.Join(cfg.keep, fmt.Sprintf("chaos-seed%d-%s", cfg.seed, modeName))
+		err = os.MkdirAll(dir, 0o755)
+	} else {
+		dir, err = os.MkdirTemp("", "nbandit-chaos-")
+	}
+	if err != nil {
+		return chaosFailed, dir, err
+	}
+	sw, err := buildSweep(cfg.opts)
+	if err != nil {
+		return chaosFailed, dir, err
+	}
+	plan, err := shard.NewPlan(&sw, cfg.grid, cfg.procs)
+	if err != nil {
+		return chaosFailed, dir, err
+	}
+	if err := shard.WritePlan(dir, plan); err != nil {
+		return chaosFailed, dir, err
+	}
+
+	var inner transport.Transport
+	switch cfg.transport {
+	case "inproc":
+		inner = &transport.InProc{Procs: cfg.procs, Beat: 200 * time.Millisecond, Run: inprocLease, Log: cfg.log}
+	default:
+		self, err := os.Executable()
+		if err != nil {
+			return chaosFailed, dir, fmt.Errorf("locating own binary for worker processes: %w", err)
+		}
+		inner = &transport.Local{Binary: self, Procs: cfg.procs, Log: cfg.log}
+	}
+	mix := chaosMix(uint64(cfg.seed))
+	scale := cfg.intensity
+	ch := &transport.Chaos{
+		Inner:         inner,
+		Seed:          uint64(cfg.seed)*2654435761 + 1,
+		SpawnRefusal:  0.30 * mix[0] * scale,
+		Crash:         0.45 * mix[1] * scale,
+		Partition:     0.30 * mix[2] * scale,
+		Stall:         0.30 * mix[3] * scale,
+		DropBeats:     0.40 * mix[4] * scale,
+		CorruptFrame:  0.35 * mix[5] * scale,
+		TruncateFrame: 0.35 * mix[6] * scale,
+		// Outlast the lease timeout so partitions and stalls exercise the
+		// steal path, not just added latency.
+		StallFor: 2 * cfg.leaseTimeout,
+		Log:      cfg.log,
+	}
+	fallback := sw
+	c := &shard.StealCoordinator{
+		Plan: plan, Dir: dir, Transport: ch,
+		LeaseTimeout: cfg.leaseTimeout,
+		PushRecords:  cfg.push,
+		MaxRetries:   10,
+		Fallback:     &fallback,
+		ChaosSeed:    fmt.Sprint(ch.Seed),
+		Log:          cfg.log,
+	}
+	ctx, cancel := context.WithTimeout(parent, cfg.runTimeout)
+	defer cancel()
+	_, err = c.Run(ctx)
+	if ctx.Err() != nil && parent.Err() == nil {
+		return chaosFailed, dir, fmt.Errorf("HANG: run exceeded the %s deadline", cfg.runTimeout)
+	}
+	if err != nil {
+		return chaosAborted, dir, err
+	}
+	res, err := shard.Merge(dir, plan)
+	if err != nil {
+		return chaosFailed, dir, fmt.Errorf("run reported success but the merge failed: %w", err)
+	}
+	var got bytes.Buffer
+	if err := sim.WriteSweepJSON(&got, res); err != nil {
+		return chaosFailed, dir, err
+	}
+	if !bytes.Equal(got.Bytes(), cfg.golden) {
+		return chaosFailed, dir, fmt.Errorf("merge differs from the single-process golden")
+	}
+	return chaosMerged, dir, nil
+}
+
+// inprocLease plays a worker for the InProc transport: it behaves exactly
+// like `nbandit shard run -cells ... -heartbeat [-push-records]`, but as
+// a goroutine — the chaos drill's option for environments where spawning
+// subprocesses is unavailable or too slow.
+func inprocLease(ctx context.Context, slot int, spec transport.Spec, em *transport.Emitter) error {
+	plan, err := shard.ReadPlan(spec.Dir)
+	if err != nil {
+		return err
+	}
+	sw, err := sweepFromPlan(plan)
+	if err != nil {
+		return err
+	}
+	sw.Workers = spec.Workers
+	em.Start(plan.Hash)
+	opts := shard.RunOptions{
+		Cells: spec.Cells,
+		OnCell: func(idx int) {
+			var payload []byte
+			if spec.PushRecords {
+				raw, err := os.ReadFile(shard.RecordPath(spec.Dir, idx))
+				if err != nil {
+					return // no frame: the coordinator re-runs the cell
+				}
+				payload = bytes.TrimRight(raw, "\n")
+			}
+			em.CellRecord(idx, time.Millisecond, payload)
+		},
+	}
+	if _, err := shard.Run(ctx, spec.Dir, plan, &sw, opts); err != nil {
+		return err
+	}
+	em.Done()
+	return nil
+}

@@ -34,6 +34,14 @@
 //	nbandit shard status -dir grid                             # completion, live leases, steals
 //	nbandit shard merge -dir grid -format json
 //
+// The chaos subcommand drills that distribution layer under seeded,
+// replayable fault injection — refused spawns, crashed workers, partitioned
+// and stalled heartbeat streams, corrupted record frames — and verifies
+// that every run either merges bit-identical to the single-process sweep
+// or aborts explicitly:
+//
+//	nbandit chaos -seeds 20 -mode both
+//
 // See docs/RUNBOOK.md for the full operating guide.
 package main
 
@@ -72,6 +80,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "shard" {
 		if err := runShard(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "nbandit shard:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "chaos" {
+		if err := runChaos(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "nbandit chaos:", err)
 			os.Exit(1)
 		}
 		return

@@ -315,8 +315,12 @@ type coordinatorOptions struct {
 // leases are stolen, and batch sizes shrink as the queue drains.
 func runShardCoordinator(ctx context.Context, dir string, plan *shard.Plan, o coordinatorOptions) error {
 	// Reject a coordinator binary whose grid enumeration drifted from the
-	// plan before spawning anything.
-	if _, err := sweepFromPlan(plan); err != nil {
+	// plan before spawning anything. The rebuilt sweep doubles as the
+	// degraded-mode fallback: if every slot ends up dead or quarantined,
+	// the coordinator finishes the remaining cells in this process rather
+	// than hanging or aborting.
+	sw, err := sweepFromPlan(plan)
+	if err != nil {
 		return err
 	}
 	var tr transport.Transport
@@ -359,6 +363,7 @@ func runShardCoordinator(ctx context.Context, dir string, plan *shard.Plan, o co
 		LeaseTimeout: o.leaseTimeout, MaxBatch: o.maxBatch,
 		Workers: o.workers, PushRecords: o.pushRecords,
 		Progress: o.progress, Log: os.Stderr,
+		Fallback: &sw,
 	}
 	stats, err := c.Run(ctx)
 	if err != nil {
@@ -482,6 +487,49 @@ func writeLeaseState(w io.Writer, dir string, plan *shard.Plan, now time.Time) {
 	if ls.Pushed > 0 || ls.RejectedFrames > 0 {
 		fmt.Fprintf(w, "    push-sync: %d record(s) ingested over worker streams, %d frame(s) rejected\n",
 			ls.Pushed, ls.RejectedFrames)
+	}
+	if ls.ChaosSeed != "" {
+		fmt.Fprintf(w, "    chaos: fault injection active, seed %s\n", ls.ChaosSeed)
+	}
+	if ls.DegradedCells > 0 {
+		fmt.Fprintf(w, "    degraded: %d cell(s) finished in-process after every slot died or was quarantined\n", ls.DegradedCells)
+	}
+	for _, h := range ls.Health {
+		switch h.State {
+		case "quarantined":
+			eta := h.ReadmitAt.Sub(now).Round(time.Second)
+			if eta < 0 {
+				fmt.Fprintf(w, "    %s: quarantined (%d failure(s), %d cycle(s)) — re-admission probe due\n",
+					h.Slot, h.Failures, h.Quarantines)
+			} else {
+				fmt.Fprintf(w, "    %s: quarantined (%d failure(s), %d cycle(s)) — re-admission probe in %s\n",
+					h.Slot, h.Failures, h.Quarantines, eta)
+			}
+		case "backoff":
+			eta := h.ReadmitAt.Sub(now).Round(time.Millisecond)
+			if eta < 0 {
+				eta = 0
+			}
+			fmt.Fprintf(w, "    %s: backing off after %d failure(s) — next lease in %s\n", h.Slot, h.Failures, eta)
+		case "probing":
+			fmt.Fprintf(w, "    %s: running a 1-cell re-admission probe (%d quarantine cycle(s) so far)\n",
+				h.Slot, h.Quarantines)
+		case "dead":
+			fmt.Fprintf(w, "    %s: DEAD for this run (%d failure(s), %d failed quarantine cycle(s))\n",
+				h.Slot, h.Failures, h.Quarantines)
+		default:
+			fmt.Fprintf(w, "    %s: %s (%d failure(s))\n", h.Slot, h.State, h.Failures)
+		}
+	}
+	if len(ls.Retries) > 0 {
+		cells := make([]string, 0, len(ls.Retries))
+		for cell := range ls.Retries {
+			cells = append(cells, cell)
+		}
+		sort.Strings(cells)
+		for _, cell := range cells {
+			fmt.Fprintf(w, "    retries: %s ran %d extra time(s) (worker failures, not steals)\n", cell, ls.Retries[cell])
+		}
 	}
 	slots := make([]string, 0, len(ls.SlotCosts))
 	for slot := range ls.SlotCosts {

@@ -208,6 +208,63 @@ func TestShardStatusMarksStaleLeases(t *testing.T) {
 	}
 }
 
+// TestShardStatusShowsHealthAndRetries: a snapshot carrying the
+// resilience fields — chaos seed, per-cell retry counts, quarantined and
+// dead slots, degraded-mode completions — renders each as its own status
+// line, with the quarantine re-admission ETA relative to now.
+func TestShardStatusShowsHealthAndRetries(t *testing.T) {
+	dir, plan := planTestDir(t)
+	now := time.Now()
+	ls := &shard.LeaseState{
+		Plan: plan.Hash, Time: now.Add(-time.Second),
+		Done: 4, Total: len(plan.Cells), Queued: 2, Leases: 9, Steals: 2,
+		LeaseTimeoutMS: 3000,
+		ChaosSeed:      "12345",
+		DegradedCells:  3,
+		Retries:        map[string]int{"gnp-0.2/dfl": 2},
+		Health: []shard.SlotHealthInfo{
+			{Slot: "local#0", State: "quarantined", Failures: 3, Quarantines: 1, ReadmitAt: now.Add(42 * time.Second)},
+			{Slot: "local#1", State: "dead", Failures: 9, Quarantines: 3},
+			{Slot: "local#2", State: "backoff", Failures: 1, ReadmitAt: now.Add(200 * time.Millisecond)},
+		},
+	}
+	raw, err := json.Marshal(ls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(shard.LeaseStatePath(dir), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	writeLeaseState(&out, dir, plan, now)
+	text := out.String()
+	for _, want := range []string{
+		"chaos: fault injection active, seed 12345",
+		"degraded: 3 cell(s) finished in-process",
+		"local#0: quarantined (3 failure(s), 1 cycle(s)) — re-admission probe in 42s",
+		"local#1: DEAD for this run (9 failure(s), 3 failed quarantine cycle(s))",
+		"local#2: backing off after 1 failure(s)",
+		"retries: gnp-0.2/dfl ran 2 extra time(s)",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("status output missing %q:\n%s", want, text)
+		}
+	}
+	// An expired quarantine shows the probe as due rather than a negative ETA.
+	ls.Health[0].ReadmitAt = now.Add(-time.Second)
+	if raw, err = json.Marshal(ls); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(shard.LeaseStatePath(dir), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	writeLeaseState(&out, dir, plan, now)
+	if !strings.Contains(out.String(), "re-admission probe due") {
+		t.Fatalf("expired quarantine not shown as due:\n%s", out.String())
+	}
+}
+
 // planTestDir writes a plan for the test sweep options into a temp dir via
 // the real CLI path.
 func planTestDir(t *testing.T) (string, *shard.Plan) {

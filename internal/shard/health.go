@@ -1,0 +1,218 @@
+package shard
+
+import (
+	"time"
+)
+
+// This file is the coordinator's slot-resilience policy: what happens to
+// a transport slot between "its worker failed" and "it gets another
+// lease". The state machine per slot is
+//
+//	ok → backoff → … → quarantined → probing → ok        (recovery)
+//	                         ↑           │
+//	                         └───────────┘ (failed probe: longer quarantine)
+//	                                     └→ dead          (probes keep failing)
+//
+// Each failure (spawn refused, worker exited with unfinished cells, lease
+// stolen for silence) bumps a consecutive-failure counter and earns the
+// slot an exponentially growing backoff with deterministic jitter before
+// its next lease. QuarantineAfter consecutive failures put the slot in
+// quarantine: no leases until QuarantinePeriod passes, then a single
+// 1-cell probe lease decides between full re-admission and a doubled
+// quarantine. deadAfterQuarantines failed probe cycles kill the slot for
+// the rest of the run. Any fully successful lease resets the slot to ok.
+//
+// The policy is deliberately deterministic — the jitter is a pure
+// function of (plan hash, slot, failure count) — so a chaos run's
+// schedule replays exactly from its seed.
+
+// slotState is one slot's position in the resilience state machine.
+type slotState int
+
+const (
+	slotOK slotState = iota
+	slotBackoff
+	slotQuarantined
+	slotProbing
+	slotDead
+)
+
+// String names the state as persisted in leases.json and shown by
+// `shard status`.
+func (s slotState) String() string {
+	switch s {
+	case slotBackoff:
+		return "backoff"
+	case slotQuarantined:
+		return "quarantined"
+	case slotProbing:
+		return "probing"
+	case slotDead:
+		return "dead"
+	default:
+		return "ok"
+	}
+}
+
+// deadAfterQuarantines is how many quarantine cycles (each ended by a
+// failed re-admission probe) a slot survives before it is declared dead.
+const deadAfterQuarantines = 3
+
+// slotHealth tracks one slot's standing with the coordinator.
+type slotHealth struct {
+	state       slotState
+	consec      int       // consecutive failures since the last success
+	quarantines int       // quarantine cycles since the last success
+	until       time.Time // backoff/quarantine expiry
+}
+
+func (c *StealCoordinator) backoffBase() time.Duration {
+	if c.BackoffBase > 0 {
+		return c.BackoffBase
+	}
+	return 250 * time.Millisecond
+}
+
+func (c *StealCoordinator) backoffMax() time.Duration {
+	if c.BackoffMax > 0 {
+		return c.BackoffMax
+	}
+	return 16 * c.backoffBase()
+}
+
+func (c *StealCoordinator) quarantineAfter() int {
+	if c.QuarantineAfter > 0 {
+		return c.QuarantineAfter
+	}
+	return 3
+}
+
+func (c *StealCoordinator) quarantinePeriod() time.Duration {
+	if c.QuarantinePeriod > 0 {
+		return c.QuarantinePeriod
+	}
+	return 2 * c.leaseTimeout()
+}
+
+// backoffDelay sizes the wait before a slot's next lease after its
+// consec-th consecutive failure: exponential in the failure count, capped
+// at backoffMax, plus jitter of up to half the base. The jitter is
+// deterministic — a splitmix64 hash of (plan hash, slot, consec) — so two
+// slots that fail in lockstep still desynchronise, but a replayed chaos
+// run waits exactly as long as the original.
+func (c *StealCoordinator) backoffDelay(slot, consec int) time.Duration {
+	base, ceil := c.backoffBase(), c.backoffMax()
+	shift := consec - 1
+	if shift > 16 {
+		shift = 16
+	}
+	d := base << uint(shift)
+	if d <= 0 || d > ceil {
+		d = ceil
+	}
+	s := uint64(0x243f6a8885a308d3)
+	for i := 0; i < len(c.Plan.Hash); i++ {
+		s = s*131 + uint64(c.Plan.Hash[i])
+	}
+	s ^= uint64(slot)<<40 ^ uint64(consec)
+	s += 0x9e3779b97f4a7c15
+	z := s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return d + time.Duration(z%uint64(base/2+1))
+}
+
+// healthLocked returns slot's health record, creating it at ok.
+func (st *stealRun) healthLocked(slot int) *slotHealth {
+	h := st.health[slot]
+	if h == nil {
+		h = &slotHealth{}
+		st.health[slot] = h
+	}
+	return h
+}
+
+// slotFailureLocked records one failure against slot and advances the
+// state machine: backoff while failures are few, quarantine once they
+// reach QuarantineAfter, a longer quarantine when a re-admission probe
+// fails, dead when probes have failed deadAfterQuarantines times.
+func (st *stealRun) slotFailureLocked(slot int, cause error) {
+	h := st.healthLocked(slot)
+	h.consec++
+	name := st.c.Transport.SlotName(slot)
+	switch {
+	case h.state == slotDead:
+		// Late failure from an already-written-off slot: nothing changes.
+	case h.state == slotProbing:
+		if h.quarantines >= deadAfterQuarantines {
+			h.state = slotDead
+			h.until = time.Time{}
+			st.c.logf("%s: re-admission probe failed after %d quarantine cycle(s) (%v) — slot is dead for this run",
+				name, h.quarantines, cause)
+		} else {
+			st.quarantineLocked(slot, h, cause)
+		}
+	case h.consec >= st.c.quarantineAfter():
+		st.quarantineLocked(slot, h, cause)
+	default:
+		d := st.c.backoffDelay(slot, h.consec)
+		h.state = slotBackoff
+		h.until = st.c.clock().Add(d)
+		st.stats.Backoffs++
+		st.c.logf("%s: failure %d (%v) — backing off %s before the next lease",
+			name, h.consec, cause, d.Round(time.Millisecond))
+	}
+	st.checkDegradedLocked()
+}
+
+// quarantineLocked benches a slot: no leases until the period (doubled
+// per prior cycle, capped at 16×) expires, then a 1-cell probe decides.
+func (st *stealRun) quarantineLocked(slot int, h *slotHealth, cause error) {
+	h.quarantines++
+	shift := h.quarantines - 1
+	if shift > 4 {
+		shift = 4
+	}
+	d := st.c.quarantinePeriod() << uint(shift)
+	h.state = slotQuarantined
+	h.until = st.c.clock().Add(d)
+	st.stats.Quarantines++
+	st.c.logf("%s: quarantined after %d consecutive failure(s) (%v) — re-admission probe in %s",
+		st.c.Transport.SlotName(slot), h.consec, cause, d.Round(time.Millisecond))
+}
+
+// slotSuccessLocked records a fully successful lease: the slot returns to
+// ok and its failure history is forgiven.
+func (st *stealRun) slotSuccessLocked(slot int) {
+	h := st.health[slot]
+	if h == nil || h.state == slotOK && h.consec == 0 {
+		return
+	}
+	if h.state == slotProbing {
+		st.c.logf("%s: re-admission probe succeeded — slot restored", st.c.Transport.SlotName(slot))
+	}
+	h.state = slotOK
+	h.consec = 0
+	h.quarantines = 0
+	h.until = time.Time{}
+}
+
+// checkDegradedLocked flips the run into degraded mode when distributed
+// progress has become impossible: cells remain, nothing is leased, and
+// every slot is dead or quarantined. Run then finishes the remainder
+// in-process (Fallback) or aborts explicitly — never hangs.
+func (st *stealRun) checkDegradedLocked() {
+	if st.degraded || st.failure != nil || st.ctx.Err() != nil || st.left == 0 || len(st.active) > 0 {
+		return
+	}
+	for slot := 0; slot < st.slots; slot++ {
+		h := st.health[slot]
+		if h == nil || (h.state != slotDead && h.state != slotQuarantined) {
+			return
+		}
+	}
+	st.degraded = true
+	st.c.logf("every slot is dead or quarantined with %d cell(s) left — leaving distributed mode", st.left)
+	st.cond.Broadcast()
+}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"netbandit/internal/shard/transport"
+	"netbandit/internal/sim"
 )
 
 // This file implements the dynamic coordinator: instead of freezing the
@@ -86,6 +87,28 @@ type StealCoordinator struct {
 	// Log, when non-nil, receives coordinator events (grants, steals,
 	// failures) and the workers' prefixed stderr.
 	Log io.Writer
+	// BackoffBase is the wait before a failed slot's first re-lease; it
+	// doubles per consecutive failure (with deterministic jitter, see
+	// backoffDelay) up to BackoffMax. 0 means 250ms.
+	BackoffBase time.Duration
+	// BackoffMax caps the per-slot backoff; 0 means 16× BackoffBase.
+	BackoffMax time.Duration
+	// QuarantineAfter is how many consecutive failures put a slot in
+	// quarantine (no leases until a timed re-admission probe); 0 means 3.
+	QuarantineAfter int
+	// QuarantinePeriod is the first quarantine's length; it doubles per
+	// failed re-admission probe. 0 means 2× the lease timeout.
+	QuarantinePeriod time.Duration
+	// Fallback, when non-nil, is the sweep the plan was built from; it
+	// enables degraded-mode completion — if every slot ends up dead or
+	// quarantined, the coordinator finishes the remaining cells in-process
+	// through this sweep instead of hanging or aborting. Nil means such a
+	// run aborts explicitly.
+	Fallback *sim.Sweep
+	// ChaosSeed, when non-empty, labels the fault-injection schedule the
+	// transport is running under (nbandit chaos); it is persisted in
+	// leases.json so `shard status` shows which schedule a run replays.
+	ChaosSeed string
 
 	// now is a test seam for lease-expiry clocks; nil means time.Now.
 	now func() time.Time
@@ -115,6 +138,19 @@ type StealStats struct {
 	// RejectedFrames is how many pushed record frames failed verification
 	// and were dropped; their cells were re-run instead of trusted.
 	RejectedFrames int
+	// SpawnFailures is how many worker spawns failed transiently (refused
+	// connection, chaos injection); their cells returned to the queue
+	// without burning per-cell retries.
+	SpawnFailures int
+	// Backoffs, Quarantines, and Probes count slot-health transitions:
+	// timed waits before re-leasing a failed slot, benchings after
+	// repeated failures, and 1-cell re-admission leases after quarantine.
+	Backoffs    int
+	Quarantines int
+	Probes      int
+	// DegradedCells is how many cells were finished in-process after every
+	// slot died or was quarantined (degraded-mode completion).
+	DegradedCells int
 }
 
 // nextBatch sizes the next lease when queued cells remain: roughly half a
@@ -187,7 +223,9 @@ type stealRun struct {
 	left     int // incomplete cell count (queued + leased)
 	attempts map[int]int
 	active   map[int]*lease
-	costs    map[int]*slotCost // per-slot cell-cost estimates
+	costs    map[int]*slotCost   // per-slot cell-cost estimates
+	health   map[int]*slotHealth // per-slot resilience state (health.go)
+	degraded bool                // every slot dead/quarantined; finish in-process
 	nextID   int
 	stats    StealStats
 	failure  error
@@ -271,6 +309,7 @@ func (c *StealCoordinator) Run(ctx context.Context) (StealStats, error) {
 		attempts: make(map[int]int),
 		active:   make(map[int]*lease),
 		costs:    make(map[int]*slotCost),
+		health:   make(map[int]*slotHealth),
 	}
 	if c.PushRecords {
 		// The plan travels to mountless workers inside the lease spec; it is
@@ -330,6 +369,7 @@ func (c *StealCoordinator) Run(ctx context.Context) (StealStats, error) {
 		}(s)
 	}
 	wg.Wait()
+	st.finishDegraded()
 	st.cancel()
 	<-monitorDone
 
@@ -351,16 +391,40 @@ func (c *StealCoordinator) Run(ctx context.Context) (StealStats, error) {
 }
 
 // take blocks until a batch can be leased to slot, all work is done, or
-// the run is aborted; it returns nil in the latter two cases.
+// the run is aborted; it returns nil in the latter two cases. A slot in
+// backoff or quarantine waits out its penalty here (the monitor's tick
+// broadcast re-checks the clock); a dead slot never leases again; an
+// expired quarantine converts into a single-cell re-admission probe.
 func (st *stealRun) take(slot int) *lease {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	for {
-		if st.failure != nil || st.ctx.Err() != nil || st.left == 0 {
+		if st.failure != nil || st.ctx.Err() != nil || st.left == 0 || st.degraded {
 			return nil
+		}
+		h := st.healthLocked(slot)
+		if h.state == slotDead {
+			st.checkDegradedLocked()
+			return nil
+		}
+		if (h.state == slotBackoff || h.state == slotQuarantined) && st.c.clock().Before(h.until) {
+			st.cond.Wait()
+			continue
+		}
+		if h.state == slotBackoff {
+			h.state = slotOK
 		}
 		if len(st.queue) > 0 {
 			n := nextBatch(len(st.queue), st.slots, st.c.MaxBatch, st.costCapLocked(slot))
+			if h.state == slotQuarantined {
+				// Quarantine served: the next lease is a 1-cell probe —
+				// cheap to lose if the slot is still sick.
+				h.state = slotProbing
+				n = 1
+				st.stats.Probes++
+				st.c.logf("%s: quarantine expired — granting a 1-cell re-admission probe",
+					st.c.Transport.SlotName(slot))
+			}
 			batch := append([]int(nil), st.queue[:n]...)
 			st.queue = append(st.queue[:0], st.queue[n:]...)
 			now := st.c.clock()
@@ -392,11 +456,29 @@ func (st *stealRun) runLease(l *lease) {
 	}
 	w, err := st.c.Transport.Spawn(st.ctx, l.slot, spec)
 	if err != nil {
-		// A transport that cannot spawn is broken in a way retries will
-		// not fix (missing binary, unreachable host config): abort.
-		st.fail(fmt.Errorf("shard: spawning worker on %s: %w", st.c.Transport.SlotName(l.slot), err))
+		if transport.IsFatalSpawn(err) {
+			// A transport misconfigured in a way retries cannot fix
+			// (missing binary, slot out of range): abort the run.
+			st.fail(fmt.Errorf("shard: spawning worker on %s: %w", st.c.Transport.SlotName(l.slot), err))
+			st.mu.Lock()
+			delete(st.active, l.id)
+			st.mu.Unlock()
+			return
+		}
+		// Transient spawn failure (refused connection, flaky host): the
+		// batch returns to the queue without burning per-cell retries —
+		// the cells did nothing wrong — and the slot pays in health.
 		st.mu.Lock()
 		delete(st.active, l.id)
+		if st.failure == nil && st.ctx.Err() == nil {
+			st.stats.SpawnFailures++
+			st.requeueLocked(sortedCells(l.cells))
+			st.c.logf("lease %d on %s: spawn failed (%v) — %d cell(s) re-queued",
+				l.id, st.c.Transport.SlotName(l.slot), err, len(l.cells))
+			st.slotFailureLocked(l.slot, err)
+			st.persistLocked()
+		}
+		st.cond.Broadcast()
 		st.mu.Unlock()
 		return
 	}
@@ -493,7 +575,9 @@ func (st *stealRun) observe(l *lease, ev transport.Event) {
 // zombie whose records are byte-identical) while its re-lease is queued or
 // running, and both outcomes must count it exactly once.
 func (st *stealRun) markDoneLocked(idx int, l *lease) {
-	delete(l.cells, idx)
+	if l != nil {
+		delete(l.cells, idx)
+	}
 	if st.done[idx] {
 		return
 	}
@@ -551,14 +635,56 @@ func (st *stealRun) settle(l *lease, exitErr error) {
 		st.requeueLocked(unfinished)
 		st.c.logf("lease %d on %s exited (%v) with %d cell(s) unfinished: re-queued",
 			l.id, st.c.Transport.SlotName(l.slot), exitErr, len(unfinished))
-	} else if exitErr != nil && !l.stolen && st.failure == nil && st.ctx.Err() == nil {
-		// Worker failed after all its cells were already durable (e.g.
-		// killed during teardown): the work is safe, just note it.
-		st.c.logf("lease %d on %s: worker exited with %v after finishing its cells",
-			l.id, st.c.Transport.SlotName(l.slot), exitErr)
+		st.slotFailureLocked(l.slot, exitErr)
+	} else if len(unfinished) == 0 && !l.stolen {
+		// Every cell of the lease is durable: the slot did its job, even
+		// if the worker's teardown was messy. Forgive its failure history.
+		st.slotSuccessLocked(l.slot)
+		if exitErr != nil && st.failure == nil && st.ctx.Err() == nil {
+			st.c.logf("lease %d on %s: worker exited with %v after finishing its cells",
+				l.id, st.c.Transport.SlotName(l.slot), exitErr)
+		}
 	}
 	st.persistLocked()
 	st.cond.Broadcast()
+}
+
+// finishDegraded runs after every slot goroutine has returned. If the run
+// went degraded — cells remain but every slot is dead or quarantined — it
+// finishes the remainder in-process through the Fallback sweep, or fails
+// explicitly when no fallback is configured. Either way the run ends in a
+// merge-ready directory or a non-nil error, never a hang: that is the
+// chaos layer's core invariant.
+func (st *stealRun) finishDegraded() {
+	st.mu.Lock()
+	run := st.degraded && st.failure == nil && st.ctx.Err() == nil && st.left > 0
+	remaining := append([]int(nil), st.queue...)
+	st.mu.Unlock()
+	if !run {
+		return
+	}
+	if st.c.Fallback == nil {
+		st.fail(fmt.Errorf("shard: every slot is dead or quarantined with %d cell(s) unfinished and no in-process fallback configured — aborting (cells %v)",
+			len(remaining), remaining))
+		return
+	}
+	st.c.logf("degraded mode: finishing %d cell(s) in-process %v", len(remaining), remaining)
+	sw := *st.c.Fallback
+	sw.Workers = st.c.Workers
+	_, err := Run(st.ctx, st.c.Dir, st.c.Plan, &sw, RunOptions{
+		Cells: remaining,
+		OnCell: func(idx int) {
+			st.mu.Lock()
+			if !st.done[idx] {
+				st.stats.DegradedCells++
+				st.markDoneLocked(idx, nil)
+			}
+			st.mu.Unlock()
+		},
+	})
+	if err != nil {
+		st.fail(fmt.Errorf("shard: degraded-mode completion failed: %w", err))
+	}
 }
 
 // monitor expires leases whose heartbeat lapsed and refreshes the
@@ -597,7 +723,11 @@ func (st *stealRun) monitor() {
 				}
 				st.stealLocked(l, now.Sub(l.last))
 			}
+			st.checkDegradedLocked()
 			st.persistLocked()
+			// Wake slots waiting out a backoff or quarantine: expiry is
+			// observed against the clock on this tick cadence.
+			st.cond.Broadcast()
 			st.mu.Unlock()
 		}
 	}
@@ -614,6 +744,7 @@ func (st *stealRun) stealLocked(l *lease, silence time.Duration) {
 	st.requeueLocked(stolen)
 	st.c.logf("lease %d on %s: no heartbeat for %s — stole %d cell(s) %v",
 		l.id, st.c.Transport.SlotName(l.slot), silence.Round(time.Millisecond), len(stolen), stolen)
+	st.slotFailureLocked(l.slot, fmt.Errorf("no heartbeat for %s", silence.Round(time.Millisecond)))
 	l.worker.Kill()
 	st.cond.Broadcast()
 }
@@ -708,8 +839,38 @@ type LeaseState struct {
 	// cost in milliseconds, as reported by workers on cell heartbeats —
 	// the estimate that seeds lease sizes.
 	SlotCosts map[string]float64 `json:"slot_cost_ms,omitempty"`
+	// Retries maps cell names to how many times a failing worker returned
+	// them to the queue (steals excluded). Absent cells have zero retries.
+	Retries map[string]int `json:"retries,omitempty"`
+	// Health lists slots whose resilience state is not plain ok: in
+	// backoff, quarantined (with a re-admission time), probing, or dead.
+	Health []SlotHealthInfo `json:"health,omitempty"`
+	// ChaosSeed labels the fault-injection schedule active for this run
+	// (nbandit chaos); empty for normal runs.
+	ChaosSeed string `json:"chaos_seed,omitempty"`
+	// DegradedCells counts cells the coordinator finished in-process after
+	// every slot died or was quarantined.
+	DegradedCells int `json:"degraded_cells,omitempty"`
 	// Active lists the outstanding leases.
 	Active []LeaseInfo `json:"active,omitempty"`
+}
+
+// SlotHealthInfo is one slot's resilience state in a coordinator
+// snapshot; only slots not in the ok state are listed.
+type SlotHealthInfo struct {
+	// Slot names the transport slot (e.g. "local#0", "ssh:host2").
+	Slot string `json:"slot"`
+	// State is the resilience state: "backoff", "quarantined", "probing",
+	// or "dead".
+	State string `json:"state"`
+	// Failures is the slot's consecutive-failure count.
+	Failures int `json:"failures,omitempty"`
+	// Quarantines is how many quarantine cycles the slot has served since
+	// its last success.
+	Quarantines int `json:"quarantines,omitempty"`
+	// ReadmitAt is when the current backoff or quarantine expires (the
+	// re-admission ETA `shard status` shows); zero for probing/dead.
+	ReadmitAt time.Time `json:"readmit_at"`
 }
 
 // LeaseStatePath returns the coordinator snapshot's location inside a
@@ -739,6 +900,30 @@ func (st *stealRun) persistLocked() {
 			ls.SlotCosts = make(map[string]float64, len(st.costs))
 		}
 		ls.SlotCosts[st.c.Transport.SlotName(slot)] = sc.meanMS
+	}
+	ls.ChaosSeed = st.c.ChaosSeed
+	ls.DegradedCells = st.stats.DegradedCells
+	for idx, n := range st.attempts {
+		if n <= 0 {
+			continue
+		}
+		if ls.Retries == nil {
+			ls.Retries = make(map[string]int)
+		}
+		ls.Retries[st.c.Plan.Cells[idx].Cell] = n
+	}
+	for slot := 0; slot < st.slots; slot++ {
+		h := st.health[slot]
+		if h == nil || (h.state == slotOK && h.consec == 0) {
+			continue
+		}
+		ls.Health = append(ls.Health, SlotHealthInfo{
+			Slot:        st.c.Transport.SlotName(slot),
+			State:       h.state.String(),
+			Failures:    h.consec,
+			Quarantines: h.quarantines,
+			ReadmitAt:   h.until,
+		})
 	}
 	ids := make([]int, 0, len(st.active))
 	for id := range st.active {

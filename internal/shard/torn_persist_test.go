@@ -1,0 +1,86 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"testing"
+)
+
+// TestTornTmpOrphanIgnoredOnResume models a crash in the narrowest window
+// of the atomic persist path: after the temp file is (partially) written
+// but before the rename. The orphaned `.tmp-*` file must be invisible to
+// resume-by-scan — the cell simply reruns — and the eventual merge must
+// stay byte-identical to the single-process golden. This is the property
+// that makes tmp+rename the durability story: a torn temp file is never
+// mistaken for a record.
+func TestTornTmpOrphanIgnoredOnResume(t *testing.T) {
+	golden := singleProcessGolden(t)
+	dir := t.TempDir()
+	plan, err := NewPlan(testSweep(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePlan(dir, plan); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), dir, plan, testSweep(), RunOptions{Shard: 0}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Forge the crash artifact for one cell: a temp file holding a torn
+	// prefix of the real record, named exactly as atomicWrite's
+	// CreateTemp pattern would name it, with the real record gone (the
+	// rename never happened).
+	const victim = 2
+	real := RecordPath(dir, victim)
+	raw, err := os.ReadFile(real)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphan := real + ".tmp-1234567890"
+	if err := os.WriteFile(orphan, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(real); err != nil {
+		t.Fatal(err)
+	}
+
+	// Resume: the scan must treat the victim cell as incomplete (not
+	// torn/bad — the orphan has the wrong name to be a record at all) and
+	// rerun exactly that one cell.
+	var executed []int
+	stats, err := Run(context.Background(), dir, plan, testSweep(), RunOptions{
+		Shard:  0,
+		OnCell: func(idx int) { executed = append(executed, idx) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Ran != 1 || stats.Resumed != len(plan.Cells)-1 {
+		t.Fatalf("resume stats = %+v, want exactly cell %d rerun", stats, victim)
+	}
+	if len(executed) != len(plan.Cells) || executed[len(executed)-1] != victim {
+		t.Fatalf("OnCell order %v, want the %d resumed cells then the rerun of %d", executed, len(plan.Cells)-1, victim)
+	}
+
+	// The rerun replaced the record via its own tmp+rename; the stale
+	// orphan is still lying around and must not confuse the merge.
+	if _, err := os.Stat(orphan); err != nil {
+		t.Fatalf("stale orphan should still exist (nothing cleans it): %v", err)
+	}
+	rerun, err := os.ReadFile(real)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rerun, raw) {
+		t.Fatal("rerun record is not byte-identical to the original — determinism contract broken")
+	}
+	merged, err := Merge(dir, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := exportJSON(t, merged); !bytes.Equal(got, golden) {
+		t.Fatal("merge after torn-tmp recovery differs from golden")
+	}
+}

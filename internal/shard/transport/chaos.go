@@ -1,0 +1,275 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Chaos is a Transport decorator that injects faults from a seeded,
+// replayable schedule. It wraps any inner Transport (Local, SSH, InProc)
+// and perturbs the worker lifecycle the coordinator observes: spawns are
+// refused, workers are killed mid-lease, heartbeats are dropped, the
+// event stream stalls, record frames are bit-flipped or truncated, and
+// connections are partitioned (silence followed by death — the remote
+// analogue of a cut cable).
+//
+// Every decision is a pure function of (Seed, slot, per-slot spawn index,
+// per-frame index): given the same seed, plan, and rates, the same faults
+// fire at the same points, so an observed failure reproduces from the
+// chaos seed alone. Each Rate field is the per-spawn probability, in
+// [0, 1], that the corresponding fault is armed for that worker; a zero
+// value never fires, so the zero-rate Chaos is a transparent wrapper.
+type Chaos struct {
+	// Inner is the wrapped transport. Required.
+	Inner Transport
+	// Seed keys the fault schedule. Two runs with equal Seed, rates, and
+	// lease sequence inject identical faults.
+	Seed uint64
+
+	// SpawnRefusal is the probability that Spawn fails outright
+	// (transient — the coordinator's backoff/quarantine path, not an
+	// abort).
+	SpawnRefusal float64
+	// Crash is the probability the worker is killed mid-lease, after a
+	// schedule-chosen number of protocol events.
+	Crash float64
+	// Partition is the probability the event stream goes silent after a
+	// schedule-chosen event and the worker is killed StallFor later —
+	// what a dropped connection looks like from the coordinator.
+	Partition float64
+	// Stall is the probability the event stream freezes for StallFor at
+	// a schedule-chosen event, then resumes — a long GC pause or an
+	// overloaded host, long enough to trigger a steal when StallFor
+	// exceeds the lease timeout.
+	Stall float64
+	// DropBeats is the probability that every `alive` heartbeat from
+	// this worker is swallowed, leaving only cell completions to refresh
+	// its lease.
+	DropBeats float64
+	// CorruptFrame is the per-record-frame probability that one payload
+	// byte is flipped (caught by the frame checksum downstream).
+	CorruptFrame float64
+	// TruncateFrame is the per-record-frame probability that the encoded
+	// frame line is cut at a schedule-chosen byte offset and re-parsed —
+	// exercising the real wire parser on torn writes.
+	TruncateFrame float64
+
+	// StallFor is how long stalls and partitions hold the stream;
+	// 0 means 2s.
+	StallFor time.Duration
+	// Log, when non-nil, receives one line per injected fault so a chaos
+	// run's schedule can be read back. May be nil.
+	Log io.Writer
+
+	mu     sync.Mutex
+	spawns map[int]int // per-slot spawn counter: replayable spawn index
+}
+
+// chaosRand is a splitmix64 stream: tiny, seedable, and deterministic
+// across platforms. Chaos keeps its own generator (rather than reusing
+// internal/rng) so the transport package stays dependency-free and the
+// schedule is defined by this file alone.
+type chaosRand struct{ state uint64 }
+
+func (r *chaosRand) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float returns a uniform draw in [0, 1).
+func (r *chaosRand) float() float64 {
+	return float64(r.next()>>11) / float64(1<<53)
+}
+
+// intn returns a uniform draw in [0, n).
+func (r *chaosRand) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// faultPlan is the complete fault schedule for one spawned worker,
+// derived up front so the injection goroutine makes no random choices of
+// its own. Event indices count every protocol event the worker emits
+// (start, alive, cell, done); -1 disarms a fault.
+type faultPlan struct {
+	refuse         bool
+	crashAfter     int
+	partitionAfter int
+	stallAfter     int
+	dropBeats      bool
+	frameSeed      uint64 // stream for per-frame corrupt/truncate draws
+}
+
+// planFor derives the fault plan for the n-th spawn on slot. It is a pure
+// function: same (Seed, rates, slot, n) → same plan.
+func (c *Chaos) planFor(slot, n int) faultPlan {
+	r := &chaosRand{state: c.Seed ^ uint64(slot)*0xd1342543de82ef95 ^ uint64(n)*0xaf251af3b0f025b5}
+	// Fixed draw order; every branch consumes the same number of draws so
+	// one rate's setting never shifts another fault's schedule.
+	p := faultPlan{crashAfter: -1, partitionAfter: -1, stallAfter: -1}
+	p.refuse = r.float() < c.SpawnRefusal
+	crash, crashAt := r.float() < c.Crash, 1+r.intn(12)
+	part, partAt := r.float() < c.Partition, 1+r.intn(12)
+	stall, stallAt := r.float() < c.Stall, 1+r.intn(12)
+	p.dropBeats = r.float() < c.DropBeats
+	p.frameSeed = r.next()
+	if crash {
+		p.crashAfter = crashAt
+	}
+	if part {
+		p.partitionAfter = partAt
+	}
+	if stall {
+		p.stallAfter = stallAt
+	}
+	return p
+}
+
+func (c *Chaos) stallFor() time.Duration {
+	if c.StallFor > 0 {
+		return c.StallFor
+	}
+	return 2 * time.Second
+}
+
+func (c *Chaos) logf(format string, args ...any) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, "chaos: "+format+"\n", args...)
+	}
+}
+
+// Slots delegates to the inner transport.
+func (c *Chaos) Slots() int { return c.Inner.Slots() }
+
+// SlotName delegates to the inner transport, so coordinator logs and
+// lease state name the real slot under test.
+func (c *Chaos) SlotName(slot int) string { return c.Inner.SlotName(slot) }
+
+// Spawn consults the schedule for this slot's next spawn index: either
+// refuses outright (a transient error — the coordinator backs off) or
+// spawns the inner worker wrapped in the fault-injecting event filter.
+func (c *Chaos) Spawn(ctx context.Context, slot int, spec Spec) (Worker, error) {
+	c.mu.Lock()
+	if c.spawns == nil {
+		c.spawns = make(map[int]int)
+	}
+	n := c.spawns[slot]
+	c.spawns[slot] = n + 1
+	c.mu.Unlock()
+
+	p := c.planFor(slot, n)
+	if p.refuse {
+		c.logf("slot %d spawn %d: refusing spawn (seed %d)", slot, n, c.Seed)
+		return nil, fmt.Errorf("chaos: injected spawn refusal on %s (spawn %d, seed %d)", c.Inner.SlotName(slot), n, c.Seed)
+	}
+	inner, err := c.Inner.Spawn(ctx, slot, spec)
+	if err != nil {
+		return nil, err
+	}
+	w := &chaosWorker{inner: inner, events: make(chan Event, 16)}
+	go w.run(c, p, slot, n)
+	return w, nil
+}
+
+// chaosWorker filters the inner worker's event stream through one spawn's
+// fault plan. Kill and Wait delegate, so lifecycle semantics (idempotent
+// kill, wait-after-drain) are the inner transport's.
+type chaosWorker struct {
+	inner  Worker
+	events chan Event
+}
+
+// Events returns the filtered event stream.
+func (w *chaosWorker) Events() <-chan Event { return w.events }
+
+// Wait delegates to the inner worker.
+func (w *chaosWorker) Wait() error { return w.inner.Wait() }
+
+// Kill delegates to the inner worker.
+func (w *chaosWorker) Kill() { w.inner.Kill() }
+
+// run forwards inner events into w.events, applying the fault plan:
+// crashes kill the inner worker, partitions go silent and then kill it,
+// stalls block the stream (heartbeats included — backpressure is the
+// point), dropped beats are swallowed, and record frames are corrupted or
+// truncated per the frame stream. Closes w.events when the inner stream
+// ends.
+func (w *chaosWorker) run(c *Chaos, p faultPlan, slot, spawn int) {
+	defer close(w.events)
+	frames := &chaosRand{state: p.frameSeed}
+	seen := 0
+	silent := false
+	for ev := range w.inner.Events() {
+		seen++
+		if silent {
+			continue // partitioned: drain inner events, forward nothing
+		}
+		if seen == p.crashAfter {
+			c.logf("slot %d spawn %d: killing worker after event %d (seed %d)", slot, spawn, seen, c.Seed)
+			w.inner.Kill()
+			silent = true
+			continue
+		}
+		if seen == p.partitionAfter {
+			c.logf("slot %d spawn %d: partitioning after event %d for %s (seed %d)", slot, spawn, seen, c.stallFor(), c.Seed)
+			silent = true
+			inner := w.inner
+			time.AfterFunc(c.stallFor(), inner.Kill)
+			continue
+		}
+		if seen == p.stallAfter {
+			c.logf("slot %d spawn %d: stalling stream for %s at event %d (seed %d)", slot, spawn, c.stallFor(), seen, c.Seed)
+			time.Sleep(c.stallFor())
+		}
+		if p.dropBeats && ev.Kind == EventAlive {
+			continue
+		}
+		if ev.Kind == EventCell && len(ev.Payload) > 0 {
+			fwd, ok := mangleFrame(c, frames, ev, slot, spawn)
+			if !ok {
+				continue // frame lost entirely
+			}
+			ev = fwd
+		}
+		w.events <- ev
+	}
+}
+
+// mangleFrame applies the per-frame corrupt/truncate draws to one record
+// frame. The draw order is fixed (truncate test, offset, corrupt test,
+// position) regardless of which fault fires, keeping the stream aligned
+// across rate settings. Truncation re-encodes the event and re-parses the
+// cut line with the real wire parser, so whatever a torn write would have
+// produced — a payload-free cell event, or nothing — is what the
+// coordinator sees.
+func mangleFrame(c *Chaos, frames *chaosRand, ev Event, slot, spawn int) (Event, bool) {
+	truncate := frames.float() < c.TruncateFrame
+	line := ev.Encode()
+	cut := frames.intn(len(line))
+	corrupt := frames.float() < c.CorruptFrame
+	pos := frames.intn(len(ev.Payload))
+	switch {
+	case truncate:
+		c.logf("slot %d spawn %d: truncating cell %d frame at byte %d/%d (seed %d)", slot, spawn, ev.Cell, cut, len(line), c.Seed)
+		torn, ok := ParseEvent(line[:cut])
+		return torn, ok
+	case corrupt:
+		c.logf("slot %d spawn %d: flipping payload byte %d of cell %d frame (seed %d)", slot, spawn, pos, ev.Cell, c.Seed)
+		mangled := append([]byte(nil), ev.Payload...)
+		mangled[pos] ^= 0x20
+		ev.Payload = mangled
+		return ev, true
+	default:
+		return ev, true
+	}
+}

@@ -1,0 +1,105 @@
+package transport
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// The chaos schedule doubles as a corpus generator: the same splitmix
+// stream that drives in-flight frame mangling also derives a fixed set of
+// torn and interleaved frame lines. The set is committed under
+// testdata/fuzz/FuzzParseEvent so plain `go test` (and CI) replays every
+// entry through the fuzz target as a regression input, and
+// TestChaosFuzzCorpusCommitted keeps the files in sync with the
+// generator. Regenerate with:
+//
+//	UPDATE_FUZZ_CORPUS=1 go test -run TestChaosFuzzCorpusCommitted ./internal/shard/transport/
+func chaosCorpusEntries() (entries []string, payloads [][]byte) {
+	r := &chaosRand{state: 0x6368616f73} // "chaos"
+	payload := []byte(fmt.Sprintf(`{"plan":"%016x","index":%d,"agg":{"reps":4}}`, r.next(), r.intn(64)))
+	line := frameFor(r.intn(64), time.Duration(1+r.intn(999))*time.Millisecond, payload)
+	out := []string{line}
+	// Truncation at every byte offset: the exact family of lines a torn
+	// write can leave on the wire.
+	for cut := 0; cut < len(line); cut++ {
+		out = append(out, line[:cut])
+	}
+	// Interleaved-writer cases: a second frame spliced in at schedule-drawn
+	// offsets, both as one blended line and as the torn head a scanner
+	// would see if the interloper carried its own newline.
+	p2 := []byte(fmt.Sprintf(`{"plan":"%016x","index":%d,"agg":{"reps":4}}`, r.next(), r.intn(64)))
+	line2 := frameFor(r.intn(64), 0, p2)
+	for i := 0; i < 8; i++ {
+		at := r.intn(len(line) + 1)
+		out = append(out, line[:at]+line2+line[at:], line[:at]+line2)
+	}
+	return out, [][]byte{payload, p2}
+}
+
+// TestChaosScheduleTruncationAndInterleaving is the exhaustive form of
+// the corpus: frames with schedule-generated payloads of varying shape,
+// truncated at every byte offset and interleaved with a rival frame at
+// every splice point, must never surface a payload that differs from an
+// original.
+func TestChaosScheduleTruncationAndInterleaving(t *testing.T) {
+	r := &chaosRand{state: 97}
+	for f := 0; f < 12; f++ {
+		pa := []byte(fmt.Sprintf(`{"plan":"%016x","index":%d,"cell":"c%d","agg":{"reps":%d}}`,
+			r.next(), r.intn(64), f, 1+r.intn(8)))
+		pb := []byte(fmt.Sprintf(`{"plan":"%016x","index":%d,"agg":{"reps":2}}`, r.next(), r.intn(64)))
+		lineA := frameFor(r.intn(64), time.Duration(r.intn(500))*time.Millisecond, pa)
+		lineB := frameFor(r.intn(64), 0, pb)
+		for cut := 0; cut <= len(lineA); cut++ {
+			ev, ok := ParseEvent(lineA[:cut])
+			intactOrAbsent(t, "chaos truncation", ev, ok, pa)
+			if ok && ev.Payload != nil && cut < len(lineA) {
+				t.Fatalf("frame %d: proper prefix of %d bytes parsed with a full payload", f, cut)
+			}
+			ev, ok = ParseEvent(lineA[:cut] + lineB + lineA[cut:])
+			intactOrAbsent(t, "chaos interleaving", ev, ok, pa, pb)
+			ev, ok = ParseEvent(lineA[:cut] + lineB)
+			intactOrAbsent(t, "chaos torn head", ev, ok, pa, pb)
+		}
+	}
+}
+
+// TestChaosFuzzCorpusCommitted pins the committed seed corpus to the
+// generator: every entry exists under testdata in `go test fuzz v1`
+// format with the exact generated content, and every entry upholds the
+// intact-or-absent payload invariant directly.
+func TestChaosFuzzCorpusCommitted(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzParseEvent")
+	entries, payloads := chaosCorpusEntries()
+	if os.Getenv("UPDATE_FUZZ_CORPUS") == "1" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for i, e := range entries {
+			name := filepath.Join(dir, fmt.Sprintf("chaos-%03d", i))
+			body := fmt.Sprintf("go test fuzz v1\nstring(%q)\n", e)
+			if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	fullEv, ok := ParseEvent(entries[0])
+	if !ok || fullEv.Payload == nil {
+		t.Fatalf("corpus entry 0 must be the intact frame, got ok=%v ev=%+v", ok, fullEv)
+	}
+	for i, e := range entries {
+		name := filepath.Join(dir, fmt.Sprintf("chaos-%03d", i))
+		got, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatalf("corpus entry missing (regenerate with UPDATE_FUZZ_CORPUS=1): %v", err)
+		}
+		want := fmt.Sprintf("go test fuzz v1\nstring(%q)\n", e)
+		if string(got) != want {
+			t.Fatalf("%s drifted from the generator (regenerate with UPDATE_FUZZ_CORPUS=1)", name)
+		}
+		ev, ok := ParseEvent(e)
+		intactOrAbsent(t, name, ev, ok, payloads...)
+	}
+}

@@ -1,0 +1,300 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// scriptTransport replays a fixed event script through in-memory workers,
+// recording kills — the minimal inner transport for exercising Chaos.
+type scriptTransport struct {
+	script []Event
+
+	mu     sync.Mutex
+	kills  int
+	spawns int
+}
+
+func (s *scriptTransport) Slots() int            { return 2 }
+func (s *scriptTransport) SlotName(i int) string { return "script" }
+
+func (s *scriptTransport) Spawn(ctx context.Context, slot int, spec Spec) (Worker, error) {
+	s.mu.Lock()
+	s.spawns++
+	s.mu.Unlock()
+	ch := make(chan Event, len(s.script))
+	for _, ev := range s.script {
+		ch <- ev
+	}
+	close(ch)
+	return &scriptedWorker{t: s, events: ch}, nil
+}
+
+func (s *scriptTransport) killCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.kills
+}
+
+type scriptedWorker struct {
+	t      *scriptTransport
+	events chan Event
+}
+
+func (w *scriptedWorker) Events() <-chan Event { return w.events }
+func (w *scriptedWorker) Wait() error          { return nil }
+func (w *scriptedWorker) Kill() {
+	w.t.mu.Lock()
+	w.t.kills++
+	w.t.mu.Unlock()
+}
+
+func cellScript(n int) []Event {
+	evs := []Event{{Kind: EventStart, Plan: "hash"}}
+	for i := 0; i < n; i++ {
+		evs = append(evs, Event{Kind: EventAlive})
+		evs = append(evs, Event{Kind: EventCell, Cell: i, Cost: time.Millisecond, Payload: []byte(`{"rec":` + strings.Repeat("x", i+1) + `}`)})
+	}
+	return append(evs, Event{Kind: EventDone})
+}
+
+// TestChaosScheduleDeterministic: the fault plan is a pure function of
+// (seed, slot, spawn index) — same seed, same schedule; a different seed
+// diverges somewhere.
+func TestChaosScheduleDeterministic(t *testing.T) {
+	a := &Chaos{Seed: 42, SpawnRefusal: 0.2, Crash: 0.3, Partition: 0.2, Stall: 0.3, DropBeats: 0.4, CorruptFrame: 0.2, TruncateFrame: 0.2}
+	b := &Chaos{Seed: 42, SpawnRefusal: 0.2, Crash: 0.3, Partition: 0.2, Stall: 0.3, DropBeats: 0.4, CorruptFrame: 0.2, TruncateFrame: 0.2}
+	c := &Chaos{Seed: 43, SpawnRefusal: 0.2, Crash: 0.3, Partition: 0.2, Stall: 0.3, DropBeats: 0.4, CorruptFrame: 0.2, TruncateFrame: 0.2}
+	diverged := false
+	for slot := 0; slot < 4; slot++ {
+		for n := 0; n < 16; n++ {
+			pa, pb, pc := a.planFor(slot, n), b.planFor(slot, n), c.planFor(slot, n)
+			if pa != pb {
+				t.Fatalf("slot %d spawn %d: same seed produced different plans: %+v vs %+v", slot, n, pa, pb)
+			}
+			if pa != pc {
+				diverged = true
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 42 and 43 produced identical schedules across 64 spawns")
+	}
+}
+
+// TestChaosZeroRatesTransparent: with every rate zero, Chaos forwards the
+// inner stream unmodified.
+func TestChaosZeroRatesTransparent(t *testing.T) {
+	script := cellScript(3)
+	inner := &scriptTransport{script: script}
+	c := &Chaos{Inner: inner, Seed: 7}
+	w, err := c.Spawn(context.Background(), 0, Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(w)
+	if len(got) != len(script) {
+		t.Fatalf("forwarded %d events, want %d", len(got), len(script))
+	}
+	for i := range got {
+		if !got[i].Equal(script[i]) {
+			t.Fatalf("event %d changed under zero-rate chaos: %+v vs %+v", i, got[i], script[i])
+		}
+	}
+	if inner.killCount() != 0 {
+		t.Fatalf("zero-rate chaos killed the worker %d time(s)", inner.killCount())
+	}
+}
+
+// TestChaosSpawnRefusal: rate 1 refuses every spawn with a transient
+// (non-fatal) error naming chaos, without touching the inner transport.
+func TestChaosSpawnRefusal(t *testing.T) {
+	inner := &scriptTransport{script: cellScript(1)}
+	c := &Chaos{Inner: inner, Seed: 1, SpawnRefusal: 1}
+	_, err := c.Spawn(context.Background(), 0, Spec{})
+	if err == nil {
+		t.Fatal("SpawnRefusal=1 spawned anyway")
+	}
+	if !strings.Contains(err.Error(), "chaos") {
+		t.Fatalf("refusal error does not name chaos: %v", err)
+	}
+	if IsFatalSpawn(err) {
+		t.Fatalf("injected refusal must be transient, got fatal: %v", err)
+	}
+	if inner.spawns != 0 {
+		t.Fatalf("refusal still spawned %d inner worker(s)", inner.spawns)
+	}
+}
+
+// TestChaosCrashKillsWorker: an armed crash kills the inner worker after
+// the scheduled event and silences the rest of the stream.
+func TestChaosCrashKillsWorker(t *testing.T) {
+	script := cellScript(8) // 18 events: crashAfter in [1,12] always fires
+	inner := &scriptTransport{script: script}
+	var log bytes.Buffer
+	c := &Chaos{Inner: inner, Seed: 5, Crash: 1, Log: &log}
+	p := c.planFor(0, 0)
+	if p.crashAfter < 1 {
+		t.Fatalf("Crash=1 left crashAfter unarmed: %+v", p)
+	}
+	w, err := c.Spawn(context.Background(), 0, Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(w)
+	if len(got) != p.crashAfter-1 {
+		t.Fatalf("forwarded %d events, want %d (crash after event %d)", len(got), p.crashAfter-1, p.crashAfter)
+	}
+	if inner.killCount() == 0 {
+		t.Fatal("crash fault never killed the inner worker")
+	}
+	if !strings.Contains(log.String(), "killing worker") {
+		t.Fatalf("crash fault not logged for replay: %q", log.String())
+	}
+}
+
+// TestChaosDropBeatsSwallowsAlive: heartbeat drops remove every alive
+// event but leave start/cell/done untouched.
+func TestChaosDropBeatsSwallowsAlive(t *testing.T) {
+	script := cellScript(4)
+	inner := &scriptTransport{script: script}
+	c := &Chaos{Inner: inner, Seed: 3, DropBeats: 1}
+	w, err := c.Spawn(context.Background(), 0, Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range collect(w) {
+		if ev.Kind == EventAlive {
+			t.Fatal("DropBeats=1 forwarded an alive event")
+		}
+	}
+}
+
+// TestChaosCorruptFrameDetectable: a flipped payload byte survives into
+// the forwarded event (the transport frame already parsed), so the
+// record-level checksum downstream is what must catch it — assert the
+// payload differs from the original, which is exactly the condition that
+// fails VerifyRecordLine.
+func TestChaosCorruptFrameDetectable(t *testing.T) {
+	script := cellScript(2)
+	inner := &scriptTransport{script: script}
+	c := &Chaos{Inner: inner, Seed: 9, CorruptFrame: 1}
+	w, err := c.Spawn(context.Background(), 0, Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	saw := 0
+	for _, ev := range collect(w) {
+		if ev.Kind != EventCell || ev.Payload == nil {
+			continue
+		}
+		saw++
+		if string(ev.Payload) == string(script[2+2*ev.Cell].Payload) {
+			t.Fatalf("cell %d payload unchanged under CorruptFrame=1", ev.Cell)
+		}
+	}
+	if saw == 0 {
+		t.Fatal("corruption dropped every frame; expected flipped-but-present payloads")
+	}
+}
+
+// TestChaosTruncateFrameNeverTearsPayload: truncated frames go through
+// the real wire parser, so the coordinator sees either nothing, a
+// payload-free completion, or an intact payload — never a torn one.
+func TestChaosTruncateFrameNeverTearsPayload(t *testing.T) {
+	for seed := uint64(0); seed < 8; seed++ {
+		script := cellScript(5)
+		inner := &scriptTransport{script: script}
+		c := &Chaos{Inner: inner, Seed: seed, TruncateFrame: 1}
+		w, err := c.Spawn(context.Background(), 0, Spec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range collect(w) {
+			if ev.Kind != EventCell {
+				continue
+			}
+			originals := make([][]byte, 0, 5)
+			for _, s := range script {
+				if s.Kind == EventCell {
+					originals = append(originals, s.Payload)
+				}
+			}
+			intactOrAbsent(t, "chaos truncation", ev, true, originals...)
+		}
+	}
+}
+
+// TestInProcWorkerSpeaksProtocol: the in-process transport runs the Run
+// callback against a real emitter/parser pipe, and Kill cancels it.
+func TestInProcWorkerSpeaksProtocol(t *testing.T) {
+	tr := &InProc{
+		Procs: 1,
+		Beat:  time.Hour, // harness beats out of the way; script our own
+		Run: func(ctx context.Context, slot int, spec Spec, em *Emitter) error {
+			em.Start("deadbeef")
+			em.CellRecord(4, 7*time.Millisecond, []byte(`{"cell":4}`))
+			em.Done()
+			return nil
+		},
+	}
+	w, err := tr.Spawn(context.Background(), 0, Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(w)
+	want := []Event{
+		{Kind: EventStart, Plan: "deadbeef"},
+		{Kind: EventCell, Cell: 4, Cost: 7 * time.Millisecond, Payload: []byte(`{"cell":4}`)},
+		{Kind: EventDone},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("event %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	if err := w.Wait(); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+}
+
+// TestInProcKillCancelsRun: Kill reaches the callback through context
+// cancellation, the in-process analogue of closing a worker's stdin.
+func TestInProcKillCancelsRun(t *testing.T) {
+	started := make(chan struct{})
+	tr := &InProc{
+		Procs: 1,
+		Run: func(ctx context.Context, slot int, spec Spec, em *Emitter) error {
+			close(started)
+			<-ctx.Done()
+			return ctx.Err()
+		},
+	}
+	w, err := tr.Spawn(context.Background(), 0, Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	w.Kill()
+	if err := w.Wait(); err == nil {
+		t.Fatal("killed in-process worker reported a clean exit")
+	}
+	for range w.Events() {
+	} // stream must terminate, not hang
+}
+
+// TestInProcValidates: a missing Run callback is a configuration error —
+// fatal, so the coordinator aborts instead of retrying forever.
+func TestInProcValidates(t *testing.T) {
+	_, err := (&InProc{}).Spawn(context.Background(), 0, Spec{})
+	if err == nil || !IsFatalSpawn(err) {
+		t.Fatalf("InProc without Run must fail fatally, got %v", err)
+	}
+}

@@ -3,6 +3,7 @@ package transport
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -47,7 +48,12 @@ func startWorker(ctx context.Context, argv []string, log *lineWriter) (*execWork
 		cmd.Stderr = log
 	}
 	if err := cmd.Start(); err != nil {
-		return nil, fmt.Errorf("transport: starting %q: %w", argv[0], err)
+		err = fmt.Errorf("transport: starting %q: %w", argv[0], err)
+		if errors.Is(err, exec.ErrNotFound) {
+			// A binary that does not exist will not appear on retry.
+			err = FatalSpawn(err)
+		}
+		return nil, err
 	}
 	w := &execWorker{
 		cmd:     cmd,
@@ -138,7 +144,7 @@ func (l *Local) SlotName(slot int) string { return fmt.Sprintf("local#%d", slot)
 // slot's private directory is created and seeded with the plan first.
 func (l *Local) Spawn(ctx context.Context, slot int, spec Spec) (Worker, error) {
 	if l.Binary == "" {
-		return nil, fmt.Errorf("transport: Local needs a worker Binary")
+		return nil, FatalSpawn(fmt.Errorf("transport: Local needs a worker Binary"))
 	}
 	dir := spec.Dir
 	if l.WorkerDir != "" {

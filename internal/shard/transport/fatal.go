@@ -1,0 +1,31 @@
+package transport
+
+import "errors"
+
+// fatalSpawnError marks a Spawn failure that retrying cannot fix: a
+// misconfigured transport (missing binary, slot out of range) rather than
+// a flaky machine. The coordinator's resilience policy checks this marker
+// to decide between aborting the sweep immediately and entering the
+// backoff/quarantine path.
+type fatalSpawnError struct{ err error }
+
+func (e *fatalSpawnError) Error() string { return e.err.Error() }
+func (e *fatalSpawnError) Unwrap() error { return e.err }
+
+// FatalSpawn wraps err so IsFatalSpawn reports true for it. Transports
+// should wrap configuration errors — anything a retry against the same
+// transport cannot possibly cure — and leave transient failures (network
+// hiccups, dead hosts) unwrapped.
+func FatalSpawn(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &fatalSpawnError{err: err}
+}
+
+// IsFatalSpawn reports whether err (or anything it wraps) was marked with
+// FatalSpawn.
+func IsFatalSpawn(err error) bool {
+	var f *fatalSpawnError
+	return errors.As(err, &f)
+}

@@ -1,0 +1,124 @@
+package transport
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// InProc is a Transport whose workers are goroutines in the coordinator's
+// own process, speaking the real nbhb1 line protocol over an in-memory
+// pipe. It exists for chaos drills and tests: the full wire path — emit,
+// frame, parse — is exercised end to end without spawning processes, so a
+// drill can run inside a test binary or a constrained environment. The
+// Run callback plays the worker: it receives the lease spec and an
+// Emitter already wired to the pipe, and should behave like
+// `shard run -cells ... -heartbeat`.
+type InProc struct {
+	// Procs is the number of worker slots; 0 means 2.
+	Procs int
+	// Beat is the interval at which the harness emits `alive` heartbeats
+	// on the worker's behalf while Run executes; 0 means 200ms.
+	Beat time.Duration
+	// Run executes one lease. Required. The callback must honour ctx —
+	// cancellation is how Kill reaches an in-process worker.
+	Run func(ctx context.Context, slot int, spec Spec, em *Emitter) error
+	// Log receives non-protocol output, line-prefixed per slot. May be nil.
+	Log io.Writer
+
+	logMu sync.Mutex
+}
+
+// Slots returns the concurrent-worker cap.
+func (p *InProc) Slots() int {
+	if p.Procs > 0 {
+		return p.Procs
+	}
+	return 2
+}
+
+// SlotName names an in-process slot.
+func (p *InProc) SlotName(slot int) string { return fmt.Sprintf("inproc#%d", slot) }
+
+func (p *InProc) beat() time.Duration {
+	if p.Beat > 0 {
+		return p.Beat
+	}
+	return 200 * time.Millisecond
+}
+
+func (p *InProc) logWriter(slot int) *lineWriter {
+	if p.Log == nil {
+		return nil
+	}
+	return &lineWriter{mu: &p.logMu, w: p.Log, prefix: "[" + p.SlotName(slot) + "] "}
+}
+
+// Spawn starts the Run callback in a goroutine with its emitter writing
+// into an io.Pipe whose read end feeds the same line scanner the process
+// transports use.
+func (p *InProc) Spawn(ctx context.Context, slot int, spec Spec) (Worker, error) {
+	if p.Run == nil {
+		return nil, FatalSpawn(fmt.Errorf("transport: InProc needs a Run callback"))
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	pr, pw := io.Pipe()
+	w := &inprocWorker{
+		events: make(chan Event, 16),
+		cancel: cancel,
+		pr:     pr,
+		done:   make(chan struct{}),
+	}
+	go func() {
+		defer close(w.events)
+		drainLines(pr, w.events, p.logWriter(slot))
+	}()
+	em := NewEmitter(pw)
+	go func() {
+		defer close(w.done)
+		stop := make(chan struct{})
+		go func() {
+			t := time.NewTicker(p.beat())
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					em.Alive()
+				case <-stop:
+					return
+				}
+			}
+		}()
+		w.err = p.Run(ctx, slot, spec, em)
+		close(stop)
+		pw.Close() // ends the scanner; events channel closes after drain
+	}()
+	return w, nil
+}
+
+// inprocWorker adapts a Run goroutine to the Worker interface.
+type inprocWorker struct {
+	events chan Event
+	cancel context.CancelFunc
+	pr     *io.PipeReader
+	done   chan struct{}
+	err    error
+}
+
+// Events returns the parsed heartbeat stream.
+func (w *inprocWorker) Events() <-chan Event { return w.events }
+
+// Wait blocks until the Run callback returns and reports its error.
+func (w *inprocWorker) Wait() error {
+	<-w.done
+	return w.err
+}
+
+// Kill cancels the worker's context and severs the pipe, mirroring the
+// process transports' close-stdin-and-kill semantics.
+func (w *inprocWorker) Kill() {
+	w.cancel()
+	w.pr.CloseWithError(io.ErrClosedPipe)
+}

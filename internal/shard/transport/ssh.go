@@ -3,11 +3,13 @@ package transport
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os/exec"
 	"strings"
 	"sync"
+	"time"
 )
 
 // SSH is the Transport that runs workers on remote hosts over plain ssh:
@@ -50,6 +52,12 @@ type SSH struct {
 	// Log receives every worker's stderr and non-protocol stdout, each
 	// line prefixed with its host. May be nil.
 	Log io.Writer
+	// ConnectAttempts is how many times the initial connection (the plan
+	// push) is tried before the spawn is reported failed; 0 means 3.
+	ConnectAttempts int
+	// ConnectBackoff is the wait before the first connection retry; it
+	// doubles per retry and is capped at 8× the base. 0 means 500ms.
+	ConnectBackoff time.Duration
 
 	logMu sync.Mutex
 
@@ -70,17 +78,24 @@ func (s *SSH) SlotName(slot int) string {
 
 // Spawn launches one worker on the slot's host, pushing the plan into the
 // host's job directory first when the lease carries one (once per slot —
-// re-leases reuse the seeded directory).
+// re-leases reuse the seeded directory). The returned worker classifies
+// its exit: the ssh client's own exit status 255 reads as "connect
+// failed", anything else the worker earned itself reads as "worker died",
+// so coordinator logs distinguish a flaky network from a crashing binary.
 func (s *SSH) Spawn(ctx context.Context, slot int, spec Spec) (Worker, error) {
 	if slot < 0 || slot >= len(s.Hosts) {
-		return nil, fmt.Errorf("transport: ssh slot %d out of range [0,%d)", slot, len(s.Hosts))
+		return nil, FatalSpawn(fmt.Errorf("transport: ssh slot %d out of range [0,%d)", slot, len(s.Hosts)))
 	}
 	if spec.PlanFile != nil {
 		if err := s.seedPlan(ctx, slot, spec); err != nil {
 			return nil, err
 		}
 	}
-	return startWorker(ctx, s.argv(slot, spec), s.logWriter(slot))
+	w, err := startWorker(ctx, s.argv(slot, spec), s.logWriter(slot))
+	if err != nil {
+		return nil, err
+	}
+	return &sshWorker{execWorker: w, name: s.SlotName(slot)}, nil
 }
 
 // seedPlan materialises the job directory on the slot's host: one ssh
@@ -92,6 +107,11 @@ func (s *SSH) Spawn(ctx context.Context, slot int, spec Spec) (Worker, error) {
 // seeding concurrently must not write through the same temp file (one
 // slot's mv would yank the inode out from under the other's cat, tearing
 // plan.json or failing the second mv).
+//
+// This round trip is also where a dead or flaky connection surfaces
+// synchronously, so it is retried with capped exponential backoff
+// (ConnectAttempts / ConnectBackoff) before the slot is reported failed —
+// a transient error the coordinator's own backoff policy then handles.
 func (s *SSH) seedPlan(ctx context.Context, slot int, spec Spec) error {
 	s.seedMu.Lock()
 	already := s.seeded[slot]
@@ -99,6 +119,38 @@ func (s *SSH) seedPlan(ctx context.Context, slot int, spec Spec) error {
 	if already {
 		return nil
 	}
+	attempts := s.connectAttempts()
+	delay := s.connectBackoff()
+	var err error
+	for try := 0; try < attempts; try++ {
+		if try > 0 {
+			if lw := s.logWriter(slot); lw != nil {
+				lw.writeLine(fmt.Sprintf("connect failed (%v) — retrying in %s (attempt %d/%d)", err, delay, try+1, attempts))
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(delay):
+			}
+			if delay *= 2; delay > 8*s.connectBackoff() {
+				delay = 8 * s.connectBackoff()
+			}
+		}
+		if err = s.pushPlanOnce(ctx, slot, spec); err == nil {
+			s.seedMu.Lock()
+			if s.seeded == nil {
+				s.seeded = make(map[int]bool)
+			}
+			s.seeded[slot] = true
+			s.seedMu.Unlock()
+			return nil
+		}
+	}
+	return fmt.Errorf("transport: connect failed to %s after %d attempt(s): %w", s.SlotName(slot), attempts, err)
+}
+
+// pushPlanOnce runs one plan-push round trip.
+func (s *SSH) pushPlanOnce(ctx context.Context, slot int, spec Spec) error {
 	dir := shellQuote(s.dir(spec))
 	tmp := fmt.Sprintf("%s/plan.json.push.%d", dir, slot)
 	script := fmt.Sprintf("mkdir -p %s/cells && cat > %s && mv %s %s/plan.json",
@@ -112,13 +164,44 @@ func (s *SSH) seedPlan(ctx context.Context, slot int, spec Spec) error {
 	if err := cmd.Run(); err != nil {
 		return fmt.Errorf("transport: pushing plan to %s: %w", s.SlotName(slot), err)
 	}
-	s.seedMu.Lock()
-	if s.seeded == nil {
-		s.seeded = make(map[int]bool)
-	}
-	s.seeded[slot] = true
-	s.seedMu.Unlock()
 	return nil
+}
+
+func (s *SSH) connectAttempts() int {
+	if s.ConnectAttempts > 0 {
+		return s.ConnectAttempts
+	}
+	return 3
+}
+
+func (s *SSH) connectBackoff() time.Duration {
+	if s.ConnectBackoff > 0 {
+		return s.ConnectBackoff
+	}
+	return 500 * time.Millisecond
+}
+
+// sshWorker wraps the shared exec worker to classify its exit. The ssh
+// client reserves exit status 255 for its own failures (connection lost,
+// auth refused, host unreachable); any other non-zero status came from
+// the remote command itself.
+type sshWorker struct {
+	*execWorker
+	name string
+}
+
+// Wait reports the worker's exit, naming connection failures "connect
+// failed" and remote-command failures "worker died".
+func (w *sshWorker) Wait() error {
+	err := w.execWorker.Wait()
+	if err == nil {
+		return nil
+	}
+	var ee *exec.ExitError
+	if errors.As(err, &ee) && ee.ExitCode() == 255 {
+		return fmt.Errorf("transport: connect failed to %s: %w", w.name, err)
+	}
+	return fmt.Errorf("transport: worker died on %s: %w", w.name, err)
 }
 
 // client returns the ssh client invocation (Command or the default).

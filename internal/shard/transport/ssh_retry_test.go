@@ -1,0 +1,131 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeSSH writes an executable standing in for the ssh client: it bumps a
+// counter file ($n holds the attempt number) and runs the given script.
+// A script that should model the plan push must drain stdin itself
+// (`cat > /dev/null`); worker-spawn scripts must NOT read stdin — the
+// coordinator holds it open as the cancellation channel.
+func fakeSSH(t *testing.T, script string) (bin, counter string) {
+	t.Helper()
+	dir := t.TempDir()
+	counter = filepath.Join(dir, "attempts")
+	bin = filepath.Join(dir, "fakessh")
+	body := fmt.Sprintf("#!/bin/sh\nn=$(cat %q 2>/dev/null || echo 0)\nn=$((n+1))\necho $n > %q\n%s\n", counter, counter, script)
+	if err := os.WriteFile(bin, []byte(body), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return bin, counter
+}
+
+func attemptCount(t *testing.T, counter string) int {
+	t.Helper()
+	b, err := os.ReadFile(counter)
+	if err != nil {
+		t.Fatalf("reading attempt counter: %v", err)
+	}
+	var n int
+	fmt.Sscanf(strings.TrimSpace(string(b)), "%d", &n)
+	return n
+}
+
+// TestSSHSeedPlanRetriesConnect: a connection that fails twice and then
+// succeeds seeds the plan on the third attempt instead of failing the
+// slot, and the retries are logged.
+func TestSSHSeedPlanRetriesConnect(t *testing.T) {
+	bin, counter := fakeSSH(t, `cat > /dev/null; if [ "$n" -le 2 ]; then exit 255; fi; exit 0`)
+	var log bytes.Buffer
+	s := &SSH{
+		Hosts:          []string{"h0"},
+		Command:        []string{bin},
+		ConnectBackoff: time.Millisecond,
+		Log:            &log,
+	}
+	spec := Spec{Dir: t.TempDir(), PlanFile: []byte(`{"plan":true}`)}
+	if err := s.seedPlan(context.Background(), 0, spec); err != nil {
+		t.Fatalf("seedPlan should succeed on attempt 3: %v", err)
+	}
+	if got := attemptCount(t, counter); got != 3 {
+		t.Fatalf("connect attempted %d time(s), want 3", got)
+	}
+	if !strings.Contains(log.String(), "retrying in") {
+		t.Fatalf("retries not logged: %q", log.String())
+	}
+	// The slot is now marked seeded: another seedPlan is a no-op.
+	if err := s.seedPlan(context.Background(), 0, spec); err != nil {
+		t.Fatal(err)
+	}
+	if got := attemptCount(t, counter); got != 3 {
+		t.Fatalf("re-seed hit the wire (%d attempts), want cached", got)
+	}
+}
+
+// TestSSHSeedPlanConnectFailedError: a connection that never comes up
+// exhausts its capped attempts and reports a "connect failed" error —
+// distinct from a worker dying mid-lease.
+func TestSSHSeedPlanConnectFailedError(t *testing.T) {
+	bin, counter := fakeSSH(t, "cat > /dev/null; exit 255")
+	s := &SSH{
+		Hosts:           []string{"h0"},
+		Command:         []string{bin},
+		ConnectAttempts: 2,
+		ConnectBackoff:  time.Millisecond,
+	}
+	err := s.seedPlan(context.Background(), 0, Spec{Dir: t.TempDir(), PlanFile: []byte("{}")})
+	if err == nil {
+		t.Fatal("dead connection seeded a plan")
+	}
+	if !strings.Contains(err.Error(), "connect failed") {
+		t.Fatalf("error does not say connect failed: %v", err)
+	}
+	if IsFatalSpawn(err) {
+		t.Fatalf("connect failure must stay transient (backoff path), got fatal: %v", err)
+	}
+	if got := attemptCount(t, counter); got != 2 {
+		t.Fatalf("connect attempted %d time(s), want 2 (capped)", got)
+	}
+}
+
+// TestSSHWaitClassifiesExit: ssh's own exit 255 reads as a connection
+// failure; any other status is the remote worker's own death.
+func TestSSHWaitClassifiesExit(t *testing.T) {
+	for _, tc := range []struct {
+		script, want string
+	}{
+		{"exit 255", "connect failed"},
+		{"exit 3", "worker died"},
+	} {
+		bin, _ := fakeSSH(t, tc.script)
+		s := &SSH{Hosts: []string{"h0"}, Command: []string{bin}}
+		w, err := s.Spawn(context.Background(), 0, Spec{Dir: "/tmp/job"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for range w.Events() {
+		}
+		werr := w.Wait()
+		if werr == nil || !strings.Contains(werr.Error(), tc.want) {
+			t.Fatalf("script %q: Wait() = %v, want substring %q", tc.script, werr, tc.want)
+		}
+	}
+}
+
+// TestSSHSpawnSlotRangeFatal: a slot outside Hosts is a configuration
+// error retries cannot fix.
+func TestSSHSpawnSlotRangeFatal(t *testing.T) {
+	s := &SSH{Hosts: []string{"h0"}}
+	_, err := s.Spawn(context.Background(), 5, Spec{})
+	if err == nil || !IsFatalSpawn(err) {
+		t.Fatalf("out-of-range slot must fail fatally, got %v", err)
+	}
+}

@@ -124,7 +124,11 @@ type (
 // or ssh), re-leasing cells whose heartbeat lapses, sizing each slot's
 // leases from its worker's reported per-cell cost, and — in mountless
 // mode — ingesting every record as a verified frame on the worker's
-// heartbeat stream instead of requiring a synced filesystem.
+// heartbeat stream instead of requiring a synced filesystem. Slots whose
+// workers keep failing are exponentially backed off, quarantined, probed
+// for re-admission, and eventually declared dead; when every slot is dead
+// or quarantined the coordinator finishes the remaining cells in-process
+// (Fallback) or aborts explicitly — never hangs.
 type (
 	// ShardPlan is the versioned, content-hashed shard manifest.
 	ShardPlan = shard.Plan
@@ -164,6 +168,19 @@ type (
 	// ShardSSHTransport runs workers on remote hosts over ssh, against a
 	// synced job directory or (with push-sync) a plan-seeded scratch dir.
 	ShardSSHTransport = transport.SSH
+	// ShardChaosTransport decorates any ShardTransport with seeded,
+	// replayable fault injection — refused spawns, mid-lease crashes,
+	// heartbeat partitions and stalls, corrupted and truncated record
+	// frames — for chaos drills (`nbandit chaos`); every fault schedule is
+	// a pure function of (Seed, slot, spawn count).
+	ShardChaosTransport = transport.Chaos
+	// ShardInProcTransport runs workers as goroutines in the coordinator's
+	// own process over the real wire protocol, for drills and tests that
+	// cannot (or should not) spawn processes.
+	ShardInProcTransport = transport.InProc
+	// ShardSlotHealthInfo is one slot's resilience standing (backoff,
+	// quarantine, probe, dead) inside a ShardLeaseState.
+	ShardSlotHealthInfo = shard.SlotHealthInfo
 )
 
 // NewShardPlan enumerates the sweep's cells and partitions them
