@@ -7,8 +7,13 @@ import (
 	"fmt"
 	"io/fs"
 	"os"
+	"os/exec"
+	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"testing"
+	"time"
 
 	"netbandit"
 )
@@ -26,6 +31,13 @@ import (
 // trajectory file via -out (scripts/bench.sh passes it through), so the
 // trajectory grows without editing code; -json remains as the historical
 // spelling of the same flag.
+//
+// Every run also refreshes the file's top-level "meta" entry with the
+// environment the numbers were measured on — Go version, GOAMD64 level,
+// CPU model, host, git revision, timestamp — so a trajectory file read
+// months later still says what produced it. The comparison tooling
+// (scripts/benchcmp) only reads explicit labels, so "meta" never collides
+// with recorded runs.
 
 type benchResult struct {
 	NsPerOp     float64            `json:"ns_per_op"`
@@ -100,6 +112,11 @@ func runBench(args []string) error {
 		return err
 	}
 	doc[*label] = enc
+	meta, err := json.MarshalIndent(benchMeta(), "  ", "  ")
+	if err != nil {
+		return err
+	}
+	doc["meta"] = meta
 	out, err := marshalOrdered(doc)
 	if err != nil {
 		return err
@@ -113,6 +130,48 @@ func runBench(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "bench: wrote %q under label %q\n", *outPath, *label)
 	return nil
+}
+
+// benchMeta captures the environment a bench run was measured on. Every
+// field degrades gracefully — a missing git binary or unreadable
+// /proc/cpuinfo yields an empty string, never an error — because the
+// metadata must not be able to fail a benchmark run.
+func benchMeta() map[string]string {
+	m := map[string]string{
+		"go":         runtime.Version(),
+		"goos":       runtime.GOOS,
+		"goarch":     runtime.GOARCH,
+		"gomaxprocs": strconv.Itoa(runtime.GOMAXPROCS(0)),
+		"time":       time.Now().UTC().Format(time.RFC3339),
+	}
+	if v := os.Getenv("GOAMD64"); v != "" {
+		m["goamd64"] = v
+	}
+	if host, err := os.Hostname(); err == nil {
+		m["host"] = host
+	}
+	if model := cpuModel(); model != "" {
+		m["cpu"] = model
+	}
+	if out, err := exec.Command("git", "describe", "--always", "--dirty").Output(); err == nil {
+		m["git"] = strings.TrimSpace(string(out))
+	}
+	return m
+}
+
+// cpuModel reads the first "model name" line from /proc/cpuinfo; empty on
+// platforms without it.
+func cpuModel() string {
+	raw, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
 }
 
 // marshalOrdered renders the label->results document with sorted keys so

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"netbandit/internal/obs"
 	"netbandit/internal/shard"
 	"netbandit/internal/shard/transport"
 	"netbandit/internal/sim"
@@ -29,6 +30,14 @@ import (
 //	nbandit chaos -seeds 50 -mode push           # more seeds, mountless flow only
 //	nbandit chaos -seeds 1 -seed-start 17 -v     # replay one failing seed, with logs
 //	nbandit chaos -transport inproc              # no subprocesses (constrained sandboxes)
+//	nbandit chaos -journal                       # flight-record every run; read back with 'nbandit trace'
+//
+// With -journal each run writes a journal.jsonl into its job directory:
+// every injected fault becomes a chaos-fault event and every coordinator
+// response (steal, retry, quarantine, degraded fallback) is recorded
+// next to it. The drill then enforces completeness — the journal's
+// chaos-fault count must equal the injector's own — so a fault the
+// recorder missed is itself a drill failure.
 //
 // Every fault schedule is a pure function of the chaos seed, so a failure
 // reported here reproduces from its seed alone. See docs/RUNBOOK.md
@@ -74,6 +83,7 @@ func runChaos(args []string) error {
 	procs := fs.Int("procs", 2, "worker slots")
 	strict := fs.Bool("strict", false, "fail on explicit aborts too (the default invariant is merge-or-abort)")
 	keep := fs.String("keep", "", "keep every run's job directory under this path (default: temp dirs, failures kept)")
+	journal := fs.Bool("journal", false, "flight-record each run (journal.jsonl in its job dir) and fail any run whose journal misses an injected fault")
 	verbose := fs.Bool("v", false, "stream coordinator and fault-injection logs to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -127,7 +137,7 @@ func runChaos(args []string) error {
 				seed: seed, push: push, transport: *transportName,
 				intensity: *intensity, leaseTimeout: *leaseTimeout,
 				runTimeout: *runTimeout, procs: *procs,
-				keep: *keep, log: logW,
+				keep: *keep, journal: *journal, log: logW,
 			})
 			switch outcome {
 			case chaosMerged:
@@ -146,6 +156,9 @@ func runChaos(args []string) error {
 				failures++
 				fmt.Printf("seed %d (%s): FAIL — %v\n  job dir kept at %s\n  replay: nbandit chaos -seeds 1 -seed-start %d -mode %s -transport %s -intensity %g -lease-timeout %s -v\n",
 					seed, modeName, err, dir, seed, modeName, *transportName, *intensity, *leaseTimeout)
+				if *journal {
+					fmt.Printf("  post-mortem: nbandit trace timeline %s\n", dir)
+				}
 				continue
 			}
 			if *keep == "" {
@@ -184,6 +197,7 @@ type chaosRunConfig struct {
 	runTimeout   time.Duration
 	procs        int
 	keep         string
+	journal      bool
 	log          io.Writer
 }
 
@@ -274,14 +288,31 @@ func runChaosOnce(parent context.Context, cfg chaosRunConfig) (chaosOutcome, str
 		ChaosSeed:    fmt.Sprint(ch.Seed),
 		Log:          cfg.log,
 	}
+	var rec *obs.Recorder
+	if cfg.journal {
+		rec, err = obs.Open(filepath.Join(dir, obs.JournalName))
+		if err != nil {
+			return chaosFailed, dir, fmt.Errorf("opening flight-recorder journal: %w", err)
+		}
+		defer rec.Close()
+		c.Journal = rec
+		journalFaults(rec, ch, plan.Hash)
+	}
 	ctx, cancel := context.WithTimeout(parent, cfg.runTimeout)
 	defer cancel()
-	_, err = c.Run(ctx)
+	_, runErr := c.Run(ctx)
 	if ctx.Err() != nil && parent.Err() == nil {
 		return chaosFailed, dir, fmt.Errorf("HANG: run exceeded the %s deadline", cfg.runTimeout)
 	}
-	if err != nil {
-		return chaosAborted, dir, err
+	if rec != nil {
+		// Merged or aborted, the flight recorder must have seen every
+		// injected fault — a silent gap would make post-mortems lie.
+		if err := chaosJournalComplete(ch, filepath.Join(dir, obs.JournalName)); err != nil {
+			return chaosFailed, dir, err
+		}
+	}
+	if runErr != nil {
+		return chaosAborted, dir, runErr
 	}
 	res, err := shard.Merge(dir, plan)
 	if err != nil {
@@ -294,7 +325,59 @@ func runChaosOnce(parent context.Context, cfg chaosRunConfig) (chaosOutcome, str
 	if !bytes.Equal(got.Bytes(), cfg.golden) {
 		return chaosFailed, dir, fmt.Errorf("merge differs from the single-process golden")
 	}
+	if rec != nil {
+		e := obs.Jot(obs.EvMerge, "", -1, -1, "bit-identical to the single-process golden (%d bytes)", got.Len())
+		e.Plan = plan.Hash
+		e.Seed = fmt.Sprint(ch.Seed)
+		rec.Emit(e)
+	}
 	return chaosMerged, dir, nil
+}
+
+// journalFaults wires a chaos transport's fault stream into a flight
+// recorder: every injected fault becomes an EvChaosFault event next to
+// the coordinator's own steal/retry/quarantine/degraded responses. The
+// detail leads with the fault kind so the trace summary can bucket the
+// fault mix; the recorder must stay open until the completeness check,
+// so faults injected while killed streams drain still land.
+func journalFaults(rec *obs.Recorder, ch *transport.Chaos, planHash string) {
+	ch.OnFault = func(slot, spawn int, kind, detail string) {
+		e := obs.Jot(obs.EvChaosFault, ch.SlotName(slot), -1, -1, "%s: spawn %d — %s", kind, spawn, detail)
+		e.Plan = planHash
+		e.Seed = fmt.Sprint(ch.Seed)
+		rec.Emit(e)
+	}
+}
+
+// chaosJournalComplete enforces the fault→event invariant: the journal
+// must record exactly as many chaos-fault events as the injector
+// reports having fired. Injection goroutines may still be draining a
+// killed worker's stream when the coordinator returns, so the counts
+// get a short window to converge before a gap counts as a failure.
+func chaosJournalComplete(ch *transport.Chaos, path string) error {
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		want := ch.Faults()
+		events, _, err := obs.ReadJournal(path)
+		var got int64
+		if err == nil {
+			for _, e := range events {
+				if e.Type == obs.EvChaosFault {
+					got++
+				}
+			}
+		}
+		if err == nil && got == want && want == ch.Faults() {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("journal completeness: %w", err)
+			}
+			return fmt.Errorf("journal completeness: injector fired %d fault(s) but the journal records %d chaos-fault event(s)", want, got)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
 }
 
 // inprocLease plays a worker for the InProc transport: it behaves exactly

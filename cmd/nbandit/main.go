@@ -42,6 +42,16 @@
 //
 //	nbandit chaos -seeds 20 -mode both
 //
+// The observability plane rides along: `shard run -journal` (and `chaos
+// -journal`) turn on a structured flight recorder, `-listen` exposes
+// live Prometheus metrics plus pprof, and the trace/top subcommands read
+// it all back:
+//
+//	nbandit shard run -dir grid -procs 4 -journal -listen :9090
+//	nbandit top -dir grid                      # live one-screen view of the run
+//	nbandit trace summary grid                 # post-mortem: counts, faults, slot quantiles
+//	nbandit trace timeline grid                # every recorded event in order
+//
 // See docs/RUNBOOK.md for the full operating guide.
 package main
 
@@ -87,6 +97,20 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "chaos" {
 		if err := runChaos(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "nbandit chaos:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "trace" {
+		if err := runTrace(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "nbandit trace:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "top" {
+		if err := runTop(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "nbandit top:", err)
 			os.Exit(1)
 		}
 		return

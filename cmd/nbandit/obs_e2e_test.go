@@ -1,0 +1,364 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"netbandit/internal/obs"
+	"netbandit/internal/shard"
+	"netbandit/internal/shard/transport"
+)
+
+// End-to-end acceptance for the flight recorder: chaos scenarios with one
+// fault rate pinned to certainty, so each fault kind (spawn refusal,
+// crash, partition, corrupt frame) and each coordinator response (steal,
+// retry, quarantine, degraded fallback) is guaranteed to fire — then the
+// journal is rendered through the same writers `nbandit trace` uses and
+// checked to tell the whole story.
+
+// obsSlowGrid is chaosGrid with a horizon long enough (~0.5s per cell)
+// that heartbeats tick while a cell runs: mid-cell faults (crash,
+// partition) fire on event indices, so they need a live stream to bite
+// before the lease completes.
+func obsSlowGrid() sweepOptions {
+	o := chaosGrid()
+	o.horizons = "500000"
+	return o
+}
+
+// runObsScenario drives one plan→coordinator-under-chaos run with the
+// flight recorder attached and returns the parsed journal, the rendered
+// timeline, and the job directory. arm pins the scenario's fault rates.
+// The run may merge or abort — the merge-or-abort invariant is the chaos
+// drill's own test; here only the journal's account matters — but it must
+// not hang, and the fault→event completeness check must hold.
+func runObsScenario(t *testing.T, o sweepOptions, push bool, arm func(*transport.Chaos)) ([]obs.Event, string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	sw, err := buildSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := json.Marshal(gridFromOptions(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := shard.NewPlan(&sw, grid, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shard.WritePlan(dir, plan); err != nil {
+		t.Fatal(err)
+	}
+	ch := &transport.Chaos{
+		Inner:    &transport.InProc{Procs: 2, Beat: 25 * time.Millisecond, Run: inprocLease},
+		Seed:     7,
+		StallFor: 600 * time.Millisecond,
+	}
+	arm(ch)
+	fallback := sw
+	c := &shard.StealCoordinator{
+		Plan: plan, Dir: dir, Transport: ch,
+		LeaseTimeout:     250 * time.Millisecond,
+		PushRecords:      push,
+		MaxRetries:       3,
+		BackoffBase:      10 * time.Millisecond,
+		QuarantineAfter:  2,
+		QuarantinePeriod: 50 * time.Millisecond,
+		Fallback:         &fallback,
+		ChaosSeed:        fmt.Sprint(ch.Seed),
+	}
+	path := filepath.Join(dir, obs.JournalName)
+	rec, err := obs.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Journal = rec
+	journalFaults(rec, ch, plan.Hash)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	_, runErr := c.Run(ctx)
+	if ctx.Err() != nil {
+		t.Fatalf("scenario hung: %v", runErr)
+	}
+	if err := chaosJournalComplete(ch, path); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, _, err := obs.ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	obs.WriteTimeline(&buf, events, "")
+	return events, buf.String(), dir
+}
+
+// journalCounts folds a journal into per-type event counts and per-kind
+// fault counts (the kind leads each chaos-fault detail).
+func journalCounts(events []obs.Event) (byType, faults map[string]int) {
+	byType, faults = map[string]int{}, map[string]int{}
+	for _, e := range events {
+		byType[e.Type]++
+		if e.Type == obs.EvChaosFault {
+			kind, _, _ := strings.Cut(e.Detail, ":")
+			faults[kind]++
+		}
+	}
+	return byType, faults
+}
+
+// requireTimeline asserts each want appears in the rendered timeline —
+// the literal reconstruction a post-mortem reader would grep for.
+func requireTimeline(t *testing.T, timeline string, wants ...string) {
+	t.Helper()
+	for _, want := range wants {
+		if !strings.Contains(timeline, want) {
+			t.Fatalf("timeline does not mention %q:\n%s", want, timeline)
+		}
+	}
+}
+
+// TestChaosJournalReconstructsFaultsAndResponses is the flight recorder's
+// acceptance: with each fault class pinned to probability 1, the journal
+// must record the injected fault AND the coordinator's response, and the
+// `trace timeline` rendering must reconstruct both.
+func TestChaosJournalReconstructsFaultsAndResponses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full sweeps under fault injection")
+	}
+
+	t.Run("spawn-refusal", func(t *testing.T) {
+		t.Parallel()
+		// Every spawn (probes included) is refused: the coordinator walks
+		// backoff → quarantine → dead and finishes in degraded mode.
+		events, timeline, _ := runObsScenario(t, chaosGrid(), false, func(ch *transport.Chaos) {
+			ch.SpawnRefusal = 1.0
+		})
+		byType, faults := journalCounts(events)
+		if faults["spawn-refusal"] == 0 {
+			t.Fatal("no spawn-refusal faults journaled")
+		}
+		if byType[obs.EvSpawnFail] == 0 {
+			t.Fatal("refused spawns produced no spawn-fail events")
+		}
+		quarantined := false
+		for _, e := range events {
+			if e.Type == obs.EvHealth && strings.HasSuffix(e.Detail, "->quarantined") {
+				quarantined = true
+			}
+		}
+		if !quarantined {
+			t.Fatal("repeated spawn failures produced no ->quarantined health transition")
+		}
+		if byType[obs.EvDegraded] == 0 {
+			t.Fatal("all-slots-dead run journaled no degraded-fallback events")
+		}
+		requireTimeline(t, timeline, "spawn-refusal", "spawn-fail", "->quarantined", "degraded-fallback")
+	})
+
+	t.Run("partition", func(t *testing.T) {
+		t.Parallel()
+		// Every worker's stream goes silent mid-lease: leases lapse for
+		// heartbeat silence and are stolen.
+		events, timeline, _ := runObsScenario(t, obsSlowGrid(), false, func(ch *transport.Chaos) {
+			ch.Partition = 1.0
+		})
+		byType, faults := journalCounts(events)
+		if faults["partition"] == 0 {
+			t.Fatal("no partition faults journaled")
+		}
+		if byType[obs.EvHeartbeatLapse] == 0 {
+			t.Fatal("partitioned workers produced no heartbeat-lapse events")
+		}
+		if byType[obs.EvSteal] == 0 {
+			t.Fatal("lapsed leases produced no steal events")
+		}
+		requireTimeline(t, timeline, "partition", "heartbeat-lapse", "steal")
+	})
+
+	t.Run("crash", func(t *testing.T) {
+		t.Parallel()
+		// Every worker is killed within its first dozen protocol events —
+		// well before a ~0.5s cell can finish — so its cells must come back
+		// as retries.
+		events, timeline, _ := runObsScenario(t, obsSlowGrid(), false, func(ch *transport.Chaos) {
+			ch.Crash = 1.0
+		})
+		byType, faults := journalCounts(events)
+		if faults["crash"] == 0 {
+			t.Fatal("no crash faults journaled")
+		}
+		if byType[obs.EvRetry] == 0 {
+			t.Fatal("crashed workers produced no retry events")
+		}
+		requireTimeline(t, timeline, "crash", "retry")
+	})
+
+	t.Run("corrupt-frame", func(t *testing.T) {
+		t.Parallel()
+		// Every pushed record frame has a payload byte flipped: the
+		// coordinator's checksum rejects each one. (The in-process workers
+		// share the job directory, so the run still completes off durable
+		// records — the rejects are pure observability.)
+		events, timeline, dir := runObsScenario(t, chaosGrid(), true, func(ch *transport.Chaos) {
+			ch.CorruptFrame = 1.0
+		})
+		byType, faults := journalCounts(events)
+		if faults["corrupt-frame"] == 0 {
+			t.Fatal("no corrupt-frame faults journaled")
+		}
+		if byType[obs.EvFrameReject] == 0 {
+			t.Fatal("corrupted frames produced no frame-reject events")
+		}
+		requireTimeline(t, timeline, "corrupt-frame", "frame-reject")
+
+		// Close the loop through the real CLI: `nbandit trace` must read
+		// this journal back and reconstruct the same story.
+		out := captureStdout(t, func() error { return runTrace([]string{"timeline", dir}) })
+		if !strings.Contains(out, "corrupt-frame") || !strings.Contains(out, "frame-reject") {
+			t.Fatalf("`nbandit trace timeline` lost the fault story:\n%s", out)
+		}
+		out = captureStdout(t, func() error { return runTrace([]string{"summary", dir}) })
+		for _, want := range []string{"injected faults:", "corrupt-frame", "slots:"} {
+			if !strings.Contains(out, want) {
+				t.Fatalf("`nbandit trace summary` missing %q:\n%s", want, out)
+			}
+		}
+	})
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed; fn failing fails the test.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	var buf bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		io.Copy(&buf, r)
+		close(done)
+	}()
+	ferr := fn()
+	w.Close()
+	os.Stdout = old
+	<-done
+	if ferr != nil {
+		t.Fatalf("captured command failed: %v", ferr)
+	}
+	return buf.String()
+}
+
+// TestMetricsScrapeDuringLiveRun: a coordinator run with -listen style
+// wiring serves >= 10 Prometheus series over live HTTP while the sweep is
+// still in flight.
+func TestMetricsScrapeDuringLiveRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full sweep")
+	}
+	dir := t.TempDir()
+	o := obsSlowGrid()
+	sw, err := buildSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := json.Marshal(gridFromOptions(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := shard.NewPlan(&sw, grid, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := shard.WritePlan(dir, plan); err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	srv, err := obs.StartServer("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := &shard.StealCoordinator{
+		Plan: plan, Dir: dir,
+		Transport:    &transport.InProc{Procs: 2, Beat: 25 * time.Millisecond, Run: inprocLease},
+		LeaseTimeout: 2 * time.Second,
+		Metrics:      reg,
+	}
+	runDone := make(chan error, 1)
+	go func() {
+		_, err := c.Run(context.Background())
+		runDone <- err
+	}()
+
+	scrape := func() string {
+		resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/metrics returned %d", resp.StatusCode)
+		}
+		return string(body)
+	}
+
+	// Poll until a scrape taken while the run is live shows the
+	// coordinator's series (registered at Run start, so this converges
+	// within the first few milliseconds of a ~2s run).
+	var live string
+	for live == "" {
+		select {
+		case err := <-runDone:
+			t.Fatalf("run finished before a live scrape saw coordinator series (run err: %v)", err)
+		default:
+		}
+		if body := scrape(); strings.Contains(body, "nbandit_leases_total") {
+			live = body
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if err := <-runDone; err != nil {
+		t.Fatal(err)
+	}
+
+	series := 0
+	for _, line := range strings.Split(live, "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			series++
+		}
+	}
+	if series < 10 {
+		t.Fatalf("live scrape exposed %d series, want >= 10:\n%s", series, live)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz returned %d", resp.StatusCode)
+	}
+}

@@ -9,11 +9,13 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"netbandit/internal/obs"
 	"netbandit/internal/shard"
 	"netbandit/internal/shard/transport"
 	"netbandit/internal/sim"
@@ -161,6 +163,8 @@ func runShardRun(args []string) error {
 	maxBatch := fs.Int("max-batch", 0, "coordinator: max cells per lease (0 = adaptive only)")
 	workers := fs.Int("workers", 0, "worker-pool size within each worker (0 = GOMAXPROCS)")
 	progress := fs.Bool("progress", false, "report per-replication progress on stderr")
+	journal := fs.Bool("journal", false, "coordinator: record a structured flight-recorder journal (journal.jsonl in -dir; read it with 'nbandit trace' or 'nbandit top')")
+	listen := fs.String("listen", "", "coordinator: serve live Prometheus /metrics, /healthz, and pprof on this address (':0' picks a free port and prints it)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -183,7 +187,15 @@ func runShardRun(args []string) error {
 			remoteDir: *remoteDir, remoteBin: *remoteBin, workerDir: *workerDir,
 			procs: *procs, leaseTimeout: *leaseTimeout, maxBatch: *maxBatch,
 			workers: *workers, progress: *progress, pushRecords: *pushRecords,
+			journal: *journal, listen: *listen,
 		})
+	}
+	// The journal is single-writer: opening it repairs torn tails and
+	// appends, so only the coordinator — the process that owns the job
+	// directory — may hold it. Workers report through the heartbeat
+	// stream and the coordinator journals on their behalf.
+	if *journal || *listen != "" {
+		return fmt.Errorf("-journal and -listen are coordinator-only (drop -shard/-cells, or observe via the coordinator)")
 	}
 	if *pushRecords && !*heartbeat {
 		return fmt.Errorf("-push-records in worker mode needs -heartbeat (there is no stream to push records on)")
@@ -308,6 +320,8 @@ type coordinatorOptions struct {
 	workers              int
 	progress             bool
 	pushRecords          bool
+	journal              bool
+	listen               string
 }
 
 // runShardCoordinator drives the work-stealing coordinator: cell batches
@@ -364,6 +378,24 @@ func runShardCoordinator(ctx context.Context, dir string, plan *shard.Plan, o co
 		Workers: o.workers, PushRecords: o.pushRecords,
 		Progress: o.progress, Log: os.Stderr,
 		Fallback: &sw,
+	}
+	if o.journal {
+		rec, err := obs.Open(filepath.Join(dir, obs.JournalName))
+		if err != nil {
+			return fmt.Errorf("opening flight-recorder journal: %w", err)
+		}
+		defer rec.Close()
+		c.Journal = rec
+	}
+	if o.listen != "" {
+		reg := obs.NewRegistry()
+		srv, err := obs.StartServer(o.listen, reg)
+		if err != nil {
+			return fmt.Errorf("starting metrics listener: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: serving /metrics, /healthz, and pprof on http://%s\n", srv.Addr())
+		c.Metrics = reg
 	}
 	stats, err := c.Run(ctx)
 	if err != nil {
@@ -468,13 +500,22 @@ func printLeaseState(dir string, plan *shard.Plan) {
 // for tests. Leases whose last heartbeat is older than the coordinator's
 // lease timeout are marked STALE — their cells are about to be (or already
 // were) stolen, and showing them as live misreads a wedged run as healthy.
+//
+// The snapshot file is replaced atomically by the coordinator, but
+// reading it races the rename on some filesystems, so the read goes
+// through the shared read-verify gate: a parse failure is retried a few
+// times before being reported, and a heal after retries is surfaced as
+// a torn snapshot, not an error.
 func writeLeaseState(w io.Writer, dir string, plan *shard.Plan, now time.Time) {
-	ls, err := shard.ReadLeaseState(dir)
+	ls, attempts, err := shard.ReadLeaseStateRetry(dir)
 	if err != nil {
 		if !os.IsNotExist(err) {
-			fmt.Fprintf(w, "  lease state unreadable: %v\n", err)
+			fmt.Fprintf(w, "  lease state unreadable after %d attempt(s): %v\n", attempts, err)
 		}
 		return
+	}
+	if attempts > 1 {
+		fmt.Fprintf(w, "  (lease snapshot torn mid-read, retried — clean copy on attempt %d)\n", attempts)
 	}
 	if ls.Plan != plan.Hash {
 		fmt.Fprintf(w, "  lease state is from another plan (%.12s) — ignoring\n", ls.Plan)

@@ -12,6 +12,7 @@ import (
 
 	"netbandit/internal/bandit"
 	"netbandit/internal/graphs"
+	"netbandit/internal/obs"
 	"netbandit/internal/sim"
 )
 
@@ -57,6 +58,7 @@ func runSweep(args []string) error {
 	fs := flag.NewFlagSet("nbandit sweep", flag.ExitOnError)
 	var o sweepOptions
 	sweepFlags(fs, &o)
+	listen := fs.String("listen", "", "serve live Prometheus /metrics, /healthz, and pprof on this address while the sweep runs (':0' picks a free port and prints it)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -85,6 +87,16 @@ func runSweep(args []string) error {
 				fmt.Fprintln(os.Stderr)
 			}
 		}
+	}
+	if *listen != "" {
+		reg := obs.NewRegistry()
+		srv, err := obs.StartServer(*listen, reg)
+		if err != nil {
+			return fmt.Errorf("starting metrics listener: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "metrics: serving /metrics, /healthz, and pprof on http://%s\n", srv.Addr())
+		sw.Progress = sim.ObserveProgress(reg, sw.Progress)
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"time"
+
+	"netbandit/internal/obs"
+	"netbandit/internal/shard"
+)
+
+// The top subcommand is the live view of a running distributed sweep:
+// it tails the coordinator's journal.jsonl and leases.json in a job
+// directory and redraws a one-screen status — completion, slot health,
+// live leases with heartbeat ages, and the most recent flight-recorder
+// events — every refresh interval:
+//
+//	nbandit top -dir grid                  # refresh every 2s until interrupted
+//	nbandit top -dir grid -interval 500ms  # faster refresh
+//	nbandit top -dir grid -once            # one frame, no screen clearing (scripts, CI logs)
+//
+// Both files are advisory snapshots written by the coordinator; top
+// only ever reads, so it is safe to point at a live run from another
+// terminal or machine (shared filesystem). It exits on its own once the
+// journal records the run's end.
+
+func runTop(args []string) error {
+	fs := flag.NewFlagSet("nbandit top", flag.ExitOnError)
+	dir := fs.String("dir", "", "job directory holding plan.json, leases.json, journal.jsonl (required)")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	once := fs.Bool("once", false, "render a single frame and exit (no screen clearing)")
+	tail := fs.Int("tail", 12, "recent journal events shown per frame")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("-dir is required")
+	}
+	if *interval <= 0 {
+		return fmt.Errorf("-interval must be positive")
+	}
+	plan, err := shard.ReadPlan(*dir)
+	if err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	for {
+		if !*once {
+			// Home the cursor and clear below rather than wiping the whole
+			// screen, so a frame shorter than the last leaves no ghost rows
+			// but the terminal never visibly flashes.
+			fmt.Print("\x1b[H\x1b[J")
+		}
+		ended := topFrame(os.Stdout, *dir, plan, *tail, time.Now())
+		if *once {
+			return nil
+		}
+		if ended {
+			fmt.Println("\nrun ended — final state above (full history: nbandit trace summary " + *dir + ")")
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			fmt.Println()
+			return nil
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// topFrame renders one refresh: the lease-state snapshot (the same view
+// `shard status` prints) plus the journal's most recent events. It
+// reports whether the journal says the run has ended, so the refresh
+// loop can stop itself.
+func topFrame(w *os.File, dir string, plan *shard.Plan, tailN int, now time.Time) (ended bool) {
+	fmt.Fprintf(w, "nbandit top — %s  (plan %.12s, %s)\n\n", dir, plan.Hash, now.Format("15:04:05"))
+	writeLeaseState(w, dir, plan, now)
+
+	events, skipped, err := obs.ReadJournal(filepath.Join(dir, obs.JournalName))
+	switch {
+	case os.IsNotExist(err):
+		fmt.Fprintln(w, "\n  no journal yet — start the coordinator with `shard run -journal` (or `chaos -journal`)")
+		return false
+	case err != nil:
+		fmt.Fprintf(w, "\n  journal unreadable: %v\n", err)
+		return false
+	}
+	if len(events) == 0 {
+		return false
+	}
+	fmt.Fprintf(w, "\nrecent events (%d total", len(events))
+	if skipped > 0 {
+		fmt.Fprintf(w, ", %d unparseable skipped", skipped)
+	}
+	fmt.Fprintln(w, "):")
+	start := len(events) - tailN
+	if start < 0 {
+		start = 0
+	}
+	obs.WriteTimeline(w, events[start:], "")
+	return events[len(events)-1].Type == obs.EvRunEnd
+}

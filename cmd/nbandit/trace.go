@@ -1,0 +1,119 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"netbandit/internal/obs"
+)
+
+// The trace subcommand is the flight recorder's reader: it parses a
+// run's journal.jsonl (written by `shard run -journal` or `chaos
+// -journal`) and renders it three ways —
+//
+//	nbandit trace summary grid/            # event counts, fault mix, per-slot p50/p95/p99 + swimlanes
+//	nbandit trace timeline grid/           # every event in order with offsets and causality detail
+//	nbandit trace slot local#1 grid/       # one slot's timeline (run-level events kept for context)
+//
+// The argument may be the journal file itself or the job directory that
+// contains it. Journals are advisory and torn-tolerant: unparseable
+// lines are counted and skipped, never fatal, so these views work on
+// the journal of a crashed or still-running coordinator.
+
+func runTrace(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: nbandit trace summary|timeline|slot [args] <journal-or-dir>")
+	}
+	view, rest := args[0], args[1:]
+	switch view {
+	case "summary":
+		return runTraceSummary(rest)
+	case "timeline":
+		return runTraceTimeline(rest, "")
+	case "slot":
+		if len(rest) < 1 {
+			return fmt.Errorf("usage: nbandit trace slot <slot-name> <journal-or-dir>")
+		}
+		return runTraceTimeline(rest[1:], rest[0])
+	default:
+		return fmt.Errorf("unknown trace view %q (valid: summary, timeline, slot)", view)
+	}
+}
+
+// journalArg resolves a trailing positional argument to a journal path:
+// a directory means "the journal.jsonl inside it", anything else is
+// taken as the file itself.
+func journalArg(fs *flag.FlagSet) (string, error) {
+	if fs.NArg() != 1 {
+		return "", fmt.Errorf("expected exactly one journal path or job directory, got %d argument(s)", fs.NArg())
+	}
+	path := fs.Arg(0)
+	if info, err := os.Stat(path); err == nil && info.IsDir() {
+		path = filepath.Join(path, obs.JournalName)
+	}
+	return path, nil
+}
+
+// loadJournal reads and parses one journal, tolerating torn tails and
+// mid-file garbage (skipped lines are reported by the summary view).
+func loadJournal(path string) ([]obs.Event, int, error) {
+	events, skipped, err := obs.ReadJournal(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("reading journal %s: %w", path, err)
+	}
+	if len(events) == 0 {
+		return nil, 0, fmt.Errorf("journal %s holds no parseable events", path)
+	}
+	return events, skipped, nil
+}
+
+func runTraceSummary(args []string) error {
+	fs := flag.NewFlagSet("nbandit trace summary", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path, err := journalArg(fs)
+	if err != nil {
+		return err
+	}
+	events, skipped, err := loadJournal(path)
+	if err != nil {
+		return err
+	}
+	s := obs.Analyze(events, skipped)
+	s.WriteSummary(os.Stdout)
+	if len(s.Slots) > 0 {
+		fmt.Println("\nswimlanes (one glyph per event, journal order):")
+		obs.WriteSlotLanes(os.Stdout, events)
+	}
+	return nil
+}
+
+// runTraceTimeline renders the chronological view; a non-empty slot
+// filters to that slot's lane while keeping slotless run-level events
+// (plan, degraded-fallback, merge, run-end) for context.
+func runTraceTimeline(args []string, slot string) error {
+	name := "nbandit trace timeline"
+	if slot != "" {
+		name = "nbandit trace slot"
+	}
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	path, err := journalArg(fs)
+	if err != nil {
+		return err
+	}
+	events, skipped, err := loadJournal(path)
+	if err != nil {
+		return err
+	}
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "trace: skipped %d unparseable journal line(s)\n", skipped)
+	}
+	obs.WriteTimeline(os.Stdout, events, slot)
+	return nil
+}

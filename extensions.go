@@ -8,6 +8,7 @@ package netbandit
 import (
 	"netbandit/internal/bandit"
 	"netbandit/internal/nonstat"
+	"netbandit/internal/obs"
 	"netbandit/internal/policy"
 	"netbandit/internal/theory"
 	"netbandit/internal/trace"
@@ -27,7 +28,47 @@ type (
 	TraceObserver = trace.Observer
 	// TraceRecorder retains recent trace events in memory.
 	TraceRecorder = trace.Recorder
+	// JournalEvent is one typed flight-recorder event of a run journal.
+	JournalEvent = obs.Event
+	// JournalRecorder is the append-only JSONL flight recorder behind
+	// `shard run -journal`; a nil recorder is a valid disabled one.
+	JournalRecorder = obs.Recorder
+	// JournalSummary is the aggregate view AnalyzeJournal folds a journal
+	// into (event counts, fault mix, per-slot latency quantiles).
+	JournalSummary = obs.Summary
+	// MetricsRegistry is the Prometheus-text-format metrics registry behind
+	// the coordinator's `-listen` endpoint.
+	MetricsRegistry = obs.Registry
+	// MetricsServer is the opt-in HTTP listener serving /metrics, /healthz,
+	// and pprof for a MetricsRegistry.
+	MetricsServer = obs.Server
 )
+
+// Observability plane (package obs).
+
+// OpenJournal opens (creating or repairing-and-appending-to) a
+// flight-recorder journal at path.
+func OpenJournal(path string) (*JournalRecorder, error) { return obs.Open(path) }
+
+// ReadJournal parses a journal file, tolerating torn tails; skipped is
+// the number of unparseable lines.
+func ReadJournal(path string) (events []JournalEvent, skipped int, err error) {
+	return obs.ReadJournal(path)
+}
+
+// AnalyzeJournal folds parsed journal events into a JournalSummary.
+func AnalyzeJournal(events []JournalEvent, skipped int) JournalSummary {
+	return obs.Analyze(events, skipped)
+}
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// StartMetricsServer serves reg's /metrics, /healthz, and pprof on addr
+// (":0" binds a free port; the server's Addr reports it).
+func StartMetricsServer(addr string, reg *MetricsRegistry) (*MetricsServer, error) {
+	return obs.StartServer(addr, reg)
+}
 
 // NewKLUCB returns the asymptotically optimal Bernoulli KL-UCB baseline.
 func NewKLUCB() SinglePolicy { return policy.NewKLUCB() }

@@ -1,0 +1,306 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// This file is the offline half of the flight recorder: given a parsed
+// journal it renders the three `nbandit trace` views — a counting
+// summary with per-slot latency quantiles, a chronological timeline,
+// and a single-slot swimlane. Everything here is pure formatting over
+// []Event; nothing touches the filesystem.
+
+// SlotStats aggregates one slot's journal activity.
+type SlotStats struct {
+	// Slot is the transport slot name ("local#0", "host:alice", ...).
+	Slot string
+	// Cells is the number of cell-done events attributed to the slot.
+	Cells int
+	// Steals counts leases stolen FROM this slot.
+	Steals int
+	// Retries counts cells requeued after a failure on this slot.
+	Retries int
+	// SpawnFails counts refused or failed spawn attempts.
+	SpawnFails int
+	// FrameRejects counts pushed record frames that failed verification.
+	FrameRejects int
+	// Lapses counts heartbeat lapses observed on this slot.
+	Lapses int
+	// Health is the slot's last observed health state, if any.
+	Health string
+	// LatenciesMS holds per-cell wall-clock latencies in milliseconds.
+	LatenciesMS []float64
+}
+
+// Summary is the aggregate view of a journal.
+type Summary struct {
+	// Plan is the plan hash the journal belongs to (from the first event
+	// that carries one).
+	Plan string
+	// Seed is the chaos seed, when the run was a chaos drill.
+	Seed string
+	// Events is the total parsed event count.
+	Events int
+	// Skipped is the number of unparseable journal lines.
+	Skipped int
+	// DurationUS is the span from first to last event, in microseconds.
+	DurationUS int64
+	// ByType counts events per type.
+	ByType map[string]int
+	// Slots aggregates per-slot activity, sorted by slot name.
+	Slots []SlotStats
+	// Faults counts injected chaos faults by fault kind (the first
+	// word of the fault event's detail).
+	Faults map[string]int
+}
+
+// Analyze folds a journal into a Summary.
+func Analyze(events []Event, skipped int) Summary {
+	s := Summary{
+		Events:  len(events),
+		Skipped: skipped,
+		ByType:  make(map[string]int),
+		Faults:  make(map[string]int),
+	}
+	slots := make(map[string]*SlotStats)
+	slot := func(name string) *SlotStats {
+		st, ok := slots[name]
+		if !ok {
+			st = &SlotStats{Slot: name}
+			slots[name] = st
+		}
+		return st
+	}
+	for _, e := range events {
+		s.ByType[e.Type]++
+		if s.Plan == "" && e.Plan != "" {
+			s.Plan = e.Plan
+		}
+		if s.Seed == "" && e.Seed != "" {
+			s.Seed = e.Seed
+		}
+		if e.TUS > s.DurationUS {
+			s.DurationUS = e.TUS
+		}
+		if e.Type == EvChaosFault {
+			kind := e.Detail
+			if i := strings.IndexAny(kind, " :"); i >= 0 {
+				kind = kind[:i]
+			}
+			s.Faults[kind]++
+		}
+		if e.Slot == "" {
+			continue
+		}
+		st := slot(e.Slot)
+		switch e.Type {
+		case EvCellDone:
+			st.Cells++
+			if e.MS > 0 {
+				st.LatenciesMS = append(st.LatenciesMS, e.MS)
+			}
+		case EvSteal:
+			st.Steals++
+		case EvRetry:
+			st.Retries++
+		case EvSpawnFail:
+			st.SpawnFails++
+		case EvFrameReject:
+			st.FrameRejects++
+		case EvHeartbeatLapse:
+			st.Lapses++
+		case EvHealth:
+			// Detail is "from->to"; keep the destination state.
+			if i := strings.LastIndex(e.Detail, ">"); i >= 0 {
+				st.Health = e.Detail[i+1:]
+			} else {
+				st.Health = e.Detail
+			}
+		}
+	}
+	names := make([]string, 0, len(slots))
+	for n := range slots {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s.Slots = append(s.Slots, *slots[n])
+	}
+	return s
+}
+
+// Quantile returns the q-th quantile (0..1) of vals by the
+// nearest-rank method (ceil(q·N)-1) on a sorted copy; 0 when vals is
+// empty.
+func Quantile(vals []float64, q float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// WriteSummary renders the `nbandit trace summary` view.
+func (s Summary) WriteSummary(w io.Writer) {
+	fmt.Fprintf(w, "journal: %d event(s)", s.Events)
+	if s.Skipped > 0 {
+		fmt.Fprintf(w, ", %d unparseable line(s) skipped", s.Skipped)
+	}
+	fmt.Fprintf(w, ", span %s\n", formatUS(s.DurationUS))
+	if s.Plan != "" {
+		fmt.Fprintf(w, "plan:    %s\n", s.Plan)
+	}
+	if s.Seed != "" {
+		fmt.Fprintf(w, "seed:    %s\n", s.Seed)
+	}
+
+	types := make([]string, 0, len(s.ByType))
+	for t := range s.ByType {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	fmt.Fprintln(w, "\nevents:")
+	for _, t := range types {
+		fmt.Fprintf(w, "  %-20s %d\n", t, s.ByType[t])
+	}
+
+	if len(s.Faults) > 0 {
+		kinds := make([]string, 0, len(s.Faults))
+		for k := range s.Faults {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		fmt.Fprintln(w, "\ninjected faults:")
+		for _, k := range kinds {
+			fmt.Fprintf(w, "  %-20s %d\n", k, s.Faults[k])
+		}
+	}
+
+	if len(s.Slots) > 0 {
+		fmt.Fprintln(w, "\nslots:")
+		fmt.Fprintf(w, "  %-14s %5s %6s %6s %6s %8s  %-11s %8s %8s %8s\n",
+			"slot", "cells", "steals", "retry", "lapse", "rejects",
+			"health", "p50ms", "p95ms", "p99ms")
+		for _, st := range s.Slots {
+			health := st.Health
+			if health == "" {
+				health = "-"
+			}
+			fmt.Fprintf(w, "  %-14s %5d %6d %6d %6d %8d  %-11s %8.1f %8.1f %8.1f\n",
+				st.Slot, st.Cells, st.Steals, st.Retries, st.Lapses,
+				st.FrameRejects, health,
+				Quantile(st.LatenciesMS, 0.50),
+				Quantile(st.LatenciesMS, 0.95),
+				Quantile(st.LatenciesMS, 0.99))
+		}
+	}
+}
+
+// WriteTimeline renders the `nbandit trace timeline` view: every event
+// in order with its offset, slot, and detail. onlySlot filters to one
+// slot when non-empty (events with no slot — plan, merge, run-end —
+// always show, so the slot view keeps its run context).
+func WriteTimeline(w io.Writer, events []Event, onlySlot string) {
+	for _, e := range events {
+		if onlySlot != "" && e.Slot != "" && e.Slot != onlySlot {
+			continue
+		}
+		fmt.Fprintf(w, "%12s  %-18s", formatUS(e.TUS), e.Type)
+		if e.Slot != "" {
+			fmt.Fprintf(w, " %-14s", e.Slot)
+		} else {
+			fmt.Fprintf(w, " %-14s", "-")
+		}
+		if e.Cell >= 0 {
+			fmt.Fprintf(w, " cell=%d", e.Cell)
+		}
+		if e.Lease >= 0 {
+			fmt.Fprintf(w, " lease=%d", e.Lease)
+		}
+		if e.MS > 0 {
+			fmt.Fprintf(w, " ms=%.1f", e.MS)
+		}
+		if e.Detail != "" {
+			fmt.Fprintf(w, "  %s", e.Detail)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteSlotLanes renders a compact per-slot swimlane: one row per slot,
+// one glyph per event, in journal order. It gives a one-glance shape of
+// a run — where the steals clustered, which slot went quiet.
+func WriteSlotLanes(w io.Writer, events []Event) {
+	lanes := make(map[string][]byte)
+	var order []string
+	for _, e := range events {
+		if e.Slot == "" {
+			continue
+		}
+		if _, ok := lanes[e.Slot]; !ok {
+			order = append(order, e.Slot)
+		}
+		lanes[e.Slot] = append(lanes[e.Slot], laneGlyph(e.Type))
+	}
+	sort.Strings(order)
+	for _, slot := range order {
+		fmt.Fprintf(w, "  %-14s %s\n", slot, lanes[slot])
+	}
+	fmt.Fprintln(w, "\n  legend: .=cell-done s=spawn S=STEAL r=retry l=lapse h=health x=spawn-fail !=fault R=frame-reject p=push g=lease-grant d=degraded")
+}
+
+// laneGlyph maps an event type to its swimlane glyph.
+func laneGlyph(typ string) byte {
+	switch typ {
+	case EvCellDone:
+		return '.'
+	case EvSpawn:
+		return 's'
+	case EvSteal:
+		return 'S'
+	case EvRetry:
+		return 'r'
+	case EvHeartbeatLapse:
+		return 'l'
+	case EvHealth:
+		return 'h'
+	case EvSpawnFail:
+		return 'x'
+	case EvChaosFault:
+		return '!'
+	case EvFrameReject:
+		return 'R'
+	case EvRecordPush:
+		return 'p'
+	case EvLeaseGrant:
+		return 'g'
+	case EvDegraded:
+		return 'd'
+	default:
+		return '?'
+	}
+}
+
+// formatUS renders a microsecond offset human-readably (µs, ms, or s).
+func formatUS(us int64) string {
+	switch {
+	case us < 1000:
+		return fmt.Sprintf("%dµs", us)
+	case us < 1_000_000:
+		return fmt.Sprintf("%.1fms", float64(us)/1000)
+	default:
+		return fmt.Sprintf("%.2fs", float64(us)/1_000_000)
+	}
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// sampleJournal builds a small synthetic run: two slots, a steal, a
+// retry, a health transition, and a couple of injected faults.
+func sampleJournal() []Event {
+	mk := func(tus int64, typ, slot string, lease, cell int, ms float64, detail string) Event {
+		e := NewEvent(typ)
+		e.TUS, e.Slot, e.Lease, e.Cell, e.MS, e.Detail = tus, slot, lease, cell, ms, detail
+		return e
+	}
+	return []Event{
+		func() Event {
+			e := mk(0, EvPlan, "", -1, -1, 0, "4 cells")
+			e.Plan = "deadbeef"
+			e.Seed = "11"
+			return e
+		}(),
+		mk(10, EvLeaseGrant, "local#0", 0, -1, 0, "cells [0 1]"),
+		mk(11, EvLeaseGrant, "local#1", 1, -1, 0, "cells [2 3]"),
+		mk(20, EvChaosFault, "local#1", 1, -1, 0, "crash after 1 cell(s)"),
+		mk(30, EvCellDone, "local#0", 0, 0, 5.0, ""),
+		mk(40, EvCellDone, "local#0", 0, 1, 15.0, ""),
+		mk(50, EvHeartbeatLapse, "local#1", 1, -1, 2000, "silent 2000ms"),
+		mk(51, EvSteal, "local#1", 1, -1, 0, "2 cell(s) requeued"),
+		mk(52, EvHealth, "local#1", -1, -1, 0, "ok->backoff"),
+		mk(60, EvRetry, "local#1", 1, 2, 0, "attempt 2"),
+		mk(70, EvCellDone, "local#0", 2, 2, 25.0, ""),
+		mk(80, EvCellDone, "local#0", 2, 3, 35.0, ""),
+		mk(90, EvChaosFault, "local#0", 2, -1, 0, "corrupt-frame: payload"),
+		mk(100, EvRunEnd, "", -1, -1, 0, "complete"),
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	s := Analyze(sampleJournal(), 1)
+	if s.Plan != "deadbeef" || s.Seed != "11" {
+		t.Fatalf("plan/seed = %q/%q", s.Plan, s.Seed)
+	}
+	if s.Events != 14 || s.Skipped != 1 || s.DurationUS != 100 {
+		t.Fatalf("events=%d skipped=%d span=%d", s.Events, s.Skipped, s.DurationUS)
+	}
+	if s.ByType[EvCellDone] != 4 || s.ByType[EvSteal] != 1 {
+		t.Fatalf("ByType = %v", s.ByType)
+	}
+	if s.Faults["crash"] != 1 || s.Faults["corrupt-frame"] != 1 {
+		t.Fatalf("Faults = %v", s.Faults)
+	}
+	if len(s.Slots) != 2 {
+		t.Fatalf("slots = %d, want 2", len(s.Slots))
+	}
+	s0, s1 := s.Slots[0], s.Slots[1]
+	if s0.Slot != "local#0" || s0.Cells != 4 || len(s0.LatenciesMS) != 4 {
+		t.Fatalf("slot0 = %+v", s0)
+	}
+	if s1.Steals != 1 || s1.Retries != 1 || s1.Lapses != 1 || s1.Health != "backoff" {
+		t.Fatalf("slot1 = %+v", s1)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vals := []float64{35, 5, 25, 15}
+	if q := Quantile(vals, 0.5); q != 15 {
+		t.Fatalf("p50 = %v, want 15", q)
+	}
+	if q := Quantile(vals, 0.99); q != 35 {
+		t.Fatalf("p99 = %v, want 35", q)
+	}
+	if q := Quantile(nil, 0.5); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+	// The input must not be mutated.
+	if vals[0] != 35 {
+		t.Fatal("Quantile sorted its input in place")
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	var b strings.Builder
+	Analyze(sampleJournal(), 0).WriteSummary(&b)
+	out := b.String()
+	for _, want := range []string{
+		"plan:    deadbeef",
+		"seed:    11",
+		"cell-done", "steal", "retry",
+		"injected faults:",
+		"crash", "corrupt-frame",
+		"local#0", "local#1",
+		"backoff",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	var b strings.Builder
+	WriteTimeline(&b, sampleJournal(), "")
+	out := b.String()
+	if lines := strings.Count(out, "\n"); lines != 14 {
+		t.Fatalf("timeline has %d lines, want 14:\n%s", lines, out)
+	}
+	for _, want := range []string{"plan", "steal", "crash after", "cell=3", "lease=2", "ms=35.0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("timeline missing %q:\n%s", want, out)
+		}
+	}
+
+	// Slot filter keeps slotless run-context events.
+	b.Reset()
+	WriteTimeline(&b, sampleJournal(), "local#1")
+	out = b.String()
+	if strings.Contains(out, "cell=0") {
+		t.Errorf("slot filter leaked local#0 events:\n%s", out)
+	}
+	for _, want := range []string{"plan", "run-end", "steal", "retry"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("filtered timeline missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteSlotLanes(t *testing.T) {
+	var b strings.Builder
+	WriteSlotLanes(&b, sampleJournal())
+	out := b.String()
+	if !strings.Contains(out, "local#0") || !strings.Contains(out, "local#1") {
+		t.Fatalf("lanes missing slots:\n%s", out)
+	}
+	// local#1's lane: grant, fault, lapse, steal, health, retry.
+	if !strings.Contains(out, "g!lShr") {
+		t.Fatalf("local#1 lane glyphs wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "legend:") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+}

@@ -1,0 +1,34 @@
+// Package obs is the repository's zero-dependency observability plane:
+// a flight recorder, a metrics registry, an HTTP exposition endpoint, and
+// offline journal analysis. It is threaded through the distributed sweep
+// layers (sim, shard, transport, CLI) but depends on none of them — only
+// the standard library — so any layer can emit without import cycles.
+//
+// The plane has three parts:
+//
+//   - Flight recorder (journal.go): an append-only JSONL run journal of
+//     typed Events (lease grants, steals, retries, health transitions,
+//     record pushes, injected chaos faults, ...) written next to
+//     leases.json. Each line is one event, appended with a single
+//     O_APPEND write under one mutex into a reused buffer, so emission is
+//     lock-cheap (≤ 1 allocation per event, zero when disabled — a nil
+//     *Recorder is a no-op) and lines never interleave. Timestamps are
+//     monotonic microseconds since the journal opened; they live only in
+//     the journal and never feed back into any determinism-bearing path.
+//
+//   - Metrics (metrics.go, server.go): a registry of counters, gauges,
+//     and histograms exposed in Prometheus text format by an opt-in HTTP
+//     listener that also serves /healthz and net/http/pprof — profiling a
+//     live sweep is one `go tool pprof` away.
+//
+//   - Analysis (analyze.go): readers and renderers for the journal —
+//     event-count summary with per-slot cell-latency quantiles, a
+//     chronological timeline, and a per-slot swimlane — behind the
+//     `nbandit trace` and `nbandit top` subcommands.
+//
+// The journal is advisory, like leases.json: correctness of a sweep never
+// depends on it, and a lost or torn journal costs visibility, not
+// results. Reopening a journal repairs a torn tail (a partial last line
+// from a crashed writer) by truncating it; readers additionally tolerate
+// garbage lines mid-file by skipping them.
+package obs

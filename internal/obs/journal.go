@@ -1,0 +1,399 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+	"unicode/utf8"
+)
+
+// Journal event types. Every event a coordinator, worker, or fault
+// injector emits carries one of these in Event.Type; the taxonomy is
+// documented in docs/ARCHITECTURE.md.
+const (
+	// EvJournalOpen is the first line of every journal: Detail carries the
+	// wall-clock open time (RFC 3339), the one place absolute time appears,
+	// so offline readers can anchor the monotonic timestamps.
+	EvJournalOpen = "journal-open"
+	// EvPlan opens a coordinator run: plan hash, cell counts, slot count.
+	EvPlan = "plan"
+	// EvSpawn records a worker successfully spawned for a lease.
+	EvSpawn = "spawn"
+	// EvSpawnFail records a refused or failed worker spawn.
+	EvSpawnFail = "spawn-fail"
+	// EvLeaseGrant records a batch of cells leased to a slot.
+	EvLeaseGrant = "lease-grant"
+	// EvHeartbeatLapse records a lease whose worker went silent past the
+	// lease timeout — the detection that precedes a steal or a reclaim.
+	EvHeartbeatLapse = "heartbeat-lapse"
+	// EvSteal records the re-queueing of a lapsed lease's remaining cells.
+	EvSteal = "steal"
+	// EvRetry records one cell returned to the queue by a failing worker
+	// (Detail carries the attempt count; steals are not retries).
+	EvRetry = "retry"
+	// EvHealth records a slot resilience-state transition
+	// (ok→backoff→quarantined→probing→dead, and recoveries back to ok).
+	EvHealth = "health"
+	// EvRecordPush records one record frame verified and persisted off a
+	// worker's heartbeat stream (push-sync runs).
+	EvRecordPush = "record-push"
+	// EvFrameReject records one pushed record frame that failed
+	// verification and was dropped.
+	EvFrameReject = "frame-reject"
+	// EvDegraded records the run leaving distributed mode: every slot dead
+	// or quarantined, remaining cells finishing in-process.
+	EvDegraded = "degraded-fallback"
+	// EvCellDone records one cell becoming durably complete as the
+	// coordinator sees it.
+	EvCellDone = "cell-done"
+	// EvCellRun records one cell executed by a worker process itself (the
+	// runner-side counterpart of EvCellDone; degraded-mode completions
+	// appear as both).
+	EvCellRun = "cell-run"
+	// EvChaosFault records one injected fault from a chaos schedule
+	// (Detail names the fault kind: spawn-refusal, crash, partition, ...).
+	EvChaosFault = "chaos-fault"
+	// EvRunEnd closes a coordinator run: Detail says complete or failed.
+	EvRunEnd = "run-end"
+	// EvMerge records a merge of the run's records (and, for chaos drills,
+	// whether it matched the single-process golden).
+	EvMerge = "merge"
+)
+
+// Event is one journal line. The zero value is not useful — NewEvent sets
+// the "absent" sentinels for Cell and Lease, which keeps 0 a valid cell
+// index on the wire.
+type Event struct {
+	// TUS is the event time: monotonic microseconds since the journal
+	// opened. The recorder stamps it; any value set by the caller is
+	// overwritten.
+	TUS int64 `json:"t_us"`
+	// Type is the event's taxonomy tag (one of the Ev* constants).
+	Type string `json:"ev"`
+	// Plan is the hash of the plan the run executes, on every event of a
+	// coordinator run.
+	Plan string `json:"plan,omitempty"`
+	// Slot names the transport slot the event concerns, when one does.
+	Slot string `json:"slot,omitempty"`
+	// Lease is the lease grant number the event belongs to; -1 when the
+	// event is not tied to a lease.
+	Lease int `json:"lease,omitempty"`
+	// Cell is the global cell index the event concerns; -1 when none.
+	Cell int `json:"cell,omitempty"`
+	// MS is a duration in milliseconds when the event carries one (cell
+	// cost, heartbeat silence); 0 otherwise.
+	MS float64 `json:"ms,omitempty"`
+	// Seed labels the chaos fault-injection schedule active for the run;
+	// empty for normal runs.
+	Seed string `json:"seed,omitempty"`
+	// Detail is the event's free-form human-readable payload.
+	Detail string `json:"detail,omitempty"`
+}
+
+// NewEvent returns an Event of the given type with Cell and Lease set to
+// their -1 "absent" sentinels.
+func NewEvent(typ string) Event { return Event{Type: typ, Lease: -1, Cell: -1} }
+
+// Recorder is the flight recorder: an append-only JSONL journal with
+// atomic line writes. A nil *Recorder is valid and records nothing, at
+// zero cost — callers thread one pointer and never branch. All methods
+// are safe for concurrent use; emission takes one mutex, encodes into a
+// reused buffer, and issues a single O_APPEND write, so concurrent
+// emitters never interleave mid-line and steady-state emission allocates
+// at most once per event (buffer growth).
+type Recorder struct {
+	mu    sync.Mutex
+	f     *os.File
+	buf   []byte
+	start time.Time
+	n     int64
+	err   error // first write error; journal is advisory, so it is sticky, not fatal
+}
+
+// Open opens (or creates) the journal at path for appending, repairing a
+// torn tail first: if the file ends mid-line — a writer died between the
+// bytes of its last event — everything after the last complete line is
+// truncated, so the journal is always a clean prefix of whole events.
+// The first appended line is an EvJournalOpen event anchoring the
+// recorder's monotonic clock to the wall clock.
+func Open(path string) (*Recorder, error) {
+	if err := repairTail(path); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	r := &Recorder{f: f, start: time.Now(), buf: make([]byte, 0, 512)}
+	open := NewEvent(EvJournalOpen)
+	open.Detail = r.start.UTC().Format(time.RFC3339Nano)
+	r.Emit(open)
+	return r, nil
+}
+
+// repairTail truncates a trailing partial line (no final newline) left by
+// a crashed writer. A missing file needs no repair.
+func repairTail(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil || st.Size() == 0 {
+		return err
+	}
+	// Scan backwards in one bounded read: a journal line is small, so the
+	// torn tail fits comfortably in the last 64 KiB.
+	const window = 64 * 1024
+	off := st.Size() - window
+	if off < 0 {
+		off = 0
+	}
+	tail := make([]byte, st.Size()-off)
+	if _, err := f.ReadAt(tail, off); err != nil {
+		return err
+	}
+	if tail[len(tail)-1] == '\n' {
+		return nil
+	}
+	cut := bytes.LastIndexByte(tail, '\n')
+	if cut < 0 && off > 0 {
+		// The torn line is longer than the window; give up on repair rather
+		// than read the whole file — the tolerant reader skips it anyway.
+		return nil
+	}
+	return f.Truncate(off + int64(cut) + 1)
+}
+
+// Enabled reports whether the recorder actually records (r is non-nil).
+// Callers use it to skip building expensive Detail strings when disabled.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Count returns how many events this recorder has appended (the
+// EvJournalOpen header included).
+func (r *Recorder) Count() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Err returns the first write error the recorder swallowed, if any. The
+// journal is advisory, so writes never fail the caller — but operators
+// can still learn the journal is incomplete.
+func (r *Recorder) Err() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Emit appends one event. On a nil recorder it is a no-op (and performs
+// zero allocations). The event's TUS is stamped by the recorder;
+// emission is one mutex acquisition, an encode into the reused buffer,
+// and one write.
+func (r *Recorder) Emit(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	e.TUS = time.Since(r.start).Microseconds()
+	r.buf = appendEvent(r.buf[:0], e)
+	if _, err := r.f.Write(r.buf); err != nil && r.err == nil {
+		r.err = err
+	}
+	r.n++
+	r.mu.Unlock()
+}
+
+// Close flushes nothing (every Emit is already a completed write) and
+// closes the journal file. Safe on nil.
+func (r *Recorder) Close() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.f.Close()
+}
+
+// appendEvent hand-encodes one event as a JSON line into dst. It exists
+// so Emit does not pay encoding/json's per-call allocations; the encoding
+// matches Event's struct tags exactly (round-trip tested), with the -1
+// Cell/Lease sentinels and zero MS omitted like omitempty omits them.
+func appendEvent(dst []byte, e Event) []byte {
+	dst = append(dst, `{"t_us":`...)
+	dst = strconv.AppendInt(dst, e.TUS, 10)
+	dst = append(dst, `,"ev":`...)
+	dst = appendJSONString(dst, e.Type)
+	if e.Plan != "" {
+		dst = append(dst, `,"plan":`...)
+		dst = appendJSONString(dst, e.Plan)
+	}
+	if e.Slot != "" {
+		dst = append(dst, `,"slot":`...)
+		dst = appendJSONString(dst, e.Slot)
+	}
+	if e.Lease >= 0 {
+		dst = append(dst, `,"lease":`...)
+		dst = strconv.AppendInt(dst, int64(e.Lease), 10)
+	}
+	if e.Cell >= 0 {
+		dst = append(dst, `,"cell":`...)
+		dst = strconv.AppendInt(dst, int64(e.Cell), 10)
+	}
+	if e.MS != 0 {
+		dst = append(dst, `,"ms":`...)
+		dst = strconv.AppendFloat(dst, e.MS, 'g', -1, 64)
+	}
+	if e.Seed != "" {
+		dst = append(dst, `,"seed":`...)
+		dst = appendJSONString(dst, e.Seed)
+	}
+	if e.Detail != "" {
+		dst = append(dst, `,"detail":`...)
+		dst = appendJSONString(dst, e.Detail)
+	}
+	return append(dst, '}', '\n')
+}
+
+// appendJSONString appends s as a JSON string literal, escaping quotes,
+// backslashes, and control characters (the only escapes JSON requires).
+// Invalid UTF-8 bytes are replaced, matching encoding/json.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	for i := 0; i < len(s); {
+		b := s[i]
+		if b >= 0x20 && b != '"' && b != '\\' && b < utf8.RuneSelf {
+			dst = append(dst, b)
+			i++
+			continue
+		}
+		if b < utf8.RuneSelf {
+			switch b {
+			case '"', '\\':
+				dst = append(dst, '\\', b)
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, `\u00`...)
+				const hex = "0123456789abcdef"
+				dst = append(dst, hex[b>>4], hex[b&0xf])
+			}
+			i++
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			dst = append(dst, `�`...)
+			i++
+			continue
+		}
+		dst = append(dst, s[i:i+size]...)
+		i += size
+	}
+	return append(dst, '"')
+}
+
+// ReadVerified reads a whole file whose writer replaces or appends to it
+// concurrently, retrying while verify rejects the content — the shared
+// read-verify gate for advisory state files (the journal, leases.json).
+// It returns the content, the number of read attempts it took, and the
+// last verification error if every attempt failed. A nil verify accepts
+// any content in one attempt; a missing file is returned as-is (callers
+// distinguish os.IsNotExist).
+func ReadVerified(path string, verify func([]byte) error) (data []byte, attempts int, err error) {
+	const tries = 5
+	var verr error
+	for attempts = 1; attempts <= tries; attempts++ {
+		data, err = os.ReadFile(path)
+		if err != nil {
+			return nil, attempts, err
+		}
+		if verify == nil {
+			return data, attempts, nil
+		}
+		if verr = verify(data); verr == nil {
+			return data, attempts, nil
+		}
+		time.Sleep(time.Duration(attempts) * 10 * time.Millisecond)
+	}
+	return data, tries, verr
+}
+
+// ReadJournal loads a journal: every parseable event line, in file order.
+// skipped counts garbage lines mid-file (torn copies, interleaved
+// writers); a partial final line — a writer mid-append — is tolerated
+// silently, because it is the normal state of a live journal, not damage.
+func ReadJournal(path string) (events []Event, skipped int, err error) {
+	raw, _, err := ReadVerified(path, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	return ParseJournal(raw)
+}
+
+// ParseJournal decodes journal bytes (see ReadJournal for the tolerance
+// rules).
+func ParseJournal(raw []byte) (events []Event, skipped int, err error) {
+	for len(raw) > 0 {
+		nl := bytes.IndexByte(raw, '\n')
+		var line []byte
+		if nl < 0 {
+			// Partial final line: a writer is mid-append. Try it — it may
+			// parse if the writer finished all but the newline — but do not
+			// count a failure as damage.
+			line, raw = raw[:len(raw):len(raw)], nil
+			e := NewEvent("")
+			if jerr := json.Unmarshal(line, &e); jerr == nil && e.Type != "" {
+				events = append(events, e)
+			}
+			break
+		}
+		line, raw = raw[:nl], raw[nl+1:]
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		e := NewEvent("")
+		if jerr := json.Unmarshal(line, &e); jerr != nil || e.Type == "" {
+			skipped++
+			continue
+		}
+		events = append(events, e)
+	}
+	return events, skipped, nil
+}
+
+// JournalName is the journal's conventional file name inside a job
+// directory, next to plan.json and leases.json.
+const JournalName = "journal.jsonl"
+
+// Jot is a convenience constructor used at emission sites: an event of
+// the given type with slot/lease/cell context and a formatted detail.
+// Callers should guard with Enabled() before formatting expensive args.
+func Jot(typ, slot string, lease, cell int, format string, args ...any) Event {
+	e := NewEvent(typ)
+	e.Slot, e.Lease, e.Cell = slot, lease, cell
+	if len(args) == 0 {
+		e.Detail = format
+	} else {
+		e.Detail = fmt.Sprintf(format, args...)
+	}
+	return e
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// Server is the opt-in observability HTTP listener: /metrics in
+// Prometheus text format, /healthz, and the net/http/pprof handlers
+// under /debug/pprof/. It binds eagerly (so `-listen :0` can print the
+// real port) and serves in a background goroutine.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartServer binds addr (for example ":9090" or "127.0.0.1:0"),
+// registers process runtime gauges on reg, and starts serving. The
+// caller should defer Close. A handler on an explicit mux — never
+// http.DefaultServeMux — keeps pprof off any other listener the process
+// might open.
+func StartServer(addr string, reg *Registry) (*Server, error) {
+	if reg == nil {
+		return nil, fmt.Errorf("obs: StartServer needs a non-nil registry")
+	}
+	registerRuntimeGauges(reg)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteProm(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	// net/http/pprof only self-registers on DefaultServeMux; wire its
+	// handlers onto ours explicitly.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the bound address, with the real port when the caller
+// asked for :0.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down, waiting briefly for in-flight scrapes.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return s.srv.Shutdown(ctx)
+}
+
+// registerRuntimeGauges adds process-level series every listener
+// exposes regardless of what the coordinator registers: they make the
+// endpoint useful even on an idle process and guarantee a scrape is
+// never empty.
+func registerRuntimeGauges(reg *Registry) {
+	start := time.Now()
+	reg.GaugeFunc("nbandit_process_uptime_seconds",
+		"Seconds since the observability listener started.",
+		func() float64 { return time.Since(start).Seconds() })
+	reg.GaugeFunc("nbandit_go_goroutines",
+		"Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("nbandit_go_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.HeapAlloc)
+		})
+	reg.GaugeFunc("nbandit_go_gc_cycles_total",
+		"Completed GC cycles (runtime.MemStats.NumGC).",
+		func() float64 {
+			var m runtime.MemStats
+			runtime.ReadMemStats(&m)
+			return float64(m.NumGC)
+		})
+	reg.GaugeFunc("nbandit_go_gomaxprocs",
+		"Value of GOMAXPROCS.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+}

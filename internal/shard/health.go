@@ -141,6 +141,7 @@ func (st *stealRun) slotFailureLocked(slot int, cause error) {
 	h := st.healthLocked(slot)
 	h.consec++
 	name := st.c.Transport.SlotName(slot)
+	from := h.state
 	switch {
 	case h.state == slotDead:
 		// Late failure from an already-written-off slot: nothing changes.
@@ -160,9 +161,11 @@ func (st *stealRun) slotFailureLocked(slot int, cause error) {
 		h.state = slotBackoff
 		h.until = st.c.clock().Add(d)
 		st.stats.Backoffs++
+		st.m.backoffs.Inc()
 		st.c.logf("%s: failure %d (%v) — backing off %s before the next lease",
 			name, h.consec, cause, d.Round(time.Millisecond))
 	}
+	st.c.jotHealth(slot, from, h.state)
 	st.checkDegradedLocked()
 }
 
@@ -178,6 +181,7 @@ func (st *stealRun) quarantineLocked(slot int, h *slotHealth, cause error) {
 	h.state = slotQuarantined
 	h.until = st.c.clock().Add(d)
 	st.stats.Quarantines++
+	st.m.quarantines.Inc()
 	st.c.logf("%s: quarantined after %d consecutive failure(s) (%v) — re-admission probe in %s",
 		st.c.Transport.SlotName(slot), h.consec, cause, d.Round(time.Millisecond))
 }
@@ -192,6 +196,7 @@ func (st *stealRun) slotSuccessLocked(slot int) {
 	if h.state == slotProbing {
 		st.c.logf("%s: re-admission probe succeeded — slot restored", st.c.Transport.SlotName(slot))
 	}
+	st.c.jotHealth(slot, h.state, slotOK)
 	h.state = slotOK
 	h.consec = 0
 	h.quarantines = 0

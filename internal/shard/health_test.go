@@ -122,6 +122,7 @@ func healthHarness(t *testing.T, slots int) (*stealRun, *StealCoordinator) {
 		active:   map[int]*lease{},
 		costs:    map[int]*slotCost{},
 		health:   map[int]*slotHealth{},
+		m:        newCoordMetrics(nil),
 	}
 	st.cond = sync.NewCond(&st.mu)
 	st.ctx, st.cancel = context.WithCancel(context.Background())

@@ -1,0 +1,147 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"netbandit/internal/obs"
+)
+
+// This file is the coordinator's observability seam: thin helpers that
+// stamp run context (plan hash, chaos seed) onto journal events, the
+// metric instruments the coordinator updates, and the retrying
+// leases.json reader that `shard status` shares with the journal
+// machinery. Everything here is advisory — a nil Journal and a nil
+// Metrics registry cost one pointer check per site.
+
+// jot appends one journal event with the run's plan hash and chaos seed
+// attached. slot < 0 means the event concerns no particular slot.
+func (c *StealCoordinator) jot(typ string, slot, lease, cell int, format string, args ...any) {
+	if !c.Journal.Enabled() {
+		return
+	}
+	name := ""
+	if slot >= 0 {
+		name = c.Transport.SlotName(slot)
+	}
+	e := obs.Jot(typ, name, lease, cell, format, args...)
+	e.Plan = c.Plan.Hash
+	e.Seed = c.ChaosSeed
+	c.Journal.Emit(e)
+}
+
+// jotMS is jot with a milliseconds payload (cell cost, heartbeat
+// silence).
+func (c *StealCoordinator) jotMS(typ string, slot, lease, cell int, ms float64, format string, args ...any) {
+	if !c.Journal.Enabled() {
+		return
+	}
+	name := ""
+	if slot >= 0 {
+		name = c.Transport.SlotName(slot)
+	}
+	e := obs.Jot(typ, name, lease, cell, format, args...)
+	e.Plan = c.Plan.Hash
+	e.Seed = c.ChaosSeed
+	e.MS = ms
+	c.Journal.Emit(e)
+}
+
+// jotHealth records one slot resilience-state transition, skipping
+// self-transitions so the journal shows state changes, not confirmations.
+func (c *StealCoordinator) jotHealth(slot int, from, to slotState) {
+	if from == to {
+		return
+	}
+	c.jot(obs.EvHealth, slot, -1, -1, "%s->%s", from, to)
+}
+
+// coordMetrics bundles the instruments one coordinator run updates.
+// Built against a nil registry the instruments still work (they are just
+// never scraped), so call sites need no guards.
+type coordMetrics struct {
+	reg *obs.Registry
+
+	cellsDone, cellsTotal, queued, activeLeases *obs.Gauge
+
+	leases, steals, requeued, pushed, rejected,
+	spawnFails, backoffs, quarantines, probes, degraded *obs.Counter
+
+	cellSeconds *obs.Histogram
+}
+
+// newCoordMetrics registers the coordinator's series on reg (which may
+// be nil).
+func newCoordMetrics(reg *obs.Registry) *coordMetrics {
+	return &coordMetrics{
+		reg:          reg,
+		cellsDone:    reg.Gauge("nbandit_cells_done", "Cells of the plan with durable records."),
+		cellsTotal:   reg.Gauge("nbandit_cells_total", "Total cells in the plan."),
+		queued:       reg.Gauge("nbandit_cells_queued", "Incomplete cells not currently leased."),
+		activeLeases: reg.Gauge("nbandit_active_leases", "Leases currently outstanding."),
+		leases:       reg.Counter("nbandit_leases_total", "Leases granted."),
+		steals:       reg.Counter("nbandit_steals_total", "Leases expired for heartbeat silence and re-queued."),
+		requeued:     reg.Counter("nbandit_retries_total", "Cells returned to the queue by failing workers (steals excluded)."),
+		pushed:       reg.Counter("nbandit_records_pushed_total", "Record frames verified and persisted off worker streams."),
+		rejected:     reg.Counter("nbandit_frames_rejected_total", "Pushed record frames dropped at verification."),
+		spawnFails:   reg.Counter("nbandit_spawn_failures_total", "Transient worker-spawn failures."),
+		backoffs:     reg.Counter("nbandit_slot_backoffs_total", "Timed waits imposed on failing slots."),
+		quarantines:  reg.Counter("nbandit_slot_quarantines_total", "Slot quarantines after repeated failures."),
+		probes:       reg.Counter("nbandit_slot_probes_total", "1-cell re-admission probes granted to quarantined slots."),
+		degraded:     reg.Counter("nbandit_degraded_cells_total", "Cells finished in-process after every slot died or was quarantined."),
+		cellSeconds: reg.Histogram("nbandit_cell_seconds",
+			"Per-cell wall-clock cost as reported on worker heartbeats.", obs.DefaultLatencyBuckets),
+	}
+}
+
+// mirrorLocked refreshes the gauge-shaped series from the run's state;
+// called from persistLocked so the scrape cadence matches leases.json.
+func (st *stealRun) mirrorLocked() {
+	m := st.m
+	if m.reg == nil {
+		return
+	}
+	m.cellsDone.Set(float64(len(st.done)))
+	m.cellsTotal.Set(float64(len(st.c.Plan.Cells)))
+	m.queued.Set(float64(len(st.queue)))
+	m.activeLeases.Set(float64(len(st.active)))
+	for slot := 0; slot < st.slots; slot++ {
+		name := st.c.Transport.SlotName(slot)
+		state := slotOK
+		if h := st.health[slot]; h != nil {
+			state = h.state
+		}
+		m.reg.LabeledGauge("nbandit_slot_health",
+			"Slot resilience state (0 ok, 1 backoff, 2 quarantined, 3 probing, 4 dead).",
+			"slot", name).Set(float64(state))
+		if sc := st.costs[slot]; sc != nil && sc.meanMS > 0 {
+			m.reg.LabeledGauge("nbandit_slot_cost_ms",
+				"Online mean per-cell wall-clock cost per slot, milliseconds.",
+				"slot", name).Set(sc.meanMS)
+		}
+	}
+}
+
+// ReadLeaseStateRetry loads dir/leases.json through the shared
+// read-verify gate (obs.ReadVerified): the coordinator replaces the file
+// atomically, but a reader that opens it between the writer's rename and
+// a slow filesystem's view settling can still see a torn or half-synced
+// snapshot — so a parse failure is retried briefly instead of surfaced.
+// It returns the state, how many read attempts were needed (attempts > 1
+// means a torn snapshot was observed and re-read), and the final error
+// if every attempt failed. A missing file returns fs.ErrNotExist.
+func ReadLeaseStateRetry(dir string) (*LeaseState, int, error) {
+	var ls LeaseState
+	_, attempts, err := obs.ReadVerified(LeaseStatePath(dir), func(b []byte) error {
+		ls = LeaseState{}
+		return json.Unmarshal(b, &ls)
+	})
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, attempts, err
+		}
+		return nil, attempts, fmt.Errorf("shard: parsing %s: %w", LeaseStatePath(dir), err)
+	}
+	return &ls, attempts, nil
+}

@@ -1,0 +1,187 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"netbandit/internal/obs"
+)
+
+// These tests thread the real observability plane — flight recorder and
+// metrics registry — through the steal coordinator's stub-transport
+// fixture and check that the journal tells the same story as the
+// coordinator's own stats.
+
+// TestCoordinatorJournalCleanRun: a clean two-slot run journals the full
+// lifecycle — plan, lease grants, spawns, per-cell completions, run end —
+// with every event stamped with the plan hash.
+func TestCoordinatorJournalCleanRun(t *testing.T) {
+	c, _, _ := stealFixture(t, 2)
+	rec, err := obs.Open(filepath.Join(c.Dir, obs.JournalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Journal = rec
+	stats, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, skipped, err := obs.ReadJournal(filepath.Join(c.Dir, obs.JournalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("clean run journal has %d unparseable line(s)", skipped)
+	}
+	byType := map[string]int{}
+	for _, e := range events {
+		byType[e.Type]++
+		if e.Type != obs.EvJournalOpen && e.Plan != c.Plan.Hash {
+			t.Fatalf("event %+v carries plan %q, want %q", e, e.Plan, c.Plan.Hash)
+		}
+	}
+	if byType[obs.EvPlan] != 1 {
+		t.Fatalf("want exactly one plan event, got %d", byType[obs.EvPlan])
+	}
+	if byType[obs.EvLeaseGrant] != stats.Leases {
+		t.Fatalf("journal has %d lease-grant event(s), stats say %d leases", byType[obs.EvLeaseGrant], stats.Leases)
+	}
+	if byType[obs.EvSpawn] == 0 {
+		t.Fatal("no spawn events journaled")
+	}
+	if byType[obs.EvCellDone] != len(c.Plan.Cells) {
+		t.Fatalf("journal has %d cell-done event(s), plan has %d cells", byType[obs.EvCellDone], len(c.Plan.Cells))
+	}
+	if byType[obs.EvRunEnd] != 1 {
+		t.Fatalf("want exactly one run-end event, got %d", byType[obs.EvRunEnd])
+	}
+	last := events[len(events)-1]
+	if last.Type != obs.EvRunEnd || !strings.HasPrefix(last.Detail, "complete") {
+		t.Fatalf("journal does not end with a completed run-end event: %+v", last)
+	}
+	// Timestamps are monotone: the journal is an ordered timeline.
+	for i := 1; i < len(events); i++ {
+		if events[i].TUS < events[i-1].TUS {
+			t.Fatalf("timestamps regress at event %d: %d < %d", i, events[i].TUS, events[i-1].TUS)
+		}
+	}
+}
+
+// TestCoordinatorJournalStealAndRetry: a frozen straggler's lapse, the
+// steal, and a crashed worker's per-cell retries all land in the journal,
+// matching the run's stats.
+func TestCoordinatorJournalStealAndRetry(t *testing.T) {
+	// The crash fires on the very first replication, before any record is
+	// durable — the lease's cells must come back as retries.
+	c, _, _ := stealFixture(t, 2, freezeWorker(0), crashWorker(0))
+	rec, err := obs.Open(filepath.Join(c.Dir, obs.JournalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Journal = rec
+	stats, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, _, err := obs.ReadJournal(filepath.Join(c.Dir, obs.JournalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byType := map[string]int{}
+	for _, e := range events {
+		byType[e.Type]++
+	}
+	if byType[obs.EvSteal] != stats.Steals || stats.Steals < 1 {
+		t.Fatalf("journal has %d steal event(s), stats say %d", byType[obs.EvSteal], stats.Steals)
+	}
+	if byType[obs.EvHeartbeatLapse] < stats.Steals {
+		t.Fatalf("every steal needs its lapse: %d lapse(s) for %d steal(s)", byType[obs.EvHeartbeatLapse], stats.Steals)
+	}
+	if byType[obs.EvRetry] == 0 {
+		t.Fatal("crashed worker produced no retry events")
+	}
+	if byType[obs.EvHealth] == 0 {
+		t.Fatal("slot failures produced no health-transition events")
+	}
+}
+
+// TestCoordinatorMetricsMatchStats: the registry's counters and gauges
+// agree with the coordinator's own run stats and render as Prometheus
+// text.
+func TestCoordinatorMetricsMatchStats(t *testing.T) {
+	c, _, _ := stealFixture(t, 2, freezeWorker(0))
+	reg := obs.NewRegistry()
+	c.Metrics = reg
+	stats, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"nbandit_cells_done " + strconv.Itoa(len(c.Plan.Cells)),
+		"nbandit_cells_queued 0",
+		"nbandit_active_leases 0",
+		"nbandit_leases_total " + strconv.Itoa(stats.Leases),
+		"nbandit_steals_total " + strconv.Itoa(stats.Steals),
+		"nbandit_cell_seconds_count",
+		`nbandit_slot_health{slot="stub#0"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("scrape missing %q:\n%s", want, text)
+		}
+	}
+	if n := reg.SeriesCount(); n < 10 {
+		t.Fatalf("registry exposes %d series, want >= 10", n)
+	}
+}
+
+// TestReadLeaseStateRetrySurfacesTornSnapshot: a permanently torn
+// leases.json exhausts the read-verify gate with a parse error naming the
+// file, and a clean snapshot reads on the first attempt. (Mid-read heals
+// are exercised by the obs package's own ReadVerified tests.)
+func TestReadLeaseStateRetry(t *testing.T) {
+	dir := t.TempDir()
+	if _, _, err := ReadLeaseStateRetry(dir); !os.IsNotExist(err) {
+		t.Fatalf("missing snapshot: err = %v, want IsNotExist", err)
+	}
+
+	if err := os.WriteFile(LeaseStatePath(dir), []byte(`{"plan":"abc","done":`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, attempts, err := ReadLeaseStateRetry(dir)
+	if err == nil || !strings.Contains(err.Error(), "parsing") {
+		t.Fatalf("torn snapshot: err = %v, want parse error", err)
+	}
+	if attempts != 5 {
+		t.Fatalf("torn snapshot read after %d attempt(s), want the full 5", attempts)
+	}
+
+	good, err := json.Marshal(&LeaseState{Plan: "abc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(LeaseStatePath(dir), good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ls, attempts, err := ReadLeaseStateRetry(dir)
+	if err != nil || attempts != 1 || ls.Plan != "abc" {
+		t.Fatalf("clean snapshot: ls=%+v attempts=%d err=%v", ls, attempts, err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 
+	"netbandit/internal/obs"
 	"netbandit/internal/sim"
 )
 
@@ -28,6 +29,11 @@ type RunOptions struct {
 	// Heartbeat emission hangs off this hook — by the time it fires, a
 	// coordinator may safely count the cell complete.
 	OnCell func(index int)
+	// Journal, when non-nil, receives one EvCellRun flight-recorder event
+	// per cell this invocation executes (resumed cells are not re-logged):
+	// the runner-side counterpart of the coordinator's EvCellDone. Nil
+	// records nothing.
+	Journal *obs.Recorder
 }
 
 // RunStats reports what one Run invocation did.
@@ -105,6 +111,11 @@ func Run(ctx context.Context, dir string, p *Plan, sw *sim.Sweep, opts RunOption
 	cellStats, err := run.RunCells(ctx, remaining, func(c sim.CellResult) error {
 		if err := writeCellRecord(dir, p, c); err != nil {
 			return fmt.Errorf("spilling cell %d: %w", c.Index, err)
+		}
+		if opts.Journal.Enabled() {
+			e := obs.Jot(obs.EvCellRun, "", -1, c.Index, "%s", p.Cells[c.Index].Cell)
+			e.Plan = p.Hash
+			opts.Journal.Emit(e)
 		}
 		if opts.OnCell != nil {
 			opts.OnCell(c.Index)

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"netbandit/internal/obs"
 	"netbandit/internal/shard/transport"
 	"netbandit/internal/sim"
 )
@@ -109,6 +110,16 @@ type StealCoordinator struct {
 	// transport is running under (nbandit chaos); it is persisted in
 	// leases.json so `shard status` shows which schedule a run replays.
 	ChaosSeed string
+	// Journal, when non-nil, is the flight recorder: every lease grant,
+	// steal, retry, health transition, pushed or rejected record frame, and
+	// completed cell is appended as a typed event carrying the plan hash
+	// and chaos seed. Nil (the default) records nothing at zero cost; the
+	// journal is advisory, like leases.json — it never affects the run.
+	Journal *obs.Recorder
+	// Metrics, when non-nil, receives the coordinator's live series
+	// (cells done, queue depth, steals, retries, per-slot health and cost,
+	// cell-latency histogram) for the /metrics endpoint. Nil disables.
+	Metrics *obs.Registry
 
 	// now is a test seam for lease-expiry clocks; nil means time.Now.
 	now func() time.Time
@@ -229,6 +240,7 @@ type stealRun struct {
 	nextID   int
 	stats    StealStats
 	failure  error
+	m        *coordMetrics // instruments; built even for a nil registry
 }
 
 // costCapLocked translates a slot's cost estimate into a lease-size
@@ -310,6 +322,7 @@ func (c *StealCoordinator) Run(ctx context.Context) (StealStats, error) {
 		active:   make(map[int]*lease),
 		costs:    make(map[int]*slotCost),
 		health:   make(map[int]*slotHealth),
+		m:        newCoordMetrics(c.Metrics),
 	}
 	if c.PushRecords {
 		// The plan travels to mountless workers inside the lease spec; it is
@@ -331,8 +344,11 @@ func (c *StealCoordinator) Run(ctx context.Context) (StealStats, error) {
 	st.left = len(st.queue)
 	c.logf("%d cells, %d already on disk, %d to run over %d slot(s), lease timeout %s",
 		len(all), len(completed), st.left, slots, c.leaseTimeout())
+	c.jot(obs.EvPlan, -1, -1, -1, "%d cell(s), %d resumed, %d slot(s), lease timeout %s",
+		len(all), len(completed), slots, c.leaseTimeout())
 	if st.left == 0 {
 		st.persistLocked() // legal without mu: no goroutines yet
+		c.jot(obs.EvRunEnd, -1, -1, -1, "complete: all %d cell(s) resumed from disk", len(all))
 		return st.stats, nil
 	}
 
@@ -378,15 +394,20 @@ func (c *StealCoordinator) Run(ctx context.Context) (StealStats, error) {
 	stats, failure, left := st.stats, st.failure, st.left
 	st.mu.Unlock()
 	if failure != nil {
+		c.jot(obs.EvRunEnd, -1, -1, -1, "failed: %v", failure)
 		return stats, failure
 	}
 	if err := ctx.Err(); err != nil {
+		c.jot(obs.EvRunEnd, -1, -1, -1, "cancelled: %v", err)
 		return stats, fmt.Errorf("shard: coordinator cancelled: %w", err)
 	}
 	if left != 0 {
+		c.jot(obs.EvRunEnd, -1, -1, -1, "internal error: %d cell(s) unaccounted for", left)
 		return stats, fmt.Errorf("shard: internal error: %d cell(s) unaccounted for", left)
 	}
 	c.logf("complete: %d cell(s) run, %d lease(s), %d steal(s)", stats.Completed, stats.Leases, stats.Steals)
+	c.jot(obs.EvRunEnd, -1, -1, -1, "complete: %d cell(s) run, %d lease(s), %d steal(s)",
+		stats.Completed, stats.Leases, stats.Steals)
 	return stats, nil
 }
 
@@ -413,6 +434,7 @@ func (st *stealRun) take(slot int) *lease {
 		}
 		if h.state == slotBackoff {
 			h.state = slotOK
+			st.c.jotHealth(slot, slotBackoff, slotOK)
 		}
 		if len(st.queue) > 0 {
 			n := nextBatch(len(st.queue), st.slots, st.c.MaxBatch, st.costCapLocked(slot))
@@ -422,8 +444,10 @@ func (st *stealRun) take(slot int) *lease {
 				h.state = slotProbing
 				n = 1
 				st.stats.Probes++
+				st.m.probes.Inc()
 				st.c.logf("%s: quarantine expired — granting a 1-cell re-admission probe",
 					st.c.Transport.SlotName(slot))
+				st.c.jotHealth(slot, slotQuarantined, slotProbing)
 			}
 			batch := append([]int(nil), st.queue[:n]...)
 			st.queue = append(st.queue[:0], st.queue[n:]...)
@@ -438,8 +462,11 @@ func (st *stealRun) take(slot int) *lease {
 			st.nextID++
 			st.active[l.id] = l
 			st.stats.Leases++
+			st.m.leases.Inc()
 			st.c.logf("lease %d → %s: %d cell(s) %v (%d queued)",
 				l.id, st.c.Transport.SlotName(slot), len(batch), batch, len(st.queue))
+			st.c.jot(obs.EvLeaseGrant, slot, l.id, -1, "%d cell(s) %v (%d queued)",
+				len(batch), batch, len(st.queue))
 			st.persistLocked()
 			return l
 		}
@@ -459,6 +486,7 @@ func (st *stealRun) runLease(l *lease) {
 		if transport.IsFatalSpawn(err) {
 			// A transport misconfigured in a way retries cannot fix
 			// (missing binary, slot out of range): abort the run.
+			st.c.jot(obs.EvSpawnFail, l.slot, l.id, -1, "fatal: %v", err)
 			st.fail(fmt.Errorf("shard: spawning worker on %s: %w", st.c.Transport.SlotName(l.slot), err))
 			st.mu.Lock()
 			delete(st.active, l.id)
@@ -472,9 +500,11 @@ func (st *stealRun) runLease(l *lease) {
 		delete(st.active, l.id)
 		if st.failure == nil && st.ctx.Err() == nil {
 			st.stats.SpawnFailures++
+			st.m.spawnFails.Inc()
 			st.requeueLocked(sortedCells(l.cells))
 			st.c.logf("lease %d on %s: spawn failed (%v) — %d cell(s) re-queued",
 				l.id, st.c.Transport.SlotName(l.slot), err, len(l.cells))
+			st.c.jot(obs.EvSpawnFail, l.slot, l.id, -1, "%v — %d cell(s) re-queued", err, len(l.cells))
 			st.slotFailureLocked(l.slot, err)
 			st.persistLocked()
 		}
@@ -482,6 +512,7 @@ func (st *stealRun) runLease(l *lease) {
 		st.mu.Unlock()
 		return
 	}
+	st.c.jot(obs.EvSpawn, l.slot, l.id, -1, "%d cell(s)", len(l.batch))
 	st.mu.Lock()
 	l.worker = w
 	if st.failure != nil || st.ctx.Err() != nil || l.stolen {
@@ -552,29 +583,37 @@ func (st *stealRun) observe(l *lease, ev transport.Event) {
 				st.costs[l.slot] = sc
 			}
 			sc.fold(float64(ev.Cost.Milliseconds()))
+			st.m.cellSeconds.Observe(ev.Cost.Seconds())
 		}
+		costMS := float64(ev.Cost.Milliseconds())
 		if st.c.PushRecords {
 			if frameErr != nil {
 				st.stats.RejectedFrames++
+				st.m.rejected.Inc()
 				st.c.logf("lease %d on %s: dropped record frame for cell %d (%v) — the cell will be re-run",
 					l.id, st.c.Transport.SlotName(l.slot), ev.Cell, frameErr)
+				st.c.jot(obs.EvFrameReject, l.slot, l.id, ev.Cell, "%v", frameErr)
 				return
 			}
 			if persisted {
 				st.stats.Pushed++
-				st.markDoneLocked(ev.Cell, l)
+				st.m.pushed.Inc()
+				st.c.jot(obs.EvRecordPush, l.slot, l.id, ev.Cell, "%d byte(s) verified and persisted", len(ev.Payload))
+				st.markDoneLocked(ev.Cell, l, costMS)
 			}
 			return
 		}
-		st.markDoneLocked(ev.Cell, l)
+		st.markDoneLocked(ev.Cell, l, costMS)
 	}
 }
 
 // markDoneLocked records one durable cell. The cell leaves every lease and
 // the queue: a stolen cell can be finished by the original straggler (a
 // zombie whose records are byte-identical) while its re-lease is queued or
-// running, and both outcomes must count it exactly once.
-func (st *stealRun) markDoneLocked(idx int, l *lease) {
+// running, and both outcomes must count it exactly once. ms is the cell's
+// reported wall-clock cost for the journal (0 when unknown: settle-time
+// claims, degraded-mode completions).
+func (st *stealRun) markDoneLocked(idx int, l *lease, ms float64) {
 	if l != nil {
 		delete(l.cells, idx)
 	}
@@ -584,6 +623,11 @@ func (st *stealRun) markDoneLocked(idx int, l *lease) {
 	st.done[idx] = true
 	st.left--
 	st.stats.Completed++
+	slot, leaseID := -1, -1
+	if l != nil {
+		slot, leaseID = l.slot, l.id
+	}
+	st.c.jotMS(obs.EvCellDone, slot, leaseID, idx, ms, "")
 	for _, other := range st.active {
 		delete(other.cells, idx)
 	}
@@ -617,15 +661,17 @@ func (st *stealRun) settle(l *lease, exitErr error) {
 	defer st.mu.Unlock()
 	for _, idx := range remaining {
 		if onDisk[idx] {
-			st.markDoneLocked(idx, l)
+			st.markDoneLocked(idx, l, 0)
 		}
 	}
 	unfinished := sortedCells(l.cells)
 	delete(st.active, l.id)
 	if len(unfinished) > 0 && !l.stolen && st.failure == nil && st.ctx.Err() == nil {
 		st.stats.Requeued += len(unfinished)
+		st.m.requeued.Add(int64(len(unfinished)))
 		for _, idx := range unfinished {
 			st.attempts[idx]++
+			st.c.jot(obs.EvRetry, l.slot, l.id, idx, "attempt %d (worker exit: %v)", st.attempts[idx], exitErr)
 			if st.attempts[idx] > st.c.maxRetries() {
 				st.failLocked(fmt.Errorf("shard: cell %d (%s) failed %d times (last worker error: %v)",
 					idx, st.c.Plan.Cells[idx].Cell, st.attempts[idx], exitErr))
@@ -669,15 +715,18 @@ func (st *stealRun) finishDegraded() {
 		return
 	}
 	st.c.logf("degraded mode: finishing %d cell(s) in-process %v", len(remaining), remaining)
+	st.c.jot(obs.EvDegraded, -1, -1, -1, "finishing %d cell(s) in-process %v", len(remaining), remaining)
 	sw := *st.c.Fallback
 	sw.Workers = st.c.Workers
 	_, err := Run(st.ctx, st.c.Dir, st.c.Plan, &sw, RunOptions{
-		Cells: remaining,
+		Cells:   remaining,
+		Journal: st.c.Journal,
 		OnCell: func(idx int) {
 			st.mu.Lock()
 			if !st.done[idx] {
 				st.stats.DegradedCells++
-				st.markDoneLocked(idx, nil)
+				st.m.degraded.Inc()
+				st.markDoneLocked(idx, nil, 0)
 			}
 			st.mu.Unlock()
 		},
@@ -718,6 +767,8 @@ func (st *stealRun) monitor() {
 					l.stolen = true
 					st.c.logf("lease %d on %s: finished its cells but went silent for %s — reclaiming the worker",
 						l.id, st.c.Transport.SlotName(l.slot), now.Sub(l.last).Round(time.Millisecond))
+					st.c.jotMS(obs.EvHeartbeatLapse, l.slot, l.id, -1,
+						float64(now.Sub(l.last).Milliseconds()), "finished its cells; reclaiming the worker")
 					l.worker.Kill()
 					continue
 				}
@@ -741,9 +792,13 @@ func (st *stealRun) stealLocked(l *lease, silence time.Duration) {
 	l.cells = make(map[int]bool)
 	l.stolen = true
 	st.stats.Steals++
+	st.m.steals.Inc()
 	st.requeueLocked(stolen)
 	st.c.logf("lease %d on %s: no heartbeat for %s — stole %d cell(s) %v",
 		l.id, st.c.Transport.SlotName(l.slot), silence.Round(time.Millisecond), len(stolen), stolen)
+	st.c.jotMS(obs.EvHeartbeatLapse, l.slot, l.id, -1, float64(silence.Milliseconds()),
+		"silent %s", silence.Round(time.Millisecond))
+	st.c.jot(obs.EvSteal, l.slot, l.id, -1, "%d cell(s) re-queued %v", len(stolen), stolen)
 	st.slotFailureLocked(l.slot, fmt.Errorf("no heartbeat for %s", silence.Round(time.Millisecond)))
 	l.worker.Kill()
 	st.cond.Broadcast()
@@ -878,8 +933,11 @@ type SlotHealthInfo struct {
 func LeaseStatePath(dir string) string { return filepath.Join(dir, "leases.json") }
 
 // persistLocked writes the lease-state snapshot atomically; failures are
-// ignored (the snapshot is advisory, the records are the truth).
+// ignored (the snapshot is advisory, the records are the truth). The
+// metrics gauges are refreshed here too, so the scrape view and the
+// leases.json view move together.
 func (st *stealRun) persistLocked() {
+	st.mirrorLocked()
 	ls := &LeaseState{
 		Plan:           st.c.Plan.Hash,
 		Time:           st.c.clock(),

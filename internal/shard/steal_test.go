@@ -664,7 +664,7 @@ func TestNextBatchShrinksMonotonically(t *testing.T) {
 // estimate yet is sized by fair share alone.
 func TestCostCapSeedsLeaseSize(t *testing.T) {
 	c := &StealCoordinator{LeaseTimeout: 10 * time.Second}
-	st := &stealRun{c: c, costs: map[int]*slotCost{}}
+	st := &stealRun{c: c, costs: map[int]*slotCost{}, m: newCoordMetrics(nil)}
 	if got := st.costCapLocked(0); got != 0 {
 		t.Fatalf("cost cap without an estimate = %d, want 0 (fair share only)", got)
 	}
@@ -712,7 +712,7 @@ func TestLeaseStateRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := &StealCoordinator{Plan: plan, Dir: dir, Transport: &stubTransport{dir: dir, plan: plan, slots: 1}}
-	st := &stealRun{c: c, done: map[int]bool{0: true}, active: map[int]*lease{}}
+	st := &stealRun{c: c, done: map[int]bool{0: true}, active: map[int]*lease{}, m: newCoordMetrics(nil)}
 	st.persistLocked()
 	ls, err := ReadLeaseState(dir)
 	if err != nil {

@@ -63,9 +63,18 @@ type Chaos struct {
 	// Log, when non-nil, receives one line per injected fault so a chaos
 	// run's schedule can be read back. May be nil.
 	Log io.Writer
+	// OnFault, when non-nil, is called once per injected fault with the
+	// slot, the slot's spawn index, the fault kind ("spawn-refusal",
+	// "crash", "partition", "stall", "corrupt-frame", "truncate-frame"),
+	// and a human-readable detail. It fires from injection goroutines, so
+	// it must be safe for concurrent use; the chaos CLI hangs journal
+	// emission off it. (Dropped heartbeats are a standing per-spawn
+	// condition, not a discrete fault, and are reported through Log only.)
+	OnFault func(slot, spawn int, kind, detail string)
 
 	mu     sync.Mutex
 	spawns map[int]int // per-slot spawn counter: replayable spawn index
+	faults int64       // discrete faults injected (everything OnFault sees)
 }
 
 // chaosRand is a splitmix64 stream: tiny, seedable, and deterministic
@@ -148,6 +157,31 @@ func (c *Chaos) logf(format string, args ...any) {
 	}
 }
 
+// fault records one injected fault: the counter behind Faults, the Log
+// line, and the OnFault callback all fire from here, so the three views
+// of a schedule can never disagree.
+func (c *Chaos) fault(slot, spawn int, kind, detail string) {
+	c.mu.Lock()
+	c.faults++
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, "chaos: slot %d spawn %d: %s — %s (seed %d)\n", slot, spawn, kind, detail, c.Seed)
+	}
+	cb := c.OnFault
+	c.mu.Unlock()
+	if cb != nil {
+		cb(slot, spawn, kind, detail)
+	}
+}
+
+// Faults returns how many discrete faults this transport has injected so
+// far — the count a journal's chaos-fault events must match for the
+// fault→event completeness check.
+func (c *Chaos) Faults() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.faults
+}
+
 // Slots delegates to the inner transport.
 func (c *Chaos) Slots() int { return c.Inner.Slots() }
 
@@ -169,7 +203,7 @@ func (c *Chaos) Spawn(ctx context.Context, slot int, spec Spec) (Worker, error) 
 
 	p := c.planFor(slot, n)
 	if p.refuse {
-		c.logf("slot %d spawn %d: refusing spawn (seed %d)", slot, n, c.Seed)
+		c.fault(slot, n, "spawn-refusal", "refusing spawn")
 		return nil, fmt.Errorf("chaos: injected spawn refusal on %s (spawn %d, seed %d)", c.Inner.SlotName(slot), n, c.Seed)
 	}
 	inner, err := c.Inner.Spawn(ctx, slot, spec)
@@ -215,20 +249,20 @@ func (w *chaosWorker) run(c *Chaos, p faultPlan, slot, spawn int) {
 			continue // partitioned: drain inner events, forward nothing
 		}
 		if seen == p.crashAfter {
-			c.logf("slot %d spawn %d: killing worker after event %d (seed %d)", slot, spawn, seen, c.Seed)
+			c.fault(slot, spawn, "crash", fmt.Sprintf("killing worker after event %d", seen))
 			w.inner.Kill()
 			silent = true
 			continue
 		}
 		if seen == p.partitionAfter {
-			c.logf("slot %d spawn %d: partitioning after event %d for %s (seed %d)", slot, spawn, seen, c.stallFor(), c.Seed)
+			c.fault(slot, spawn, "partition", fmt.Sprintf("silent after event %d, killed in %s", seen, c.stallFor()))
 			silent = true
 			inner := w.inner
 			time.AfterFunc(c.stallFor(), inner.Kill)
 			continue
 		}
 		if seen == p.stallAfter {
-			c.logf("slot %d spawn %d: stalling stream for %s at event %d (seed %d)", slot, spawn, c.stallFor(), seen, c.Seed)
+			c.fault(slot, spawn, "stall", fmt.Sprintf("stream frozen for %s at event %d", c.stallFor(), seen))
 			time.Sleep(c.stallFor())
 		}
 		if p.dropBeats && ev.Kind == EventAlive {
@@ -260,11 +294,11 @@ func mangleFrame(c *Chaos, frames *chaosRand, ev Event, slot, spawn int) (Event,
 	pos := frames.intn(len(ev.Payload))
 	switch {
 	case truncate:
-		c.logf("slot %d spawn %d: truncating cell %d frame at byte %d/%d (seed %d)", slot, spawn, ev.Cell, cut, len(line), c.Seed)
+		c.fault(slot, spawn, "truncate-frame", fmt.Sprintf("cell %d frame cut at byte %d/%d", ev.Cell, cut, len(line)))
 		torn, ok := ParseEvent(line[:cut])
 		return torn, ok
 	case corrupt:
-		c.logf("slot %d spawn %d: flipping payload byte %d of cell %d frame (seed %d)", slot, spawn, pos, ev.Cell, c.Seed)
+		c.fault(slot, spawn, "corrupt-frame", fmt.Sprintf("cell %d frame payload byte %d flipped", ev.Cell, pos))
 		mangled := append([]byte(nil), ev.Payload...)
 		mangled[pos] ^= 0x20
 		ev.Payload = mangled

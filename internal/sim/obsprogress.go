@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"netbandit/internal/obs"
+)
+
+// ObserveProgress adapts a metrics registry into a ProgressFunc: each
+// per-replication progress event updates the sweep's live series
+// (replications done/total, cells completed), then forwards to next (which
+// may be nil). It is how `nbandit sweep -listen` exposes an in-process
+// sweep without the sweep engine importing the observability plane's HTTP
+// machinery — the engine only sees an ordinary ProgressFunc.
+//
+// The instruments are resolved once here, not per event, so the per-
+// replication overhead is a few atomic stores.
+func ObserveProgress(reg *obs.Registry, next ProgressFunc) ProgressFunc {
+	if reg == nil {
+		return next
+	}
+	repsDone := reg.Gauge("nbandit_sweep_reps_done", "Replications folded so far across the run.")
+	repsTotal := reg.Gauge("nbandit_sweep_reps_total", "Total replications in the run.")
+	cellsDone := reg.Counter("nbandit_sweep_cells_completed_total", "Cells whose replications have all folded.")
+	return func(p Progress) {
+		repsDone.Set(float64(p.Done))
+		repsTotal.Set(float64(p.Total))
+		if p.CellDone == p.CellReps {
+			cellsDone.Inc()
+		}
+		if next != nil {
+			next(p)
+		}
+	}
+}
