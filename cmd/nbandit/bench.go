@@ -1,11 +1,15 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"io/fs"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"runtime"
@@ -16,6 +20,7 @@ import (
 	"time"
 
 	"netbandit"
+	"netbandit/internal/serve"
 )
 
 // The bench subcommand runs the repository's hot-path micro-benchmarks and
@@ -91,27 +96,35 @@ func runBench(args []string) error {
 		results[b.name] = br
 	}
 
+	return mergeTrajectory(*outPath, *label, results)
+}
+
+// mergeTrajectory read-modify-writes a bench trajectory file: results
+// land under label, every other recorded label is preserved, and the
+// meta block is refreshed. Path "-" prints to stdout instead. Shared by
+// `nbandit bench` and `nbandit loadgen`.
+func mergeTrajectory(outPath, label string, results map[string]benchResult) error {
 	doc := map[string]json.RawMessage{}
-	if *outPath != "-" {
-		raw, err := os.ReadFile(*outPath)
+	if outPath != "-" {
+		raw, err := os.ReadFile(outPath)
 		switch {
 		case err == nil:
 			if err := json.Unmarshal(raw, &doc); err != nil {
-				return fmt.Errorf("bench: %s exists but is not a JSON object: %w", *outPath, err)
+				return fmt.Errorf("bench: %s exists but is not a JSON object: %w", outPath, err)
 			}
 		case errors.Is(err, fs.ErrNotExist):
 			// Fresh trajectory file.
 		default:
 			// Anything else (permissions, I/O) must not silently discard
 			// the recorded labels by overwriting with only this run.
-			return fmt.Errorf("bench: reading %s: %w", *outPath, err)
+			return fmt.Errorf("bench: reading %s: %w", outPath, err)
 		}
 	}
 	enc, err := json.MarshalIndent(results, "  ", "  ")
 	if err != nil {
 		return err
 	}
-	doc[*label] = enc
+	doc[label] = enc
 	meta, err := json.MarshalIndent(benchMeta(), "  ", "  ")
 	if err != nil {
 		return err
@@ -121,14 +134,14 @@ func runBench(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *outPath == "-" {
+	if outPath == "-" {
 		fmt.Println(string(out))
 		return nil
 	}
-	if err := os.WriteFile(*outPath, out, 0o644); err != nil {
+	if err := os.WriteFile(outPath, out, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "bench: wrote %q under label %q\n", *outPath, *label)
+	fmt.Fprintf(os.Stderr, "bench: wrote %q under label %q\n", outPath, label)
 	return nil
 }
 
@@ -395,6 +408,62 @@ func benchSuite() []namedBench {
 			}},
 		)
 	}
+	// Serve family: the decision service's hot path, with (env mode) and
+	// without the HTTP layer, including the per-round decision-log append.
+	suite = append(suite,
+		namedBench{"serve_decide_env_k16", func(b *testing.B) {
+			srv, err := serve.New(serve.Options{Dir: b.TempDir(), SnapshotEvery: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			spec := serve.Spec{ID: "bench", Seed: 1, Scenario: "sso", Policy: "dfl",
+				K: 16, Horizon: 100_000_000, Feedback: "env"}
+			if _, err := srv.CreateInstance(spec); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := srv.Decide("bench"); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(1, "rounds/op")
+		}},
+		namedBench{"serve_http_decide_env_k16", func(b *testing.B) {
+			srv, err := serve.New(serve.Options{Dir: b.TempDir(), SnapshotEvery: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+			spec := serve.Spec{ID: "bench", Seed: 1, Scenario: "sso", Policy: "dfl",
+				K: 16, Horizon: 100_000_000, Feedback: "env"}
+			if _, err := srv.CreateInstance(spec); err != nil {
+				b.Fatal(err)
+			}
+			ts := httptest.NewServer(srv)
+			defer ts.Close()
+			client := ts.Client()
+			body := []byte(`{"instance":"bench"}`)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp, err := client.Post(ts.URL+"/v1/decide", "application/json", bytes.NewReader(body))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					b.Fatal(err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					b.Fatalf("status %d", resp.StatusCode)
+				}
+			}
+			b.ReportMetric(1, "rounds/op")
+		}},
+	)
 	return append(suite,
 		namedBench{"fig3a_quick", func(b *testing.B) {
 			e, ok := netbandit.FindExperiment("fig3a")

@@ -42,6 +42,16 @@
 //
 //	nbandit chaos -seeds 20 -mode both
 //
+// The serve subcommand turns the library into a replayable real-time
+// decision service: many concurrent bandit instances behind an HTTP JSON
+// API, each appending every closed round to a checksummed decision log
+// so a restarted server resumes bit-identically, with an offline replay
+// auditor and a load generator to prove it:
+//
+//	nbandit serve -addr :8080 -dir data -journal
+//	nbandit serve -replay -dir data            # audit: re-derive every decision
+//	nbandit loadgen -addr 127.0.0.1:8080 -duration 5s -out BENCH_PR9.json
+//
 // The observability plane rides along: `shard run -journal` (and `chaos
 // -journal`) turn on a structured flight recorder, `-listen` exposes
 // live Prometheus metrics plus pprof, and the trace/top subcommands read
@@ -64,9 +74,7 @@ import (
 	"netbandit"
 	"netbandit/internal/armdist"
 	"netbandit/internal/bandit"
-	"netbandit/internal/core"
 	"netbandit/internal/graphs"
-	"netbandit/internal/policy"
 	"netbandit/internal/rng"
 	"netbandit/internal/sim"
 	"netbandit/internal/strategy"
@@ -97,6 +105,20 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "chaos" {
 		if err := runChaos(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "nbandit chaos:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		if err := runServe(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "nbandit serve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "loadgen" {
+		if err := runLoadgen(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "nbandit loadgen:", err)
 			os.Exit(1)
 		}
 		return
@@ -201,66 +223,17 @@ func run() error {
 	return emit(agg, metric, o)
 }
 
-func policyNames() []string {
-	return []string{"dfl", "dfl-hop", "dfl-stream", "moss", "ucb1", "ucbn", "ucbmaxn",
-		"thompson", "egreedy", "exp3", "random", "cucb", "exp3f"}
-}
+func policyNames() []string { return sim.PolicyNames() }
 
-// singleFactory maps a policy name to a single-play factory. "dfl"
-// resolves to the scenario's algorithm: DFL-SSO under side observation,
-// DFL-SSR under side reward.
+// singleFactory and comboFactory resolve policy names through the shared
+// sim registry, so the ad-hoc CLI, the sweep grid, and the decision
+// service all build the same policy from the same name.
 func singleFactory(name string, scen bandit.Scenario) (sim.SingleFactory, error) {
-	switch name {
-	case "dfl":
-		if scen == bandit.SSR {
-			return func(*rng.RNG) bandit.SinglePolicy { return core.NewDFLSSR() }, nil
-		}
-		return func(*rng.RNG) bandit.SinglePolicy { return core.NewDFLSSO() }, nil
-	case "dfl-hop":
-		return func(*rng.RNG) bandit.SinglePolicy { return core.NewDFLSSOGreedyHop() }, nil
-	case "dfl-stream":
-		return func(*rng.RNG) bandit.SinglePolicy { return core.NewDFLSSRStreaming() }, nil
-	case "moss":
-		return func(*rng.RNG) bandit.SinglePolicy { return policy.NewMOSS() }, nil
-	case "ucb1":
-		return func(*rng.RNG) bandit.SinglePolicy { return policy.NewUCB1() }, nil
-	case "ucbn":
-		return func(*rng.RNG) bandit.SinglePolicy { return policy.NewUCBN() }, nil
-	case "ucbmaxn":
-		return func(*rng.RNG) bandit.SinglePolicy { return policy.NewUCBMaxN() }, nil
-	case "thompson":
-		return func(r *rng.RNG) bandit.SinglePolicy { return policy.NewThompson(r) }, nil
-	case "egreedy":
-		return func(r *rng.RNG) bandit.SinglePolicy { return policy.NewDecayingEpsilonGreedy(1, r) }, nil
-	case "exp3":
-		return func(r *rng.RNG) bandit.SinglePolicy { return policy.NewEXP3(0.05, r) }, nil
-	case "random":
-		return func(r *rng.RNG) bandit.SinglePolicy { return policy.NewRandom(r) }, nil
-	default:
-		return nil, fmt.Errorf("unknown single-play policy %q (valid: %s)", name, strings.Join(policyNames(), ", "))
-	}
+	return sim.SinglePolicyFactory(name, scen)
 }
 
 func comboFactory(name string, scen bandit.Scenario) (sim.ComboFactory, error) {
-	switch name {
-	case "dfl":
-		if scen == bandit.CSR {
-			return func(*rng.RNG) bandit.ComboPolicy { return core.NewDFLCSR() }, nil
-		}
-		return func(*rng.RNG) bandit.ComboPolicy { return core.NewDFLCSO() }, nil
-	case "cucb":
-		obj := policy.Direct
-		if scen == bandit.CSR {
-			obj = policy.Closure
-		}
-		return func(*rng.RNG) bandit.ComboPolicy { return policy.NewCUCB(obj) }, nil
-	case "exp3f":
-		return func(r *rng.RNG) bandit.ComboPolicy { return policy.NewComboEXP3(0.05, r) }, nil
-	case "random":
-		return func(r *rng.RNG) bandit.ComboPolicy { return policy.NewComboRandom(r) }, nil
-	default:
-		return nil, fmt.Errorf("unknown combinatorial policy %q (valid: dfl, cucb, exp3f, random)", name)
-	}
+	return sim.ComboPolicyFactory(name, scen)
 }
 
 func parseMetric(name string) (sim.Metric, error) {

@@ -1,0 +1,271 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"netbandit/internal/serve"
+)
+
+// This file is the process-level replay-audit e2e: a real `nbandit
+// serve` process is driven over HTTP, killed with SIGKILL mid-flight,
+// restarted over the same data directory, and must resume the decision
+// sequence bit-identically — proven by comparing against a second,
+// never-interrupted server process running the same workload, and by
+// the `serve -replay` offline auditor.
+
+// buildServeBinary compiles the nbandit binary once per test run.
+func buildServeBinary(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "nbandit")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startServe launches `bin serve` on an ephemeral port and parses the
+// bound address from its banner line.
+func startServe(t *testing.T, bin, dir string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, "serve", "-addr", "127.0.0.1:0", "-dir", dir, "-snapshot-every", "16")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("serve printed no banner (err=%v)", sc.Err())
+	}
+	line := sc.Text()
+	const marker = "listening on "
+	i := strings.Index(line, marker)
+	j := strings.Index(line, " (")
+	if i < 0 || j < 0 || j <= i {
+		t.Fatalf("unparseable banner %q", line)
+	}
+	addr := line[i+len(marker) : j]
+	go func() { // drain any further output so the child never blocks
+		for sc.Scan() {
+		}
+	}()
+	return cmd, addr
+}
+
+func servePost(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("POST %s: decode: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// serveRounds drives n client-mode rounds against a live server,
+// returning the action sequence.
+func serveRounds(t *testing.T, addr, id string, n int) []int {
+	t.Helper()
+	base := "http://" + addr
+	actions := make([]int, 0, n)
+	lastT := 0
+	deadline := time.Now().Add(30 * time.Second)
+	for len(actions) < n {
+		if time.Now().After(deadline) {
+			t.Fatalf("stalled at round %d/%d", len(actions), n)
+		}
+		var dec serve.Decision
+		if code := servePost(t, base+"/v1/decide", map[string]string{"instance": id}, &dec); code != http.StatusOK {
+			t.Fatalf("decide: status %d", code)
+		}
+		if dec.T > lastT {
+			lastT = dec.T
+			actions = append(actions, dec.Action)
+		}
+		values := make([]float64, len(dec.Closure))
+		for j, a := range dec.Closure {
+			values[j] = float64((dec.T*13+a*5)%9) / 9
+		}
+		servePost(t, base+"/v1/feedback", map[string]any{
+			"items": []serve.FeedbackItem{{Instance: id, T: dec.T, Action: dec.Action, Values: values}},
+		}, nil)
+	}
+	// Settle: wait for the final round's async feedback to be applied so
+	// a subsequent SIGKILL cannot lose it.
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/stats")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stats struct {
+			Instances []*serve.InstanceStats `json:"instances"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&stats)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range stats.Instances {
+			if in.ID == id && in.Round >= lastT {
+				return actions
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("round %d never closed", lastT)
+	return nil
+}
+
+func TestServeKillRestartReplayE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and SIGKILLs real server processes")
+	}
+	bin := buildServeBinary(t)
+	spec := serve.Spec{
+		ID: "tenant", Seed: 23, Scenario: "sso", Policy: "thompson",
+		K: 6, P: 0.4, Horizon: 500, Points: 10, Feedback: "client",
+	}
+	const before, after = 18, 14
+
+	// Reference: one uninterrupted server process running the full load.
+	refDir := t.TempDir()
+	refCmd, refAddr := startServe(t, bin, refDir)
+	defer refCmd.Process.Kill()
+	if code := servePost(t, "http://"+refAddr+"/v1/instances", spec, nil); code != http.StatusCreated {
+		t.Fatalf("reference create: status %d", code)
+	}
+	want := serveRounds(t, refAddr, "tenant", before+after)
+
+	// System under test: same workload, SIGKILLed mid-flight.
+	dir := t.TempDir()
+	cmd, addr := startServe(t, bin, dir)
+	if code := servePost(t, "http://"+addr+"/v1/instances", spec, nil); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	got := serveRounds(t, addr, "tenant", before)
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+
+	// The offline auditor accepts the crashed directory as-is.
+	replay := exec.Command(bin, "serve", "-replay", "-dir", dir)
+	out, err := replay.CombinedOutput()
+	if err != nil {
+		t.Fatalf("serve -replay after crash: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), fmt.Sprintf("rounds %8d", before)) {
+		t.Fatalf("replay audit did not report %d rounds:\n%s", before, out)
+	}
+
+	// Restart over the same directory; the sequence must continue exactly
+	// where the uninterrupted reference says it should.
+	cmd2, addr2 := startServe(t, bin, dir)
+	defer cmd2.Process.Kill()
+	got = append(got, serveRounds(t, addr2, "tenant", after)...)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("action[%d]: killed-and-restarted server served %d, uninterrupted reference served %d",
+				i, got[i], want[i])
+		}
+	}
+
+	// Graceful shutdown of the restarted server, then a final audit.
+	if err := cmd2.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	waited := make(chan error, 1)
+	go func() { waited <- cmd2.Wait() }()
+	select {
+	case err := <-waited:
+		if err != nil {
+			t.Fatalf("serve exited uncleanly on SIGINT: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("serve did not exit on SIGINT")
+	}
+	replay = exec.Command(bin, "serve", "-replay", "-dir", dir)
+	if out, err := replay.CombinedOutput(); err != nil {
+		t.Fatalf("final serve -replay: %v\n%s", err, out)
+	}
+}
+
+// TestLoadgenSmoke boots a serve process and points the load generator
+// at it for a short burst; the run must produce decisions and write a
+// bench-trajectory JSON with the serve series.
+func TestLoadgenSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds real server processes")
+	}
+	bin := buildServeBinary(t)
+	dir := t.TempDir()
+	cmd, addr := startServe(t, bin, dir)
+	defer cmd.Process.Kill()
+
+	out := filepath.Join(t.TempDir(), "BENCH_LOADGEN.json")
+	lg := exec.Command(bin, "loadgen", "-addr", addr, "-instances", "2",
+		"-workers", "4", "-mode", "env", "-duration", "1s", "-out", out, "-label", "smoke")
+	lgOut, err := lg.CombinedOutput()
+	if err != nil {
+		t.Fatalf("loadgen: %v\n%s", err, lgOut)
+	}
+	if !strings.Contains(string(lgOut), "decisions in") {
+		t.Fatalf("loadgen output missing throughput line:\n%s", lgOut)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trajectory not JSON: %v", err)
+	}
+	var smoke map[string]benchResult
+	if err := json.Unmarshal(doc["smoke"], &smoke); err != nil {
+		t.Fatalf("smoke label not a bench result map: %v", err)
+	}
+	res, ok := smoke["serve_loadgen_env"]
+	if !ok {
+		t.Fatalf("trajectory missing serve_loadgen_env: %s", raw)
+	}
+	if res.Iterations == 0 || res.Extra["decisions_per_sec"] <= 0 {
+		t.Fatalf("loadgen reported no throughput: %+v", res)
+	}
+
+	// The serve metrics series are live on the same listener.
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prom bytes.Buffer
+	_, _ = prom.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, series := range []string{"nbandit_serve_decisions_total", "nbandit_serve_instances 2"} {
+		if !strings.Contains(prom.String(), series) {
+			t.Fatalf("/metrics missing %q:\n%s", series, prom.String())
+		}
+	}
+}

@@ -62,6 +62,23 @@ const (
 	// EvMerge records a merge of the run's records (and, for chaos drills,
 	// whether it matched the single-process golden).
 	EvMerge = "merge"
+
+	// EvServeStart opens a decision-service run: Detail carries the bound
+	// address and the number of instances restored from disk.
+	EvServeStart = "serve-start"
+	// EvServeStop closes a decision-service run (graceful shutdown; a
+	// crash leaves no closing event, which is itself diagnostic).
+	EvServeStop = "serve-stop"
+	// EvInstanceCreate records a bandit instance created from a spec.
+	// Slot carries the instance ID; Detail the spec summary.
+	EvInstanceCreate = "instance-create"
+	// EvInstanceSnapshot records an instance state snapshot persisted.
+	// Slot carries the instance ID; Cell the snapshotted round.
+	EvInstanceSnapshot = "instance-snapshot"
+	// EvInstanceRestore records an instance rebuilt from its spec and
+	// decision log at startup. Slot carries the instance ID; Cell the
+	// round the replay re-derived; Detail the verification outcome.
+	EvInstanceRestore = "instance-restore"
 )
 
 // Event is one journal line. The zero value is not useful — NewEvent sets
@@ -121,7 +138,7 @@ type Recorder struct {
 // The first appended line is an EvJournalOpen event anchoring the
 // recorder's monotonic clock to the wall clock.
 func Open(path string) (*Recorder, error) {
-	if err := repairTail(path); err != nil {
+	if err := RepairTail(path); err != nil {
 		return nil, err
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -135,9 +152,13 @@ func Open(path string) (*Recorder, error) {
 	return r, nil
 }
 
-// repairTail truncates a trailing partial line (no final newline) left by
-// a crashed writer. A missing file needs no repair.
-func repairTail(path string) error {
+// RepairTail truncates a trailing partial line (no final newline) left by
+// a crashed writer, leaving the file a clean prefix of whole lines. A
+// missing file needs no repair. It is exported because every append-only
+// JSONL file in the system — the flight-recorder journal here, the
+// decision service's per-instance decision log — wants the same
+// crash-recovery semantics on open.
+func RepairTail(path string) error {
 	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
 	if err != nil {
 		if os.IsNotExist(err) {

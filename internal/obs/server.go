@@ -28,13 +28,22 @@ func StartServer(addr string, reg *Registry) (*Server, error) {
 	if reg == nil {
 		return nil, fmt.Errorf("obs: StartServer needs a non-nil registry")
 	}
-	registerRuntimeGauges(reg)
-
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(reg)}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
 
+// NewMux builds the observability mux — /metrics, /healthz, and the
+// pprof handlers — on the given registry, registering the process
+// runtime gauges as a side effect. It is the shared plumbing of
+// StartServer and the decision service, which mounts its /v1 API onto
+// the same mux so one listener serves decisions and their metrics.
+func NewMux(reg *Registry) *http.ServeMux {
+	registerRuntimeGauges(reg)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -51,10 +60,7 @@ func StartServer(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-
-	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
-	go func() { _ = s.srv.Serve(ln) }()
-	return s, nil
+	return mux
 }
 
 // Addr returns the bound address, with the real port when the caller

@@ -1,0 +1,289 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+)
+
+// The decision log is the instance's durable state: one canonical JSON
+// line per closed round, `{"t":T,"a":A,"v":[...],"sum":"H"}`, preceded
+// by a header line `{"t":0,"spec":"H","sum":"H"}` binding the file to
+// its spec. "sum" is the first 16 hex digits of the sha256 of the line
+// with the sum field removed; floats are encoded in strconv shortest
+// form, which round-trips bit-identically, so a parsed record re-encodes
+// to exactly the checksummed bytes. The closing '}' appears only at the
+// end of a line, so every proper prefix is invalid JSON and truncation
+// anywhere is detectable as a torn tail.
+//
+// Read semantics are strict: an invalid line anywhere except the torn
+// tail is corruption and the instance refuses to start. The one line a
+// crash can legitimately damage — the final line — is dropped only when
+// it is unverifiable; a final line that checksums but lost its newline
+// is kept (the round completed; only the terminator was torn off).
+
+// LogName is the decision log's filename inside an instance directory.
+const LogName = "log.jsonl"
+
+// decRound is one closed round as recovered from the log: the round
+// index, the action taken, and the revealed closure values in
+// ascending-arm closure order.
+type decRound struct {
+	T int
+	A int
+	V []float64
+}
+
+// logLine is the wire shape of one log line. A is a pointer so the
+// header (which has no action) is distinguishable from action 0.
+type logLine struct {
+	T    int       `json:"t"`
+	A    *int      `json:"a"`
+	V    []float64 `json:"v"`
+	Spec string    `json:"spec"`
+	Sum  string    `json:"sum"`
+}
+
+// encodeHeaderPayload builds the canonical header payload (no sum).
+func encodeHeaderPayload(specHash string) []byte {
+	b := make([]byte, 0, 64)
+	b = append(b, `{"t":0,"spec":"`...)
+	b = append(b, specHash...)
+	b = append(b, `"}`...)
+	return b
+}
+
+// encodeRoundPayload builds the canonical round payload (no sum).
+func encodeRoundPayload(t, action int, values []float64) []byte {
+	b := make([]byte, 0, 48+16*len(values))
+	b = append(b, `{"t":`...)
+	b = strconv.AppendInt(b, int64(t), 10)
+	b = append(b, `,"a":`...)
+	b = strconv.AppendInt(b, int64(action), 10)
+	b = append(b, `,"v":[`...)
+	for i, v := range values {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendFloat(b, v, 'g', -1, 64)
+	}
+	b = append(b, `]}`...)
+	return b
+}
+
+// seal turns a canonical payload into a full log line: the sum of the
+// payload is spliced in before the closing brace and a newline appended.
+func seal(payload []byte) []byte {
+	sum := sha256.Sum256(payload)
+	line := make([]byte, 0, len(payload)+32)
+	line = append(line, payload[:len(payload)-1]...)
+	line = append(line, `,"sum":"`...)
+	line = append(line, hex.EncodeToString(sum[:8])...)
+	line = append(line, `"}`...)
+	line = append(line, '\n')
+	return line
+}
+
+// sumSuffixLen is the byte length of the `,"sum":"<16 hex>"}` tail
+// every sealed line ends with.
+const sumSuffixLen = 8 + 16 + 2
+
+// parseLine decodes and verifies one log line (newline not included).
+// The checksum is verified against the line's raw bytes — the payload is
+// reconstructed by stripping the sum suffix, never by re-encoding parsed
+// fields, so any byte flip in the prefix is caught (including key-case
+// flips that Go's case-insensitive JSON matching would otherwise erase).
+func parseLine(raw []byte) (*logLine, error) {
+	if len(raw) < sumSuffixLen+4 {
+		return nil, fmt.Errorf("short line")
+	}
+	idx := len(raw) - sumSuffixLen
+	if !bytes.HasPrefix(raw[idx:], []byte(`,"sum":"`)) || !bytes.HasSuffix(raw, []byte(`"}`)) {
+		return nil, fmt.Errorf("missing checksum suffix")
+	}
+	payload := make([]byte, 0, idx+1)
+	payload = append(payload, raw[:idx]...)
+	payload = append(payload, '}')
+	sum := sha256.Sum256(payload)
+	if string(raw[idx+8:len(raw)-2]) != hex.EncodeToString(sum[:8]) {
+		return nil, fmt.Errorf("checksum mismatch")
+	}
+	var ll logLine
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ll); err != nil {
+		return nil, fmt.Errorf("parse: %w", err)
+	}
+	switch {
+	case ll.T == 0:
+		if ll.Spec == "" || ll.A != nil || ll.V != nil {
+			return nil, fmt.Errorf("malformed header")
+		}
+	case ll.T > 0:
+		if ll.A == nil || ll.Spec != "" {
+			return nil, fmt.Errorf("malformed round record")
+		}
+		for _, v := range ll.V {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("non-finite value in round %d", ll.T)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("negative round %d", ll.T)
+	}
+	return &ll, nil
+}
+
+// readLog reads and verifies a decision log, returning the closed
+// rounds in order. The header must carry specHash and round indices
+// must be exactly 1..N. A damaged final line is dropped only when it is
+// unverifiable (the torn tail a crash can produce); damage anywhere
+// else is an error — the caller must refuse to serve from the file.
+func readLog(path, specHash string) ([]decRound, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: decision log: %w", err)
+	}
+	var rounds []decRound
+	sawHeader := false
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		var raw []byte
+		terminated := nl >= 0
+		if terminated {
+			raw, data = data[:nl], data[nl+1:]
+		} else {
+			raw, data = data, nil
+		}
+		ll, perr := parseLine(raw)
+		if perr != nil {
+			final := len(data) == 0
+			if final && !terminated {
+				// Torn tail: the round never durably closed. Recover to
+				// the previous consistent round; the round will be
+				// re-derived identically when it is decided again.
+				break
+			}
+			return nil, fmt.Errorf("serve: decision log %s: line %d: %v", path, len(rounds)+1+boolToInt(sawHeader), perr)
+		}
+		if !sawHeader {
+			if ll.T != 0 {
+				return nil, fmt.Errorf("serve: decision log %s: missing header line", path)
+			}
+			if ll.Spec != specHash {
+				return nil, fmt.Errorf("serve: decision log %s: spec hash %s does not match %s", path, ll.Spec, specHash)
+			}
+			sawHeader = true
+			continue
+		}
+		if ll.T == 0 {
+			return nil, fmt.Errorf("serve: decision log %s: duplicate header", path)
+		}
+		if want := len(rounds) + 1; ll.T != want {
+			return nil, fmt.Errorf("serve: decision log %s: round %d out of sequence (want %d)", path, ll.T, want)
+		}
+		rounds = append(rounds, decRound{T: ll.T, A: *ll.A, V: ll.V})
+	}
+	if !sawHeader {
+		return nil, fmt.Errorf("serve: decision log %s: empty or headerless", path)
+	}
+	return rounds, nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// decLog is the append side of the decision log. Each record is written
+// with a single Write call, newline included, so a crash can tear at
+// most the final line.
+type decLog struct {
+	f    *os.File
+	path string
+}
+
+// createLog creates a fresh decision log with its header line. It
+// refuses to overwrite an existing file.
+func createLog(path, specHash string) (*decLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: create decision log: %w", err)
+	}
+	if _, err := f.Write(seal(encodeHeaderPayload(specHash))); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("serve: write log header: %w", err)
+	}
+	return &decLog{f: f, path: path}, nil
+}
+
+// reopenLog opens an existing, already-verified decision log for
+// appending, first truncating any torn tail so new records start on a
+// line boundary. keep is the number of verified rounds readLog
+// recovered; everything past the end of round keep's line is dropped.
+func reopenLog(path, specHash string, keep int) (*decLog, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reopen decision log: %w", err)
+	}
+	// Walk the verified prefix — header plus keep rounds — to find the
+	// byte offset where appending must resume.
+	off := 0
+	for i := 0; i <= keep; i++ {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// The final kept line lost its newline to a torn write;
+			// restore the terminator so the next record starts clean.
+			if i == keep {
+				f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+				if err != nil {
+					return nil, fmt.Errorf("serve: reopen decision log: %w", err)
+				}
+				if _, err := f.Write([]byte{'\n'}); err != nil {
+					f.Close()
+					return nil, fmt.Errorf("serve: repair decision log: %w", err)
+				}
+				return &decLog{f: f, path: path}, nil
+			}
+			return nil, fmt.Errorf("serve: decision log %s: shorter than %d verified rounds", path, keep)
+		}
+		off += nl + 1
+	}
+	if off < len(data) {
+		if err := os.Truncate(path, int64(off)); err != nil {
+			return nil, fmt.Errorf("serve: truncate torn tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: reopen decision log: %w", err)
+	}
+	return &decLog{f: f, path: path}, nil
+}
+
+// append durably records one closed round.
+func (l *decLog) append(t, action int, values []float64) error {
+	if _, err := l.f.Write(seal(encodeRoundPayload(t, action, values))); err != nil {
+		return fmt.Errorf("serve: append decision log: %w", err)
+	}
+	return nil
+}
+
+// sync flushes the log to stable storage; called at snapshot points and
+// on graceful shutdown rather than per record.
+func (l *decLog) sync() error { return l.f.Sync() }
+
+func (l *decLog) close() error {
+	err := l.f.Sync()
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLogRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, LogName)
+	l, err := createLog(path, "cafebabe00000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds := []decRound{
+		{T: 1, A: 0, V: []float64{0, 1, 0.5}},
+		{T: 2, A: 3, V: []float64{1e-17, math.Nextafter(0.3, 1), 1}},
+		{T: 3, A: 2, V: []float64{0.25}},
+	}
+	for _, r := range rounds {
+		if err := l.append(r.T, r.A, r.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := readLog(path, "cafebabe00000000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rounds) {
+		t.Fatalf("read %d rounds, wrote %d", len(got), len(rounds))
+	}
+	for i, r := range rounds {
+		g := got[i]
+		if g.T != r.T || g.A != r.A || len(g.V) != len(r.V) {
+			t.Fatalf("round %d: got %+v want %+v", i, g, r)
+		}
+		for j := range r.V {
+			if math.Float64bits(g.V[j]) != math.Float64bits(r.V[j]) {
+				t.Fatalf("round %d value %d: %v != %v (bits differ)", i, j, g.V[j], r.V[j])
+			}
+		}
+	}
+
+	if _, err := readLog(path, "deadbeef00000000"); err == nil ||
+		!strings.Contains(err.Error(), "spec hash") {
+		t.Fatalf("wrong spec hash accepted: %v", err)
+	}
+}
+
+func TestLogRejectsCorruptMiddle(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, LogName)
+	l, err := createLog(path, "00ff00ff00ff00ff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 5; i++ {
+		if err := l.append(i, i%3, []float64{float64(i) / 7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.close(); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip one byte inside the third record: every such corruption must
+	// be refused, not silently skipped.
+	lines := bytes.SplitAfter(clean, []byte("\n"))
+	off := len(lines[0]) + len(lines[1]) + len(lines[2]) + 4
+	for delta := 0; delta < 8; delta++ {
+		mut := append([]byte(nil), clean...)
+		mut[off+delta] ^= 0x20
+		if bytes.Equal(mut, clean) {
+			continue
+		}
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := readLog(path, "00ff00ff00ff00ff"); err == nil {
+			t.Fatalf("corruption at offset %d accepted", off+delta)
+		}
+	}
+
+	// A verifiable final line that only lost its newline is kept.
+	if err := os.WriteFile(path, clean[:len(clean)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rounds, err := readLog(path, "00ff00ff00ff00ff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) != 5 {
+		t.Fatalf("newline-less final line: recovered %d rounds, want 5", len(rounds))
+	}
+}
+
+func TestLogTornTailEveryOffset(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, LogName)
+	l, err := createLog(path, "0123456789abcdef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if err := l.append(i, i, []float64{0.5, float64(i) * 0.125}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.close(); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Count line boundaries so we know how many rounds each prefix holds.
+	boundary := func(n int) int { // rounds fully contained in clean[:n]
+		count := -1 // header doesn't count
+		for i := 0; i < n; i++ {
+			if clean[i] == '\n' {
+				count++
+			}
+		}
+		// A checksummable final line missing only its newline still counts.
+		if n > 0 && clean[n-1] != '\n' {
+			start := bytes.LastIndexByte(clean[:n], '\n') + 1
+			if _, err := parseLine(clean[start:n]); err == nil {
+				count++
+			}
+		}
+		if count < 0 {
+			count = 0
+		}
+		return count
+	}
+
+	for n := 0; n <= len(clean); n++ {
+		if err := os.WriteFile(path, clean[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rounds, err := readLog(path, "0123456789abcdef")
+		headerLen := bytes.IndexByte(clean, '\n') + 1
+		// The header is verifiable once all its bytes short of the
+		// newline are present; any shorter prefix must be refused.
+		if n < headerLen-1 {
+			if err == nil {
+				t.Fatalf("truncation at %d (inside header) accepted", n)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("truncation at %d refused: %v (want recovery to %d rounds)", n, err, boundary(n))
+		}
+		if want := boundary(n); len(rounds) != want {
+			t.Fatalf("truncation at %d: recovered %d rounds, want %d", n, len(rounds), want)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// The /v1 wire protocol. Every response is JSON; errors are
+// `{"error": "..."}` with a meaningful status code. The API is
+// deliberately small: create/list instances, decide, batch feedback,
+// stats — everything else (metrics, health, profiling) is the shared
+// observability surface on the same mux.
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+// handleInstances serves GET (list) and POST (create from a Spec body).
+func (s *Server) handleInstances(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, map[string]any{"instances": s.Stats()})
+	case http.MethodPost:
+		var spec Spec
+		if err := decodeBody(r, &spec); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		st, err := s.CreateInstance(spec)
+		if err != nil {
+			status := http.StatusBadRequest
+			if strings.Contains(err.Error(), "already exists") {
+				status = http.StatusConflict
+			}
+			writeErr(w, status, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, st)
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeErr(w, http.StatusMethodNotAllowed, errMethod(r.Method))
+	}
+}
+
+type decideRequest struct {
+	Instance string `json:"instance"`
+}
+
+// handleDecide serves one decision. 404 for unknown instances, 409 when
+// the instance's horizon is exhausted.
+func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeErr(w, http.StatusMethodNotAllowed, errMethod(r.Method))
+		return
+	}
+	var req decideRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	dec, err := s.Decide(req.Instance)
+	if err != nil {
+		switch {
+		case strings.Contains(err.Error(), "unknown instance"):
+			writeErr(w, http.StatusNotFound, err)
+		case strings.Contains(err.Error(), "horizon"):
+			writeErr(w, http.StatusConflict, err)
+		default:
+			writeErr(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, dec)
+}
+
+type feedbackRequest struct {
+	Items []FeedbackItem `json:"items"`
+}
+
+type feedbackResponse struct {
+	Accepted int `json:"accepted"`
+	Rejected int `json:"rejected"`
+}
+
+// handleFeedback accepts a batch of feedback items into the async
+// ingest queue and answers 202: acceptance means "queued", not
+// "applied". Items for unknown instances, or arriving when the queue is
+// full, are rejected — callers retry; duplicates are harmless because
+// the instance counts re-delivery of a closed round as stale, never
+// double-applies it.
+func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", "POST")
+		writeErr(w, http.StatusMethodNotAllowed, errMethod(r.Method))
+		return
+	}
+	var req feedbackRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var resp feedbackResponse
+	for _, item := range req.Items {
+		if s.EnqueueFeedback(item) {
+			resp.Accepted++
+		} else {
+			resp.Rejected++
+		}
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// handleStats reports server-wide counters plus every instance's
+// lock-free stats snapshot.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", "GET")
+		writeErr(w, http.StatusMethodNotAllowed, errMethod(r.Method))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds":  time.Since(s.start).Seconds(),
+		"decisions_total": s.m.decisions.Value(),
+		"queue_depth":     len(s.queue),
+		"instances":       s.Stats(),
+	})
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+type errMethod string
+
+func (e errMethod) Error() string { return "serve: method " + string(e) + " not allowed" }

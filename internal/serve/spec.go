@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"netbandit/internal/armdist"
+	"netbandit/internal/bandit"
+	"netbandit/internal/graphs"
+	"netbandit/internal/rng"
+	"netbandit/internal/sim"
+	"netbandit/internal/strategy"
+)
+
+// Feedback modes: who closes a round.
+const (
+	// FeedbackClient means the caller supplies the revealed rewards via
+	// POST /v1/feedback; a decide stays open (and is re-served
+	// idempotently) until its feedback arrives.
+	FeedbackClient = "client"
+	// FeedbackEnv means the instance samples the revealed rewards from
+	// its own environment's counter stream — shadow mode: every decide
+	// closes its round immediately and the whole decision sequence is a
+	// pure function of the spec alone.
+	FeedbackEnv = "env"
+)
+
+// Spec declaratively describes one bandit instance. It is the unit of
+// tenancy: the service hosts many instances, each built exactly the way
+// the ad-hoc CLI builds a simulation — graph from Split(1), arm means
+// from Split(2), policy randomness from Split(3), reward stream from
+// Split(4) of rng.New(Seed) — so a served instance is replayable and
+// comparable against an offline run of the same spec.
+type Spec struct {
+	// ID names the instance in the API and on disk. Letters, digits,
+	// '.', '_' and '-' only.
+	ID string `json:"id"`
+	// Seed derives every random quantity of the instance.
+	Seed uint64 `json:"seed"`
+	// Scenario is one of sso|cso|ssr|csr.
+	Scenario string `json:"scenario"`
+	// Policy is a registry name (sim.PolicyNames).
+	Policy string `json:"policy"`
+	// Graph is a relation-graph generator name; default "gnp".
+	Graph string `json:"graph,omitempty"`
+	// K is the number of arms.
+	K int `json:"k"`
+	// M is the strategy size for combinatorial scenarios; default 2.
+	M int `json:"m,omitempty"`
+	// P is the graph generator parameter; default 0.3.
+	P float64 `json:"p,omitempty"`
+	// Horizon bounds the instance's lifetime in rounds; default 1e6.
+	Horizon int `json:"horizon,omitempty"`
+	// Points is the regret-curve checkpoint count; default 100.
+	Points int `json:"points,omitempty"`
+	// Feedback is FeedbackClient (default) or FeedbackEnv.
+	Feedback string `json:"feedback,omitempty"`
+}
+
+// Defaults for optional Spec fields.
+const (
+	DefaultHorizon = 1_000_000
+	DefaultPoints  = 100
+)
+
+// Normalize fills defaults in place and validates the spec. It must be
+// called (and succeed) before Hash or build, so equal effective specs
+// hash equally no matter which optional fields were spelled out.
+func (s *Spec) Normalize() error {
+	if s.ID == "" {
+		return fmt.Errorf("serve: spec needs an id")
+	}
+	for _, r := range s.ID {
+		ok := r == '.' || r == '_' || r == '-' ||
+			(r >= '0' && r <= '9') || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !ok {
+			return fmt.Errorf("serve: instance id %q: only letters, digits, '.', '_', '-' allowed", s.ID)
+		}
+	}
+	if s.Graph == "" {
+		s.Graph = string(graphs.GenGnp)
+	}
+	if s.P == 0 {
+		s.P = 0.3
+	}
+	if s.M == 0 {
+		s.M = 2
+	}
+	if s.Horizon == 0 {
+		s.Horizon = DefaultHorizon
+	}
+	if s.Horizon < 1 {
+		return fmt.Errorf("serve: horizon %d must be positive", s.Horizon)
+	}
+	if s.Points == 0 {
+		s.Points = DefaultPoints
+	}
+	if s.Points < 1 {
+		return fmt.Errorf("serve: points %d must be positive", s.Points)
+	}
+	if s.K < 1 {
+		return fmt.Errorf("serve: k %d must be positive", s.K)
+	}
+	switch s.Feedback {
+	case "":
+		s.Feedback = FeedbackClient
+	case FeedbackClient, FeedbackEnv:
+	default:
+		return fmt.Errorf("serve: feedback mode %q (want %s|%s)", s.Feedback, FeedbackClient, FeedbackEnv)
+	}
+	scen, err := bandit.ParseScenario(s.Scenario)
+	if err != nil {
+		return err
+	}
+	s.Scenario = scen.String()
+	if scen.Combinatorial() {
+		if _, err := sim.ComboPolicyFactory(s.Policy, scen); err != nil {
+			return err
+		}
+		if s.M < 1 || s.M > s.K {
+			return fmt.Errorf("serve: strategy size m=%d outside [1,%d]", s.M, s.K)
+		}
+	} else {
+		if _, err := sim.SinglePolicyFactory(s.Policy, scen); err != nil {
+			return err
+		}
+	}
+	found := false
+	for _, n := range graphs.GeneratorNames() {
+		if n == s.Graph {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("serve: unknown graph generator %q (valid: %s)",
+			s.Graph, strings.Join(graphs.GeneratorNames(), ", "))
+	}
+	return nil
+}
+
+// Hash returns the canonical content hash of a normalized spec: the
+// sha256 of its canonical JSON encoding, truncated to 16 hex digits. The
+// hash binds the decision log and snapshot to the spec that produced
+// them; a restored instance refuses a log or snapshot written under a
+// different spec.
+func (s *Spec) Hash() string {
+	raw, err := json.Marshal(s)
+	if err != nil {
+		// A Spec is plain data; Marshal cannot fail on it.
+		panic(fmt.Sprintf("serve: marshal spec: %v", err))
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:8])
+}
+
+// runner is the slice of sim.SingleRun/sim.ComboRun the instance loop
+// drives: the decoupled decide/feedback API introduced for this service.
+type runner interface {
+	Decide() (t, action int, err error)
+	Pending() (t, action int, ok bool)
+	PendingClosure() ([]int, error)
+	ApplyFeedback(values []float64) error
+	AutoFeedback() ([]bandit.Observation, error)
+	Round() int
+	Done() bool
+	Series() *sim.Series
+	Regret() (cumPseudo, cumRealized float64)
+}
+
+// built is the realised form of a spec: environment, optional strategy
+// set, and a positioned runner at round zero.
+type built struct {
+	scen bandit.Scenario
+	env  *bandit.Env
+	set  *strategy.Set // nil for single-play
+	run  runner
+}
+
+// build realises a normalized spec. Every call with the same spec
+// produces a runner whose decision sequence under the same feedback is
+// bit-identical — this is the function both serving and replay
+// verification rest on.
+func (s *Spec) build() (*built, error) {
+	scen, err := bandit.ParseScenario(s.Scenario)
+	if err != nil {
+		return nil, err
+	}
+	r := rng.New(s.Seed)
+	g, err := graphs.FromName(graphs.GeneratorName(s.Graph), s.K, s.P, r.Split(1))
+	if err != nil {
+		return nil, err
+	}
+	env, err := bandit.NewEnv(g, armdist.RandomBernoulliArms(s.K, r.Split(2)))
+	if err != nil {
+		return nil, err
+	}
+	cfg := sim.Config{
+		Horizon:         s.Horizon,
+		Checkpoints:     sim.DefaultCheckpoints(s.Horizon, s.Points),
+		AnnounceHorizon: true,
+	}
+	b := &built{scen: scen, env: env}
+	if scen.Combinatorial() {
+		set, err := strategy.TopM(s.K, s.M, g)
+		if err != nil {
+			return nil, err
+		}
+		factory, err := sim.ComboPolicyFactory(s.Policy, scen)
+		if err != nil {
+			return nil, err
+		}
+		run, err := sim.NewComboRun(env, set, scen, factory(r.Split(3)), cfg, r.Split(4), nil)
+		if err != nil {
+			return nil, err
+		}
+		b.set, b.run = set, run
+		return b, nil
+	}
+	factory, err := sim.SinglePolicyFactory(s.Policy, scen)
+	if err != nil {
+		return nil, err
+	}
+	run, err := sim.NewSingleRun(env, scen, factory(r.Split(3)), cfg, r.Split(4))
+	if err != nil {
+		return nil, err
+	}
+	b.run = run
+	return b, nil
+}
+
+// arms returns the arm set a decision plays: the arm itself for
+// single-play scenarios, the strategy's arms for combinatorial ones.
+func (b *built) arms(action int) []int {
+	if b.set != nil {
+		return b.set.Arms(action)
+	}
+	return []int{action}
+}
+
+// realized computes the reward the chosen action collects from the
+// revealed closure values, per the scenario's semantics (matching the
+// runner's own regret accounting).
+func (b *built) realized(action int, closure []int, values []float64) float64 {
+	switch b.scen {
+	case bandit.SSR, bandit.CSR:
+		var sum float64
+		for _, v := range values {
+			sum += v
+		}
+		return sum
+	case bandit.SSO:
+		return values[b.env.SelfPos(action)]
+	default: // CSO: sum the played arms' own rewards out of the closure
+		var sum float64
+		arms := b.set.Arms(action)
+		j := 0
+		for i, a := range closure {
+			if j < len(arms) && arms[j] == a {
+				sum += values[i]
+				j++
+			}
+		}
+		return sum
+	}
+}

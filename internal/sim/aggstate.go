@@ -31,6 +31,23 @@ type AggregateState struct {
 	Metrics map[string]MetricMoments `json:"metrics"`
 }
 
+// AggregateSeries folds one replication's series into a fresh
+// one-replication Aggregate. Together with State it gives a serving
+// instance an exact, serialisable summary of its regret curves so far:
+// AggregateSeries(run.Series()).State() round-trips through JSON
+// bit-identically, which is what the decision service's snapshot
+// verification leans on.
+func AggregateSeries(s *Series) (*Aggregate, error) {
+	if s == nil {
+		return nil, fmt.Errorf("sim: nil series")
+	}
+	a := newAggregate(s.Policy, append([]int(nil), s.T...))
+	if err := a.add(s); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
 // State snapshots the aggregate's raw accumulator state. The snapshot
 // shares no mutable storage with the aggregate.
 func (a *Aggregate) State() *AggregateState {

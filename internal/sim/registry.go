@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"netbandit/internal/bandit"
+	"netbandit/internal/core"
+	"netbandit/internal/policy"
+	"netbandit/internal/rng"
+)
+
+// This file is the by-name policy registry. It exists so that every layer
+// that builds a policy from a declarative description — the ad-hoc CLI,
+// the sweep grid parser, and the decision service's instance specs — maps
+// the same name to the same construction, and therefore to the same
+// decision sequence under the same seed.
+
+// PolicyNames returns every name the registry resolves, single-play and
+// combinatorial together, in display order.
+func PolicyNames() []string {
+	return []string{"dfl", "dfl-hop", "dfl-stream", "moss", "ucb1", "ucbn", "ucbmaxn",
+		"thompson", "egreedy", "exp3", "random", "cucb", "exp3f"}
+}
+
+// SinglePolicyFactory maps a policy name to a single-play factory. "dfl"
+// resolves to the scenario's own algorithm: DFL-SSO under side
+// observation, DFL-SSR under side reward.
+func SinglePolicyFactory(name string, scen bandit.Scenario) (SingleFactory, error) {
+	switch name {
+	case "dfl":
+		if scen == bandit.SSR {
+			return func(*rng.RNG) bandit.SinglePolicy { return core.NewDFLSSR() }, nil
+		}
+		return func(*rng.RNG) bandit.SinglePolicy { return core.NewDFLSSO() }, nil
+	case "dfl-hop":
+		return func(*rng.RNG) bandit.SinglePolicy { return core.NewDFLSSOGreedyHop() }, nil
+	case "dfl-stream":
+		return func(*rng.RNG) bandit.SinglePolicy { return core.NewDFLSSRStreaming() }, nil
+	case "moss":
+		return func(*rng.RNG) bandit.SinglePolicy { return policy.NewMOSS() }, nil
+	case "ucb1":
+		return func(*rng.RNG) bandit.SinglePolicy { return policy.NewUCB1() }, nil
+	case "ucbn":
+		return func(*rng.RNG) bandit.SinglePolicy { return policy.NewUCBN() }, nil
+	case "ucbmaxn":
+		return func(*rng.RNG) bandit.SinglePolicy { return policy.NewUCBMaxN() }, nil
+	case "thompson":
+		return func(r *rng.RNG) bandit.SinglePolicy { return policy.NewThompson(r) }, nil
+	case "egreedy":
+		return func(r *rng.RNG) bandit.SinglePolicy { return policy.NewDecayingEpsilonGreedy(1, r) }, nil
+	case "exp3":
+		return func(r *rng.RNG) bandit.SinglePolicy { return policy.NewEXP3(0.05, r) }, nil
+	case "random":
+		return func(r *rng.RNG) bandit.SinglePolicy { return policy.NewRandom(r) }, nil
+	default:
+		return nil, fmt.Errorf("sim: unknown single-play policy %q (valid: %s)",
+			name, strings.Join(PolicyNames(), ", "))
+	}
+}
+
+// ComboPolicyFactory maps a policy name to a combinatorial factory. "dfl"
+// resolves to DFL-CSR under side reward and DFL-CSO otherwise.
+func ComboPolicyFactory(name string, scen bandit.Scenario) (ComboFactory, error) {
+	switch name {
+	case "dfl":
+		if scen == bandit.CSR {
+			return func(*rng.RNG) bandit.ComboPolicy { return core.NewDFLCSR() }, nil
+		}
+		return func(*rng.RNG) bandit.ComboPolicy { return core.NewDFLCSO() }, nil
+	case "cucb":
+		obj := policy.Direct
+		if scen == bandit.CSR {
+			obj = policy.Closure
+		}
+		return func(*rng.RNG) bandit.ComboPolicy { return policy.NewCUCB(obj) }, nil
+	case "exp3f":
+		return func(r *rng.RNG) bandit.ComboPolicy { return policy.NewComboEXP3(0.05, r) }, nil
+	case "random":
+		return func(r *rng.RNG) bandit.ComboPolicy { return policy.NewComboRandom(r) }, nil
+	default:
+		return nil, fmt.Errorf("sim: unknown combinatorial policy %q (valid: dfl, cucb, exp3f, random)", name)
+	}
+}

@@ -99,6 +99,7 @@ type SingleRun struct {
 	obs     []bandit.Observation
 	next    int
 	t       int
+	pending int // arm of the open round, -1 when none (see Decide)
 }
 
 // NewSingleRun validates the configuration, resets the policy, and returns
@@ -144,29 +145,121 @@ func NewSingleRun(env *bandit.Env, scen bandit.Scenario, pol bandit.SinglePolicy
 		tracker: bandit.NewRegretTracker(optimal),
 		out:     newSeries(pol.Name(), cfg.checkpoints()),
 		obs:     make([]bandit.Observation, 0, env.K()),
+		pending: -1,
 	}, nil
 }
 
 // Done reports whether the run has played all cfg.Horizon rounds.
 func (sr *SingleRun) Done() bool { return sr.t >= sr.cfg.Horizon }
 
+// Round returns the number of rounds fully played (decided and fed back).
+func (sr *SingleRun) Round() int {
+	if sr.pending >= 0 {
+		return sr.t - 1
+	}
+	return sr.t
+}
+
 // Series returns the regret curves recorded so far. Checkpoints beyond the
 // current round are zero until reached.
 func (sr *SingleRun) Series() *Series { return sr.out }
 
-// Step plays one round: select, sample the revealed closed neighbourhood,
-// account regret, feed the policy back.
-func (sr *SingleRun) Step() error {
-	sr.t++
-	t := sr.t
-	i := sr.pol.Select(t)
-	if i < 0 || i >= sr.env.K() {
-		return fmt.Errorf("sim: round %d: policy %s selected invalid arm %d", t, sr.pol.Name(), i)
-	}
-	closed := sr.env.Closed(i)
-	obs := sr.env.SampleObservations(sr.ctr, t, closed, nil, sr.obs[:0], sr.scratch)
-	sr.obs = obs
+// Regret returns the cumulative pseudo- and realized regret accumulated
+// over the rounds played so far.
+func (sr *SingleRun) Regret() (cumPseudo, cumRealized float64) {
+	return sr.tracker.CumPseudo(), sr.tracker.CumRealized()
+}
 
+// Decide opens round t = Round()+1 and returns the policy's chosen arm
+// without closing the round: the caller supplies the revealed rewards
+// later via ApplyFeedback (or lets the environment sample them via
+// AutoFeedback). Calling Decide again while a round is open returns the
+// same (t, arm) pair without consulting the policy — the decision is
+// served idempotently, which is what a retrying network client needs and
+// what keeps replay exact for policies whose Select consumes randomness.
+func (sr *SingleRun) Decide() (t, arm int, err error) {
+	if sr.pending >= 0 {
+		return sr.t, sr.pending, nil
+	}
+	if sr.t >= sr.cfg.Horizon {
+		return 0, 0, fmt.Errorf("sim: horizon %d exhausted", sr.cfg.Horizon)
+	}
+	sr.t++
+	t = sr.t
+	arm = sr.pol.Select(t)
+	if arm < 0 || arm >= sr.env.K() {
+		sr.t--
+		return 0, 0, fmt.Errorf("sim: round %d: policy %s selected invalid arm %d", t, sr.pol.Name(), arm)
+	}
+	sr.pending = arm
+	return t, arm, nil
+}
+
+// Pending returns the open round and its chosen arm, if any.
+func (sr *SingleRun) Pending() (t, arm int, ok bool) {
+	if sr.pending < 0 {
+		return 0, 0, false
+	}
+	return sr.t, sr.pending, true
+}
+
+// PendingClosure returns the arms whose rewards the open round reveals —
+// the chosen arm's closed neighbourhood, in ascending arm order, the
+// order ApplyFeedback expects values in. The slice is shared; callers
+// must not modify it.
+func (sr *SingleRun) PendingClosure() ([]int, error) {
+	if sr.pending < 0 {
+		return nil, fmt.Errorf("sim: no open round")
+	}
+	return sr.env.Closed(sr.pending), nil
+}
+
+// ApplyFeedback closes the open round with caller-supplied rewards:
+// values[j] is the revealed reward of PendingClosure()[j]. Regret is
+// accounted against the environment's means exactly as in Step, the
+// policy is updated, and checkpoints are recorded. The decision sequence
+// is then a pure function of (seed, feedback history): replaying the
+// same values re-derives the same subsequent decisions bit-for-bit.
+func (sr *SingleRun) ApplyFeedback(values []float64) error {
+	if sr.pending < 0 {
+		return fmt.Errorf("sim: feedback with no open round")
+	}
+	closed := sr.env.Closed(sr.pending)
+	if len(values) != len(closed) {
+		return fmt.Errorf("sim: round %d: feedback carries %d values, closure of arm %d has %d",
+			sr.t, len(values), sr.pending, len(closed))
+	}
+	obs := sr.obs[:0]
+	for j, arm := range closed {
+		obs = append(obs, bandit.Observation{Arm: arm, Value: values[j]})
+	}
+	sr.obs = obs
+	sr.closeRound(obs)
+	return nil
+}
+
+// AutoFeedback closes the open round by sampling the revealed closed
+// neighbourhood from the environment's counter stream — the simulation
+// half of Step, split out so a decision service can run shadow-mode
+// instances through the exact per-round code path. The returned
+// observations are valid until the next call on this run.
+func (sr *SingleRun) AutoFeedback() ([]bandit.Observation, error) {
+	if sr.pending < 0 {
+		return nil, fmt.Errorf("sim: feedback with no open round")
+	}
+	closed := sr.env.Closed(sr.pending)
+	obs := sr.env.SampleObservations(sr.ctr, sr.t, closed, nil, sr.obs[:0], sr.scratch)
+	sr.obs = obs
+	sr.closeRound(obs)
+	return obs, nil
+}
+
+// closeRound is the shared accounting tail of a round: regret, observer,
+// policy update, checkpoint. obs must list the revealed closure in
+// ascending arm order (the order SampleObservations and ApplyFeedback
+// both produce).
+func (sr *SingleRun) closeRound(obs []bandit.Observation) {
+	t, i := sr.t, sr.pending
 	var chosenMean, realized float64
 	if sr.scen == bandit.SSR {
 		chosenMean = sr.env.SideMean(i)
@@ -183,12 +276,23 @@ func (sr *SingleRun) Step() error {
 		})
 	}
 	sr.pol.Update(t, i, obs)
+	sr.pending = -1
 
 	if sr.next < len(sr.out.T) && t == sr.out.T[sr.next] {
 		sr.out.record(sr.next, sr.tracker)
 		sr.next++
 	}
-	return nil
+}
+
+// Step plays one round: select, sample the revealed closed neighbourhood,
+// account regret, feed the policy back. It is exactly Decide followed by
+// AutoFeedback.
+func (sr *SingleRun) Step() error {
+	if _, _, err := sr.Decide(); err != nil {
+		return err
+	}
+	_, err := sr.AutoFeedback()
+	return err
 }
 
 // Run plays the remaining rounds and returns the completed series.
@@ -265,6 +369,7 @@ type ComboRun struct {
 	obs     []bandit.Observation
 	next    int
 	t       int
+	pending int // strategy of the open round, -1 when none (see Decide)
 }
 
 // NewComboRun validates, resets the policy, and returns a stepper
@@ -328,31 +433,118 @@ func NewComboRun(env *bandit.Env, set *strategy.Set, scen bandit.Scenario, pol b
 		means:   means,
 		xs:      make([]float64, env.K()),
 		obs:     make([]bandit.Observation, 0, env.K()),
+		pending: -1,
 	}, nil
 }
 
 // Done reports whether the run has played all cfg.Horizon rounds.
 func (cr *ComboRun) Done() bool { return cr.t >= cr.cfg.Horizon }
 
+// Round returns the number of rounds fully played (decided and fed back).
+func (cr *ComboRun) Round() int {
+	if cr.pending >= 0 {
+		return cr.t - 1
+	}
+	return cr.t
+}
+
 // Series returns the regret curves recorded so far.
 func (cr *ComboRun) Series() *Series { return cr.out }
 
-// Step plays one round.
-func (cr *ComboRun) Step() error {
-	cr.t++
-	t := cr.t
-	x := cr.pol.Select(t)
-	if x < 0 || x >= cr.set.Len() {
-		return fmt.Errorf("sim: round %d: policy %s selected invalid strategy %d", t, cr.pol.Name(), x)
+// Regret returns the cumulative pseudo- and realized regret accumulated
+// over the rounds played so far.
+func (cr *ComboRun) Regret() (cumPseudo, cumRealized float64) {
+	return cr.tracker.CumPseudo(), cr.tracker.CumRealized()
+}
+
+// Decide opens round t = Round()+1 and returns the policy's chosen
+// strategy without closing the round — the combinatorial analogue of
+// SingleRun.Decide, with the same idempotence: while a round is open,
+// Decide returns the same pair without consulting the policy.
+func (cr *ComboRun) Decide() (t, x int, err error) {
+	if cr.pending >= 0 {
+		return cr.t, cr.pending, nil
 	}
-	closure := cr.set.Closure(x)
+	if cr.t >= cr.cfg.Horizon {
+		return 0, 0, fmt.Errorf("sim: horizon %d exhausted", cr.cfg.Horizon)
+	}
+	cr.t++
+	t = cr.t
+	x = cr.pol.Select(t)
+	if x < 0 || x >= cr.set.Len() {
+		cr.t--
+		return 0, 0, fmt.Errorf("sim: round %d: policy %s selected invalid strategy %d", t, cr.pol.Name(), x)
+	}
+	cr.pending = x
+	return t, x, nil
+}
+
+// Pending returns the open round and its chosen strategy, if any.
+func (cr *ComboRun) Pending() (t, x int, ok bool) {
+	if cr.pending < 0 {
+		return 0, 0, false
+	}
+	return cr.t, cr.pending, true
+}
+
+// PendingClosure returns the arms whose rewards the open round reveals —
+// the chosen strategy's closure Y_x, in ascending arm order, the order
+// ApplyFeedback expects values in. The slice is shared; callers must not
+// modify it.
+func (cr *ComboRun) PendingClosure() ([]int, error) {
+	if cr.pending < 0 {
+		return nil, fmt.Errorf("sim: no open round")
+	}
+	return cr.set.Closure(cr.pending), nil
+}
+
+// ApplyFeedback closes the open round with caller-supplied rewards:
+// values[j] is the revealed reward of PendingClosure()[j]. See
+// SingleRun.ApplyFeedback for the determinism contract.
+func (cr *ComboRun) ApplyFeedback(values []float64) error {
+	if cr.pending < 0 {
+		return fmt.Errorf("sim: feedback with no open round")
+	}
+	closure := cr.set.Closure(cr.pending)
+	if len(values) != len(closure) {
+		return fmt.Errorf("sim: round %d: feedback carries %d values, closure of strategy %d has %d",
+			cr.t, len(values), cr.pending, len(closure))
+	}
+	obs := cr.obs[:0]
+	for j, arm := range closure {
+		obs = append(obs, bandit.Observation{Arm: arm, Value: values[j]})
+		if cr.scen == bandit.CSO {
+			cr.xs[arm] = values[j]
+		}
+	}
+	cr.obs = obs
+	cr.closeRound(obs)
+	return nil
+}
+
+// AutoFeedback closes the open round by sampling the played closure from
+// the environment's counter stream — the simulation half of Step. The
+// returned observations are valid until the next call on this run.
+func (cr *ComboRun) AutoFeedback() ([]bandit.Observation, error) {
+	if cr.pending < 0 {
+		return nil, fmt.Errorf("sim: feedback with no open round")
+	}
+	closure := cr.set.Closure(cr.pending)
 	xs := cr.xs
 	if cr.scen != bandit.CSO {
 		xs = nil // only the direct-reward sum needs values by arm index
 	}
-	obs := cr.env.SampleObservations(cr.ctr, t, closure, xs, cr.obs[:0], cr.scratch)
+	obs := cr.env.SampleObservations(cr.ctr, cr.t, closure, xs, cr.obs[:0], cr.scratch)
 	cr.obs = obs
+	cr.closeRound(obs)
+	return obs, nil
+}
 
+// closeRound is the shared accounting tail of a round (regret, observer,
+// policy update, checkpoint); obs must list the closure in ascending arm
+// order, and for CSO cr.xs must hold each closure arm's value.
+func (cr *ComboRun) closeRound(obs []bandit.Observation) {
+	t, x := cr.t, cr.pending
 	var chosenMean, realized float64
 	if cr.scen == bandit.CSR {
 		chosenMean = cr.set.ClosureMean(x, cr.means)
@@ -369,12 +561,21 @@ func (cr *ComboRun) Step() error {
 		})
 	}
 	cr.pol.Update(t, x, obs)
+	cr.pending = -1
 
 	if cr.next < len(cr.out.T) && t == cr.out.T[cr.next] {
 		cr.out.record(cr.next, cr.tracker)
 		cr.next++
 	}
-	return nil
+}
+
+// Step plays one round: exactly Decide followed by AutoFeedback.
+func (cr *ComboRun) Step() error {
+	if _, _, err := cr.Decide(); err != nil {
+		return err
+	}
+	_, err := cr.AutoFeedback()
+	return err
 }
 
 // Run plays the remaining rounds and returns the completed series.

@@ -11,6 +11,7 @@ import (
 	"netbandit/internal/graphs"
 	"netbandit/internal/policy"
 	"netbandit/internal/rng"
+	"netbandit/internal/serve"
 	"netbandit/internal/shard"
 	"netbandit/internal/shard/transport"
 	"netbandit/internal/sim"
@@ -112,6 +113,62 @@ type (
 	// round-trips through JSON bit-identically.
 	AggregateState = sim.AggregateState
 )
+
+// Real-time decision service (package serve): many concurrent bandit
+// instances — one per tenant, graph, and policy, each created from a
+// declarative spec — behind an HTTP JSON API, every closed round
+// appended to a checksummed decision log so that a restarted server
+// resumes bit-identically and any served decision can be re-derived
+// offline (`nbandit serve -replay`).
+type (
+	// DecisionServer hosts bandit instances behind the /v1 HTTP API; it
+	// implements http.Handler and also serves /metrics and /healthz.
+	DecisionServer = serve.Server
+	// ServeOptions configures a DecisionServer (data directory, snapshot
+	// cadence, ingest queue bounds, observability hooks).
+	ServeOptions = serve.Options
+	// InstanceSpec declaratively describes one hosted bandit instance.
+	InstanceSpec = serve.Spec
+	// InstanceStats is the lock-free read view of one hosted instance.
+	InstanceStats = serve.InstanceStats
+	// Decision is one answer from the service's decide endpoint.
+	Decision = serve.Decision
+	// FeedbackItem is one entry of a batched feedback request.
+	FeedbackItem = serve.FeedbackItem
+	// ServeVerifyResult reports one instance's offline replay audit.
+	ServeVerifyResult = serve.VerifyResult
+)
+
+// NewDecisionServer builds a decision server over opts.Dir, restoring —
+// and replay-verifying — every instance directory found there.
+func NewDecisionServer(opts ServeOptions) (*DecisionServer, error) { return serve.New(opts) }
+
+// VerifyServeDir audits every instance under a decision server's data
+// directory, proving each decision log re-derives bit-identically.
+func VerifyServeDir(dir string) ([]*ServeVerifyResult, error) { return serve.VerifyDir(dir) }
+
+// VerifyServeInstance replays one instance directory offline.
+func VerifyServeInstance(dir string) (*ServeVerifyResult, error) { return serve.VerifyInstance(dir) }
+
+// PolicyNames lists the registry names accepted by InstanceSpec.Policy
+// and the CLI's -policy/-policies flags.
+func PolicyNames() []string { return sim.PolicyNames() }
+
+// SinglePolicyFactory resolves a registry name to a single-play policy
+// factory for the given scenario.
+func SinglePolicyFactory(name string, scen Scenario) (SingleFactory, error) {
+	return sim.SinglePolicyFactory(name, scen)
+}
+
+// ComboPolicyFactory resolves a registry name to a combinatorial policy
+// factory for the given scenario.
+func ComboPolicyFactory(name string, scen Scenario) (ComboFactory, error) {
+	return sim.ComboPolicyFactory(name, scen)
+}
+
+// AggregateSeries folds one replication's series into a fresh
+// one-replication Aggregate whose State round-trips bit-identically.
+func AggregateSeries(s *Series) (*Aggregate, error) { return sim.AggregateSeries(s) }
 
 // Sharded sweep execution (package shard): a Sweep becomes a
 // distributable, resumable job over a shared — or, with record

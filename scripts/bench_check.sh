@@ -15,11 +15,14 @@
 # bench_test.go): replication round loop, steady-state round, strategy
 # graph construction, closure sampling, and the large-K family at K = 10⁴
 # (strategy-graph build, steady round, closure sampling on the sparse
-# representation). Figure-reproduction benches are excluded — they measure
-# science shape, not kernels, and their regret metrics are covered by
-# golden tests instead. Benchmarks present in the fresh run but absent
-# from the baseline report as NEW and pass, so tracking a new benchmark
-# and refreshing the baseline can land in the same PR.
+# representation), plus the decision service's decide path with and
+# without the HTTP layer (serve_decide_env_k16, serve_http_decide_env_k16).
+# Figure-reproduction benches are excluded — they measure science shape,
+# not kernels, and their regret metrics are covered by golden tests
+# instead. Benchmarks present in the fresh run but absent from the
+# baseline report as NEW and pass, so tracking a new benchmark and
+# refreshing the baseline can land in the same PR — the serve family is
+# in that state against BENCH_PR6.json until the next re-baseline.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -33,7 +36,7 @@ if [[ "$out" == "$baseline" ]]; then
   exit 2
 fi
 
-tracked="dflsso_replication_k100,dflsso_steady_state_round,strategy_graph_construction_top2_k20,sample_observed_closure,dflcsr_replication_k20,largek_sg_build_k10000,largek_steady_state_round_k10000,largek_closure_sample_k10000"
+tracked="dflsso_replication_k100,dflsso_steady_state_round,strategy_graph_construction_top2_k20,sample_observed_closure,dflcsr_replication_k20,largek_sg_build_k10000,largek_steady_state_round_k10000,largek_closure_sample_k10000,serve_decide_env_k16,serve_http_decide_env_k16"
 
 go run ./cmd/nbandit bench -out "$out" -label after -benchtime "$benchtime"
 go run ./scripts/benchcmp \

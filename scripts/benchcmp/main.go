@@ -8,7 +8,7 @@
 // the normal state of a PR that adds benchmarks and tracks them in the
 // same change, before the baseline is next refreshed.
 //
-//	go run ./scripts/benchcmp -baseline BENCH_PR2.json -fresh BENCH_PR5.json \
+//	go run ./scripts/benchcmp -baseline BENCH_PR6.json -fresh BENCH_FRESH.json \
 //	    -bench dflsso_replication_k100,dflsso_steady_state_round -max-regress 30
 package main
 
@@ -52,9 +52,9 @@ func load(path, label string) (map[string]metrics, error) {
 }
 
 func main() {
-	baselinePath := flag.String("baseline", "BENCH_PR2.json", "committed baseline trajectory file")
+	baselinePath := flag.String("baseline", "BENCH_PR6.json", "committed baseline trajectory file")
 	baselineLabel := flag.String("baseline-label", "after", "label to read from the baseline file")
-	freshPath := flag.String("fresh", "BENCH_PR5.json", "freshly measured trajectory file")
+	freshPath := flag.String("fresh", "BENCH_FRESH.json", "freshly measured trajectory file")
 	freshLabel := flag.String("fresh-label", "after", "label to read from the fresh file")
 	benches := flag.String("bench", "", "comma-separated tracked benchmark names (required)")
 	maxRegress := flag.Float64("max-regress", 30, "maximum allowed ns/op regression, percent")
