@@ -464,6 +464,49 @@ func benchSuite() []namedBench {
 			b.ReportMetric(1, "rounds/op")
 		}},
 	)
+	// Contextual family: the marginal round of the linear-reward loop —
+	// context fill, policy scoring, counter sampling, ridge update.
+	ctxRound := func(pol func() netbandit.ComboPolicy) func(b *testing.B) {
+		return func(b *testing.B) {
+			const warmup = 500
+			r := netbandit.NewRNG(11)
+			g := netbandit.GnpGraph(20, 0.3, r)
+			cenv, err := netbandit.NewContextualEnv(g, 20, netbandit.RandomTheta(r, 4), netbandit.NewCounter(12))
+			if err != nil {
+				b.Fatal(err)
+			}
+			set, err := netbandit.TopM(20, 2, g)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := netbandit.Config{Horizon: warmup + b.N, AnnounceHorizon: true}
+			run, err := netbandit.NewContextualComboRun(cenv, set, netbandit.CSO, pol(), cfg, netbandit.NewRNG(13), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < warmup; i++ {
+				if err := run.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := run.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(1, "rounds/op")
+		}
+	}
+	suite = append(suite,
+		namedBench{"comblinucb_steady_round", ctxRound(func() netbandit.ComboPolicy {
+			return netbandit.NewCombLinUCB(1, netbandit.ObjectiveDirect)
+		})},
+		namedBench{"ctx_thompson_steady_round", ctxRound(func() netbandit.ComboPolicy {
+			return netbandit.NewCombCtxThompson(0.5, netbandit.ObjectiveDirect, netbandit.NewRNG(14))
+		})},
+	)
 	return append(suite,
 		namedBench{"fig3a_quick", func(b *testing.B) {
 			e, ok := netbandit.FindExperiment("fig3a")

@@ -178,6 +178,9 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if sim.ContextualPolicy(o.policy) {
+		return fmt.Errorf("policy %q needs per-round contexts; use `nbandit sweep -d <dim>` for contextual runs", o.policy)
+	}
 	metric, err := parseMetric(o.metric)
 	if err != nil {
 		return err

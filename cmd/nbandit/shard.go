@@ -74,6 +74,7 @@ type gridSpec struct {
 	Graph    string `json:"graph"`
 	K        int    `json:"k"`
 	M        int    `json:"m"`
+	Dim      int    `json:"d,omitempty"`
 	Params   string `json:"p"`
 	Horizons string `json:"n"`
 	Points   int    `json:"points"`
@@ -82,7 +83,7 @@ type gridSpec struct {
 func gridFromOptions(o sweepOptions) gridSpec {
 	return gridSpec{
 		Scenario: o.scenario, Policies: o.policies, Graph: o.graph,
-		K: o.k, M: o.m, Params: o.params, Horizons: o.horizons, Points: o.points,
+		K: o.k, M: o.m, Dim: o.dim, Params: o.params, Horizons: o.horizons, Points: o.points,
 	}
 }
 
@@ -98,7 +99,7 @@ func sweepFromPlan(p *shard.Plan) (sim.Sweep, error) {
 	}
 	sw, err := buildSweep(sweepOptions{
 		scenario: g.Scenario, policies: g.Policies, graph: g.Graph,
-		k: g.K, m: g.M, params: g.Params, horizons: g.Horizons, points: g.Points,
+		k: g.K, m: g.M, dim: g.Dim, params: g.Params, horizons: g.Horizons, points: g.Points,
 		reps: p.Reps, seed: p.Seed,
 	})
 	if err != nil {

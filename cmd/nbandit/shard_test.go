@@ -78,6 +78,37 @@ func TestShardProtocolMatchesSweep(t *testing.T) {
 	}
 }
 
+// TestSweepFromPlanRoundTripsContextualGrid: the -d feature dimension must
+// survive the plan manifest, or workers rebuild a fixed-mean grid and every
+// contextual cell fails validation before running.
+func TestSweepFromPlanRoundTripsContextualGrid(t *testing.T) {
+	o := testSweepOptions()
+	o.scenario = "cso"
+	o.policies = "linucb,dfl"
+	o.dim = 3
+	sw, err := buildSweep(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := json.Marshal(gridFromOptions(o))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := shard.NewPlan(&sw, grid, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := sweepFromPlan(plan)
+	if err != nil {
+		t.Fatalf("contextual grid failed the plan round trip: %v", err)
+	}
+	for _, env := range rebuilt.Envs {
+		if !strings.Contains(env.Name, "+ctx3") {
+			t.Fatalf("rebuilt environment axis %q lost the feature dimension", env.Name)
+		}
+	}
+}
+
 // TestSweepFromPlanRejectsGridDrift: a plan whose stored grid expands to a
 // different cell enumeration than the manifest records (a drifted binary,
 // or a hand-edited-and-rehashed grid) must be rejected before any cell

@@ -25,6 +25,7 @@ type sweepOptions struct {
 	graph    string
 	k        int
 	m        int
+	dim      int
 	params   string
 	horizons string
 	points   int
@@ -42,6 +43,7 @@ func sweepFlags(fs *flag.FlagSet, o *sweepOptions) {
 	fs.StringVar(&o.graph, "graph", "gnp", "relation graph generator: "+strings.Join(graphs.GeneratorNames(), "|"))
 	fs.IntVar(&o.k, "k", 100, "number of arms")
 	fs.IntVar(&o.m, "m", 2, "strategy size for combinatorial scenarios")
+	fs.IntVar(&o.dim, "d", 0, "feature dimension: 0 = fixed Bernoulli means, >0 = contextual (linear rewards over per-round features)")
 	fs.StringVar(&o.params, "p", "0.3", "comma-separated graph parameters, e.g. G(n,p) densities (one grid axis)")
 	fs.StringVar(&o.horizons, "n", "10000", "comma-separated horizons (one grid axis)")
 	fs.IntVar(&o.points, "points", 100, "checkpoints sampled per curve")
@@ -122,9 +124,12 @@ func buildSweep(o sweepOptions) (sim.Sweep, error) {
 		return sim.Sweep{}, fmt.Errorf("parsing -n: %w", err)
 	}
 
+	if o.dim < 0 {
+		return sim.Sweep{}, fmt.Errorf("-d %d must be non-negative", o.dim)
+	}
 	var envs []sim.EnvSpec
 	for _, p := range params {
-		envs = append(envs, gridEnvSpec(graphs.GeneratorName(o.graph), scen, o.k, o.m, p))
+		envs = append(envs, gridEnvSpec(graphs.GeneratorName(o.graph), scen, o.k, o.m, o.dim, p))
 	}
 
 	var policies []sim.PolicySpec
@@ -133,19 +138,9 @@ func buildSweep(o sweepOptions) (sim.Sweep, error) {
 		if name == "" {
 			continue
 		}
-		spec := sim.PolicySpec{Name: name}
-		if scen.Combinatorial() {
-			factory, err := comboFactory(name, scen)
-			if err != nil {
-				return sim.Sweep{}, err
-			}
-			spec.Combo = factory
-		} else {
-			factory, err := singleFactory(name, scen)
-			if err != nil {
-				return sim.Sweep{}, err
-			}
-			spec.Single = factory
+		spec, err := sim.NewPolicySpec(name, scen)
+		if err != nil {
+			return sim.Sweep{}, err
 		}
 		policies = append(policies, spec)
 	}
@@ -180,9 +175,12 @@ func buildSweep(o sweepOptions) (sim.Sweep, error) {
 }
 
 // gridEnvSpec is one environment axis point: a named random graph with
-// uniform-random Bernoulli arms, plus the TopM family for combinatorial
-// scenarios.
-func gridEnvSpec(gen graphs.GeneratorName, scen bandit.Scenario, k, m int, param float64) sim.EnvSpec {
+// uniform-random Bernoulli arms (d = 0) or linear rewards over per-round
+// features (d > 0), plus the TopM family for combinatorial scenarios.
+func gridEnvSpec(gen graphs.GeneratorName, scen bandit.Scenario, k, m, d int, param float64) sim.EnvSpec {
+	if d > 0 {
+		return sim.ContextualGeneratorEnv(fmt.Sprintf("%s(%g)+ctx%d", gen, param, d), scen, gen, k, m, d, param)
+	}
 	return sim.GeneratorEnv(fmt.Sprintf("%s(%g)", gen, param), scen, gen, k, m, param)
 }
 

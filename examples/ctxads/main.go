@@ -1,0 +1,74 @@
+// Feature-targeted ad placement: the contextual variant of the
+// adplacement example. Each page view arrives with audience features —
+// time of day, device, inferred interest mix — and every candidate ad's
+// click-through rate this view is linear in those features: p_i(t) =
+// θ·x_i(t). The advertiser still shows M of K audience-linked ads per
+// view (combinatorial play with side observation), but the best
+// placement now changes from view to view, so a fixed-mean learner can
+// only chase the average.
+//
+// The example sweeps combinatorial LinUCB and contextual Thompson
+// sampling — which read the features — against DFL-CSO and CUCB, which
+// cannot, on one contextual grid cell. The contextual policies' regret
+// flattens; the fixed-mean policies pay a linear price for ignoring the
+// context.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"netbandit"
+)
+
+func main() {
+	const (
+		ads     = 16
+		slots   = 2
+		dim     = 4 // audience features per page view
+		density = 0.35
+		horizon = 6000
+		reps    = 8
+		seed    = 7
+	)
+
+	env := netbandit.ContextualGnpEnv(
+		fmt.Sprintf("ctx-ads(K=%d,d=%d)", ads, dim),
+		netbandit.CSO, ads, slots, dim, density)
+
+	var policies []netbandit.PolicySpec
+	for _, name := range []string{"linucb", "ctx-thompson", "dfl", "cucb"} {
+		spec, err := netbandit.NewPolicySpec(name, netbandit.CSO)
+		if err != nil {
+			log.Fatal(err)
+		}
+		policies = append(policies, spec)
+	}
+
+	sweep := netbandit.Sweep{
+		Name:     "feature-targeted ad placement",
+		Envs:     []netbandit.EnvSpec{env},
+		Policies: policies,
+		Configs: []netbandit.ConfigSpec{{Config: netbandit.Config{
+			Horizon: horizon, AnnounceHorizon: true,
+		}}},
+		Reps: reps,
+		Seed: seed,
+	}
+	res, err := sweep.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("feature-targeted ads: %d ads, %d slots, d=%d features per view, n=%d, %d reps\n\n",
+		ads, slots, dim, horizon, reps)
+	fmt.Printf("%-14s %20s %20s\n", "policy", "final cum. regret", "avg regret / view")
+	for _, c := range res.Cells {
+		fmt.Printf("%-14s %20.1f %20.4f\n", c.Policy,
+			c.Agg.Final(netbandit.CumPseudo), c.Agg.Final(netbandit.AvgPseudo))
+	}
+	fmt.Println("\nregret here is against the per-view optimum: the best placement")
+	fmt.Println("for each context, not one fixed placement — only the contextual")
+	fmt.Println("policies can keep up with it.")
+}

@@ -1,0 +1,152 @@
+package bandit
+
+import (
+	"math"
+	"testing"
+
+	"netbandit/internal/graphs"
+	"netbandit/internal/rng"
+)
+
+func newCtxEnv(t *testing.T, k, d int, seed uint64) *ContextualEnv {
+	t.Helper()
+	r := rng.New(seed)
+	g := graphs.Gnp(k, 0.4, r.Split(1))
+	e, err := NewContextualEnv(g, k, RandomTheta(r.Split(2), d), r.Split(3).Counter())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestContextPureFunctionOfSeed is the contextual determinism contract:
+// round t's features are a pure function of (feature stream, coordinate,
+// t) — two environments built from the same seed agree bit for bit, no
+// matter in which order (or how often) rounds are queried, which is what
+// lets shards and restarted servers re-derive contexts instead of
+// storing them.
+func TestContextPureFunctionOfSeed(t *testing.T) {
+	a := newCtxEnv(t, 7, 3, 17)
+	b := newCtxEnv(t, 7, 3, 17)
+
+	// a walks forward reusing one buffer; b queries out of order with
+	// fresh buffers, revisiting rounds.
+	var rcA *RoundContext
+	forward := map[int][]float64{}
+	for round := 1; round <= 20; round++ {
+		rcA = a.Context(round, rcA)
+		forward[round] = append([]float64(nil), rcA.X...)
+	}
+	for _, round := range []int{20, 3, 11, 3, 1, 20} {
+		rcB := b.Context(round, nil)
+		if rcB.T != round || rcB.K != 7 || rcB.D != 3 {
+			t.Fatalf("round %d: context header = %+v", round, rcB)
+		}
+		for i, x := range rcB.X {
+			if x != forward[round][i] {
+				t.Fatalf("round %d coordinate %d: %v out of order vs %v in order", round, i, x, forward[round][i])
+			}
+			if x < 0 || x >= 1 {
+				t.Fatalf("round %d coordinate %d: feature %v outside [0, 1)", round, i, x)
+			}
+		}
+	}
+}
+
+// TestMeansAtIsThetaDot checks p_i(t) = θ·x_i(t) against a direct dot
+// product, and that it always lands in [0, 1) (θ is normalised to sum 1
+// over features below 1).
+func TestMeansAtIsThetaDot(t *testing.T) {
+	e := newCtxEnv(t, 6, 4, 23)
+	theta := e.Theta()
+	var sum float64
+	for _, w := range theta {
+		sum += w
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("theta sums to %v, want 1", sum)
+	}
+	var rc *RoundContext
+	var means []float64
+	for round := 1; round <= 10; round++ {
+		rc = e.Context(round, rc)
+		means = e.MeansAt(rc, means)
+		for i := 0; i < e.K(); i++ {
+			var want float64
+			for j, w := range theta {
+				want += w * rc.Arm(i)[j]
+			}
+			if math.Abs(means[i]-want) > 1e-12 {
+				t.Fatalf("round %d arm %d: mean %v, dot product %v", round, i, means[i], want)
+			}
+			if means[i] < 0 || means[i] >= 1 {
+				t.Fatalf("round %d arm %d: mean %v outside [0, 1)", round, i, means[i])
+			}
+		}
+	}
+}
+
+// TestSampleObservationsAtMatchesSampleArmAt checks the batched 4-lane
+// sampling pass draws exactly what the scalar per-arm sampler draws, past
+// the 4-lane boundary, and fills xs by arm index.
+func TestSampleObservationsAtMatchesSampleArmAt(t *testing.T) {
+	e := newCtxEnv(t, 11, 3, 29)
+	ctr := rng.New(31).Counter()
+	arms := make([]int, e.K())
+	for i := range arms {
+		arms[i] = i
+	}
+	var rc *RoundContext
+	var means []float64
+	xs := make([]float64, e.K())
+	for round := 1; round <= 8; round++ {
+		rc = e.Context(round, rc)
+		means = e.MeansAt(rc, means)
+		obs := e.SampleObservationsAt(ctr, round, arms, means, xs, nil)
+		if len(obs) != len(arms) {
+			t.Fatalf("round %d: %d observations for %d arms", round, len(obs), len(arms))
+		}
+		for _, o := range obs {
+			want := e.SampleArmAt(ctr, o.Arm, round, means[o.Arm])
+			if o.Value != want {
+				t.Fatalf("round %d arm %d: batched draw %v, scalar draw %v", round, o.Arm, o.Value, want)
+			}
+			if xs[o.Arm] != o.Value {
+				t.Fatalf("round %d arm %d: xs[%d] = %v, observation %v", round, o.Arm, o.Arm, xs[o.Arm], o.Value)
+			}
+			if o.Value != 0 && o.Value != 1 {
+				t.Fatalf("round %d arm %d: non-Bernoulli draw %v", round, o.Arm, o.Value)
+			}
+		}
+	}
+}
+
+func TestNewContextualEnvValidates(t *testing.T) {
+	g := graphs.Gnp(5, 0.3, rng.New(1))
+	ctr := rng.New(2).Counter()
+	if _, err := NewContextualEnv(g, 0, []float64{1}, ctr); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewContextualEnv(g, 5, nil, ctr); err == nil {
+		t.Error("empty theta accepted")
+	}
+	if _, err := NewContextualEnv(g, 5, []float64{0.5, -0.1}, ctr); err == nil {
+		t.Error("negative theta accepted")
+	}
+	if _, err := NewContextualEnv(g, 5, []float64{0, 0}, ctr); err == nil {
+		t.Error("zero-sum theta accepted")
+	}
+	if _, err := NewContextualEnv(g, 4, []float64{1, 1}, ctr); err == nil {
+		t.Error("graph/k mismatch accepted")
+	}
+	// nil graph = no side information: closures are singletons.
+	e, err := NewContextualEnv(nil, 3, []float64{2, 2}, ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if c := e.Closed(i); len(c) != 1 || c[0] != i || e.SelfPos(i) != 0 {
+			t.Fatalf("arm %d: closed %v, selfpos %d", i, c, e.SelfPos(i))
+		}
+	}
+}

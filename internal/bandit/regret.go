@@ -31,6 +31,17 @@ func (r *RegretTracker) Record(chosenMean, realized float64) {
 	r.cumRealized += r.optimal - realized
 }
 
+// RecordVs accumulates one round against a caller-supplied optimum —
+// the contextual accounting, where the benchmark action (and its expected
+// reward) changes every round. The fixed-optimum path above is untouched;
+// trackers built with NewRegretTracker(0) and driven exclusively through
+// RecordVs report pure per-round regret.
+func (r *RegretTracker) RecordVs(optimal, chosenMean, realized float64) {
+	r.rounds++
+	r.cumPseudo += optimal - chosenMean
+	r.cumRealized += optimal - realized
+}
+
 // Rounds returns the number of recorded rounds.
 func (r *RegretTracker) Rounds() int { return r.rounds }
 

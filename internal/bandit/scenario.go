@@ -77,19 +77,22 @@ type Observation struct {
 
 // Meta describes the game a single-play policy is about to play. Graph is
 // the relation graph; policies that do not exploit side information simply
-// ignore it.
+// ignore it. Dim is the per-arm feature dimension when the run is
+// contextual (Select will receive non-nil *RoundContext values), and 0 for
+// the classical fixed-mean game.
 type Meta struct {
 	K        int
 	Horizon  int // total rounds, 0 when unknown (anytime operation)
 	Graph    *graphs.Graph
 	Scenario Scenario
+	Dim      int // feature dimension, 0 = non-contextual
 }
 
 // SinglePolicy is a single-play decision rule. The runner drives it as:
 //
 //	policy.Reset(meta)
 //	for t := 1; t <= n; t++ {
-//	    i := policy.Select(t)
+//	    i := policy.Select(t, rc)
 //	    ... environment reveals observations obs ...
 //	    policy.Update(t, i, obs)
 //	}
@@ -101,8 +104,12 @@ type SinglePolicy interface {
 	Name() string
 	// Reset prepares the policy for a fresh run.
 	Reset(meta Meta)
-	// Select returns the arm to pull in round t (1-based).
-	Select(t int) int
+	// Select returns the arm to pull in round t (1-based). rc carries the
+	// round's per-arm feature vectors and is nil for non-contextual runs;
+	// policies that ignore contexts must accept nil. A non-nil rc stays
+	// valid until the next Select, so contextual policies may retain it
+	// across the matching Update.
+	Select(t int, rc *RoundContext) int
 	// Update feeds back the round's observations. chosen is the arm
 	// returned by Select; obs contains every arm reward revealed this
 	// round (the chosen arm always included; neighbours included in the
@@ -118,6 +125,9 @@ type ComboMeta struct {
 	Graph      *graphs.Graph
 	Strategies *strategy.Set
 	Scenario   Scenario
+	// Dim is the per-arm feature dimension when the run is contextual
+	// (Select receives non-nil *RoundContext values), 0 otherwise.
+	Dim int
 	// SharedSG, when non-nil, supplies the strategy relation graph SG(F, L)
 	// from a cache shared read-only across replications, so the O(|F|²)
 	// construction is paid once per experiment cell instead of once per
@@ -157,8 +167,10 @@ type ComboPolicy interface {
 	Name() string
 	// Reset prepares the policy for a fresh run.
 	Reset(meta ComboMeta)
-	// Select returns the strategy to play in round t (1-based).
-	Select(t int) int
+	// Select returns the strategy to play in round t (1-based). rc is the
+	// round's feature context, nil for non-contextual runs; it stays valid
+	// until the next Select (see SinglePolicy.Select).
+	Select(t int, rc *RoundContext) int
 	// Update feeds back the round's arm-level observations.
 	Update(t int, chosen int, obs []Observation)
 }

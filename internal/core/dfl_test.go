@@ -20,7 +20,7 @@ func playSingle(t *testing.T, pol bandit.SinglePolicy, g *graphs.Graph, means []
 	pulls := make([]int, k)
 	var obs []bandit.Observation
 	for round := 1; round <= n; round++ {
-		i := pol.Select(round)
+		i := pol.Select(round, nil)
 		if i < 0 || i >= k {
 			t.Fatalf("round %d: Select returned invalid arm %d", round, i)
 		}
@@ -97,7 +97,7 @@ func TestDFLSSRObInvariant(t *testing.T) {
 	counts := make([]int64, k)
 	var obs []bandit.Observation
 	for round := 1; round <= 400; round++ {
-		i := pol.Select(round)
+		i := pol.Select(round, nil)
 		obs = obs[:0]
 		for _, j := range g.ClosedNeighborhood(i) {
 			v := 0.0
@@ -149,7 +149,7 @@ func TestDFLSSRExactEstimateUnbiasedOnPointMasses(t *testing.T) {
 	pol.Reset(bandit.Meta{K: 3, Graph: g, Scenario: bandit.SSR})
 	vals := []float64{0.25, 0.5, 0.125}
 	for round := 1; round <= 30; round++ {
-		i := pol.Select(round)
+		i := pol.Select(round, nil)
 		var obs []bandit.Observation
 		for _, j := range g.ClosedNeighborhood(i) {
 			obs = append(obs, bandit.Observation{Arm: j, Value: vals[j]})
@@ -179,7 +179,7 @@ func playCombo(t *testing.T, pol bandit.ComboPolicy, set *strategy.Set, means []
 	plays := make([]int, set.Len())
 	var obs []bandit.Observation
 	for round := 1; round <= n; round++ {
-		x := pol.Select(round)
+		x := pol.Select(round, nil)
 		if x < 0 || x >= set.Len() {
 			t.Fatalf("round %d: invalid strategy %d", round, x)
 		}
@@ -300,7 +300,7 @@ func TestDFLSSONilGraphDegeneratesToMOSSLike(t *testing.T) {
 	r := rng.New(17)
 	pulls := make([]int, 3)
 	for round := 1; round <= 1000; round++ {
-		i := pol.Select(round)
+		i := pol.Select(round, nil)
 		pulls[i]++
 		v := 0.0
 		if r.Bernoulli(means[i]) {

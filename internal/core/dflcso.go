@@ -72,7 +72,7 @@ func (p *DFLCSO) StrategyGraph() *graphs.Graph { return p.sg }
 
 // Select implements bandit.ComboPolicy, maximising the Equation (42) index
 // over com-arms.
-func (p *DFLCSO) Select(t int) int {
+func (p *DFLCSO) Select(t int, _ *bandit.RoundContext) int {
 	return p.idx.argmax(p.idx.logRound(t), p.mean)
 }
 

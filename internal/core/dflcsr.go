@@ -66,7 +66,7 @@ func (p *DFLCSR) Reset(meta bandit.ComboMeta) {
 // Select implements bandit.ComboPolicy: it assembles the per-arm
 // optimistic weights of Equation (47) and delegates the combinatorial
 // maximisation to the oracle.
-func (p *DFLCSR) Select(t int) int {
+func (p *DFLCSR) Select(t int, _ *bandit.RoundContext) int {
 	logT23 := (2.0 / 3.0) * p.idx.logRound(t) // ln t^{2/3}
 	p.idx.fillWeights(logT23, p.mean, p.weights)
 	return p.Oracle.ArgmaxClosure(p.set, p.weights)

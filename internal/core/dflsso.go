@@ -48,7 +48,7 @@ func (p *DFLSSO) Reset(meta bandit.Meta) {
 }
 
 // Select implements bandit.SinglePolicy, maximising the Equation (5) index.
-func (p *DFLSSO) Select(t int) int {
+func (p *DFLSSO) Select(t int, _ *bandit.RoundContext) int {
 	return p.idx.argmax(p.idx.logRound(t), p.mean)
 }
 
@@ -101,8 +101,8 @@ func NewDFLSSOGreedyHop() *DFLSSOGreedyHop { return &DFLSSOGreedyHop{} }
 func (p *DFLSSOGreedyHop) Name() string { return "DFL-SSO-hop" }
 
 // Select implements bandit.SinglePolicy.
-func (p *DFLSSOGreedyHop) Select(t int) int {
-	star := p.DFLSSO.Select(t)
+func (p *DFLSSOGreedyHop) Select(t int, _ *bandit.RoundContext) int {
+	star := p.DFLSSO.Select(t, nil)
 	if p.graph == nil {
 		return star
 	}

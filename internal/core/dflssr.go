@@ -57,7 +57,7 @@ func (p *DFLSSR) Reset(meta bandit.Meta) {
 
 // Select implements bandit.SinglePolicy, maximising the Equation (45)
 // index.
-func (p *DFLSSR) Select(t int) int {
+func (p *DFLSSR) Select(t int, _ *bandit.RoundContext) int {
 	return p.idx.argmax(p.idx.logRound(t), p.bbar)
 }
 
@@ -150,7 +150,7 @@ func (p *DFLSSRStreaming) Reset(meta bandit.Meta) {
 }
 
 // Select implements bandit.SinglePolicy.
-func (p *DFLSSRStreaming) Select(t int) int {
+func (p *DFLSSRStreaming) Select(t int, _ *bandit.RoundContext) int {
 	return p.idx.argmax(p.idx.logRound(t), p.bbar)
 }
 

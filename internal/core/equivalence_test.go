@@ -62,8 +62,8 @@ func TestSingletonConversionMatchesDFLSSO(t *testing.T) {
 				xs[i] = 0
 			}
 		}
-		aSSO := sso.Select(round)
-		aCSO := cso.Select(round)
+		aSSO := sso.Select(round, nil)
+		aCSO := cso.Select(round, nil)
 		if aSSO != aCSO {
 			t.Fatalf("round %d: DFL-SSO chose %d, DFL-CSO chose strategy %d", round, aSSO, aCSO)
 		}

@@ -160,7 +160,7 @@ func Run(env *PiecewiseEnv, pol bandit.SinglePolicy, horizon int, checkpoints []
 		next int
 	)
 	for t := 1; t <= horizon; t++ {
-		i := pol.Select(t)
+		i := pol.Select(t, nil)
 		if i < 0 || i >= env.k {
 			return nil, fmt.Errorf("nonstat: round %d: invalid arm %d", t, i)
 		}

@@ -130,7 +130,7 @@ func TestSWDFLSSOEviction(t *testing.T) {
 	for t2 := 1; t2 <= 10; t2++ {
 		p.Update(t2, 0, []bandit.Observation{{Arm: 0, Value: float64(t2)}})
 	}
-	_ = p.Select(11) // triggers eviction of rounds <= 6
+	_ = p.Select(11, nil) // triggers eviction of rounds <= 6
 	if got := len(p.rounds[0]); got != 4 {
 		t.Fatalf("window holds %d observations, want 4 (rounds 7-10)", got)
 	}

@@ -53,7 +53,7 @@ func (p *SWDFLSSO) Reset(meta bandit.Meta) {
 }
 
 // Select implements bandit.SinglePolicy.
-func (p *SWDFLSSO) Select(t int) int {
+func (p *SWDFLSSO) Select(t int, _ *bandit.RoundContext) int {
 	p.evict(t)
 	effT := t
 	if effT > p.Window {

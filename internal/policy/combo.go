@@ -66,7 +66,7 @@ func (p *CUCB) Reset(meta bandit.ComboMeta) {
 }
 
 // Select implements bandit.ComboPolicy.
-func (p *CUCB) Select(t int) int {
+func (p *CUCB) Select(t int, _ *bandit.RoundContext) int {
 	for i := 0; i < p.k; i++ {
 		n := p.stats.Count[i]
 		if n == 0 {
@@ -122,7 +122,7 @@ func (p *ComboRandom) Name() string { return "random" }
 func (p *ComboRandom) Reset(meta bandit.ComboMeta) { p.len = meta.Strategies.Len() }
 
 // Select implements bandit.ComboPolicy.
-func (p *ComboRandom) Select(int) int { return p.rng.Intn(p.len) }
+func (p *ComboRandom) Select(int, *bandit.RoundContext) int { return p.rng.Intn(p.len) }
 
 // Update implements bandit.ComboPolicy.
 func (p *ComboRandom) Update(int, int, []bandit.Observation) {}
@@ -179,7 +179,7 @@ func (p *ComboEXP3) Reset(meta bandit.ComboMeta) {
 }
 
 // Select implements bandit.ComboPolicy.
-func (p *ComboEXP3) Select(int) int {
+func (p *ComboEXP3) Select(int, *bandit.RoundContext) int {
 	var total float64
 	for _, w := range p.weights {
 		total += w

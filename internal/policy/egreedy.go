@@ -50,7 +50,7 @@ func (p *EpsilonGreedy) Reset(meta bandit.Meta) {
 }
 
 // Select implements bandit.SinglePolicy.
-func (p *EpsilonGreedy) Select(t int) int {
+func (p *EpsilonGreedy) Select(t int, _ *bandit.RoundContext) int {
 	eps := p.Epsilon
 	if p.Decay > 0 {
 		eps = p.Decay * float64(p.k) / float64(t)

@@ -44,7 +44,7 @@ func (p *EXP3) Reset(meta bandit.Meta) {
 }
 
 // Select implements bandit.SinglePolicy.
-func (p *EXP3) Select(int) int {
+func (p *EXP3) Select(int, *bandit.RoundContext) int {
 	var total float64
 	for _, w := range p.weights {
 		total += w

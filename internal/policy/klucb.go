@@ -45,7 +45,7 @@ func (p *KLUCB) Reset(meta bandit.Meta) {
 }
 
 // Select implements bandit.SinglePolicy.
-func (p *KLUCB) Select(t int) int {
+func (p *KLUCB) Select(t int, _ *bandit.RoundContext) int {
 	logT := math.Log(float64(t))
 	if t >= 3 {
 		logT += 3 * math.Log(math.Log(float64(t)))

@@ -38,7 +38,7 @@ func (p *MOSS) Reset(meta bandit.Meta) {
 }
 
 // Select implements bandit.SinglePolicy.
-func (p *MOSS) Select(t int) int {
+func (p *MOSS) Select(t int, _ *bandit.RoundContext) int {
 	budget := p.horizon
 	if budget == 0 {
 		budget = t

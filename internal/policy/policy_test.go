@@ -23,7 +23,7 @@ func driveSingle(t *testing.T, pol bandit.SinglePolicy, g *graphs.Graph, means [
 	pulls := make([]int, k)
 	var obs []bandit.Observation
 	for round := 1; round <= n; round++ {
-		i := pol.Select(round)
+		i := pol.Select(round, nil)
 		if i < 0 || i >= k {
 			t.Fatalf("round %d: invalid arm %d from %s", round, i, pol.Name())
 		}
@@ -125,13 +125,13 @@ func TestMOSSIgnoresSideObservations(t *testing.T) {
 	// the +Inf index, so the arm is selected next).
 	pol := NewMOSS()
 	pol.Reset(bandit.Meta{K: 2, Horizon: 10})
-	first := pol.Select(1)
+	first := pol.Select(1, nil)
 	obs := []bandit.Observation{
 		{Arm: first, Value: 0},
 		{Arm: 1 - first, Value: 1}, // side observation MOSS must ignore
 	}
 	pol.Update(1, first, obs)
-	second := pol.Select(2)
+	second := pol.Select(2, nil)
 	if second != 1-first {
 		t.Fatal("MOSS should still force-explore the unpulled arm")
 	}
@@ -143,7 +143,7 @@ func TestUCBNUsesSideObservations(t *testing.T) {
 	g := graphs.Complete(4)
 	pol := NewUCBN()
 	pol.Reset(bandit.Meta{K: 4, Graph: g})
-	i := pol.Select(1)
+	i := pol.Select(1, nil)
 	var obs []bandit.Observation
 	for j := 0; j < 4; j++ {
 		v := 0.0
@@ -153,7 +153,7 @@ func TestUCBNUsesSideObservations(t *testing.T) {
 		obs = append(obs, bandit.Observation{Arm: j, Value: v})
 	}
 	pol.Update(1, i, obs)
-	if got := pol.Select(2); got != 2 {
+	if got := pol.Select(2, nil); got != 2 {
 		t.Fatalf("UCB-N ignored side observations: selected %d, want 2", got)
 	}
 }
@@ -191,7 +191,7 @@ func driveCombo(t *testing.T, pol bandit.ComboPolicy, set *strategy.Set, means [
 	plays := make([]int, set.Len())
 	var obs []bandit.Observation
 	for round := 1; round <= n; round++ {
-		x := pol.Select(round)
+		x := pol.Select(round, nil)
 		if x < 0 || x >= set.Len() {
 			t.Fatalf("round %d: invalid strategy %d", round, x)
 		}

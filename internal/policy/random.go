@@ -22,7 +22,7 @@ func (p *Random) Name() string { return "random" }
 func (p *Random) Reset(meta bandit.Meta) { p.k = meta.K }
 
 // Select implements bandit.SinglePolicy.
-func (p *Random) Select(int) int { return p.rng.Intn(p.k) }
+func (p *Random) Select(int, *bandit.RoundContext) int { return p.rng.Intn(p.k) }
 
 // Update implements bandit.SinglePolicy.
 func (p *Random) Update(int, int, []bandit.Observation) {}
@@ -59,7 +59,7 @@ func (p *FTL) Reset(meta bandit.Meta) {
 }
 
 // Select implements bandit.SinglePolicy.
-func (p *FTL) Select(int) int {
+func (p *FTL) Select(int, *bandit.RoundContext) int {
 	for i := 0; i < p.k; i++ {
 		if p.stats.Count[i] == 0 {
 			return i

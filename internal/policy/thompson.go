@@ -41,7 +41,7 @@ func (p *Thompson) Reset(meta bandit.Meta) {
 }
 
 // Select implements bandit.SinglePolicy.
-func (p *Thompson) Select(int) int {
+func (p *Thompson) Select(int, *bandit.RoundContext) int {
 	for i := 0; i < p.k; i++ {
 		p.samples[i] = p.rng.Beta(1+p.successes[i], 1+p.failures[i])
 	}

@@ -39,7 +39,7 @@ func (p *UCB1) Reset(meta bandit.Meta) {
 }
 
 // Select implements bandit.SinglePolicy.
-func (p *UCB1) Select(t int) int {
+func (p *UCB1) Select(t int, _ *bandit.RoundContext) int {
 	for i := 0; i < p.k; i++ {
 		n := p.stats.Count[i]
 		if n == 0 {

@@ -31,7 +31,7 @@ func (p *UCBN) Reset(meta bandit.Meta) {
 }
 
 // Select implements bandit.SinglePolicy.
-func (p *UCBN) Select(t int) int {
+func (p *UCBN) Select(t int, _ *bandit.RoundContext) int {
 	for i := 0; i < p.k; i++ {
 		n := p.stats.Count[i]
 		if n == 0 {
@@ -79,7 +79,7 @@ func (p *UCBMaxN) Reset(meta bandit.Meta) {
 }
 
 // Select implements bandit.SinglePolicy.
-func (p *UCBMaxN) Select(t int) int {
+func (p *UCBMaxN) Select(t int, _ *bandit.RoundContext) int {
 	for i := 0; i < p.k; i++ {
 		n := p.stats.Count[i]
 		if n == 0 {

@@ -1,6 +1,9 @@
 package rng
 
-import "math/bits"
+import (
+	"math"
+	"math/bits"
+)
 
 // Counter is a counter-based ("stateless") random stream: instead of
 // advancing hidden generator state, every (arm, t) pair is hashed together
@@ -175,4 +178,44 @@ func (c Counter) Float64At(arm, t uint64) float64 {
 func (r *RNG) Reseed(seed uint64) {
 	r.reseed(seed)
 	r.haveSpare = false
+}
+
+// NormalsAt fills dst with len(dst) standard normal variates for round t:
+// dst[i] is a pure function of (c, t, i), so contextual Thompson policies
+// can draw their per-round posterior perturbations with the same
+// order-independence and shard-stability as the reward stream. Uniforms
+// are hashed four lanes per call through Uint64At4Premixed — the same
+// instruction-level-parallel batch the reward sampler uses — and turned
+// into normals in Box–Muller pairs.
+func (c Counter) NormalsAt(t uint64, dst []float64) {
+	cr := c.Round(t)
+	n := len(dst)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		u0, u1, u2, u3 := cr.Uint64At4Premixed(
+			PremixArm(uint64(i)), PremixArm(uint64(i+1)),
+			PremixArm(uint64(i+2)), PremixArm(uint64(i+3)))
+		boxMuller(u0, u1, dst[i:])
+		boxMuller(u2, u3, dst[i+2:])
+	}
+	for ; i < n; i += 2 {
+		var pair [2]float64
+		boxMuller(cr.Uint64At(uint64(i)), cr.Uint64At(uint64(i+1)), pair[:])
+		dst[i] = pair[0]
+		if i+1 < n {
+			dst[i+1] = pair[1]
+		}
+	}
+}
+
+// boxMuller converts two uniform 64-bit words into two standard normals,
+// written to out[0] and out[1]. The log argument is shifted into (0, 1] so
+// it never sees zero.
+func boxMuller(u0, u1 uint64, out []float64) {
+	f0 := (float64(u0>>11) + 1) / (1 << 53)
+	f1 := float64(u1>>11) / (1 << 53)
+	rad := math.Sqrt(-2 * math.Log(f0))
+	s, cth := math.Sincos(2 * math.Pi * f1)
+	out[0] = rad * cth
+	out[1] = rad * s
 }

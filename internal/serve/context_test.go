@@ -1,0 +1,239 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// ctxSpec is the workhorse contextual instance: a linear-reward SSO
+// bandit under LinUCB, which actually consumes the per-round features —
+// a wrong context would diverge the decision sequence immediately.
+func ctxSpec(id, feedback string) Spec {
+	return Spec{
+		ID: id, Seed: 77, Scenario: "sso", Policy: "linucb",
+		K: 6, P: 0.4, Horizon: 400, Points: 10, Feedback: feedback,
+		RewardModel: RewardLinear,
+	}
+}
+
+func TestSpecRewardModelNormalize(t *testing.T) {
+	// Specs written before the reward_model field existed must hash
+	// identically to specs that spell the default out: "bernoulli" is
+	// canonicalized to the empty string.
+	old := testSpec("a", FeedbackClient)
+	if err := old.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	spelled := testSpec("a", FeedbackClient)
+	spelled.RewardModel = RewardBernoulli
+	if err := spelled.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if old.Hash() != spelled.Hash() {
+		t.Fatalf("explicit bernoulli changed the spec hash: %s vs %s", old.Hash(), spelled.Hash())
+	}
+	if got := spelled.RewardModelName(); got != RewardBernoulli {
+		t.Fatalf("RewardModelName = %q, want %q", got, RewardBernoulli)
+	}
+
+	lin := ctxSpec("b", FeedbackClient)
+	if err := lin.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if lin.D != DefaultDim {
+		t.Fatalf("linear spec d defaulted to %d, want %d", lin.D, DefaultDim)
+	}
+	if !lin.Contextual() {
+		t.Fatal("linear spec not reported contextual")
+	}
+
+	bad := testSpec("c", FeedbackClient)
+	bad.D = 3
+	if err := bad.Normalize(); err == nil || !strings.Contains(err.Error(), "only valid") {
+		t.Fatalf("d on a bernoulli spec: err = %v", err)
+	}
+	bad = testSpec("d", FeedbackClient)
+	bad.RewardModel = "gaussian"
+	if err := bad.Normalize(); err == nil {
+		t.Fatal("unknown reward model accepted")
+	}
+	bad = testSpec("e", FeedbackClient)
+	bad.Policy = "linucb"
+	if err := bad.Normalize(); err == nil || !strings.Contains(err.Error(), "reward_model") {
+		t.Fatalf("contextual policy without linear rewards: err = %v", err)
+	}
+}
+
+// TestContextOverHTTP exercises the contextual wire protocol end to end:
+// context on request, hash echo on feedback, and the 400s that fence
+// context fields off from non-contextual instances.
+func TestContextOverHTTP(t *testing.T) {
+	s, ts := newTestServer(t, t.TempDir())
+	defer s.Close()
+	base := ts.URL
+
+	if code := doJSON(t, "POST", base+"/v1/instances", ctxSpec("ctx", FeedbackClient), nil); code != http.StatusCreated {
+		t.Fatalf("create ctx: status %d", code)
+	}
+	if code := doJSON(t, "POST", base+"/v1/instances", testSpec("plain", FeedbackClient), nil); code != http.StatusCreated {
+		t.Fatalf("create plain: status %d", code)
+	}
+
+	var dec Decision
+	if code := doJSON(t, "POST", base+"/v1/decide", decideRequest{Instance: "ctx", Context: true}, &dec); code != http.StatusOK {
+		t.Fatalf("decide: status %d", code)
+	}
+	if dec.ContextHash == "" {
+		t.Fatal("contextual decide returned no context_hash")
+	}
+	if len(dec.Context) != 6 {
+		t.Fatalf("context has %d rows, want k=6", len(dec.Context))
+	}
+	for i, row := range dec.Context {
+		if len(row) != DefaultDim {
+			t.Fatalf("context row %d has %d coords, want d=%d", i, len(row), DefaultDim)
+		}
+	}
+
+	// Without the flag the hash still comes back, the vectors do not.
+	var dec2 Decision
+	if code := doJSON(t, "POST", base+"/v1/decide", decideRequest{Instance: "ctx"}, &dec2); code != http.StatusOK {
+		t.Fatalf("decide (no context): status %d", code)
+	}
+	if dec2.ContextHash != dec.ContextHash {
+		t.Fatalf("idempotent re-decide changed context_hash: %s vs %s", dec2.ContextHash, dec.ContextHash)
+	}
+	if dec2.Context != nil {
+		t.Fatal("context rows returned without being requested")
+	}
+
+	// A wrong hash echo is accounted as a mismatch and leaves the round
+	// open; the correct echo then closes it.
+	bad := FeedbackItem{Instance: "ctx", T: dec.T, Action: dec.Action,
+		Values: fbValues(dec.T, dec.Closure), ContextHash: "deadbeefdeadbeef"}
+	if code := doJSON(t, "POST", base+"/v1/feedback", feedbackRequest{Items: []FeedbackItem{bad}}, nil); code != http.StatusAccepted {
+		t.Fatalf("bad-hash feedback: status %d", code)
+	}
+	waitStat(t, s, "ctx", func(st *InstanceStats) bool { return st.FeedbackMismatch == 1 })
+	if st := statFor(t, s, "ctx"); !st.Pending {
+		t.Fatal("mismatched context hash closed the round")
+	}
+	good := bad
+	good.ContextHash = dec.ContextHash
+	if code := doJSON(t, "POST", base+"/v1/feedback", feedbackRequest{Items: []FeedbackItem{good}}, nil); code != http.StatusAccepted {
+		t.Fatalf("good-hash feedback: status %d", code)
+	}
+	waitStat(t, s, "ctx", func(st *InstanceStats) bool { return st.Round == dec.T && !st.Pending })
+
+	if st := statFor(t, s, "ctx"); st.RewardModel != RewardLinear || st.D != DefaultDim {
+		t.Fatalf("stats reward_model/d = %q/%d, want %q/%d", st.RewardModel, st.D, RewardLinear, DefaultDim)
+	}
+	if st := statFor(t, s, "plain"); st.RewardModel != RewardBernoulli {
+		t.Fatalf("stats reward_model = %q, want %q", st.RewardModel, RewardBernoulli)
+	}
+
+	// Context fields aimed at the non-contextual instance: clear 400s.
+	var body errorBody
+	if code := doJSON(t, "POST", base+"/v1/decide", decideRequest{Instance: "plain", Context: true}, &body); code != http.StatusBadRequest {
+		t.Fatalf("context decide on plain instance: status %d", code)
+	}
+	if !strings.Contains(body.Error, "no round contexts") {
+		t.Fatalf("unhelpful 400: %q", body.Error)
+	}
+	var pd Decision
+	if code := doJSON(t, "POST", base+"/v1/decide", decideRequest{Instance: "plain"}, &pd); code != http.StatusOK {
+		t.Fatalf("plain decide: status %d", code)
+	}
+	if pd.ContextHash != "" || pd.Context != nil {
+		t.Fatal("non-contextual decision carries context fields")
+	}
+	echo := FeedbackItem{Instance: "plain", T: pd.T, Action: pd.Action,
+		Values: fbValues(pd.T, pd.Closure), ContextHash: dec.ContextHash}
+	if code := doJSON(t, "POST", base+"/v1/feedback", feedbackRequest{Items: []FeedbackItem{echo}}, &body); code != http.StatusBadRequest {
+		t.Fatalf("context_hash feedback on plain instance: status %d", code)
+	}
+}
+
+// TestContextualRestartReplay restarts a contextual env-mode instance
+// and checks the replayed runner re-derives the same decisions and
+// context hashes — replay verification through the contextual path.
+func TestContextualRestartReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := newTestServer(t, dir)
+	base := ts.URL
+	if code := doJSON(t, "POST", base+"/v1/instances", ctxSpec("shadow", FeedbackEnv), nil); code != http.StatusCreated {
+		t.Fatalf("create: status %d", code)
+	}
+	first := make([]string, 0, 30)
+	actions := make([]int, 0, 30)
+	for i := 0; i < 30; i++ {
+		var dec Decision
+		if code := doJSON(t, "POST", base+"/v1/decide", decideRequest{Instance: "shadow"}, &dec); code != http.StatusOK {
+			t.Fatalf("decide %d: status %d", i, code)
+		}
+		first = append(first, dec.ContextHash)
+		actions = append(actions, dec.Action)
+	}
+	ts.Close()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, ts2 := newTestServer(t, dir)
+	defer s2.Close()
+	defer ts2.Close()
+	if st := statFor(t, s2, "shadow"); st.Round != 30 {
+		t.Fatalf("restored at round %d, want 30", st.Round)
+	}
+	// A fresh offline build replays to round 30; its next decisions and
+	// context hashes must match what the restarted server now serves.
+	spec := ctxSpec("shadow", FeedbackEnv)
+	off := offlineActions(t, spec, 35)
+	for i := 0; i < 30; i++ {
+		if actions[i] != off[i] {
+			t.Fatalf("round %d: served action %d, offline %d", i+1, actions[i], off[i])
+		}
+		if first[i] == "" {
+			t.Fatalf("round %d: served decision carried no context hash", i+1)
+		}
+	}
+	for i := 30; i < 35; i++ {
+		dec, err := s2.DecideContext("shadow")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Action != off[i] {
+			t.Fatalf("round %d: restarted action %d, offline %d", dec.T, dec.Action, off[i])
+		}
+		if len(dec.Context) != 6 {
+			t.Fatalf("round %d: context has %d rows", dec.T, len(dec.Context))
+		}
+	}
+}
+
+func statFor(t *testing.T, s *Server, id string) *InstanceStats {
+	t.Helper()
+	for _, st := range s.Stats() {
+		if st.ID == id {
+			return st
+		}
+	}
+	t.Fatalf("instance %q not in stats", id)
+	return nil
+}
+
+func waitStat(t *testing.T, s *Server, id string, ok func(*InstanceStats) bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if ok(statFor(t, s, id)) {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("instance %q never reached the expected state: %+v", id, statFor(t, s, id))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -58,10 +58,15 @@ func (s *Server) handleInstances(w http.ResponseWriter, r *http.Request) {
 
 type decideRequest struct {
 	Instance string `json:"instance"`
+	// Context asks for the round's per-arm feature vectors in the
+	// response. Only valid for contextual (reward_model "linear")
+	// instances; others answer 400.
+	Context bool `json:"context,omitempty"`
 }
 
 // handleDecide serves one decision. 404 for unknown instances, 409 when
-// the instance's horizon is exhausted.
+// the instance's horizon is exhausted, 400 when context features are
+// requested from an instance that has none.
 func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", "POST")
@@ -73,11 +78,13 @@ func (s *Server) handleDecide(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	dec, err := s.Decide(req.Instance)
+	dec, err := s.decide(req.Instance, req.Context)
 	if err != nil {
 		switch {
 		case strings.Contains(err.Error(), "unknown instance"):
 			writeErr(w, http.StatusNotFound, err)
+		case strings.Contains(err.Error(), "no round contexts"):
+			writeErr(w, http.StatusBadRequest, err)
 		case strings.Contains(err.Error(), "horizon"):
 			writeErr(w, http.StatusConflict, err)
 		default:
@@ -113,6 +120,18 @@ func (s *Server) handleFeedback(w http.ResponseWriter, r *http.Request) {
 	if err := decodeBody(r, &req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
+	}
+	// A context_hash echo aimed at a non-contextual instance is a caller
+	// bug, not a delivery race: reject the batch outright instead of
+	// counting it against the instance.
+	for _, item := range req.Items {
+		if item.ContextHash == "" {
+			continue
+		}
+		if ctx, exists := s.contextual(item.Instance); exists && !ctx {
+			writeErr(w, http.StatusBadRequest, errNotContextual(item.Instance))
+			return
+		}
 	}
 	var resp feedbackResponse
 	for _, item := range req.Items {

@@ -1,6 +1,9 @@
 package serve
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"math"
@@ -9,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"netbandit/internal/bandit"
 	"netbandit/internal/obs"
 	"netbandit/internal/sim"
 )
@@ -23,13 +27,15 @@ const (
 // through an atomic pointer after every command the writer goroutine
 // processes. GET /v1/stats serves these without touching the writer.
 type InstanceStats struct {
-	ID       string `json:"id"`
-	SpecHash string `json:"spec_hash"`
-	Scenario string `json:"scenario"`
-	Policy   string `json:"policy"`
-	Feedback string `json:"feedback"`
-	K        int    `json:"k"`
-	Horizon  int    `json:"horizon"`
+	ID          string `json:"id"`
+	SpecHash    string `json:"spec_hash"`
+	Scenario    string `json:"scenario"`
+	Policy      string `json:"policy"`
+	Feedback    string `json:"feedback"`
+	RewardModel string `json:"reward_model"`
+	K           int    `json:"k"`
+	D           int    `json:"d,omitempty"`
+	Horizon     int    `json:"horizon"`
 
 	// Round is the number of closed rounds; Pending reports whether a
 	// decided round is still awaiting feedback (client mode only).
@@ -61,6 +67,14 @@ type Decision struct {
 	Closure  []int     `json:"closure"`
 	Values   []float64 `json:"values,omitempty"`
 	Open     bool      `json:"open"`
+
+	// ContextHash identifies the round's feature context on contextual
+	// (linear-reward) instances; clients may echo it on feedback to prove
+	// they acted on the round they think they did. Context carries the
+	// per-arm feature vectors themselves, populated only when the decide
+	// request asked for them with "context": true.
+	ContextHash string      `json:"context_hash,omitempty"`
+	Context     [][]float64 `json:"context,omitempty"`
 }
 
 // FeedbackItem is one entry of a POST /v1/feedback batch: the revealed
@@ -71,6 +85,11 @@ type FeedbackItem struct {
 	T        int       `json:"t"`
 	Action   int       `json:"action"`
 	Values   []float64 `json:"values"`
+	// ContextHash optionally echoes the Decision.ContextHash the caller
+	// acted on. On a contextual instance a wrong echo is counted as a
+	// mismatch, exactly like a wrong (T, Action) pair; non-contextual
+	// instances reject the field outright.
+	ContextHash string `json:"context_hash,omitempty"`
 }
 
 type cmdKind int
@@ -89,10 +108,11 @@ type decideResp struct {
 }
 
 type icmd struct {
-	kind  cmdKind
-	fb    FeedbackItem
-	reply chan decideResp // decide rendezvous
-	done  chan error      // snapshot/stop/kill acknowledgement
+	kind    cmdKind
+	fb      FeedbackItem
+	withCtx bool            // decide: include the feature vectors in the response
+	reply   chan decideResp // decide rendezvous
+	done    chan error      // snapshot/stop/kill acknowledgement
 }
 
 // Instance is one hosted bandit: a spec, its realised runner, a
@@ -208,7 +228,8 @@ func (in *Instance) publish() {
 	s := &InstanceStats{
 		ID: in.spec.ID, SpecHash: in.hash,
 		Scenario: in.spec.Scenario, Policy: in.spec.Policy,
-		Feedback: in.spec.Feedback, K: in.spec.K, Horizon: in.spec.Horizon,
+		Feedback: in.spec.Feedback, RewardModel: in.spec.RewardModelName(),
+		K: in.spec.K, D: in.spec.D, Horizon: in.spec.Horizon,
 		Round: in.b.run.Round(), Pending: pending, Done: in.b.run.Done(),
 		Decisions:       in.decisions,
 		FeedbackApplied: in.fbApplied, FeedbackStale: in.fbStale,
@@ -233,7 +254,7 @@ func (in *Instance) loop() {
 		switch cmd.kind {
 		case cmdDecide:
 			start := time.Now()
-			resp := in.decide()
+			resp := in.decide(cmd.withCtx)
 			if in.m != nil {
 				in.m.decideLatency.Observe(time.Since(start).Seconds())
 			}
@@ -266,7 +287,7 @@ func (in *Instance) loop() {
 // idempotently until its feedback arrives; in env mode the round is
 // closed immediately with environment samples and logged before the
 // response is sent, so a served decision is always re-derivable.
-func (in *Instance) decide() decideResp {
+func (in *Instance) decide(withCtx bool) decideResp {
 	run := in.b.run
 	t, action, err := run.Decide()
 	if err != nil {
@@ -280,6 +301,19 @@ func (in *Instance) decide() decideResp {
 		Instance: in.spec.ID, T: t, Action: action,
 		Arms:    append([]int(nil), in.b.arms(action)...),
 		Closure: append([]int(nil), closure...),
+	}
+	if in.spec.Contextual() {
+		// The context must be captured before env-mode feedback closes
+		// the round; the hash is always reported, the vectors only when
+		// asked for.
+		rc, err := run.PendingContext()
+		if err != nil {
+			return decideResp{err: err}
+		}
+		dec.ContextHash = contextHash(rc)
+		if withCtx {
+			dec.Context = contextRows(rc)
+		}
 	}
 	if in.spec.Feedback == FeedbackEnv {
 		obsv, err := run.AutoFeedback()
@@ -347,6 +381,20 @@ func (in *Instance) applyFeedback(fb FeedbackItem) string {
 			return "stale"
 		}
 		return "mismatch"
+	}
+	if fb.ContextHash != "" {
+		if !in.spec.Contextual() {
+			return "invalid"
+		}
+		rc, err := run.PendingContext()
+		if err != nil {
+			return "invalid"
+		}
+		if contextHash(rc) != fb.ContextHash {
+			// The caller acted on features that are not this round's:
+			// the same class of client error as a wrong (T, Action).
+			return "mismatch"
+		}
 	}
 	closure, err := run.PendingClosure()
 	if err != nil || len(fb.Values) != len(closure) {
@@ -443,6 +491,34 @@ func readSnapshot(path, specHash string) (*Snapshot, error) {
 		return nil, fmt.Errorf("serve: snapshot %s: malformed", path)
 	}
 	return &snap, nil
+}
+
+// contextHash fingerprints one round's feature context: sha256 over
+// (T, K, D) and the raw float64 bits of every coordinate, truncated to 16
+// hex digits like the spec hash. Contexts are pure functions of the spec
+// and the round, so the hash is stable across replays and restarts.
+func contextHash(rc *bandit.RoundContext) string {
+	h := sha256.New()
+	var buf [8]byte
+	for _, v := range []uint64{uint64(rc.T), uint64(rc.K), uint64(rc.D)} {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	for _, x := range rc.X {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+		h.Write(buf[:])
+	}
+	sum := h.Sum(nil)
+	return hex.EncodeToString(sum[:8])
+}
+
+// contextRows copies the context into one row per arm for the wire.
+func contextRows(rc *bandit.RoundContext) [][]float64 {
+	rows := make([][]float64, rc.K)
+	for i := range rows {
+		rows[i] = append([]float64(nil), rc.Arm(i)...)
+	}
+	return rows
 }
 
 func mustJSON(v any) []byte {

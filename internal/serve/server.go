@@ -262,17 +262,28 @@ func (s *Server) Stats() []*InstanceStats {
 }
 
 // Decide requests one decision from an instance, blocking until its
-// writer goroutine serves it.
-func (s *Server) Decide(id string) (*Decision, error) {
+// writer goroutine serves it. Contextual instances report the round's
+// context hash but not the feature vectors; use DecideContext for those.
+func (s *Server) Decide(id string) (*Decision, error) { return s.decide(id, false) }
+
+// DecideContext is Decide with the round's per-arm feature vectors
+// included in the response. It fails for instances whose reward model
+// has no contexts.
+func (s *Server) DecideContext(id string) (*Decision, error) { return s.decide(id, true) }
+
+func (s *Server) decide(id string, withCtx bool) (*Decision, error) {
 	s.mu.RLock()
 	in := s.instances[id]
 	s.mu.RUnlock()
 	if in == nil {
 		return nil, errUnknownInstance(id)
 	}
+	if withCtx && !in.spec.Contextual() {
+		return nil, errNotContextual(id)
+	}
 	reply := make(chan decideResp, 1)
 	select {
-	case in.mailbox <- icmd{kind: cmdDecide, reply: reply}:
+	case in.mailbox <- icmd{kind: cmdDecide, withCtx: withCtx, reply: reply}:
 	case <-in.stopped:
 		return nil, fmt.Errorf("serve: instance %q is stopped", id)
 	}
@@ -281,6 +292,18 @@ func (s *Server) Decide(id string) (*Decision, error) {
 		return nil, resp.err
 	}
 	return &resp.dec, nil
+}
+
+// contextual reports whether the named instance plays the contextual
+// game; exists is false for unknown instances.
+func (s *Server) contextual(id string) (ctx, exists bool) {
+	s.mu.RLock()
+	in := s.instances[id]
+	s.mu.RUnlock()
+	if in == nil {
+		return false, false
+	}
+	return in.spec.Contextual(), true
 }
 
 // EnqueueFeedback offers one feedback item to the async ingest queue,
@@ -369,4 +392,9 @@ func (s *Server) shutdown(kind cmdKind) error {
 
 func errUnknownInstance(id string) error {
 	return fmt.Errorf("serve: unknown instance %q", id)
+}
+
+func errNotContextual(id string) error {
+	return fmt.Errorf("serve: instance %q has no round contexts (reward_model %s); drop the context field",
+		id, RewardBernoulli)
 }

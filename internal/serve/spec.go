@@ -28,6 +28,24 @@ const (
 	FeedbackEnv = "env"
 )
 
+// Reward models: how an instance's expected rewards are generated.
+const (
+	// RewardBernoulli is the classical fixed-mean game: one Bernoulli
+	// parameter per arm, drawn once from the seed. It is the default; a
+	// normalized spec spells it as the empty string so that specs written
+	// before the field existed keep their hash.
+	RewardBernoulli = "bernoulli"
+	// RewardLinear is the contextual game: each round draws per-arm
+	// feature vectors and the expected reward is linear in them. Decisions
+	// carry a context hash, and /v1/decide can return the features
+	// themselves on request.
+	RewardLinear = "linear"
+)
+
+// DefaultDim is the feature dimension a linear-reward spec gets when D is
+// unset.
+const DefaultDim = 4
+
 // Spec declaratively describes one bandit instance. It is the unit of
 // tenancy: the service hosts many instances, each built exactly the way
 // the ad-hoc CLI builds a simulation — graph from Split(1), arm means
@@ -58,6 +76,12 @@ type Spec struct {
 	Points int `json:"points,omitempty"`
 	// Feedback is FeedbackClient (default) or FeedbackEnv.
 	Feedback string `json:"feedback,omitempty"`
+	// RewardModel is RewardBernoulli (default, spelled "" once
+	// normalized) or RewardLinear for contextual instances.
+	RewardModel string `json:"reward_model,omitempty"`
+	// D is the feature dimension for RewardLinear; default DefaultDim.
+	// It must be zero for Bernoulli specs.
+	D int `json:"d,omitempty"`
 }
 
 // Defaults for optional Spec fields.
@@ -111,11 +135,34 @@ func (s *Spec) Normalize() error {
 	default:
 		return fmt.Errorf("serve: feedback mode %q (want %s|%s)", s.Feedback, FeedbackClient, FeedbackEnv)
 	}
+	switch s.RewardModel {
+	case RewardBernoulli:
+		// Canonical spelling of the default is the empty string, so specs
+		// written before reward models existed hash (and restore)
+		// unchanged.
+		s.RewardModel = ""
+	case "", RewardLinear:
+	default:
+		return fmt.Errorf("serve: reward model %q (want %s|%s)", s.RewardModel, RewardBernoulli, RewardLinear)
+	}
+	if s.RewardModel == RewardLinear {
+		if s.D == 0 {
+			s.D = DefaultDim
+		}
+		if s.D < 1 {
+			return fmt.Errorf("serve: feature dimension d=%d must be positive", s.D)
+		}
+	} else if s.D != 0 {
+		return fmt.Errorf("serve: d=%d is only valid with reward_model %q", s.D, RewardLinear)
+	}
 	scen, err := bandit.ParseScenario(s.Scenario)
 	if err != nil {
 		return err
 	}
 	s.Scenario = scen.String()
+	if sim.ContextualPolicy(s.Policy) && s.RewardModel != RewardLinear {
+		return fmt.Errorf("serve: policy %q needs per-round contexts; set reward_model %q", s.Policy, RewardLinear)
+	}
 	if scen.Combinatorial() {
 		if _, err := sim.ComboPolicyFactory(s.Policy, scen); err != nil {
 			return err
@@ -142,6 +189,19 @@ func (s *Spec) Normalize() error {
 	return nil
 }
 
+// Contextual reports whether the normalized spec plays the contextual
+// (linear-reward) game.
+func (s *Spec) Contextual() bool { return s.RewardModel == RewardLinear }
+
+// RewardModelName returns the spec's reward model with the default
+// spelled out — "bernoulli" rather than the canonical empty string.
+func (s *Spec) RewardModelName() string {
+	if s.RewardModel == "" {
+		return RewardBernoulli
+	}
+	return s.RewardModel
+}
+
 // Hash returns the canonical content hash of a normalized spec: the
 // sha256 of its canonical JSON encoding, truncated to 16 hex digits. The
 // hash binds the decision log and snapshot to the spec that produced
@@ -163,6 +223,7 @@ type runner interface {
 	Decide() (t, action int, err error)
 	Pending() (t, action int, ok bool)
 	PendingClosure() ([]int, error)
+	PendingContext() (*bandit.RoundContext, error)
 	ApplyFeedback(values []float64) error
 	AutoFeedback() ([]bandit.Observation, error)
 	Round() int
@@ -172,11 +233,13 @@ type runner interface {
 }
 
 // built is the realised form of a spec: environment, optional strategy
-// set, and a positioned runner at round zero.
+// set, and a positioned runner at round zero. Exactly one of env and
+// cenv is non-nil, per the spec's reward model.
 type built struct {
 	scen bandit.Scenario
 	env  *bandit.Env
-	set  *strategy.Set // nil for single-play
+	cenv *bandit.ContextualEnv // non-nil iff the spec is contextual
+	set  *strategy.Set         // nil for single-play
 	run  runner
 }
 
@@ -194,16 +257,29 @@ func (s *Spec) build() (*built, error) {
 	if err != nil {
 		return nil, err
 	}
-	env, err := bandit.NewEnv(g, armdist.RandomBernoulliArms(s.K, r.Split(2)))
-	if err != nil {
-		return nil, err
-	}
 	cfg := sim.Config{
 		Horizon:         s.Horizon,
 		Checkpoints:     sim.DefaultCheckpoints(s.Horizon, s.Points),
 		AnnounceHorizon: true,
 	}
-	b := &built{scen: scen, env: env}
+	b := &built{scen: scen}
+	if s.Contextual() {
+		// Split(2) plays the same role it does for Bernoulli arm means —
+		// the hidden reward parameters — and the per-round feature stream
+		// gets the next untaken split, Split(5).
+		theta := bandit.RandomTheta(r.Split(2), s.D)
+		cenv, err := bandit.NewContextualEnv(g, s.K, theta, r.Split(5).Counter())
+		if err != nil {
+			return nil, err
+		}
+		b.cenv = cenv
+	} else {
+		env, err := bandit.NewEnv(g, armdist.RandomBernoulliArms(s.K, r.Split(2)))
+		if err != nil {
+			return nil, err
+		}
+		b.env = env
+	}
 	if scen.Combinatorial() {
 		set, err := strategy.TopM(s.K, s.M, g)
 		if err != nil {
@@ -213,7 +289,12 @@ func (s *Spec) build() (*built, error) {
 		if err != nil {
 			return nil, err
 		}
-		run, err := sim.NewComboRun(env, set, scen, factory(r.Split(3)), cfg, r.Split(4), nil)
+		var run *sim.ComboRun
+		if b.cenv != nil {
+			run, err = sim.NewContextualComboRun(b.cenv, set, scen, factory(r.Split(3)), cfg, r.Split(4), nil)
+		} else {
+			run, err = sim.NewComboRun(b.env, set, scen, factory(r.Split(3)), cfg, r.Split(4), nil)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -224,12 +305,26 @@ func (s *Spec) build() (*built, error) {
 	if err != nil {
 		return nil, err
 	}
-	run, err := sim.NewSingleRun(env, scen, factory(r.Split(3)), cfg, r.Split(4))
+	var run *sim.SingleRun
+	if b.cenv != nil {
+		run, err = sim.NewContextualSingleRun(b.cenv, scen, factory(r.Split(3)), cfg, r.Split(4))
+	} else {
+		run, err = sim.NewSingleRun(b.env, scen, factory(r.Split(3)), cfg, r.Split(4))
+	}
 	if err != nil {
 		return nil, err
 	}
 	b.run = run
 	return b, nil
+}
+
+// selfPos returns the position of arm i within its closed neighbourhood,
+// whichever environment flavour the instance runs.
+func (b *built) selfPos(i int) int {
+	if b.cenv != nil {
+		return b.cenv.SelfPos(i)
+	}
+	return b.env.SelfPos(i)
 }
 
 // arms returns the arm set a decision plays: the arm itself for
@@ -253,7 +348,7 @@ func (b *built) realized(action int, closure []int, values []float64) float64 {
 		}
 		return sum
 	case bandit.SSO:
-		return values[b.env.SelfPos(action)]
+		return values[b.selfPos(action)]
 	default: // CSO: sum the played arms' own rewards out of the closure
 		var sum float64
 		arms := b.set.Arms(action)

@@ -1,0 +1,88 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"netbandit/internal/bandit"
+	"netbandit/internal/sim"
+)
+
+// ctxSweep is the contextual shard grid: 2 contextual G(n, p) densities ×
+// 2 policies (one context-aware, one fixed-mean), built through the same
+// registry the CLI uses. Each call returns a fresh value, as Run and
+// Merge require.
+func ctxSweep(t *testing.T) *sim.Sweep {
+	t.Helper()
+	var policies []sim.PolicySpec
+	for _, name := range []string{"linucb", "dfl"} {
+		spec, err := sim.NewPolicySpec(name, bandit.CSO)
+		if err != nil {
+			t.Fatal(err)
+		}
+		policies = append(policies, spec)
+	}
+	return &sim.Sweep{
+		Name: "ctx-shard-test",
+		Envs: []sim.EnvSpec{
+			sim.ContextualGnpEnv("p=0.3+ctx3", bandit.CSO, 8, 2, 3, 0.3),
+			sim.ContextualGnpEnv("p=0.6+ctx3", bandit.CSO, 8, 2, 3, 0.6),
+		},
+		Policies: policies,
+		Config:   sim.Config{Horizon: 100, AnnounceHorizon: true},
+		Reps:     3,
+		Seed:     91,
+	}
+}
+
+// TestMergeBitIdenticalContextual extends the shard acceptance criterion
+// to contextual cells: per-round feature contexts are re-derived from
+// counter streams on whichever shard runs the cell, so the merged output
+// must equal a single-process run bit for bit — here with the 2-way
+// split's shards running concurrently over the same directory.
+func TestMergeBitIdenticalContextual(t *testing.T) {
+	res, err := ctxSweep(t).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := exportJSON(t, res)
+
+	for _, shards := range []int{1, 2} {
+		dir := t.TempDir()
+		plan, err := NewPlan(ctxSweep(t), nil, shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WritePlan(dir, plan); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errs := make([]error, shards)
+		sweeps := make([]*sim.Sweep, shards)
+		for s := range sweeps {
+			sweeps[s] = ctxSweep(t) // built on the test goroutine: t.Fatal is off-limits below
+		}
+		for s := 0; s < shards; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				_, errs[s] = Run(context.Background(), dir, plan, sweeps[s], RunOptions{Shard: s})
+			}(s)
+		}
+		wg.Wait()
+		for s, err := range errs {
+			if err != nil {
+				t.Fatalf("%d shards: shard %d: %v", shards, s, err)
+			}
+		}
+		merged, err := Merge(dir, plan)
+		if err != nil {
+			t.Fatalf("%d shards: merge: %v", shards, err)
+		}
+		if !bytes.Equal(exportJSON(t, merged), golden) {
+			t.Fatalf("%d shards: contextual merge differs from single-process run", shards)
+		}
+	}
+}

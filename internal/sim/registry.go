@@ -20,7 +20,43 @@ import (
 // combinatorial together, in display order.
 func PolicyNames() []string {
 	return []string{"dfl", "dfl-hop", "dfl-stream", "moss", "ucb1", "ucbn", "ucbmaxn",
-		"thompson", "egreedy", "exp3", "random", "cucb", "exp3f"}
+		"thompson", "egreedy", "exp3", "random", "cucb", "exp3f",
+		"linucb", "ctx-thompson", "cts", "osmd"}
+}
+
+// ContextualPolicy reports whether the named policy requires per-round
+// feature contexts (and therefore a contextual environment axis or a
+// linear-reward serve spec).
+func ContextualPolicy(name string) bool {
+	switch name {
+	case "linucb", "ctx-thompson":
+		return true
+	default:
+		return false
+	}
+}
+
+// NewPolicySpec is the registry-backed constructor every layer shares: it
+// resolves a policy name against the scenario into a complete policy axis
+// point — the single-play or combinatorial factory as the scenario
+// demands, plus the contextual-requirement flag the sweep grid validates.
+// It subsumes the SinglePolicyFactory/ComboPolicyFactory pair.
+func NewPolicySpec(name string, scen bandit.Scenario) (PolicySpec, error) {
+	spec := PolicySpec{Name: name, Contextual: ContextualPolicy(name)}
+	if scen.Combinatorial() {
+		combo, err := ComboPolicyFactory(name, scen)
+		if err != nil {
+			return PolicySpec{}, err
+		}
+		spec.Combo = combo
+		return spec, nil
+	}
+	single, err := SinglePolicyFactory(name, scen)
+	if err != nil {
+		return PolicySpec{}, err
+	}
+	spec.Single = single
+	return spec, nil
 }
 
 // SinglePolicyFactory maps a policy name to a single-play factory. "dfl"
@@ -53,6 +89,10 @@ func SinglePolicyFactory(name string, scen bandit.Scenario) (SingleFactory, erro
 		return func(r *rng.RNG) bandit.SinglePolicy { return policy.NewEXP3(0.05, r) }, nil
 	case "random":
 		return func(r *rng.RNG) bandit.SinglePolicy { return policy.NewRandom(r) }, nil
+	case "linucb":
+		return func(*rng.RNG) bandit.SinglePolicy { return policy.NewLinUCB(1) }, nil
+	case "ctx-thompson":
+		return func(r *rng.RNG) bandit.SinglePolicy { return policy.NewCtxThompson(0.5, r) }, nil
 	default:
 		return nil, fmt.Errorf("sim: unknown single-play policy %q (valid: %s)",
 			name, strings.Join(PolicyNames(), ", "))
@@ -78,7 +118,27 @@ func ComboPolicyFactory(name string, scen bandit.Scenario) (ComboFactory, error)
 		return func(r *rng.RNG) bandit.ComboPolicy { return policy.NewComboEXP3(0.05, r) }, nil
 	case "random":
 		return func(r *rng.RNG) bandit.ComboPolicy { return policy.NewComboRandom(r) }, nil
+	case "linucb":
+		obj := policy.Direct
+		if scen == bandit.CSR {
+			obj = policy.Closure
+		}
+		return func(*rng.RNG) bandit.ComboPolicy { return policy.NewCombLinUCB(1, obj) }, nil
+	case "ctx-thompson":
+		obj := policy.Direct
+		if scen == bandit.CSR {
+			obj = policy.Closure
+		}
+		return func(r *rng.RNG) bandit.ComboPolicy { return policy.NewCombCtxThompson(0.5, obj, r) }, nil
+	case "cts":
+		obj := policy.Direct
+		if scen == bandit.CSR {
+			obj = policy.Closure
+		}
+		return func(r *rng.RNG) bandit.ComboPolicy { return policy.NewCTS(obj, r) }, nil
+	case "osmd":
+		return func(r *rng.RNG) bandit.ComboPolicy { return policy.NewOSMD(0, r) }, nil
 	default:
-		return nil, fmt.Errorf("sim: unknown combinatorial policy %q (valid: dfl, cucb, exp3f, random)", name)
+		return nil, fmt.Errorf("sim: unknown combinatorial policy %q (valid: dfl, cucb, exp3f, random, linucb, ctx-thompson, cts, osmd)", name)
 	}
 }

@@ -100,6 +100,14 @@ type SingleRun struct {
 	next    int
 	t       int
 	pending int // arm of the open round, -1 when none (see Decide)
+
+	// Contextual mode (cenv non-nil): rc is the reused per-round feature
+	// buffer, rmeans the round's expected rewards p_i(t). env is nil in
+	// this mode; regret is accounted per round via RecordVs against the
+	// round's own optimum.
+	cenv   *bandit.ContextualEnv
+	rc     *bandit.RoundContext
+	rmeans []float64
 }
 
 // NewSingleRun validates the configuration, resets the policy, and returns
@@ -149,6 +157,45 @@ func NewSingleRun(env *bandit.Env, scen bandit.Scenario, pol bandit.SinglePolicy
 	}, nil
 }
 
+// NewContextualSingleRun is NewSingleRun over a contextual environment:
+// each Decide derives the round's feature context from cenv's counter
+// stream and hands it to the policy, and regret is accounted against the
+// per-round optimal arm (which moves with the context). Non-contextual
+// policies run unchanged — they ignore the context argument — so the same
+// cell can compare LinUCB against the fixed-mean baselines.
+func NewContextualSingleRun(cenv *bandit.ContextualEnv, scen bandit.Scenario, pol bandit.SinglePolicy, cfg Config, r *rng.RNG) (*SingleRun, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if scen.Combinatorial() {
+		return nil, fmt.Errorf("sim: contextual single run called with combinatorial scenario %v", scen)
+	}
+	horizon := 0
+	if cfg.AnnounceHorizon {
+		horizon = cfg.Horizon
+	}
+	pol.Reset(bandit.Meta{
+		K:        cenv.K(),
+		Horizon:  horizon,
+		Graph:    cenv.Graph(),
+		Scenario: scen,
+		Dim:      cenv.D(),
+	})
+	return &SingleRun{
+		cenv:    cenv,
+		scen:    scen,
+		pol:     pol,
+		cfg:     cfg,
+		ctr:     r.Counter(),
+		scratch: new(rng.RNG),
+		tracker: bandit.NewRegretTracker(0), // driven via RecordVs
+		out:     newSeries(pol.Name(), cfg.checkpoints()),
+		obs:     make([]bandit.Observation, 0, cenv.K()),
+		rmeans:  make([]float64, cenv.K()),
+		pending: -1,
+	}, nil
+}
+
 // Done reports whether the run has played all cfg.Horizon rounds.
 func (sr *SingleRun) Done() bool { return sr.t >= sr.cfg.Horizon }
 
@@ -186,13 +233,47 @@ func (sr *SingleRun) Decide() (t, arm int, err error) {
 	}
 	sr.t++
 	t = sr.t
-	arm = sr.pol.Select(t)
-	if arm < 0 || arm >= sr.env.K() {
+	if sr.cenv != nil {
+		sr.rc = sr.cenv.Context(t, sr.rc)
+		sr.rmeans = sr.cenv.MeansAt(sr.rc, sr.rmeans)
+	}
+	arm = sr.pol.Select(t, sr.rc)
+	if arm < 0 || arm >= sr.k() {
 		sr.t--
 		return 0, 0, fmt.Errorf("sim: round %d: policy %s selected invalid arm %d", t, sr.pol.Name(), arm)
 	}
 	sr.pending = arm
 	return t, arm, nil
+}
+
+// k returns the number of arms regardless of environment kind.
+func (sr *SingleRun) k() int {
+	if sr.cenv != nil {
+		return sr.cenv.K()
+	}
+	return sr.env.K()
+}
+
+// closedOf returns arm i's closed neighbourhood regardless of environment
+// kind.
+func (sr *SingleRun) closedOf(i int) []int {
+	if sr.cenv != nil {
+		return sr.cenv.Closed(i)
+	}
+	return sr.env.Closed(i)
+}
+
+// PendingContext returns the feature context of the open round, or nil
+// when the run is non-contextual. The buffer is reused; callers that keep
+// it across rounds must copy. It errors when no round is open.
+func (sr *SingleRun) PendingContext() (*bandit.RoundContext, error) {
+	if sr.pending < 0 {
+		return nil, fmt.Errorf("sim: no open round")
+	}
+	if sr.cenv == nil {
+		return nil, nil
+	}
+	return sr.rc, nil
 }
 
 // Pending returns the open round and its chosen arm, if any.
@@ -211,7 +292,7 @@ func (sr *SingleRun) PendingClosure() ([]int, error) {
 	if sr.pending < 0 {
 		return nil, fmt.Errorf("sim: no open round")
 	}
-	return sr.env.Closed(sr.pending), nil
+	return sr.closedOf(sr.pending), nil
 }
 
 // ApplyFeedback closes the open round with caller-supplied rewards:
@@ -224,7 +305,7 @@ func (sr *SingleRun) ApplyFeedback(values []float64) error {
 	if sr.pending < 0 {
 		return fmt.Errorf("sim: feedback with no open round")
 	}
-	closed := sr.env.Closed(sr.pending)
+	closed := sr.closedOf(sr.pending)
 	if len(values) != len(closed) {
 		return fmt.Errorf("sim: round %d: feedback carries %d values, closure of arm %d has %d",
 			sr.t, len(values), sr.pending, len(closed))
@@ -247,8 +328,13 @@ func (sr *SingleRun) AutoFeedback() ([]bandit.Observation, error) {
 	if sr.pending < 0 {
 		return nil, fmt.Errorf("sim: feedback with no open round")
 	}
-	closed := sr.env.Closed(sr.pending)
-	obs := sr.env.SampleObservations(sr.ctr, sr.t, closed, nil, sr.obs[:0], sr.scratch)
+	closed := sr.closedOf(sr.pending)
+	var obs []bandit.Observation
+	if sr.cenv != nil {
+		obs = sr.cenv.SampleObservationsAt(sr.ctr, sr.t, closed, sr.rmeans, nil, sr.obs[:0])
+	} else {
+		obs = sr.env.SampleObservations(sr.ctr, sr.t, closed, nil, sr.obs[:0], sr.scratch)
+	}
 	sr.obs = obs
 	sr.closeRound(obs)
 	return obs, nil
@@ -261,14 +347,45 @@ func (sr *SingleRun) AutoFeedback() ([]bandit.Observation, error) {
 func (sr *SingleRun) closeRound(obs []bandit.Observation) {
 	t, i := sr.t, sr.pending
 	var chosenMean, realized float64
-	if sr.scen == bandit.SSR {
+	switch {
+	case sr.cenv != nil && sr.scen == bandit.SSR:
+		// Per-round accounting: both the played arm's expected side reward
+		// and the benchmark (the best side sum under this round's means)
+		// move with the context.
+		var optimal float64
+		for a := 0; a < sr.cenv.K(); a++ {
+			var u float64
+			for _, j := range sr.cenv.Closed(a) {
+				u += sr.rmeans[j]
+			}
+			if a == i {
+				chosenMean = u
+			}
+			if u > optimal {
+				optimal = u
+			}
+		}
+		realized = bandit.SumObservations(obs)
+		sr.tracker.RecordVs(optimal, chosenMean, realized)
+	case sr.cenv != nil:
+		chosenMean = sr.rmeans[i]
+		realized = obs[sr.cenv.SelfPos(i)].Value
+		optimal := sr.rmeans[0]
+		for _, p := range sr.rmeans[1:] {
+			if p > optimal {
+				optimal = p
+			}
+		}
+		sr.tracker.RecordVs(optimal, chosenMean, realized)
+	case sr.scen == bandit.SSR:
 		chosenMean = sr.env.SideMean(i)
 		realized = bandit.SumObservations(obs)
-	} else {
+		sr.tracker.Record(chosenMean, realized)
+	default:
 		chosenMean = sr.env.Mean(i)
 		realized = obs[sr.env.SelfPos(i)].Value
+		sr.tracker.Record(chosenMean, realized)
 	}
-	sr.tracker.Record(chosenMean, realized)
 	if sr.cfg.Observer != nil {
 		sr.cfg.Observer.ObserveRound(trace.Event{
 			T: t, Chosen: i, ChosenMean: chosenMean,
@@ -316,6 +433,16 @@ func RunSingle(env *bandit.Env, scen bandit.Scenario, pol bandit.SinglePolicy, c
 	return sr.Run()
 }
 
+// RunContextualSingle plays one replication of a single-play scenario over
+// a contextual environment. See NewContextualSingleRun.
+func RunContextualSingle(cenv *bandit.ContextualEnv, scen bandit.Scenario, pol bandit.SinglePolicy, cfg Config, r *rng.RNG) (*Series, error) {
+	sr, err := NewContextualSingleRun(cenv, scen, pol, cfg, r)
+	if err != nil {
+		return nil, err
+	}
+	return sr.Run()
+}
+
 // ComboCache holds everything about a (environment, strategy set) pair
 // that every replication of an experiment cell recomputed before this
 // cache existed: the arm means, both scenario optima, and — behind a
@@ -325,6 +452,7 @@ func RunSingle(env *bandit.Env, scen bandit.Scenario, pol bandit.SinglePolicy, c
 // replication workers.
 type ComboCache struct {
 	env        *bandit.Env
+	cenv       *bandit.ContextualEnv // contextual cells: means/optima are per-round
 	set        *strategy.Set
 	means      []float64
 	optDirect  float64
@@ -345,6 +473,17 @@ func NewComboCache(env *bandit.Env, set *strategy.Set) *ComboCache {
 		optDirect:  optDirect,
 		optClosure: optClosure,
 		sg:         bandit.NewStrategyGraphCache(func() *graphs.Graph { return core.BuildStrategyGraph(set) }),
+	}
+}
+
+// NewContextualComboCache is NewComboCache for a contextual cell: means
+// and scenario optima move with the round, so only the strategy relation
+// graph is worth sharing across replications.
+func NewContextualComboCache(cenv *bandit.ContextualEnv, set *strategy.Set) *ComboCache {
+	return &ComboCache{
+		cenv: cenv,
+		set:  set,
+		sg:   bandit.NewStrategyGraphCache(func() *graphs.Graph { return core.BuildStrategyGraph(set) }),
 	}
 }
 
@@ -370,6 +509,12 @@ type ComboRun struct {
 	next    int
 	t       int
 	pending int // strategy of the open round, -1 when none (see Decide)
+
+	// Contextual mode (cenv non-nil): see SingleRun. means then aliases
+	// rmeans and is refilled every Decide.
+	cenv   *bandit.ContextualEnv
+	rc     *bandit.RoundContext
+	rmeans []float64
 }
 
 // NewComboRun validates, resets the policy, and returns a stepper
@@ -437,6 +582,59 @@ func NewComboRun(env *bandit.Env, set *strategy.Set, scen bandit.Scenario, pol b
 	}, nil
 }
 
+// NewContextualComboRun is NewComboRun over a contextual environment: each
+// Decide derives the round's feature context and expected-reward vector,
+// hands the context to the policy, and accounts regret against the
+// per-round best strategy. cache may be nil or a NewContextualComboCache
+// for the same (cenv, set) pair.
+func NewContextualComboRun(cenv *bandit.ContextualEnv, set *strategy.Set, scen bandit.Scenario, pol bandit.ComboPolicy, cfg Config, r *rng.RNG, cache *ComboCache) (*ComboRun, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if !scen.Combinatorial() {
+		return nil, fmt.Errorf("sim: contextual combo run called with single-play scenario %v", scen)
+	}
+	if set.K() != cenv.K() {
+		return nil, fmt.Errorf("sim: strategy set over %d arms, environment has %d", set.K(), cenv.K())
+	}
+	if cache != nil && (cache.cenv != cenv || cache.set != set) {
+		return nil, fmt.Errorf("sim: ComboCache built for a different environment or strategy set")
+	}
+	horizon := 0
+	if cfg.AnnounceHorizon {
+		horizon = cfg.Horizon
+	}
+	meta := bandit.ComboMeta{
+		K:          cenv.K(),
+		Horizon:    horizon,
+		Graph:      cenv.Graph(),
+		Strategies: set,
+		Scenario:   scen,
+		Dim:        cenv.D(),
+	}
+	if cache != nil {
+		meta.SharedSG = cache.sg
+	}
+	pol.Reset(meta)
+	rmeans := make([]float64, cenv.K())
+	return &ComboRun{
+		cenv:    cenv,
+		set:     set,
+		scen:    scen,
+		pol:     pol,
+		cfg:     cfg,
+		ctr:     r.Counter(),
+		scratch: new(rng.RNG),
+		tracker: bandit.NewRegretTracker(0), // driven via RecordVs
+		out:     newSeries(pol.Name(), cfg.checkpoints()),
+		means:   rmeans, // closeRound reads the round's means through cr.means
+		rmeans:  rmeans,
+		xs:      make([]float64, cenv.K()),
+		obs:     make([]bandit.Observation, 0, cenv.K()),
+		pending: -1,
+	}, nil
+}
+
 // Done reports whether the run has played all cfg.Horizon rounds.
 func (cr *ComboRun) Done() bool { return cr.t >= cr.cfg.Horizon }
 
@@ -470,13 +668,31 @@ func (cr *ComboRun) Decide() (t, x int, err error) {
 	}
 	cr.t++
 	t = cr.t
-	x = cr.pol.Select(t)
+	if cr.cenv != nil {
+		cr.rc = cr.cenv.Context(t, cr.rc)
+		cr.rmeans = cr.cenv.MeansAt(cr.rc, cr.rmeans)
+		cr.means = cr.rmeans
+	}
+	x = cr.pol.Select(t, cr.rc)
 	if x < 0 || x >= cr.set.Len() {
 		cr.t--
 		return 0, 0, fmt.Errorf("sim: round %d: policy %s selected invalid strategy %d", t, cr.pol.Name(), x)
 	}
 	cr.pending = x
 	return t, x, nil
+}
+
+// PendingContext returns the feature context of the open round, or nil
+// when the run is non-contextual; the buffer is reused between rounds. It
+// errors when no round is open.
+func (cr *ComboRun) PendingContext() (*bandit.RoundContext, error) {
+	if cr.pending < 0 {
+		return nil, fmt.Errorf("sim: no open round")
+	}
+	if cr.cenv == nil {
+		return nil, nil
+	}
+	return cr.rc, nil
 }
 
 // Pending returns the open round and its chosen strategy, if any.
@@ -534,7 +750,12 @@ func (cr *ComboRun) AutoFeedback() ([]bandit.Observation, error) {
 	if cr.scen != bandit.CSO {
 		xs = nil // only the direct-reward sum needs values by arm index
 	}
-	obs := cr.env.SampleObservations(cr.ctr, cr.t, closure, xs, cr.obs[:0], cr.scratch)
+	var obs []bandit.Observation
+	if cr.cenv != nil {
+		obs = cr.cenv.SampleObservationsAt(cr.ctr, cr.t, closure, cr.rmeans, xs, cr.obs[:0])
+	} else {
+		obs = cr.env.SampleObservations(cr.ctr, cr.t, closure, xs, cr.obs[:0], cr.scratch)
+	}
 	cr.obs = obs
 	cr.closeRound(obs)
 	return obs, nil
@@ -553,7 +774,19 @@ func (cr *ComboRun) closeRound(obs []bandit.Observation) {
 		chosenMean = cr.set.DirectMean(x, cr.means)
 		realized = bandit.SumValues(cr.xs, cr.set.Arms(x))
 	}
-	cr.tracker.Record(chosenMean, realized)
+	if cr.cenv != nil {
+		// The benchmark strategy moves with the context: score the whole
+		// feasible set under this round's means.
+		var optimal float64
+		if cr.scen == bandit.CSR {
+			_, optimal = cr.set.BestClosure(cr.rmeans)
+		} else {
+			_, optimal = cr.set.BestDirect(cr.rmeans)
+		}
+		cr.tracker.RecordVs(optimal, chosenMean, realized)
+	} else {
+		cr.tracker.Record(chosenMean, realized)
+	}
 	if cr.cfg.Observer != nil {
 		cr.cfg.Observer.ObserveRound(trace.Event{
 			T: t, Chosen: x, ChosenMean: chosenMean,
@@ -601,6 +834,17 @@ func RunCombo(env *bandit.Env, set *strategy.Set, scen bandit.Scenario, pol band
 // a nil cache degrades to RunCombo.
 func RunComboCached(env *bandit.Env, set *strategy.Set, scen bandit.Scenario, pol bandit.ComboPolicy, cfg Config, r *rng.RNG, cache *ComboCache) (*Series, error) {
 	cr, err := NewComboRun(env, set, scen, pol, cfg, r, cache)
+	if err != nil {
+		return nil, err
+	}
+	return cr.Run()
+}
+
+// RunContextualCombo plays one replication of a combinatorial scenario
+// over a contextual environment. See NewContextualComboRun; cache may be
+// nil or the cell's NewContextualComboCache.
+func RunContextualCombo(cenv *bandit.ContextualEnv, set *strategy.Set, scen bandit.Scenario, pol bandit.ComboPolicy, cfg Config, r *rng.RNG, cache *ComboCache) (*Series, error) {
+	cr, err := NewContextualComboRun(cenv, set, scen, pol, cfg, r, cache)
 	if err != nil {
 		return nil, err
 	}

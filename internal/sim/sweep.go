@@ -23,9 +23,10 @@ import (
 // of the replication count, results are bit-identical under any worker
 // count, and the pool stops dispatching on the first error.
 
-// EnvSpec is one environment axis point of a sweep. Exactly one of Build or
-// Env must be set; combinatorial scenarios additionally need a strategy set
-// (returned by Build or supplied as Set).
+// EnvSpec is one environment axis point of a sweep. Exactly one of Build,
+// Env, CtxBuild, or CtxEnv must be set; combinatorial scenarios
+// additionally need a strategy set (returned by the builder or supplied as
+// Set).
 type EnvSpec struct {
 	// Name labels the axis point in cell names and exports.
 	Name string
@@ -39,7 +40,17 @@ type EnvSpec struct {
 	// Env and Set supply a prebuilt environment instead of Build.
 	Env *bandit.Env
 	Set *strategy.Set
+	// CtxBuild constructs a contextual (linear-reward) environment from the
+	// axis' private stream; cells on this axis run through the contextual
+	// runners and pass per-round contexts to their policies.
+	CtxBuild func(r *rng.RNG) (*bandit.ContextualEnv, *strategy.Set, error)
+	// CtxEnv supplies a prebuilt contextual environment instead of CtxBuild.
+	CtxEnv *bandit.ContextualEnv
 }
+
+// contextual reports whether the axis describes a contextual environment —
+// decidable at plan time, without building anything.
+func (e *EnvSpec) contextual() bool { return e.CtxBuild != nil || e.CtxEnv != nil }
 
 // GeneratorEnv returns a sweep axis over any named relation-graph
 // generator, with Bernoulli arms whose means are drawn uniformly from
@@ -82,6 +93,45 @@ func FixedEnv(name string, scen bandit.Scenario, env *bandit.Env, set *strategy.
 	return EnvSpec{Name: name, Scenario: scen, Env: env, Set: set}
 }
 
+// ContextualGnpEnv returns a contextual sweep axis: a G(k, p) relation
+// graph, a hidden d-dimensional weight vector θ drawn uniformly and
+// normalised, and per-round feature vectors from a dedicated counter
+// stream — the feature-targeted variant of the paper's Section VII
+// environment. The axis stream is split as Split(1) for the graph,
+// Split(2) for θ, and Split(3) for the feature stream; combinatorial
+// scenarios get the all-m-subsets family.
+func ContextualGnpEnv(name string, scen bandit.Scenario, k, m, d int, p float64) EnvSpec {
+	return ContextualGeneratorEnv(name, scen, graphs.GenGnp, k, m, d, p)
+}
+
+// ContextualGeneratorEnv is ContextualGnpEnv over any named relation-graph
+// generator.
+func ContextualGeneratorEnv(name string, scen bandit.Scenario, gen graphs.GeneratorName, k, m, d int, param float64) EnvSpec {
+	return EnvSpec{
+		Name:     name,
+		Scenario: scen,
+		CtxBuild: func(r *rng.RNG) (*bandit.ContextualEnv, *strategy.Set, error) {
+			g, err := graphs.FromName(gen, k, param, r.Split(1))
+			if err != nil {
+				return nil, nil, err
+			}
+			theta := bandit.RandomTheta(r.Split(2), d)
+			cenv, err := bandit.NewContextualEnv(g, k, theta, r.Split(3).Counter())
+			if err != nil {
+				return nil, nil, err
+			}
+			if !scen.Combinatorial() {
+				return cenv, nil, nil
+			}
+			set, err := strategy.TopM(k, m, g)
+			if err != nil {
+				return nil, nil, err
+			}
+			return cenv, set, nil
+		},
+	}
+}
+
 // PolicySpec is one policy axis point. Single serves the single-play
 // scenarios, Combo the combinatorial ones; a spec crossed with an
 // incompatible environment axis is a sweep validation error.
@@ -89,6 +139,10 @@ type PolicySpec struct {
 	Name   string
 	Single SingleFactory
 	Combo  ComboFactory
+	// Contextual marks policies that require per-round feature contexts
+	// (LinUCB family): crossing one with a non-contextual environment axis
+	// is a plan-time validation error instead of a mid-run panic.
+	Contextual bool
 }
 
 // ConfigSpec is one run-configuration axis point (horizon, checkpoints).
@@ -263,6 +317,9 @@ func (s *Sweep) grid() ([]gridCell, error) {
 				if !e.Scenario.Combinatorial() && pol.Single == nil {
 					return nil, fmt.Errorf("sim: cell %q: policy %q has no single-play factory for scenario %v", name, pol.Name, e.Scenario)
 				}
+				if pol.Contextual && !e.contextual() {
+					return nil, fmt.Errorf("sim: cell %q: policy %q requires per-round contexts but environment axis %q is not contextual", name, pol.Name, e.Name)
+				}
 				cells = append(cells, gridCell{
 					meta: CellResult{
 						Index: idx, Cell: name,
@@ -301,6 +358,7 @@ func (s *Sweep) CellMetas() ([]CellResult, error) {
 // replication using the axis.
 type builtEnv struct {
 	env   *bandit.Env
+	cenv  *bandit.ContextualEnv
 	set   *strategy.Set
 	cache *ComboCache
 }
@@ -316,7 +374,7 @@ func (s *Sweep) buildEnvs(need func(envIdx int) bool) ([]builtEnv, error) {
 		if need != nil && !need(i) {
 			continue
 		}
-		env, set := e.Env, e.Set
+		env, cenv, set := e.Env, e.CtxEnv, e.Set
 		if e.Build != nil {
 			var err error
 			env, set, err = e.Build(envRoot.Split(uint64(i) + 1))
@@ -324,15 +382,32 @@ func (s *Sweep) buildEnvs(need func(envIdx int) bool) ([]builtEnv, error) {
 				return nil, fmt.Errorf("sim: building environment %q: %w", e.Name, err)
 			}
 		}
-		if env == nil {
-			return nil, fmt.Errorf("sim: environment axis %q has neither Build nor Env", e.Name)
+		if e.CtxBuild != nil {
+			if env != nil {
+				return nil, fmt.Errorf("sim: environment axis %q sets both contextual and fixed-mean sources", e.Name)
+			}
+			var err error
+			cenv, set, err = e.CtxBuild(envRoot.Split(uint64(i) + 1))
+			if err != nil {
+				return nil, fmt.Errorf("sim: building environment %q: %w", e.Name, err)
+			}
+		}
+		if env == nil && cenv == nil {
+			return nil, fmt.Errorf("sim: environment axis %q has no Build, Env, CtxBuild, or CtxEnv", e.Name)
+		}
+		if env != nil && cenv != nil {
+			return nil, fmt.Errorf("sim: environment axis %q sets both contextual and fixed-mean sources", e.Name)
 		}
 		if e.Scenario.Combinatorial() && set == nil {
 			return nil, fmt.Errorf("sim: environment axis %q is combinatorial but has no strategy set", e.Name)
 		}
-		built[i] = builtEnv{env: env, set: set}
+		built[i] = builtEnv{env: env, cenv: cenv, set: set}
 		if e.Scenario.Combinatorial() {
-			built[i].cache = NewComboCache(env, set)
+			if cenv != nil {
+				built[i].cache = NewContextualComboCache(cenv, set)
+			} else {
+				built[i].cache = NewComboCache(env, set)
+			}
 		}
 	}
 	return built, nil
@@ -351,14 +426,27 @@ func (s *Sweep) compileCell(gc gridCell, be builtEnv) execCell {
 		return rng.New(s.Seed).Split(uint64(idx) + 1).Split(uint64(rep) + 1)
 	}
 	var run func(rep int) (*Series, error)
-	env, set, scen, cfg, cache := be.env, be.set, gc.meta.Scenario, gc.cfg, be.cache
-	if scen.Combinatorial() {
+	env, cenv, set, scen, cfg, cache := be.env, be.cenv, be.set, gc.meta.Scenario, gc.cfg, be.cache
+	switch {
+	case scen.Combinatorial() && cenv != nil:
+		factory := gc.pol.Combo
+		run = func(rep int) (*Series, error) {
+			stream := repStream(rep)
+			return RunContextualCombo(cenv, set, scen, factory(stream.Split(0)), cfg, stream.Split(1), cache)
+		}
+	case scen.Combinatorial():
 		factory := gc.pol.Combo
 		run = func(rep int) (*Series, error) {
 			stream := repStream(rep)
 			return RunComboCached(env, set, scen, factory(stream.Split(0)), cfg, stream.Split(1), cache)
 		}
-	} else {
+	case cenv != nil:
+		factory := gc.pol.Single
+		run = func(rep int) (*Series, error) {
+			stream := repStream(rep)
+			return RunContextualSingle(cenv, scen, factory(stream.Split(0)), cfg, stream.Split(1))
+		}
+	default:
 		factory := gc.pol.Single
 		run = func(rep int) (*Series, error) {
 			stream := repStream(rep)

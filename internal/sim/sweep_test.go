@@ -122,7 +122,7 @@ type invalidArmPolicy struct{}
 
 func (invalidArmPolicy) Name() string                          { return "invalid" }
 func (invalidArmPolicy) Reset(bandit.Meta)                     {}
-func (invalidArmPolicy) Select(int) int                        { return -1 }
+func (invalidArmPolicy) Select(int, *bandit.RoundContext) int  { return -1 }
 func (invalidArmPolicy) Update(int, int, []bandit.Observation) {}
 
 // TestReplicateFailFast is the satellite regression test: a policy that

@@ -44,6 +44,15 @@ type (
 	ComboPolicy = bandit.ComboPolicy
 	// Distribution is a reward law with support in [0, 1].
 	Distribution = armdist.Distribution
+	// RoundContext carries one round's per-arm feature vectors; it is nil
+	// in Select for non-contextual runs.
+	RoundContext = bandit.RoundContext
+	// ContextualEnv is the linear-reward environment: expected rewards are
+	// θ·x_i(t) over per-round features from a counter stream.
+	ContextualEnv = bandit.ContextualEnv
+	// ComboObjective selects which reward sum a combinatorial baseline
+	// maximises: the played arms' own rewards or the whole closure's.
+	ComboObjective = policy.ComboObjective
 	// StrategySet is an enumerable family of feasible strategies.
 	StrategySet = strategy.Set
 	// Oracle solves the per-round combinatorial maximisation of DFL-CSR.
@@ -154,14 +163,31 @@ func VerifyServeInstance(dir string) (*ServeVerifyResult, error) { return serve.
 // and the CLI's -policy/-policies flags.
 func PolicyNames() []string { return sim.PolicyNames() }
 
+// NewPolicySpec is the registry-backed policy constructor every layer
+// shares: it resolves a name against the scenario into a complete sweep
+// policy axis point — single-play or combinatorial factory as the
+// scenario demands, plus the contextual-requirement flag the sweep grid
+// validates. It subsumes SinglePolicyFactory and ComboPolicyFactory,
+// which remain as thin views of the same registry.
+func NewPolicySpec(name string, scen Scenario) (PolicySpec, error) {
+	return sim.NewPolicySpec(name, scen)
+}
+
+// ContextualPolicy reports whether the named registry policy needs
+// per-round feature contexts (a contextual environment axis, or a
+// linear-reward instance spec).
+func ContextualPolicy(name string) bool { return sim.ContextualPolicy(name) }
+
 // SinglePolicyFactory resolves a registry name to a single-play policy
-// factory for the given scenario.
+// factory for the given scenario. Prefer NewPolicySpec, which also
+// carries the contextual-requirement flag.
 func SinglePolicyFactory(name string, scen Scenario) (SingleFactory, error) {
 	return sim.SinglePolicyFactory(name, scen)
 }
 
 // ComboPolicyFactory resolves a registry name to a combinatorial policy
-// factory for the given scenario.
+// factory for the given scenario. Prefer NewPolicySpec, which also
+// carries the contextual-requirement flag.
 func ComboPolicyFactory(name string, scen Scenario) (ComboFactory, error) {
 	return sim.ComboPolicyFactory(name, scen)
 }
@@ -284,6 +310,25 @@ const (
 	SSR = bandit.SSR
 	// CSR is combinatorial-play with side reward.
 	CSR = bandit.CSR
+)
+
+// The two combinatorial objectives.
+const (
+	// ObjectiveDirect maximises the played arms' own reward sum (the CSO
+	// target).
+	ObjectiveDirect = policy.Direct
+	// ObjectiveClosure maximises the whole closure's reward sum (the CSR
+	// target).
+	ObjectiveClosure = policy.Closure
+)
+
+// The instance reward models accepted by InstanceSpec.RewardModel.
+const (
+	// RewardBernoulli is the classical fixed-mean game (the default).
+	RewardBernoulli = serve.RewardBernoulli
+	// RewardLinear is the contextual game: per-round features, linear
+	// expected rewards, context hashes on every decision.
+	RewardLinear = serve.RewardLinear
 )
 
 // The four per-replication regret metrics.
@@ -481,6 +526,40 @@ func NewCUCBClosure() ComboPolicy { return policy.NewCUCB(policy.Closure) }
 // NewComboRandom returns the uniform-random combinatorial baseline.
 func NewComboRandom(r *RNG) ComboPolicy { return policy.NewComboRandom(r) }
 
+// Contextual policies (package policy): decision rules that read the
+// per-round feature vectors a ContextualEnv publishes through Select.
+
+// NewLinUCB returns single-play LinUCB: ridge regression over round
+// features with confidence-bonus exploration scaled by alpha.
+func NewLinUCB(alpha float64) SinglePolicy { return policy.NewLinUCB(alpha) }
+
+// NewCombLinUCB returns combinatorial LinUCB: one shared ridge model
+// scores every arm and the feasible strategy maximising the summed upper
+// confidence bounds (under obj) is played.
+func NewCombLinUCB(alpha float64, obj ComboObjective) ComboPolicy {
+	return policy.NewCombLinUCB(alpha, obj)
+}
+
+// NewCtxThompson returns linear-Gaussian Thompson sampling over round
+// features, posterior scale v, with counter-stream perturbations.
+func NewCtxThompson(v float64, r *RNG) SinglePolicy { return policy.NewCtxThompson(v, r) }
+
+// NewCombCtxThompson returns combinatorial linear Thompson sampling: one
+// posterior draw per round scores all arms, the best feasible strategy
+// under obj is played.
+func NewCombCtxThompson(v float64, obj ComboObjective, r *RNG) ComboPolicy {
+	return policy.NewCombCtxThompson(v, obj, r)
+}
+
+// NewCTS returns combinatorial Thompson sampling with Beta-Bernoulli
+// posteriors and order-independent per-(arm, round) draws.
+func NewCTS(obj ComboObjective, r *RNG) ComboPolicy { return policy.NewCTS(obj, r) }
+
+// NewOSMD returns the m-set online stochastic mirror descent baseline
+// (split-sample decomposition, capped-simplex projection); eta 0 derives
+// a horizon-tuned learning rate.
+func NewOSMD(eta float64, r *RNG) ComboPolicy { return policy.NewOSMD(eta, r) }
+
 // Simulation entry points (package sim).
 
 // RunSingle plays one replication of a single-play scenario.
@@ -518,6 +597,47 @@ func NewComboRun(env *Env, set *StrategySet, scen Scenario, pol ComboPolicy, cfg
 	return sim.NewComboRun(env, set, scen, pol, cfg, r, cache)
 }
 
+// NewContextualEnv builds a linear-reward environment over the relation
+// graph g (nil for no side information): expected rewards are
+// theta·x_i(t) with per-round features drawn from the counter stream.
+func NewContextualEnv(g *Graph, k int, theta []float64, features Counter) (*ContextualEnv, error) {
+	return bandit.NewContextualEnv(g, k, theta, features)
+}
+
+// RandomTheta draws a hidden weight vector for NewContextualEnv from r,
+// normalised to sum 1.
+func RandomTheta(r *RNG, d int) []float64 { return bandit.RandomTheta(r, d) }
+
+// RunContextualSingle plays one replication of a single-play scenario
+// against a contextual environment.
+func RunContextualSingle(cenv *ContextualEnv, scen Scenario, pol SinglePolicy, cfg Config, r *RNG) (*Series, error) {
+	return sim.RunContextualSingle(cenv, scen, pol, cfg, r)
+}
+
+// RunContextualCombo plays one replication of a combinatorial scenario
+// against a contextual environment; cache may be nil.
+func RunContextualCombo(cenv *ContextualEnv, set *StrategySet, scen Scenario, pol ComboPolicy, cfg Config, r *RNG, cache *ComboCache) (*Series, error) {
+	return sim.RunContextualCombo(cenv, set, scen, pol, cfg, r, cache)
+}
+
+// NewContextualSingleRun returns a round-by-round stepper for a
+// contextual single-play replication.
+func NewContextualSingleRun(cenv *ContextualEnv, scen Scenario, pol SinglePolicy, cfg Config, r *RNG) (*SingleRun, error) {
+	return sim.NewContextualSingleRun(cenv, scen, pol, cfg, r)
+}
+
+// NewContextualComboRun returns a round-by-round stepper for a contextual
+// combinatorial replication; cache may be nil.
+func NewContextualComboRun(cenv *ContextualEnv, set *StrategySet, scen Scenario, pol ComboPolicy, cfg Config, r *RNG, cache *ComboCache) (*ComboRun, error) {
+	return sim.NewContextualComboRun(cenv, set, scen, pol, cfg, r, cache)
+}
+
+// NewContextualComboCache shares the lazily built strategy relation graph
+// across replications of one contextual combinatorial cell.
+func NewContextualComboCache(cenv *ContextualEnv, set *StrategySet) *ComboCache {
+	return sim.NewContextualComboCache(cenv, set)
+}
+
 // ReplicateSingle runs many single-play replications in parallel and
 // aggregates the regret curves.
 func ReplicateSingle(env *Env, scen Scenario, f SingleFactory, cfg Config, opts ReplicateOptions) (*Aggregate, error) {
@@ -544,6 +664,13 @@ func GnpBernoulliEnv(name string, scen Scenario, k, m int, p float64) EnvSpec {
 // generator with uniform-random Bernoulli arms.
 func GeneratorEnv(name string, scen Scenario, gen GraphGenerator, k, m int, param float64) EnvSpec {
 	return sim.GeneratorEnv(name, scen, gen, k, m, param)
+}
+
+// ContextualGnpEnv returns a contextual sweep axis: a G(k, p) relation
+// graph with d-dimensional per-round features and linear expected
+// rewards (and, for combinatorial scenarios, the all-m-subsets family).
+func ContextualGnpEnv(name string, scen Scenario, k, m, d int, p float64) EnvSpec {
+	return sim.ContextualGnpEnv(name, scen, k, m, d, p)
 }
 
 // FixedEnv wraps a prebuilt environment (plus strategy set for

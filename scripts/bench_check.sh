@@ -16,7 +16,9 @@
 # graph construction, closure sampling, and the large-K family at K = 10⁴
 # (strategy-graph build, steady round, closure sampling on the sparse
 # representation), plus the decision service's decide path with and
-# without the HTTP layer (serve_decide_env_k16, serve_http_decide_env_k16).
+# without the HTTP layer (serve_decide_env_k16, serve_http_decide_env_k16)
+# and the contextual round loop (comblinucb_steady_round,
+# ctx_thompson_steady_round).
 # Figure-reproduction benches are excluded — they measure science shape,
 # not kernels, and their regret metrics are covered by golden tests
 # instead. Benchmarks present in the fresh run but absent from the
@@ -36,7 +38,7 @@ if [[ "$out" == "$baseline" ]]; then
   exit 2
 fi
 
-tracked="dflsso_replication_k100,dflsso_steady_state_round,strategy_graph_construction_top2_k20,sample_observed_closure,dflcsr_replication_k20,largek_sg_build_k10000,largek_steady_state_round_k10000,largek_closure_sample_k10000,serve_decide_env_k16,serve_http_decide_env_k16"
+tracked="dflsso_replication_k100,dflsso_steady_state_round,strategy_graph_construction_top2_k20,sample_observed_closure,dflcsr_replication_k20,largek_sg_build_k10000,largek_steady_state_round_k10000,largek_closure_sample_k10000,serve_decide_env_k16,serve_http_decide_env_k16,comblinucb_steady_round,ctx_thompson_steady_round"
 
 go run ./cmd/nbandit bench -out "$out" -label after -benchtime "$benchtime"
 go run ./scripts/benchcmp \
